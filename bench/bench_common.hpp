@@ -1,0 +1,94 @@
+// Shared setup for the reproduction benches: environment-scalable
+// defaults, dataset builders, and the canonical pipeline configuration.
+//
+// Every bench accepts the same environment overrides so the suite can be
+// scaled from a quick smoke run to a paper-scale run without recompiling:
+//   REPRO_FLOWS_PER_CLASS  largest-class size of the "real" dataset (40)
+//   REPRO_TRAIN_PER_CLASS  per-class cap for fine-tuning, paper: 100 (25)
+//   REPRO_SYN_PER_CLASS    synthetic flows generated per class (15)
+//   REPRO_PACKETS          flow-image height, paper: up to 1024 (32)
+//   REPRO_AE_EPOCHS / REPRO_DIFF_EPOCHS / REPRO_CTRL_EPOCHS
+//   REPRO_GAN_EPOCHS       GAN training epochs (200)
+//   REPRO_DDIM_STEPS       sampling steps (15)
+//   REPRO_RF_TREES         random-forest size (30)
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "diffusion/pipeline.hpp"
+#include "eval/scenario.hpp"
+#include "flowgen/dataset.hpp"
+#include "flowgen/generator.hpp"
+#include "gan/netflow_gan.hpp"
+
+namespace repro::bench {
+
+struct Scale {
+  std::size_t flows_per_class = env_size("REPRO_FLOWS_PER_CLASS", 40);
+  std::size_t train_per_class = env_size("REPRO_TRAIN_PER_CLASS", 25);
+  std::size_t syn_per_class = env_size("REPRO_SYN_PER_CLASS", 15);
+  std::size_t packets = env_size("REPRO_PACKETS", 16);
+  std::size_t ae_epochs = env_size("REPRO_AE_EPOCHS", 25);
+  std::size_t diff_epochs = env_size("REPRO_DIFF_EPOCHS", 15);
+  std::size_t ctrl_epochs = env_size("REPRO_CTRL_EPOCHS", 8);
+  std::size_t gan_epochs = env_size("REPRO_GAN_EPOCHS", 200);
+  std::size_t ddim_steps = env_size("REPRO_DDIM_STEPS", 15);
+  std::size_t rf_trees = env_size("REPRO_RF_TREES", 50);
+};
+
+inline std::vector<std::string> class_names() {
+  std::vector<std::string> names;
+  names.reserve(flowgen::kNumApps);
+  for (std::size_t i = 0; i < flowgen::kNumApps; ++i) {
+    names.push_back(flowgen::app_name(static_cast<flowgen::App>(i)));
+  }
+  return names;
+}
+
+inline diffusion::PipelineConfig pipeline_config(const Scale& scale) {
+  diffusion::PipelineConfig cfg;
+  cfg.packets = scale.packets;
+  cfg.autoencoder.hidden_dim = 256;
+  cfg.autoencoder.latent_dim = 40;
+  cfg.ae_max_rows = 3500;
+  cfg.unet.base_channels = 24;
+  cfg.unet.temb_dim = 48;
+  cfg.timesteps = 100;
+  cfg.ae_epochs = scale.ae_epochs;
+  cfg.diffusion_epochs = scale.diff_epochs;
+  cfg.control_epochs = scale.ctrl_epochs;
+  return cfg;
+}
+
+inline diffusion::GenerateOptions generate_options(const Scale& scale) {
+  diffusion::GenerateOptions opts;
+  opts.sampler = diffusion::SamplerKind::kDdim;
+  opts.ddim_steps = scale.ddim_steps;
+  opts.guidance_scale = 2.0f;
+  return opts;
+}
+
+inline gan::GanConfig gan_config(const Scale& scale) {
+  gan::GanConfig cfg;
+  cfg.epochs = scale.gan_epochs;
+  cfg.num_classes = flowgen::kNumApps;
+  return cfg;
+}
+
+inline eval::ScenarioConfig scenario_config(const Scale& scale) {
+  eval::ScenarioConfig cfg;
+  cfg.forest.num_trees = scale.rf_trees;
+  return cfg;
+}
+
+inline void print_header(const char* title, const char* paper_artifact) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_artifact);
+  std::printf("==================================================\n");
+}
+
+}  // namespace repro::bench

@@ -1,0 +1,134 @@
+// §4 open challenge "Generative speed" — "diffusion models necessitate a
+// multi-step sampling procedure during inference, extending the
+// processing time ... the demand is for the rapid generation of tens of
+// thousands of flows per second".
+//
+// google-benchmark harness measuring flows/second for:
+//   * DDPM full ancestral sampling (T network evaluations),
+//   * DDIM at 50 / 20 / 10 / 5 steps,
+//   * classifier-free guidance on/off (2x evaluations per step),
+//   * the GAN baseline (single forward pass — the speed bar to meet),
+// plus the decode path (latent -> nprint -> packets) on its own.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+using namespace repro;
+
+namespace {
+
+/// One shared trained pipeline for all benchmarks (training time is not
+/// what this bench measures).
+diffusion::TraceDiffusion& shared_pipeline() {
+  static diffusion::TraceDiffusion* pipeline = [] {
+    bench::Scale scale;
+    scale.packets = env_size("REPRO_PACKETS", 32);
+    diffusion::PipelineConfig cfg = bench::pipeline_config(scale);
+    // Speed is architecture-dependent, not fit-quality-dependent: train
+    // briefly on a small two-class set.
+    cfg.ae_epochs = 4;
+    cfg.diffusion_epochs = 2;
+    cfg.control_epochs = 1;
+    auto* p = new diffusion::TraceDiffusion(cfg, {"netflix", "teams"});
+    Rng rng(1);
+    flowgen::Dataset ds;
+    for (int i = 0; i < 6; ++i) {
+      net::Flow a = flowgen::generate_flow(flowgen::App::kNetflix, rng);
+      a.label = 0;
+      ds.flows.push_back(std::move(a));
+      net::Flow b = flowgen::generate_flow(flowgen::App::kTeams, rng);
+      b.label = 1;
+      ds.flows.push_back(std::move(b));
+    }
+    p->fit(ds);
+    return p;
+  }();
+  return *pipeline;
+}
+
+void run_generation(benchmark::State& state, diffusion::SamplerKind sampler,
+                    std::size_t steps, float guidance) {
+  auto& pipeline = shared_pipeline();
+  diffusion::GenerateOptions opts;
+  opts.count = 1;
+  opts.sampler = sampler;
+  opts.ddim_steps = steps;
+  opts.guidance_scale = guidance;
+  // Measure the pure samplers over the full schedule (one-shot template
+  // guidance shortens the trajectory and would confound the comparison).
+  opts.template_strength = 1.0f;
+  std::size_t flows = 0;
+  for (auto _ : state) {
+    auto out = pipeline.generate(0, opts);
+    benchmark::DoNotOptimize(out);
+    ++flows;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(flows));
+  state.counters["flows_per_s"] =
+      benchmark::Counter(static_cast<double>(flows),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_DdpmFull(benchmark::State& state) {
+  run_generation(state, diffusion::SamplerKind::kDdpm, 0, 2.0f);
+}
+BENCHMARK(BM_DdpmFull)->Unit(benchmark::kMillisecond);
+
+void BM_Ddim(benchmark::State& state) {
+  run_generation(state, diffusion::SamplerKind::kDdim,
+                 static_cast<std::size_t>(state.range(0)), 2.0f);
+}
+BENCHMARK(BM_Ddim)->Arg(50)->Arg(20)->Arg(10)->Arg(5)->Unit(
+    benchmark::kMillisecond);
+
+void BM_DdimNoGuidance(benchmark::State& state) {
+  run_generation(state, diffusion::SamplerKind::kDdim,
+                 static_cast<std::size_t>(state.range(0)), 1.0f);
+}
+BENCHMARK(BM_DdimNoGuidance)->Arg(20)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_GanBaselineSampling(benchmark::State& state) {
+  static gan::NetFlowGan* model = [] {
+    bench::Scale scale;
+    gan::GanConfig cfg = bench::gan_config(scale);
+    cfg.epochs = 10;
+    auto* g = new gan::NetFlowGan(cfg);
+    Rng rng(2);
+    const auto ds = flowgen::build_uniform_dataset(5, rng);
+    g->fit(gan::to_netflow(ds.flows));
+    return g;
+  }();
+  std::size_t flows = 0;
+  for (auto _ : state) {
+    auto out = model->sample(64);
+    benchmark::DoNotOptimize(out);
+    flows += 64;
+  }
+  state.counters["flows_per_s"] =
+      benchmark::Counter(static_cast<double>(flows),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GanBaselineSampling)->Unit(benchmark::kMillisecond);
+
+void BM_DecodeOnly(benchmark::State& state) {
+  // The non-model tail of the pipeline: latent -> bits -> packets.
+  auto& pipeline = shared_pipeline();
+  const std::size_t c = pipeline.config().autoencoder.latent_dim;
+  const std::size_t l = pipeline.config().packets;
+  Rng rng(3);
+  nn::Tensor latent({1, c, l});
+  for (std::size_t i = 0; i < latent.size(); ++i) {
+    latent[i] = static_cast<float>(rng.gaussian());
+  }
+  for (auto _ : state) {
+    nprint::Matrix matrix = pipeline.autoencoder().decode_matrix(latent);
+    nprint::quantize(matrix);
+    auto flow = nprint::decode_flow(matrix);
+    benchmark::DoNotOptimize(flow);
+  }
+}
+BENCHMARK(BM_DecodeOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// pcap <-> nprint converter utility: the representation layer of the
+// paper as a standalone tool. Reads any (raw-IP or Ethernet) pcap,
+// assembles flows, and emits per-flow nprint artifacts: the bit-level
+// CSV (the nprint tool's format) and the Figure-2-style PPM image.
+//
+// With no arguments it demonstrates itself on a synthetic capture.
+//
+// Usage:
+//   pcap_to_nprint [input.pcap] [max_packets_per_flow]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "flowgen/generator.hpp"
+#include "net/pcap.hpp"
+#include "nprint/codec.hpp"
+#include "nprint/image.hpp"
+
+using namespace repro;
+
+int main(int argc, char** argv) {
+  std::string input = argc > 1 ? argv[1] : "";
+  const std::size_t max_packets =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 32;
+
+  if (input.empty()) {
+    // Self-demo: synthesize a small mixed capture first.
+    input = "pcap_to_nprint_demo.pcap";
+    Rng rng(5);
+    std::vector<net::Flow> flows;
+    flows.push_back(flowgen::generate_flow(flowgen::App::kNetflix, 12, rng));
+    flows.push_back(flowgen::generate_flow(flowgen::App::kTeams, 12, rng));
+    flows.push_back(flowgen::generate_flow(flowgen::App::kOther, 8, rng));
+    net::write_pcap_file(input, net::flatten_flows(flows));
+    std::printf("no input given; wrote demo capture %s\n", input.c_str());
+  }
+
+  const auto packets = net::read_pcap_file(input);
+  const auto flows = net::assemble_flows(packets);
+  std::printf("%s: %zu packets in %zu flows\n", input.c_str(), packets.size(),
+              flows.size());
+
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const nprint::Matrix matrix =
+        nprint::encode_flow(flows[i], max_packets);
+    const std::string base = "flow_" + std::to_string(i);
+
+    std::ofstream csv(base + ".nprint.csv");
+    csv << nprint::to_csv(matrix);
+    nprint::write_ppm(base + ".ppm", nprint::render(matrix));
+
+    std::printf("  %s -> %s.nprint.csv (%zux%zu), %s.ppm  [%s, %zu pkts]\n",
+                flows[i].key.to_string().c_str(), base.c_str(), matrix.rows(),
+                matrix.cols(), base.c_str(),
+                net::proto_name(flows[i].dominant_protocol()).c_str(),
+                flows[i].packet_count());
+  }
+  std::printf("round-trip check: decoding flow_0 back to packets...\n");
+  if (!flows.empty()) {
+    const nprint::Matrix matrix = nprint::encode_flow(flows[0], max_packets);
+    const net::Flow decoded = nprint::decode_flow(matrix);
+    std::printf("  %zu packets decoded, dominant protocol %s\n",
+                decoded.packet_count(),
+                net::proto_name(decoded.dominant_protocol()).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace repro {
+
+std::size_t env_size(const char* name, std::size_t fallback) noexcept {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::size_t>(v);
+}
+
+double env_double(const char* name, double fallback) noexcept {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return v;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
+}  // namespace repro

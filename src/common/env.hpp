@@ -1,0 +1,20 @@
+// Environment-variable overrides used by benches and examples to scale
+// experiments up or down (e.g. REPRO_FLOWS_PER_CLASS, REPRO_EPOCHS)
+// without recompiling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace repro {
+
+/// Returns the integer value of `name`, or `fallback` when unset/invalid.
+std::size_t env_size(const char* name, std::size_t fallback) noexcept;
+
+/// Returns the double value of `name`, or `fallback` when unset/invalid.
+double env_double(const char* name, double fallback) noexcept;
+
+/// Returns the string value of `name`, or `fallback` when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace repro

@@ -1,0 +1,49 @@
+// Minimal leveled logger writing to stderr.
+//
+// Benches and examples use INFO for progress; the library itself only logs
+// at DEBUG (silenced by default) so that embedding applications stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace repro {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Writes one formatted line ("[level] message") to stderr if enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+/// Stream-style accumulator; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace repro
+
+#define REPRO_LOG_DEBUG() ::repro::detail::LogMessage(::repro::LogLevel::kDebug)
+#define REPRO_LOG_INFO() ::repro::detail::LogMessage(::repro::LogLevel::kInfo)
+#define REPRO_LOG_WARN() ::repro::detail::LogMessage(::repro::LogLevel::kWarn)
+#define REPRO_LOG_ERROR() ::repro::detail::LogMessage(::repro::LogLevel::kError)

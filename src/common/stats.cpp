@@ -1,0 +1,179 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace repro {
+
+double mean(const std::vector<double>& xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) noexcept {
+  return std::sqrt(variance(xs));
+}
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  std::sort(xs.begin(), xs.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+std::vector<double> normalize(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w > 0.0 ? w : 0.0;
+  std::vector<double> out(weights.size());
+  if (total <= 0.0) {
+    if (!weights.empty()) {
+      const double u = 1.0 / static_cast<double>(weights.size());
+      std::fill(out.begin(), out.end(), u);
+    }
+    return out;
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    out[i] = weights[i] > 0.0 ? weights[i] / total : 0.0;
+  }
+  return out;
+}
+
+double kl_divergence(const std::vector<double>& p, const std::vector<double>& q,
+                     double epsilon) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("kl_divergence: size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    acc += p[i] * std::log(p[i] / (q[i] + epsilon));
+  }
+  return acc;
+}
+
+double js_divergence(const std::vector<double>& p,
+                     const std::vector<double>& q) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("js_divergence: size mismatch");
+  }
+  std::vector<double> m(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) m[i] = 0.5 * (p[i] + q[i]);
+  // Epsilon smoothing can push the sum a hair below zero for identical
+  // inputs; clamp to the mathematical range.
+  return std::max(0.0, 0.5 * kl_divergence(p, m) + 0.5 * kl_divergence(q, m));
+}
+
+double total_variation(const std::vector<double>& p,
+                       const std::vector<double>& q) {
+  if (p.size() != q.size()) {
+    throw std::invalid_argument("total_variation: size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) acc += std::abs(p[i] - q[i]);
+  return 0.5 * acc;
+}
+
+double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_statistic: empty sample");
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    // Advance past ties on both sides together so equal values never
+    // create a spurious CDF gap.
+    const double v = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] == v) ++i;
+    while (j < b.size() && b[j] == v) ++j;
+    const double fa = static_cast<double>(i) / static_cast<double>(a.size());
+    const double fb = static_cast<double>(j) / static_cast<double>(b.size());
+    d = std::max(d, std::abs(fa - fb));
+  }
+  return d;
+}
+
+double wasserstein1(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("wasserstein1: empty sample");
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  // Integrate |F_a(x) - F_b(x)| over the merged support.
+  double acc = 0.0;
+  std::size_t i = 0, j = 0;
+  double prev = std::min(a.front(), b.front());
+  while (i < a.size() || j < b.size()) {
+    const double fa = static_cast<double>(i) / static_cast<double>(a.size());
+    const double fb = static_cast<double>(j) / static_cast<double>(b.size());
+    double next;
+    if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+      next = a[i];
+      ++i;
+    } else {
+      next = b[j];
+      ++j;
+    }
+    acc += std::abs(fa - fb) * (next - prev);
+    prev = next;
+  }
+  return acc;
+}
+
+double imbalance_ratio(const std::vector<double>& proportions) {
+  if (proportions.empty()) return 1.0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (double p : proportions) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  if (lo <= 0.0) return std::numeric_limits<double>::infinity();
+  return hi / lo;
+}
+
+std::vector<double> histogram(const std::vector<double>& xs, double lo,
+                              double hi, std::size_t bins) {
+  if (bins == 0 || hi <= lo) {
+    throw std::invalid_argument("histogram: bad range or bin count");
+  }
+  std::vector<double> out(bins, 0.0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    out[static_cast<std::size_t>(idx)] += 1.0;
+  }
+  return out;
+}
+
+std::vector<double> class_counts(const std::vector<int>& labels,
+                                 std::size_t num_classes) {
+  std::vector<double> out(num_classes, 0.0);
+  for (int label : labels) {
+    if (label >= 0 && static_cast<std::size_t>(label) < num_classes) {
+      out[static_cast<std::size_t>(label)] += 1.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace repro

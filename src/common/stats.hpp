@@ -1,0 +1,64 @@
+// Small statistics toolkit shared by the evaluation harness and tests:
+// summary statistics, histograms, and distribution divergences used to
+// quantify class-coverage drift (Figure 1) and feature-distribution
+// fidelity.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// Mean of a sample (0 for empty input).
+double mean(const std::vector<double>& xs) noexcept;
+
+/// Unbiased sample variance (0 for fewer than two points).
+double variance(const std::vector<double>& xs) noexcept;
+
+/// Sample standard deviation.
+double stddev(const std::vector<double>& xs) noexcept;
+
+/// Linear-interpolated quantile, q in [0, 1]. Requires non-empty input.
+double quantile(std::vector<double> xs, double q);
+
+/// Normalizes non-negative weights to a probability vector. Zero-total
+/// input yields the uniform distribution.
+std::vector<double> normalize(const std::vector<double>& weights);
+
+/// Kullback–Leibler divergence KL(p || q) in nats over aligned supports.
+/// Terms where p_i == 0 contribute zero; q is smoothed with `epsilon` so
+/// that empty bins do not yield infinities.
+double kl_divergence(const std::vector<double>& p, const std::vector<double>& q,
+                     double epsilon = 1e-12);
+
+/// Jensen–Shannon divergence (symmetric, bounded by ln 2).
+double js_divergence(const std::vector<double>& p, const std::vector<double>& q);
+
+/// Total variation distance: 0.5 * sum |p_i - q_i|.
+double total_variation(const std::vector<double>& p,
+                       const std::vector<double>& q);
+
+/// Two-sample Kolmogorov–Smirnov statistic (max CDF gap).
+double ks_statistic(std::vector<double> a, std::vector<double> b);
+
+/// Earth mover's distance between two 1-D samples (Wasserstein-1 on
+/// empirical distributions).
+double wasserstein1(std::vector<double> a, std::vector<double> b);
+
+/// Ratio of largest to smallest class probability; 1.0 means perfectly
+/// balanced. Classes with zero probability make the result infinity.
+double imbalance_ratio(const std::vector<double>& proportions);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the edge buckets.
+std::vector<double> histogram(const std::vector<double>& xs, double lo,
+                              double hi, std::size_t bins);
+
+/// Counts occurrences of each label in a sequence of class ids, returning
+/// a dense vector of length `num_classes`.
+std::vector<double> class_counts(const std::vector<int>& labels,
+                                 std::size_t num_classes);
+
+}  // namespace repro

@@ -1,0 +1,56 @@
+#include "diffusion/conditioning.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace repro::diffusion {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+PromptCodec::PromptCodec(std::vector<std::string> class_names)
+    : names_(std::move(class_names)) {
+  if (names_.empty()) {
+    throw std::invalid_argument("PromptCodec: need at least one class");
+  }
+}
+
+std::string PromptCodec::encode_prompt(int class_id) const {
+  if (class_id < 0 || static_cast<std::size_t>(class_id) >= names_.size()) {
+    throw std::out_of_range("PromptCodec::encode_prompt: bad class id");
+  }
+  return "Type-" + std::to_string(class_id);
+}
+
+std::optional<int> PromptCodec::parse_prompt(const std::string& prompt) const {
+  const std::string p = lower(prompt);
+  if (p.empty()) return null_id();
+  if (p.rfind("type-", 0) == 0) {
+    try {
+      const int id = std::stoi(p.substr(5));
+      if (id >= 0 && static_cast<std::size_t>(id) < names_.size()) return id;
+    } catch (const std::exception&) {
+    }
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (lower(names_[i]) == p) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+const std::string& PromptCodec::class_name(int class_id) const {
+  if (class_id < 0 || static_cast<std::size_t>(class_id) >= names_.size()) {
+    throw std::out_of_range("PromptCodec::class_name: bad class id");
+  }
+  return names_[static_cast<std::size_t>(class_id)];
+}
+
+}  // namespace repro::diffusion

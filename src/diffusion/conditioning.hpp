@@ -1,0 +1,42 @@
+// Text-prompt conditioning ("text-to-traffic").
+//
+// The paper deliberately encodes class prompts as opaque tokens
+// ("'Type-0' for 'Netflix'") so the base model's original word embeddings
+// do not interfere (§3.1) — i.e. the text encoder degenerates to a learned
+// class-embedding lookup, which is what PromptCodec + the U-Net's
+// embedding table implement. The codec accepts both encoded prompts
+// ("Type-3") and application names ("twitch"), and reserves a null id for
+// classifier-free guidance's unconditional branch.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace repro::diffusion {
+
+class PromptCodec {
+ public:
+  /// `class_names[i]` is the plain-text name of class i.
+  explicit PromptCodec(std::vector<std::string> class_names);
+
+  std::size_t num_classes() const noexcept { return names_.size(); }
+
+  /// Id used for the unconditional (empty-prompt) branch.
+  int null_id() const noexcept { return static_cast<int>(names_.size()); }
+
+  /// "Type-3" for class 3 — the encoded prompt fed to the model.
+  std::string encode_prompt(int class_id) const;
+
+  /// Parses "Type-k", "type-k", a class name, or "" (-> null id).
+  /// Returns nullopt for unrecognized prompts.
+  std::optional<int> parse_prompt(const std::string& prompt) const;
+
+  const std::string& class_name(int class_id) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace repro::diffusion

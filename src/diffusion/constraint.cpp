@@ -1,0 +1,257 @@
+#include "diffusion/constraint.hpp"
+
+#include <algorithm>
+
+namespace repro::diffusion {
+namespace {
+
+using nprint::kBitsPerPacket;
+using nprint::kIcmpBits;
+using nprint::kIcmpOffset;
+using nprint::kIpv4Offset;
+using nprint::kTcpBits;
+using nprint::kTcpOffset;
+using nprint::kUdpBits;
+using nprint::kUdpOffset;
+
+struct RegionSpan {
+  std::size_t offset;
+  std::size_t fixed_bits;  // non-option portion that must be materialized
+  std::size_t total_bits;
+};
+
+RegionSpan region_for(net::IpProto proto) {
+  switch (proto) {
+    case net::IpProto::kTcp:
+      return {kTcpOffset, 160, kTcpBits};
+    case net::IpProto::kUdp:
+      return {kUdpOffset, 64, kUdpBits};
+    case net::IpProto::kIcmp:
+      return {kIcmpOffset, 64, kIcmpBits};
+  }
+  return {kTcpOffset, 160, kTcpBits};
+}
+
+void vacate(float* row, std::size_t offset, std::size_t bits) {
+  for (std::size_t i = 0; i < bits; ++i) row[offset + i] = -1.0f;
+}
+
+void materialize(float* row, std::size_t offset, std::size_t bits) {
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (row[offset + i] < -0.5f) row[offset + i] = 0.0f;
+  }
+}
+
+void write_field(float* row, std::size_t offset, std::uint32_t value,
+                 std::size_t bits) {
+  for (std::size_t i = 0; i < bits; ++i) {
+    row[offset + i] =
+        (value >> (bits - 1 - i)) & 1 ? 1.0f : 0.0f;
+  }
+}
+
+net::IpProto row_protocol(const float* row) {
+  auto occupancy = [&](std::size_t offset, std::size_t bits) {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < bits; ++i) {
+      if (row[offset + i] > -0.5f) ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(bits);
+  };
+  const double tcp = occupancy(kTcpOffset, kTcpBits);
+  const double udp = occupancy(kUdpOffset, kUdpBits);
+  const double icmp = occupancy(kIcmpOffset, kIcmpBits);
+  if (tcp >= udp && tcp >= icmp) return net::IpProto::kTcp;
+  if (udp >= icmp) return net::IpProto::kUdp;
+  return net::IpProto::kIcmp;
+}
+
+}  // namespace
+
+ProtocolTemplate ProtocolTemplate::uniform(net::IpProto proto,
+                                           std::size_t packets) {
+  ProtocolTemplate t;
+  t.per_packet.assign(packets, proto);
+  return t;
+}
+
+ProtocolTemplate ProtocolTemplate::from_flow(const net::Flow& flow,
+                                             std::size_t packets) {
+  ProtocolTemplate t;
+  const net::IpProto dominant =
+      flow.packets.empty() ? net::IpProto::kTcp : flow.dominant_protocol();
+  t.per_packet.reserve(packets);
+  for (std::size_t i = 0; i < packets; ++i) {
+    t.per_packet.push_back(i < flow.packets.size()
+                               ? flow.packets[i].ip.protocol
+                               : dominant);
+  }
+  return t;
+}
+
+void project_to_template(nprint::Matrix& matrix,
+                         const ProtocolTemplate& target) {
+  const std::size_t rows =
+      std::min(matrix.rows(), target.per_packet.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (matrix.row_vacant(r)) continue;
+    float* row = matrix.data().data() + r * kBitsPerPacket;
+    const net::IpProto proto = target.per_packet[r];
+    for (net::IpProto other :
+         {net::IpProto::kTcp, net::IpProto::kUdp, net::IpProto::kIcmp}) {
+      if (other == proto) continue;
+      const RegionSpan span = region_for(other);
+      vacate(row, span.offset, span.total_bits);
+    }
+    const RegionSpan span = region_for(proto);
+    materialize(row, span.offset, span.fixed_bits);
+    // IPv4 fixed header must be present and its protocol field correct.
+    materialize(row, kIpv4Offset, 160);
+    write_field(row, kIpv4Offset + 72,
+                static_cast<std::uint32_t>(proto), 8);
+    // Version = 4, IHL = 5 — keeps the decoded header parseable.
+    write_field(row, kIpv4Offset, 4, 4);
+    write_field(row, kIpv4Offset + 4, 5, 4);
+  }
+}
+
+namespace {
+
+/// Endpoint harmonization for UDP-dominant generated flows: every packet
+/// shares the first packet's endpoint pair, with per-packet direction
+/// taken from the template — removing the per-row address jitter that
+/// otherwise fragments a generated flow into single-packet 5-tuples.
+net::Flow harmonize_udp_endpoints(net::Flow out,
+                                  const net::Flow& template_flow) {
+  const net::Packet& first = out.packets.front();
+  const std::uint32_t client_addr = first.ip.src_addr;
+  const std::uint32_t server_addr = first.ip.dst_addr;
+  std::uint16_t client_port = 40000, server_port = 443;
+  if (first.udp) {
+    client_port = first.udp->src_port;
+    server_port = first.udp->dst_port;
+  }
+  const std::uint32_t template_client = template_flow.packets[0].ip.src_addr;
+  for (std::size_t i = 0; i < out.packets.size(); ++i) {
+    net::Packet& pkt = out.packets[i];
+    if (!pkt.udp) continue;
+    const net::Packet& tmpl =
+        template_flow.packets[std::min(i, template_flow.packets.size() - 1)];
+    const bool from_client = tmpl.ip.src_addr == template_client;
+    pkt.ip.src_addr = from_client ? client_addr : server_addr;
+    pkt.ip.dst_addr = from_client ? server_addr : client_addr;
+    pkt.udp->src_port = from_client ? client_port : server_port;
+    pkt.udp->dst_port = from_client ? server_port : client_port;
+  }
+  if (!out.packets.empty()) {
+    out.key = net::FlowKey::from_packet(out.packets.front()).canonical();
+  }
+  return out;
+}
+
+}  // namespace
+
+net::Flow enforce_tcp_state(const net::Flow& generated,
+                            const net::Flow& template_flow) {
+  if (generated.packets.empty() || template_flow.packets.empty()) {
+    return generated;
+  }
+  if (template_flow.dominant_protocol() == net::IpProto::kUdp) {
+    return harmonize_udp_endpoints(generated, template_flow);
+  }
+  if (template_flow.dominant_protocol() != net::IpProto::kTcp) {
+    return generated;
+  }
+  net::Flow out = generated;
+
+  // Self-consistent endpoints from the first generated packet.
+  const net::Packet& first = generated.packets.front();
+  const std::uint32_t client_addr = first.ip.src_addr;
+  const std::uint32_t server_addr = first.ip.dst_addr;
+  std::uint16_t client_port = 49152, server_port = 443;
+  if (first.tcp) {
+    client_port = first.tcp->src_port;
+    server_port = first.tcp->dst_port;
+  }
+
+  // Generated initial sequence numbers (fall back to header bits of the
+  // first packets so the ISNs still come from the model).
+  std::uint32_t client_seq =
+      first.tcp ? first.tcp->seq : 0x10000001;
+  std::uint32_t server_seq = client_seq ^ 0x5A5A5A5A;
+  const std::uint32_t template_client = template_flow.packets[0].ip.src_addr;
+  for (const auto& pkt : generated.packets) {
+    if (pkt.tcp && pkt.ip.src_addr != client_addr) {
+      server_seq = pkt.tcp->seq;
+      break;
+    }
+  }
+
+  std::uint32_t client_next = client_seq;
+  std::uint32_t server_next = server_seq;
+  bool client_fin = false, server_fin = false;
+  for (std::size_t i = 0; i < out.packets.size(); ++i) {
+    net::Packet& pkt = out.packets[i];
+    if (!pkt.tcp) continue;
+    // Direction and flags follow the template row (its own dominant
+    // pattern continues past its end).
+    const net::Packet& tmpl =
+        template_flow.packets[std::min(i, template_flow.packets.size() - 1)];
+    const bool from_client = tmpl.ip.src_addr == template_client;
+    const bool tmpl_tcp = tmpl.tcp.has_value();
+    bool syn = tmpl_tcp && tmpl.tcp->syn;
+    bool fin = tmpl_tcp && tmpl.tcp->fin;
+
+    // A second FIN from the same side (template repetition) degrades to
+    // a plain ACK so sequence accounting stays valid; SYNs never appear
+    // mid-stream.
+    bool& fin_flag = from_client ? client_fin : server_fin;
+    if (fin && fin_flag) fin = false;
+    if (syn && i >= 3) syn = false;
+
+    pkt.ip.src_addr = from_client ? client_addr : server_addr;
+    pkt.ip.dst_addr = from_client ? server_addr : client_addr;
+    pkt.tcp->src_port = from_client ? client_port : server_port;
+    pkt.tcp->dst_port = from_client ? server_port : client_port;
+    pkt.tcp->syn = syn;
+    pkt.tcp->fin = fin;
+    pkt.tcp->rst = false;
+    // Everything after the bare opening SYN acks the peer.
+    pkt.tcp->ack_flag = i > 0;
+    if (i == 0) {
+      pkt.tcp->syn = true;
+      pkt.tcp->fin = false;
+    }
+    if (pkt.tcp->syn) pkt.payload.clear();
+
+    std::uint32_t& self_next = from_client ? client_next : server_next;
+    const std::uint32_t peer_next = from_client ? server_next : client_next;
+    pkt.tcp->seq = self_next;
+    pkt.tcp->ack = pkt.tcp->ack_flag ? peer_next : 0;
+    self_next += static_cast<std::uint32_t>(pkt.payload.size()) +
+                 (pkt.tcp->syn ? 1 : 0) + (pkt.tcp->fin ? 1 : 0);
+    if (pkt.tcp->fin) fin_flag = true;
+    pkt.ip.total_length = static_cast<std::uint16_t>(pkt.datagram_length());
+  }
+  if (!out.packets.empty()) {
+    out.key = net::FlowKey::from_packet(out.packets.front()).canonical();
+  }
+  return out;
+}
+
+double template_compliance(const nprint::Matrix& matrix,
+                           const ProtocolTemplate& target) {
+  const std::size_t rows =
+      std::min(matrix.rows(), target.per_packet.size());
+  std::size_t active = 0, matching = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (matrix.row_vacant(r)) continue;
+    ++active;
+    const float* row = matrix.data().data() + r * kBitsPerPacket;
+    if (row_protocol(row) == target.per_packet[r]) ++matching;
+  }
+  if (active == 0) return 0.0;
+  return static_cast<double>(matching) / static_cast<double>(active);
+}
+
+}  // namespace repro::diffusion

@@ -1,0 +1,65 @@
+// Post-generation constraint handling ("color processing" + protocol
+// compliance, §3.1/§3.2).
+//
+// Raw sampler output is real-valued; `quantize` (in nprint/codec.hpp)
+// snaps it to the ternary alphabet. The projector then optionally
+// enforces the hard inter-packet constraint the paper highlights: every
+// packet of a flow must carry the protocol the control template dictates
+// (Figure 2: "all packets strictly conform to the dominant protocol
+// type"). Projection edits only structural bits — region vacancy and the
+// IPv4 protocol field — leaving learned content bits untouched.
+#pragma once
+
+#include <vector>
+
+#include "net/flow.hpp"
+#include "nprint/codec.hpp"
+
+namespace repro::diffusion {
+
+/// Per-row protocol targets for one flow image.
+struct ProtocolTemplate {
+  std::vector<net::IpProto> per_packet;
+
+  /// Uniform template: every row carries `proto`.
+  static ProtocolTemplate uniform(net::IpProto proto, std::size_t packets);
+
+  /// Template copied from a real flow (the one-shot control source);
+  /// rows past the flow's end use its dominant protocol.
+  static ProtocolTemplate from_flow(const net::Flow& flow,
+                                    std::size_t packets);
+};
+
+enum class ConstraintMode {
+  kOff,        // raw quantized output
+  kProjected,  // quantize + hard protocol projection
+};
+
+/// In-place hard projection of `matrix` onto the template: for each row,
+/// vacate the transport regions of non-target protocols, materialize the
+/// target region's fixed header bits (vacant bits become 0 so the header
+/// parses), de-vacate the IPv4 fixed header, and overwrite the IPv4
+/// protocol field with the target protocol number.
+void project_to_template(nprint::Matrix& matrix,
+                         const ProtocolTemplate& target);
+
+/// Fraction of non-vacant rows whose decoded transport matches the
+/// template (1.0 = full compliance). Rows beyond the template length are
+/// ignored.
+double template_compliance(const nprint::Matrix& matrix,
+                           const ProtocolTemplate& target);
+
+/// Stateful TCP projection — the §4 "stricter constraints such as those
+/// offered by network protocols" extension. Rewrites a generated
+/// TCP-dominant flow so a strict stateful firewall accepts it: packet
+/// direction and flag pattern are taken from the one-shot template flow,
+/// endpoints are made self-consistent, and sequence/ack numbers are
+/// renumbered from the generated initial sequence numbers. Everything
+/// else the model generated — payload sizes, windows, TTLs, options,
+/// DSCP, IP IDs, ports — is preserved. UDP-dominant templates get the
+/// UDP analogue (endpoint harmonization: one address/port pair, template
+/// directions); other templates are returned unchanged.
+net::Flow enforce_tcp_state(const net::Flow& generated,
+                            const net::Flow& template_flow);
+
+}  // namespace repro::diffusion

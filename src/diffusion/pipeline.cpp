@@ -1,0 +1,764 @@
+#include "diffusion/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include <fstream>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/serialize.hpp"
+#include "nprint/codec.hpp"
+
+namespace repro::diffusion {
+namespace {
+
+/// Tiles a [1, C, L] hint to [N, C, L].
+nn::Tensor tile_hint(const nn::Tensor& hint, std::size_t n) {
+  const std::size_t c = hint.dim(1), l = hint.dim(2);
+  nn::Tensor out({n, c, l});
+  for (std::size_t b = 0; b < n; ++b) {
+    std::copy(hint.data(), hint.data() + c * l, out.data() + b * c * l);
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceDiffusion::TraceDiffusion(PipelineConfig config,
+                               std::vector<std::string> class_names)
+    : config_(std::move(config)),
+      prompts_(std::move(class_names)),
+      rng_(config_.seed),
+      schedule_(config_.timesteps, config_.schedule) {
+  if (config_.packets % 4 != 0) {
+    throw std::invalid_argument("TraceDiffusion: packets must be divisible by 4");
+  }
+  config_.unet.in_channels = config_.autoencoder.latent_dim;
+  config_.unet.num_classes = prompts_.num_classes();
+  config_.unet.hint_channels = kHintChannels + config_.autoencoder.latent_dim;
+  autoencoder_ = std::make_unique<PacketAutoencoder>(config_.autoencoder, rng_);
+  unet_ = std::make_unique<UNet1d>(config_.unet, rng_);
+  control_ = std::make_unique<ControlNetBranch>(config_.unet, rng_);
+}
+
+void TraceDiffusion::fit_timing(const flowgen::Dataset& data) {
+  std::map<int, std::vector<double>> log_gaps;
+  for (const auto& flow : data.flows) {
+    if (flow.label < 0) continue;
+    auto& gaps = log_gaps[flow.label];
+    for (std::size_t i = 1;
+         i < flow.packets.size() && gaps.size() < 4000; ++i) {
+      const double gap =
+          flow.packets[i].timestamp - flow.packets[i - 1].timestamp;
+      if (gap > 1e-7) gaps.push_back(std::log(gap));
+    }
+  }
+  for (auto& [cls, gaps] : log_gaps) {
+    if (gaps.size() < 2) continue;
+    TimingModel model;
+    model.log_mu = static_cast<float>(mean(gaps));
+    model.log_sigma =
+        std::max(0.01f, static_cast<float>(stddev(gaps)));
+    timing_[cls] = model;
+  }
+}
+
+const TraceDiffusion::TimingModel& TraceDiffusion::class_timing(
+    int class_id) const {
+  static const TimingModel kDefault{};
+  const auto it = timing_.find(class_id);
+  return it == timing_.end() ? kDefault : it->second;
+}
+
+void TraceDiffusion::assign_timestamps(net::Flow& flow, int class_id) {
+  const TimingModel& model = class_timing(class_id);
+  double t = 0.0;
+  for (auto& pkt : flow.packets) {
+    pkt.timestamp = t;
+    const double gap =
+        std::min(rng_.log_normal(model.log_mu, model.log_sigma), 10.0);
+    t += gap;
+  }
+}
+
+const nn::Tensor& TraceDiffusion::class_hint(int class_id) {
+  auto it = hints_.find(class_id);
+  if (it != hints_.end()) return it->second;
+  const std::size_t c_lat = config_.autoencoder.latent_dim;
+  const std::size_t l = config_.packets;
+  nn::Tensor hint({1, kHintChannels + c_lat, l});
+  const net::Flow& tmpl = template_flows_.count(class_id)
+                              ? template_flows_.at(class_id)
+                              : net::Flow{};
+  const nn::Tensor proto = protocol_hint(tmpl, l);
+  std::copy(proto.data(), proto.data() + kHintChannels * l, hint.data());
+  nn::Tensor latent = autoencoder_->encode_matrix(
+      nprint::encode_flow(tmpl, l, /*pad_to_max=*/true));
+  latent.scale(latent_scale_);
+  std::copy(latent.data(), latent.data() + c_lat * l,
+            hint.data() + kHintChannels * l);
+  return hints_.emplace(class_id, std::move(hint)).first->second;
+}
+
+std::vector<TraceDiffusion::Encoded> TraceDiffusion::encode_dataset(
+    const flowgen::Dataset& data) {
+  std::vector<Encoded> encoded;
+  encoded.reserve(data.flows.size());
+  for (const auto& flow : data.flows) {
+    const nprint::Matrix matrix =
+        nprint::encode_flow(flow, config_.packets, /*pad_to_max=*/true);
+    Encoded e;
+    e.latent = autoencoder_->encode_matrix(matrix);
+    e.latent.scale(latent_scale_);
+    e.label = flow.label;
+    encoded.push_back(std::move(e));
+  }
+  return encoded;
+}
+
+FitStats TraceDiffusion::fit(const flowgen::Dataset& real) {
+  if (real.flows.empty()) {
+    throw std::invalid_argument("TraceDiffusion::fit: empty dataset");
+  }
+  FitStats stats;
+  stats.flows_used = real.flows.size();
+  stats.unet_parameters = unet_->parameter_count();
+
+  // --- Capture one-shot control templates (first flow of each class)
+  // and fit per-class timing models. ---
+  for (const auto& flow : real.flows) {
+    if (flow.label >= 0 && !template_flows_.count(flow.label)) {
+      template_flows_[flow.label] = flow;
+      templates_[flow.label] =
+          ProtocolTemplate::from_flow(flow, config_.packets);
+    }
+  }
+  fit_timing(real);
+
+  // --- Phase A: packet autoencoder. ---
+  {
+    // Gather training rows (active packet rows only; padding rows are
+    // trivially all -1 and would dominate the loss).
+    std::vector<const net::Flow*> flows;
+    for (const auto& flow : real.flows) flows.push_back(&flow);
+    std::vector<std::vector<float>> rows;
+    for (const net::Flow* flow : flows) {
+      const std::size_t take =
+          std::min(flow->packets.size(), config_.packets);
+      for (std::size_t i = 0; i < take; ++i) {
+        rows.push_back(nprint::encode_packet(flow->packets[i]));
+      }
+    }
+    // A slice of vacant rows keeps the AE able to represent padding.
+    const std::size_t vacant_rows = rows.size() / 16 + 1;
+    for (std::size_t i = 0; i < vacant_rows; ++i) {
+      rows.emplace_back(nprint::kBitsPerPacket, -1.0f);
+    }
+    if (rows.size() > config_.ae_max_rows) {
+      const auto perm = rng_.permutation(rows.size());
+      std::vector<std::vector<float>> subset;
+      subset.reserve(config_.ae_max_rows);
+      for (std::size_t i = 0; i < config_.ae_max_rows; ++i) {
+        subset.push_back(std::move(rows[perm[i]]));
+      }
+      rows = std::move(subset);
+    }
+    nn::Tensor row_tensor({rows.size(), nprint::kBitsPerPacket});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::copy(rows[i].begin(), rows[i].end(),
+                row_tensor.data() + i * nprint::kBitsPerPacket);
+    }
+    stats.ae_final_loss = autoencoder_->train(
+        row_tensor, config_.ae_epochs, config_.ae_batch, config_.ae_lr, rng_);
+    REPRO_LOG_DEBUG() << "autoencoder loss " << stats.ae_final_loss;
+  }
+
+  // --- Latent statistics: scale latents to ~unit variance. ---
+  latent_scale_ = 1.0f;
+  {
+    std::vector<Encoded> probe = encode_dataset(real);
+    double sq = 0.0;
+    std::size_t count = 0;
+    for (const auto& e : probe) {
+      for (std::size_t i = 0; i < e.latent.size(); ++i) {
+        sq += static_cast<double>(e.latent[i]) * e.latent[i];
+      }
+      count += e.latent.size();
+    }
+    const double std_dev = std::sqrt(sq / std::max<std::size_t>(count, 1));
+    latent_scale_ = std_dev > 1e-6 ? static_cast<float>(1.0 / std_dev) : 1.0f;
+  }
+  hints_.clear();  // control hints embed scaled latents; rebuild lazily
+
+  // --- Phase B: conditional latent diffusion. ---
+  std::vector<Encoded> encoded = encode_dataset(real);
+  unet_->unfreeze_all();
+  stats.diffusion_final_loss = train_diffusion_epochs(
+      encoded, config_.diffusion_epochs, config_.diffusion_lr,
+      unet_->parameters(), /*with_control_hints=*/false);
+
+  // --- Phase C: ControlNet branch (base frozen). ---
+  if (config_.train_control) {
+    for (nn::Parameter* p : unet_->parameters()) p->trainable = false;
+    stats.control_final_loss = train_diffusion_epochs(
+        encoded, config_.control_epochs, config_.control_lr,
+        control_->parameters(), /*with_control_hints=*/true);
+    unet_->unfreeze_all();
+  }
+
+  fitted_ = true;
+  return stats;
+}
+
+float TraceDiffusion::train_diffusion_epochs(
+    const std::vector<Encoded>& data, std::size_t epochs, float lr,
+    const std::vector<nn::Parameter*>& params, bool with_control_hints) {
+  nn::Adam::Config acfg;
+  acfg.lr = lr;
+  nn::Adam optimizer(params, acfg);
+  const std::size_t c = config_.autoencoder.latent_dim;
+  const std::size_t l = config_.packets;
+  const std::size_t batch_size = std::max<std::size_t>(config_.diffusion_batch, 1);
+  float last_loss = 0.0f;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    const auto perm = rng_.permutation(data.size());
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < data.size(); start += batch_size) {
+      const std::size_t count = std::min(batch_size, data.size() - start);
+      nn::Tensor x0({count, c, l});
+      std::vector<int> class_ids(count);
+      std::vector<float> timesteps(count);
+      nn::Tensor noise({count, c, l});
+      nn::Tensor xt({count, c, l});
+      const std::size_t hc = config_.unet.hint_channels;
+      nn::Tensor hint({count, hc, l});
+      for (std::size_t i = 0; i < count; ++i) {
+        const Encoded& e = data[perm[start + i]];
+        std::copy(e.latent.data(), e.latent.data() + c * l,
+                  x0.data() + i * c * l);
+        int cls = e.label;
+        if (!with_control_hints && rng_.uniform() < config_.cfg_dropout) {
+          cls = prompts_.null_id();  // CFG: train the unconditional branch
+        }
+        class_ids[i] = cls;
+        const auto t = static_cast<std::size_t>(
+            rng_.uniform_u64(schedule_.timesteps()));
+        timesteps[i] = static_cast<float>(t);
+        const float sa = schedule_.sqrt_alpha_bar(t);
+        const float sb = schedule_.sqrt_one_minus_alpha_bar(t);
+        for (std::size_t j = 0; j < c * l; ++j) {
+          const float eps = static_cast<float>(rng_.gaussian());
+          noise[i * c * l + j] = eps;
+          xt[i * c * l + j] = sa * x0[i * c * l + j] + sb * eps;
+        }
+        if (with_control_hints) {
+          const nn::Tensor& h = class_hint(e.label);
+          std::copy(h.data(), h.data() + hc * l, hint.data() + i * hc * l);
+        }
+      }
+
+      unet_->zero_grad();
+      nn::Tensor pred;
+      ControlResiduals residuals;
+      if (with_control_hints) {
+        control_->zero_grad();
+        residuals = control_->forward(xt, timesteps, class_ids, hint);
+        pred = unet_->forward(xt, timesteps, class_ids, &residuals);
+      } else {
+        pred = unet_->forward(xt, timesteps, class_ids);
+      }
+      nn::Tensor target;
+      if (config_.parameterization ==
+          PipelineConfig::Parameterization::kX0) {
+        // EDM-style skip: the network learns F = x0 - sqrt(abar_t) x_t.
+        target = x0;
+        for (std::size_t i = 0; i < count; ++i) {
+          const float sa = schedule_.sqrt_alpha_bar(
+              static_cast<std::size_t>(timesteps[i]));
+          for (std::size_t j = 0; j < c * l; ++j) {
+            target[i * c * l + j] -= sa * xt[i * c * l + j];
+          }
+        }
+      } else {
+        target = noise;
+      }
+      nn::Tensor grad;
+      const float loss = nn::mse_loss(pred, target, grad);
+      if (with_control_hints) {
+        ControlResiduals grad_res;
+        unet_->backward(grad, &grad_res);
+        control_->backward(grad_res);
+      } else {
+        unet_->backward(grad);
+      }
+      nn::clip_grad_norm(params, config_.grad_clip);
+      optimizer.step();
+      epoch_loss += loss;
+      ++batches;
+    }
+    last_loss =
+        static_cast<float>(epoch_loss / std::max<std::size_t>(batches, 1));
+    REPRO_LOG_DEBUG() << (with_control_hints ? "control" : "diffusion")
+                      << " epoch " << epoch << " loss " << last_loss;
+  }
+  return last_loss;
+}
+
+float TraceDiffusion::fit_lora(const flowgen::Dataset& data,
+                               std::size_t epochs) {
+  if (!fitted_) {
+    throw std::logic_error("TraceDiffusion::fit_lora: call fit() first");
+  }
+  if (config_.unet.lora_rank == 0) {
+    throw std::logic_error("TraceDiffusion::fit_lora: lora_rank is 0");
+  }
+  // Register templates for classes first seen during fine-tuning (class
+  // extension adds new classes whose one-shot controls come from the
+  // fine-tuning data).
+  for (const auto& flow : data.flows) {
+    if (flow.label >= 0 && !template_flows_.count(flow.label)) {
+      template_flows_[flow.label] = flow;
+      templates_[flow.label] =
+          ProtocolTemplate::from_flow(flow, config_.packets);
+    }
+  }
+  fit_timing(data);
+  std::vector<Encoded> encoded = encode_dataset(data);
+  unet_->freeze_base();
+  std::vector<nn::Parameter*> params = unet_->lora_parameters();
+  params.push_back(&unet_->class_embedding_table());
+  const float loss = train_diffusion_epochs(
+      encoded, epochs, config_.diffusion_lr, params,
+      /*with_control_hints=*/false);
+  unet_->unfreeze_all();
+  return loss;
+}
+
+namespace {
+
+/// Rescales each sample of a [N, C, L] batch to the target standard
+/// deviation (about its own mean).
+void renormalize_batch(nn::Tensor& x, float target_std) {
+  const std::size_t n = x.dim(0);
+  const std::size_t stride = x.size() / n;
+  for (std::size_t b = 0; b < n; ++b) {
+    float* s = x.data() + b * stride;
+    double sum = 0.0, sq = 0.0;
+    for (std::size_t i = 0; i < stride; ++i) {
+      sum += s[i];
+      sq += static_cast<double>(s[i]) * s[i];
+    }
+    const double mean = sum / static_cast<double>(stride);
+    const double var = sq / static_cast<double>(stride) - mean * mean;
+    if (var <= 1e-12) continue;
+    const float scale = target_std / static_cast<float>(std::sqrt(var));
+    for (std::size_t i = 0; i < stride; ++i) {
+      s[i] = static_cast<float>(mean) +
+             scale * (s[i] - static_cast<float>(mean));
+    }
+  }
+}
+
+/// Standard deviation of one tensor (about its mean).
+float tensor_std(const nn::Tensor& x) {
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sum += x[i];
+    sq += static_cast<double>(x[i]) * x[i];
+  }
+  const double mean = sum / static_cast<double>(x.size());
+  return static_cast<float>(
+      std::sqrt(std::max(sq / static_cast<double>(x.size()) - mean * mean,
+                         0.0)));
+}
+
+}  // namespace
+
+nn::Tensor TraceDiffusion::sample_latents(int class_id, std::size_t count,
+                                          const GenerateOptions& opts) {
+  const std::size_t c = config_.autoencoder.latent_dim;
+  const std::size_t l = config_.packets;
+  const std::vector<int> cond_ids(count, class_id);
+  const std::vector<int> uncond_ids(count,
+                                    prompts_.null_id());
+
+  nn::Tensor hint;
+  const bool control = opts.use_control && template_flows_.count(class_id);
+  if (control) {
+    hint = tile_hint(class_hint(class_id), count);
+  }
+
+  EpsFn eps_fn = [&](const nn::Tensor& x, std::size_t t) {
+    const std::vector<float> timesteps(count, static_cast<float>(t));
+    ControlResiduals residuals;
+    const ControlResiduals* res_ptr = nullptr;
+    if (control) {
+      residuals = control_->forward(x, timesteps, cond_ids, hint);
+      res_ptr = &residuals;
+    }
+    nn::Tensor cond = unet_->forward(x, timesteps, cond_ids, res_ptr);
+    nn::Tensor out;
+    if (opts.guidance_scale == 1.0f) {
+      out = std::move(cond);
+    } else {
+      // Classifier-free guidance in the model's output space:
+      // out = uncond + g * (cond - uncond).
+      nn::Tensor uncond = unet_->forward(x, timesteps, uncond_ids, res_ptr);
+      out = std::move(uncond);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] += opts.guidance_scale * (cond[i] - out[i]);
+      }
+    }
+    if (config_.parameterization == PipelineConfig::Parameterization::kX0) {
+      // x0_pred = sa * x_t + F(x_t) (skip), then convert for the
+      // eps-consuming samplers: eps = (x_t - sa * x0_pred) / sb.
+      const float sa = schedule_.sqrt_alpha_bar(t);
+      const float sb = schedule_.sqrt_one_minus_alpha_bar(t);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        const float x0_pred = sa * x[i] + out[i];
+        out[i] = (x[i] - sa * x0_pred) / sb;
+      }
+    }
+    return out;
+  };
+
+  const std::vector<std::size_t> shape{count, c, l};
+  const bool from_template =
+      control && opts.template_strength < 1.0f && opts.template_strength > 0.0f;
+  nn::Tensor out;
+  float target_std = 1.0f;  // training latents are scaled to unit std
+  if (!from_template) {
+    out = opts.sampler == SamplerKind::kDdpm
+              ? ddpm_sample(eps_fn, schedule_, shape, rng_)
+              : ddim_sample(eps_fn, schedule_, shape, opts.ddim_steps,
+                            opts.eta, rng_);
+  } else {
+    // SDEdit-style start: noise the class template latent to t0 and
+    // denoise from there.
+    const auto t0 = static_cast<std::size_t>(
+        opts.template_strength *
+        static_cast<float>(schedule_.timesteps() - 1));
+    const nn::Tensor& hint_full = class_hint(class_id);
+    nn::Tensor x0({count, c, l});
+    for (std::size_t b = 0; b < count; ++b) {
+      // The template latent occupies the hint channels after the
+      // protocol one-hot block.
+      std::copy(hint_full.data() + kHintChannels * l,
+                hint_full.data() + (kHintChannels + c) * l,
+                x0.data() + b * c * l);
+    }
+    {
+      nn::Tensor one({c, l});
+      std::copy(x0.data(), x0.data() + c * l, one.data());
+      target_std = tensor_std(one);  // class-specific latent scale
+    }
+    const float sa = schedule_.sqrt_alpha_bar(t0);
+    const float sb = schedule_.sqrt_one_minus_alpha_bar(t0);
+    nn::Tensor xt(x0.shape());
+    for (std::size_t i = 0; i < xt.size(); ++i) {
+      xt[i] = sa * x0[i] + sb * static_cast<float>(rng_.gaussian());
+    }
+    if (opts.sampler == SamplerKind::kDdpm) {
+      out = ddpm_sample_from(eps_fn, schedule_, std::move(xt), t0, rng_);
+    } else {
+      const std::size_t steps = std::min(opts.ddim_steps, t0 + 1);
+      out = ddim_sample_from(eps_fn, schedule_, std::move(xt), t0, steps,
+                             opts.eta, rng_);
+    }
+  }
+  if (opts.renormalize_latents && target_std > 1e-6f) {
+    renormalize_batch(out, target_std);
+  }
+  return out;
+}
+
+std::vector<net::Flow> TraceDiffusion::generate(int class_id,
+                                                const GenerateOptions& opts) {
+  if (!fitted_) {
+    throw std::logic_error("TraceDiffusion::generate: call fit() first");
+  }
+  if (class_id < 0 ||
+      static_cast<std::size_t>(class_id) >= prompts_.num_classes()) {
+    throw std::invalid_argument("TraceDiffusion::generate: bad class id");
+  }
+  const std::size_t c = config_.autoencoder.latent_dim;
+  const std::size_t l = config_.packets;
+  nn::Tensor latents = sample_latents(class_id, opts.count, opts);
+  latents.scale(1.0f / latent_scale_);
+
+  std::vector<net::Flow> flows;
+  flows.reserve(opts.count);
+  for (std::size_t i = 0; i < opts.count; ++i) {
+    nn::Tensor one({1, c, l});
+    std::copy(latents.data() + i * c * l, latents.data() + (i + 1) * c * l,
+              one.data());
+    nprint::Matrix matrix = autoencoder_->decode_matrix(one);
+    nprint::quantize(matrix);
+    if (opts.constraint == ConstraintMode::kProjected &&
+        templates_.count(class_id)) {
+      project_to_template(matrix, templates_.at(class_id));
+    }
+    net::Flow flow = nprint::decode_flow(matrix);
+    if (opts.stateful_tcp_repair && template_flows_.count(class_id)) {
+      flow = enforce_tcp_state(flow, template_flows_.at(class_id));
+    }
+    flow.label = class_id;
+    assign_timestamps(flow, class_id);
+    flows.push_back(std::move(flow));
+  }
+  return flows;
+}
+
+std::vector<net::Flow> TraceDiffusion::generate_from_prompt(
+    const std::string& prompt, const GenerateOptions& opts) {
+  const auto id = prompts_.parse_prompt(prompt);
+  if (!id || *id == prompts_.null_id()) {
+    throw std::invalid_argument("generate_from_prompt: unknown prompt '" +
+                                prompt + "'");
+  }
+  return generate(*id, opts);
+}
+
+nprint::Matrix TraceDiffusion::generate_matrix(int class_id,
+                                               const GenerateOptions& opts,
+                                               ProtocolTemplate* used_template) {
+  if (!fitted_) {
+    throw std::logic_error("TraceDiffusion::generate_matrix: call fit() first");
+  }
+  GenerateOptions one = opts;
+  one.count = 1;
+  nn::Tensor latents = sample_latents(class_id, 1, one);
+  latents.scale(1.0f / latent_scale_);
+  nprint::Matrix matrix = autoencoder_->decode_matrix(latents);
+  nprint::quantize(matrix);
+  if (templates_.count(class_id)) {
+    if (used_template) *used_template = templates_.at(class_id);
+    if (one.constraint == ConstraintMode::kProjected) {
+      project_to_template(matrix, templates_.at(class_id));
+    }
+  }
+  return matrix;
+}
+
+net::Flow TraceDiffusion::deblur(const net::Flow& corrupted,
+                                 const std::vector<bool>& packet_known,
+                                 int class_id, const GenerateOptions& opts) {
+  if (!fitted_) {
+    throw std::logic_error("TraceDiffusion::deblur: call fit() first");
+  }
+  const std::size_t c = config_.autoencoder.latent_dim;
+  const std::size_t l = config_.packets;
+
+  nn::Tensor known = autoencoder_->encode_matrix(
+      nprint::encode_flow(corrupted, l, /*pad_to_max=*/true));
+  known.scale(latent_scale_);
+  std::vector<std::uint8_t> mask(known.size(), 0);
+  for (std::size_t t = 0; t < l; ++t) {
+    if (t < packet_known.size() && packet_known[t]) {
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        mask[ch * l + t] = 1;
+      }
+    }
+  }
+
+  const std::vector<int> cond_ids{class_id};
+  const std::vector<int> uncond_ids{prompts_.null_id()};
+  nn::Tensor hint;
+  const bool control = opts.use_control && template_flows_.count(class_id);
+  if (control) hint = class_hint(class_id);
+  EpsFn eps_fn = [&](const nn::Tensor& x, std::size_t t) {
+    const std::vector<float> timesteps{static_cast<float>(t)};
+    ControlResiduals residuals;
+    const ControlResiduals* res_ptr = nullptr;
+    if (control) {
+      residuals = control_->forward(x, timesteps, cond_ids, hint);
+      res_ptr = &residuals;
+    }
+    nn::Tensor out = unet_->forward(x, timesteps, cond_ids, res_ptr);
+    if (opts.guidance_scale != 1.0f) {
+      nn::Tensor uncond = unet_->forward(x, timesteps, uncond_ids, res_ptr);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = uncond[i] + opts.guidance_scale * (out[i] - uncond[i]);
+      }
+    }
+    if (config_.parameterization == PipelineConfig::Parameterization::kX0) {
+      const float sa = schedule_.sqrt_alpha_bar(t);
+      const float sb = schedule_.sqrt_one_minus_alpha_bar(t);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        const float x0_pred = sa * x[i] + out[i];
+        out[i] = (x[i] - sa * x0_pred) / sb;
+      }
+    }
+    return out;
+  };
+
+  nn::Tensor restored = ddim_inpaint(eps_fn, schedule_, known, mask,
+                                     opts.ddim_steps, opts.eta, rng_);
+  restored.scale(1.0f / latent_scale_);
+  nprint::Matrix matrix = autoencoder_->decode_matrix(restored);
+  nprint::quantize(matrix);
+  if (opts.constraint == ConstraintMode::kProjected &&
+      templates_.count(class_id)) {
+    project_to_template(matrix, templates_.at(class_id));
+  }
+  // Row-preserving reassembly: observed slots take the original packet
+  // verbatim; missing slots take the synthesized row (skipped when it
+  // decodes vacant). decode_flow cannot be used here because it drops
+  // vacant rows and would shift the slot <-> packet mapping.
+  net::Flow flow;
+  flow.label = class_id;
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    const bool observed = r < packet_known.size() && packet_known[r] &&
+                          r < corrupted.packets.size();
+    net::Packet pkt;
+    if (observed) {
+      pkt = corrupted.packets[r];
+    } else if (!nprint::decode_packet(
+                   matrix.data().data() + r * nprint::kBitsPerPacket, pkt)) {
+      continue;  // vacant synthesized row
+    }
+    flow.packets.push_back(std::move(pkt));
+  }
+  assign_timestamps(flow, class_id);
+  if (!flow.packets.empty()) {
+    flow.key = net::FlowKey::from_packet(flow.packets.front()).canonical();
+  }
+  return flow;
+}
+
+flowgen::Dataset TraceDiffusion::generate_dataset(
+    const std::vector<std::size_t>& per_class, const GenerateOptions& opts) {
+  flowgen::Dataset out;
+  for (std::size_t cls = 0; cls < per_class.size(); ++cls) {
+    if (per_class[cls] == 0) continue;
+    GenerateOptions batch = opts;
+    batch.count = per_class[cls];
+    auto flows = generate(static_cast<int>(cls), batch);
+    for (auto& flow : flows) out.flows.push_back(std::move(flow));
+  }
+  return out;
+}
+
+const ProtocolTemplate& TraceDiffusion::class_template(int class_id) const {
+  const auto it = templates_.find(class_id);
+  if (it == templates_.end()) {
+    throw std::out_of_range("class_template: no template for class");
+  }
+  return it->second;
+}
+
+namespace {
+
+constexpr std::uint32_t kMetaMagic = 0x54444D32;  // "TDM2"
+
+std::vector<nn::Parameter*> all_parameters(PacketAutoencoder& ae,
+                                           UNet1d& unet,
+                                           ControlNetBranch& control) {
+  std::vector<nn::Parameter*> params = ae.parameters();
+  for (nn::Parameter* p : unet.parameters()) params.push_back(p);
+  for (nn::Parameter* p : control.parameters()) params.push_back(p);
+  return params;
+}
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error("pipeline meta: truncated file");
+  return value;
+}
+
+}  // namespace
+
+void TraceDiffusion::save(const std::string& prefix) const {
+  if (!fitted_) {
+    throw std::logic_error("TraceDiffusion::save: call fit() first");
+  }
+  nn::save_parameters(prefix + ".weights",
+                      all_parameters(*autoencoder_, *unet_, *control_));
+  std::ofstream out(prefix + ".meta", std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("TraceDiffusion::save: cannot open " + prefix +
+                             ".meta");
+  }
+  write_pod(out, kMetaMagic);
+  write_pod(out, latent_scale_);
+  write_pod(out, static_cast<std::uint32_t>(template_flows_.size()));
+  for (const auto& [class_id, flow] : template_flows_) {
+    write_pod(out, static_cast<std::int32_t>(class_id));
+    write_pod(out, static_cast<std::uint32_t>(flow.packets.size()));
+    for (const auto& pkt : flow.packets) {
+      write_pod(out, pkt.timestamp);
+      const auto wire = pkt.serialize();
+      write_pod(out, static_cast<std::uint32_t>(wire.size()));
+      out.write(reinterpret_cast<const char*>(wire.data()),
+                static_cast<std::streamsize>(wire.size()));
+    }
+  }
+  write_pod(out, static_cast<std::uint32_t>(timing_.size()));
+  for (const auto& [class_id, model] : timing_) {
+    write_pod(out, static_cast<std::int32_t>(class_id));
+    write_pod(out, model.log_mu);
+    write_pod(out, model.log_sigma);
+  }
+  if (!out) throw std::runtime_error("TraceDiffusion::save: write failed");
+}
+
+void TraceDiffusion::load(const std::string& prefix) {
+  nn::load_parameters(prefix + ".weights",
+                      all_parameters(*autoencoder_, *unet_, *control_));
+  std::ifstream in(prefix + ".meta", std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("TraceDiffusion::load: cannot open " + prefix +
+                             ".meta");
+  }
+  if (read_pod<std::uint32_t>(in) != kMetaMagic) {
+    throw std::runtime_error("TraceDiffusion::load: bad meta magic");
+  }
+  latent_scale_ = read_pod<float>(in);
+  const auto template_count = read_pod<std::uint32_t>(in);
+  template_flows_.clear();
+  templates_.clear();
+  hints_.clear();
+  for (std::uint32_t t = 0; t < template_count; ++t) {
+    const auto class_id = read_pod<std::int32_t>(in);
+    const auto packet_count = read_pod<std::uint32_t>(in);
+    net::Flow flow;
+    flow.label = class_id;
+    for (std::uint32_t p = 0; p < packet_count; ++p) {
+      const double timestamp = read_pod<double>(in);
+      const auto wire_len = read_pod<std::uint32_t>(in);
+      std::vector<std::uint8_t> wire(wire_len);
+      in.read(reinterpret_cast<char*>(wire.data()), wire_len);
+      if (!in) throw std::runtime_error("TraceDiffusion::load: truncated");
+      flow.packets.push_back(net::Packet::parse(wire, timestamp));
+    }
+    if (!flow.packets.empty()) {
+      flow.key = net::FlowKey::from_packet(flow.packets.front()).canonical();
+    }
+    templates_[class_id] = ProtocolTemplate::from_flow(flow, config_.packets);
+    template_flows_[class_id] = std::move(flow);
+  }
+  timing_.clear();
+  const auto timing_count = read_pod<std::uint32_t>(in);
+  for (std::uint32_t t = 0; t < timing_count; ++t) {
+    const auto class_id = read_pod<std::int32_t>(in);
+    TimingModel model;
+    model.log_mu = read_pod<float>(in);
+    model.log_sigma = read_pod<float>(in);
+    timing_[class_id] = model;
+  }
+  fitted_ = true;
+}
+
+}  // namespace repro::diffusion

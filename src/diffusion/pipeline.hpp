@@ -1,0 +1,227 @@
+// TraceDiffusion: the end-to-end text-to-traffic pipeline of §3.1.
+//
+//   pcap flows -> nprint matrices -> packet autoencoder (latents)
+//   -> conditional latent DDPM (class prompts, classifier-free guidance,
+//      LoRA adapters, ControlNet protocol hints)
+//   -> DDPM/DDIM sampling -> color quantization -> constraint projection
+//   -> nprint decode -> replayable pcap flows.
+//
+// This is the library's primary public entry point; examples/ and bench/
+// drive everything through it.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "diffusion/autoencoder.hpp"
+#include "diffusion/conditioning.hpp"
+#include "diffusion/constraint.hpp"
+#include "diffusion/controlnet.hpp"
+#include "diffusion/sampler.hpp"
+#include "diffusion/schedule.hpp"
+#include "diffusion/unet1d.hpp"
+#include "flowgen/dataset.hpp"
+
+namespace repro::diffusion {
+
+struct PipelineConfig {
+  /// Flow image height (packets per flow); must be divisible by 4.
+  /// The paper renders up to 1024 rows; the CPU default is smaller.
+  std::size_t packets = 32;
+
+  AutoencoderConfig autoencoder;  // latent_dim feeds unet.in_channels
+  UNetConfig unet;
+  std::size_t timesteps = 100;
+  ScheduleKind schedule = ScheduleKind::kCosine;
+
+  /// Network parameterization. kEpsilon predicts the added noise (Ho et
+  /// al.'s default). kX0 predicts the clean latent through an EDM-style
+  /// skip (Karras et al. 2022): x0_pred = sqrt(abar_t) * x_t + F(x_t),
+  /// so the network only learns the residual — exactly zero in the
+  /// low-noise limit, which a small model cannot otherwise represent
+  /// (learning the identity through a deep conv stack is the hard
+  /// part). Markedly more sample-efficient for structured data at this
+  /// scale; the pipeline's default.
+  enum class Parameterization { kEpsilon, kX0 };
+  Parameterization parameterization = Parameterization::kX0;
+
+  // Training hyper-parameters.
+  std::size_t ae_epochs = 8;
+  std::size_t ae_batch = 64;
+  float ae_lr = 2e-3f;
+  std::size_t ae_max_rows = 20000;  // row subsample cap for AE training
+
+  std::size_t diffusion_epochs = 30;
+  std::size_t diffusion_batch = 8;
+  float diffusion_lr = 2e-3f;
+  float cfg_dropout = 0.1f;  // prompt-drop probability for CFG training
+  float grad_clip = 1.0f;
+
+  bool train_control = true;
+  std::size_t control_epochs = 8;
+  float control_lr = 2e-3f;
+
+  std::uint64_t seed = 1234;
+};
+
+enum class SamplerKind { kDdpm, kDdim };
+
+struct GenerateOptions {
+  std::size_t count = 1;
+  SamplerKind sampler = SamplerKind::kDdim;
+  std::size_t ddim_steps = 20;
+  float eta = 0.0f;
+  float guidance_scale = 2.0f;  // 1.0 disables classifier-free guidance
+  bool use_control = true;      // ControlNet hints during sampling
+  ConstraintMode constraint = ConstraintMode::kProjected;
+
+  /// Extension of the hard projection to the TCP state machine
+  /// (constraint.hpp enforce_tcp_state): makes generated TCP flows pass
+  /// a strict stateful firewall. Off by default — the paper's pipeline
+  /// only projects protocol usage; see bench/replay_validity for the
+  /// ablation.
+  bool stateful_tcp_repair = false;
+
+  /// MSE-trained denoisers systematically shrink their output toward the
+  /// conditional mean; on quantized bit data the lost amplitude pushes
+  /// marginal field bits (DSCP, option words) across the decoder's
+  /// thresholds. When set, each generated latent is rescaled to the
+  /// class template's standard deviation (cf. the guidance-rescale trick
+  /// of Lin et al. 2023).
+  bool renormalize_latents = true;
+
+  /// One-shot image guidance (SDEdit-style): generation starts from the
+  /// class template latent noised to `template_strength` of the schedule
+  /// instead of pure noise, so the re-noised stretch is resampled by the
+  /// model while the template's flow structure persists — the "image fed
+  /// into the fine-tuned base model" part of §3.1. 1.0 = pure noise
+  /// (template ignored); 0.0 would copy the template verbatim. Only
+  /// active when use_control is set and the class has a template.
+  float template_strength = 0.35f;
+};
+
+struct FitStats {
+  float ae_final_loss = 0.0f;
+  float diffusion_final_loss = 0.0f;
+  float control_final_loss = 0.0f;
+  std::size_t flows_used = 0;
+  std::size_t unet_parameters = 0;
+};
+
+class TraceDiffusion {
+ public:
+  TraceDiffusion(PipelineConfig config, std::vector<std::string> class_names);
+
+  const PipelineConfig& config() const noexcept { return config_; }
+  const PromptCodec& prompts() const noexcept { return prompts_; }
+  float latent_scale() const noexcept { return latent_scale_; }
+
+  /// Trains autoencoder, diffusion model and (optionally) the control
+  /// branch on the given labeled dataset.
+  FitStats fit(const flowgen::Dataset& real);
+
+  /// LoRA fine-tuning: freezes the base U-Net and trains only the
+  /// adapters on `data` (requires config.unet.lora_rank > 0 and a prior
+  /// fit()). Returns the final epoch loss.
+  float fit_lora(const flowgen::Dataset& data, std::size_t epochs);
+
+  /// Generates labeled flows for a class. Throws std::logic_error before
+  /// fit().
+  std::vector<net::Flow> generate(int class_id, const GenerateOptions& opts);
+
+  /// Text-to-traffic: accepts "Type-k" or an application name.
+  /// Throws std::invalid_argument for unknown prompts.
+  std::vector<net::Flow> generate_from_prompt(const std::string& prompt,
+                                              const GenerateOptions& opts);
+
+  /// One raw generated matrix (already quantized/projected per
+  /// opts.constraint) plus the template used — the Figure 2 artifact.
+  nprint::Matrix generate_matrix(int class_id, const GenerateOptions& opts,
+                                 ProtocolTemplate* used_template = nullptr);
+
+  /// Balanced or custom-distribution dataset synthesis (§3.2 Coverage:
+  /// "invoke the generation process an equal number of times for each").
+  flowgen::Dataset generate_dataset(const std::vector<std::size_t>& per_class,
+                                    const GenerateOptions& opts);
+
+  /// The per-class one-shot control template captured during fit().
+  const ProtocolTemplate& class_template(int class_id) const;
+
+  /// Per-class inter-arrival model fitted from the training flows
+  /// (lognormal over packet gaps). nprint deliberately drops timing, so
+  /// the pcap back-transform re-synthesizes timestamps from this model;
+  /// without it every generated flow would have degenerate duration.
+  struct TimingModel {
+    float log_mu = -6.0f;    // ln(seconds); default ~2.5 ms
+    float log_sigma = 1.0f;
+  };
+  const TimingModel& class_timing(int class_id) const;
+
+  /// §4 "traffic deblurring": restores the missing packets of a
+  /// partially observed flow by diffusion inpainting. `packet_known[i]`
+  /// marks packet slots that were observed; those packets are returned
+  /// verbatim while the vacant slots are synthesized conditioned on the
+  /// observed ones (and the class prompt). Slots beyond
+  /// `packet_known.size()` count as missing.
+  net::Flow deblur(const net::Flow& corrupted,
+                   const std::vector<bool>& packet_known, int class_id,
+                   const GenerateOptions& opts);
+
+  /// Persists the fitted pipeline: `<prefix>.weights` (autoencoder +
+  /// U-Net + control branch parameters) and `<prefix>.meta` (latent
+  /// scale and the per-class template flows). Throws std::logic_error
+  /// before fit() and std::runtime_error on I/O failure.
+  void save(const std::string& prefix) const;
+
+  /// Restores a pipeline saved with `save`. The receiving pipeline must
+  /// have been constructed with an identical PipelineConfig and class
+  /// list (verified via parameter names/shapes). Marks the pipeline
+  /// fitted.
+  void load(const std::string& prefix);
+
+  UNet1d& unet() noexcept { return *unet_; }
+  PacketAutoencoder& autoencoder() noexcept { return *autoencoder_; }
+
+ private:
+  struct Encoded {
+    nn::Tensor latent;  // [1, C, L], scaled
+    int label = 0;
+  };
+
+  std::vector<Encoded> encode_dataset(const flowgen::Dataset& data);
+
+  /// Builds (and caches) the one-shot control hint for a class: the
+  /// protocol one-hot stacked with the AE-encoded template-flow latent —
+  /// the "class-specific ... image fed into ControlNet" of §3.1.
+  const nn::Tensor& class_hint(int class_id);
+  float train_diffusion_epochs(const std::vector<Encoded>& data,
+                               std::size_t epochs, float lr,
+                               const std::vector<nn::Parameter*>& params,
+                               bool with_control_hints);
+  nn::Tensor sample_latents(int class_id, std::size_t count,
+                            const GenerateOptions& opts);
+
+  PipelineConfig config_;
+  PromptCodec prompts_;
+  Rng rng_;
+  NoiseSchedule schedule_;
+  std::unique_ptr<PacketAutoencoder> autoencoder_;
+  std::unique_ptr<UNet1d> unet_;
+  std::unique_ptr<ControlNetBranch> control_;
+  float latent_scale_ = 1.0f;
+  bool fitted_ = false;
+  /// Fits/updates per-class timing models from labeled flows.
+  void fit_timing(const flowgen::Dataset& data);
+
+  /// Assigns model-sampled timestamps to a generated flow.
+  void assign_timestamps(net::Flow& flow, int class_id);
+
+  std::map<int, net::Flow> template_flows_;   // one-shot control sources
+  std::map<int, ProtocolTemplate> templates_;
+  std::map<int, nn::Tensor> hints_;           // cached control images
+  std::map<int, TimingModel> timing_;
+};
+
+}  // namespace repro::diffusion

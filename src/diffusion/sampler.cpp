@@ -1,0 +1,158 @@
+#include "diffusion/sampler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::diffusion {
+namespace {
+
+nn::Tensor gaussian_tensor(const std::vector<std::size_t>& shape, Rng& rng) {
+  nn::Tensor x(shape);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.gaussian());
+  }
+  return x;
+}
+
+/// One DDPM ancestral update from timestep `t`.
+void ddpm_step(nn::Tensor& x, const nn::Tensor& eps,
+               const NoiseSchedule& schedule, std::size_t t, Rng& rng) {
+  const float beta = schedule.beta(t);
+  const float alpha = schedule.alpha(t);
+  const float coef = beta / schedule.sqrt_one_minus_alpha_bar(t);
+  const float inv_sqrt_alpha = 1.0f / std::sqrt(alpha);
+  const float sigma = std::sqrt(schedule.posterior_variance(t));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    float mean = inv_sqrt_alpha * (x[i] - coef * eps[i]);
+    if (t > 0) {
+      mean += sigma * static_cast<float>(rng.gaussian());
+    }
+    x[i] = mean;
+  }
+}
+
+/// Decreasing timestep subsequence from `t0` to 0 with `steps` entries.
+std::vector<std::size_t> ddim_taus(std::size_t t0, std::size_t steps) {
+  std::vector<std::size_t> taus(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    taus[i] = t0 * (steps - 1 - i) / std::max<std::size_t>(steps - 1, 1);
+  }
+  if (steps == 1) taus[0] = t0;
+  return taus;
+}
+
+/// One DDIM update from abar_t to abar_prev.
+void ddim_step(nn::Tensor& x, const nn::Tensor& eps, float abar_t,
+               float abar_prev, float eta, bool last, Rng& rng) {
+  const float sqrt_abar_t = std::sqrt(abar_t);
+  const float sqrt_1m_t = std::sqrt(1.0f - abar_t);
+  // sigma_t per Song et al. eq. 16.
+  const float sigma = eta *
+                      std::sqrt((1.0f - abar_prev) / (1.0f - abar_t)) *
+                      std::sqrt(1.0f - abar_t / abar_prev);
+  const float dir_coef =
+      std::sqrt(std::max(1.0f - abar_prev - sigma * sigma, 0.0f));
+  const float sqrt_abar_prev = std::sqrt(abar_prev);
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const float x0 = (x[j] - sqrt_1m_t * eps[j]) / sqrt_abar_t;
+    float next = sqrt_abar_prev * x0 + dir_coef * eps[j];
+    if (!last && sigma > 0.0f) {
+      next += sigma * static_cast<float>(rng.gaussian());
+    }
+    x[j] = next;
+  }
+}
+
+}  // namespace
+
+nn::Tensor ddpm_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                            nn::Tensor x_t0, std::size_t t0, Rng& rng) {
+  if (t0 >= schedule.timesteps()) {
+    throw std::invalid_argument("ddpm_sample_from: t0 out of range");
+  }
+  for (std::size_t step = t0 + 1; step-- > 0;) {
+    const nn::Tensor eps = eps_fn(x_t0, step);
+    ddpm_step(x_t0, eps, schedule, step, rng);
+  }
+  return x_t0;
+}
+
+nn::Tensor ddpm_sample(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                       const std::vector<std::size_t>& shape, Rng& rng) {
+  return ddpm_sample_from(eps_fn, schedule, gaussian_tensor(shape, rng),
+                          schedule.timesteps() - 1, rng);
+}
+
+nn::Tensor ddim_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                            nn::Tensor x_t0, std::size_t t0,
+                            std::size_t steps, float eta, Rng& rng) {
+  if (t0 >= schedule.timesteps()) {
+    throw std::invalid_argument("ddim_sample_from: t0 out of range");
+  }
+  if (steps == 0 || steps > t0 + 1) {
+    throw std::invalid_argument("ddim_sample_from: bad step count");
+  }
+  const std::vector<std::size_t> taus = ddim_taus(t0, steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const std::size_t t = taus[i];
+    const bool last = i + 1 == steps;
+    const float abar_t = schedule.alpha_bar(t);
+    const float abar_prev = last ? 1.0f : schedule.alpha_bar(taus[i + 1]);
+    const nn::Tensor eps = eps_fn(x_t0, t);
+    ddim_step(x_t0, eps, abar_t, abar_prev, eta, last, rng);
+  }
+  return x_t0;
+}
+
+nn::Tensor ddim_sample(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                       const std::vector<std::size_t>& shape,
+                       std::size_t steps, float eta, Rng& rng) {
+  if (steps == 0 || steps > schedule.timesteps()) {
+    throw std::invalid_argument("ddim_sample: bad step count");
+  }
+  return ddim_sample_from(eps_fn, schedule, gaussian_tensor(shape, rng),
+                          schedule.timesteps() - 1, steps, eta, rng);
+}
+
+nn::Tensor ddim_inpaint(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                        const nn::Tensor& known_x0,
+                        const std::vector<std::uint8_t>& known_mask,
+                        std::size_t steps, float eta, Rng& rng) {
+  if (known_mask.size() != known_x0.size()) {
+    throw std::invalid_argument("ddim_inpaint: mask size mismatch");
+  }
+  const std::size_t t0 = schedule.timesteps() - 1;
+  if (steps == 0 || steps > schedule.timesteps()) {
+    throw std::invalid_argument("ddim_inpaint: bad step count");
+  }
+  auto clamp_known = [&](nn::Tensor& x, std::size_t t, bool final) {
+    const float sa = schedule.sqrt_alpha_bar(t);
+    const float sb = schedule.sqrt_one_minus_alpha_bar(t);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (!known_mask[i]) continue;
+      x[i] = final ? known_x0[i]
+                   : sa * known_x0[i] +
+                         sb * static_cast<float>(rng.gaussian());
+    }
+  };
+
+  nn::Tensor x = gaussian_tensor(known_x0.shape(), rng);
+  clamp_known(x, t0, /*final=*/false);
+  const std::vector<std::size_t> taus = ddim_taus(t0, steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const std::size_t t = taus[i];
+    const bool last = i + 1 == steps;
+    const float abar_t = schedule.alpha_bar(t);
+    const float abar_prev = last ? 1.0f : schedule.alpha_bar(taus[i + 1]);
+    const nn::Tensor eps = eps_fn(x, t);
+    ddim_step(x, eps, abar_t, abar_prev, eta, last, rng);
+    if (last) {
+      clamp_known(x, 0, /*final=*/true);
+    } else {
+      clamp_known(x, taus[i + 1], /*final=*/false);
+    }
+  }
+  return x;
+}
+
+}  // namespace repro::diffusion

@@ -1,0 +1,53 @@
+// Reverse-process samplers.
+//
+// DDPM (Ho et al. 2020): full ancestral sampling, one network evaluation
+// per schedule step. DDIM (Song et al. 2021): deterministic (eta = 0) or
+// stochastic subsequence sampling with far fewer steps — the standard
+// answer to the paper's "generative speed" open challenge (§4), measured
+// by bench/speed_sampling.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "diffusion/schedule.hpp"
+
+namespace repro::diffusion {
+
+/// Noise predictor: eps = f(x_t, t). Guidance/conditioning/control are
+/// composed inside the callable by the pipeline.
+using EpsFn = std::function<nn::Tensor(const nn::Tensor& x, std::size_t t)>;
+
+/// Full DDPM ancestral sampling from pure noise; `shape` is the latent
+/// shape [N, C, L].
+nn::Tensor ddpm_sample(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                       const std::vector<std::size_t>& shape, Rng& rng);
+
+/// DDIM sampling over `steps` evenly spaced timesteps. eta = 0 gives the
+/// deterministic sampler; eta = 1 matches DDPM variance.
+nn::Tensor ddim_sample(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                       const std::vector<std::size_t>& shape,
+                       std::size_t steps, float eta, Rng& rng);
+
+/// Partial-trajectory variants (SDEdit-style image guidance): start from
+/// a given x_{t0} — typically q_sample(guide, t0) — and denoise from
+/// timestep `t0` down to 0. `steps` counts the DDIM evaluations spent on
+/// the [0, t0] stretch.
+nn::Tensor ddpm_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                            nn::Tensor x_t0, std::size_t t0, Rng& rng);
+nn::Tensor ddim_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                            nn::Tensor x_t0, std::size_t t0,
+                            std::size_t steps, float eta, Rng& rng);
+
+/// Diffusion inpainting (RePaint-style, without resampling): elements
+/// where `known_mask` is nonzero are clamped to the appropriately noised
+/// `known_x0` after every reverse step, so the model only synthesizes
+/// the unknown elements — conditioned on the known ones through the
+/// denoiser's receptive field. Backs the paper's §4 "traffic deblurring"
+/// agenda item (restoring missing/corrupted parts of a trace).
+nn::Tensor ddim_inpaint(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                        const nn::Tensor& known_x0,
+                        const std::vector<std::uint8_t>& known_mask,
+                        std::size_t steps, float eta, Rng& rng);
+
+}  // namespace repro::diffusion

@@ -1,0 +1,86 @@
+#include "diffusion/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace repro::diffusion {
+
+NoiseSchedule::NoiseSchedule(std::size_t timesteps, ScheduleKind kind,
+                             float beta_start, float beta_end) {
+  if (timesteps == 0) {
+    throw std::invalid_argument("NoiseSchedule: timesteps must be > 0");
+  }
+  betas_.resize(timesteps);
+  if (kind == ScheduleKind::kLinear) {
+    for (std::size_t t = 0; t < timesteps; ++t) {
+      const float frac = timesteps == 1
+                             ? 0.0f
+                             : static_cast<float>(t) /
+                                   static_cast<float>(timesteps - 1);
+      betas_[t] = beta_start + (beta_end - beta_start) * frac;
+    }
+  } else {
+    // Cosine schedule: alpha_bar(t) = cos^2((t/T + s)/(1 + s) * pi/2).
+    const double s = 0.008;
+    auto abar = [&](double t) {
+      const double x = (t / static_cast<double>(timesteps) + s) / (1.0 + s) *
+                       3.14159265358979323846 / 2.0;
+      return std::cos(x) * std::cos(x);
+    };
+    const double abar0 = abar(0.0);
+    double prev = 1.0;
+    for (std::size_t t = 0; t < timesteps; ++t) {
+      const double cur = abar(static_cast<double>(t) + 1.0) / abar0;
+      const double beta = 1.0 - cur / prev;
+      betas_[t] = static_cast<float>(std::clamp(beta, 1e-5, 0.999));
+      prev = cur;
+    }
+  }
+  alphas_.resize(timesteps);
+  alpha_bars_.resize(timesteps);
+  sqrt_alpha_bars_.resize(timesteps);
+  sqrt_one_minus_alpha_bars_.resize(timesteps);
+  posterior_variance_.resize(timesteps);
+  double running = 1.0;
+  for (std::size_t t = 0; t < timesteps; ++t) {
+    alphas_[t] = 1.0f - betas_[t];
+    running *= alphas_[t];
+    alpha_bars_[t] = static_cast<float>(running);
+    sqrt_alpha_bars_[t] = std::sqrt(alpha_bars_[t]);
+    sqrt_one_minus_alpha_bars_[t] = std::sqrt(1.0f - alpha_bars_[t]);
+    const float abar_prev = t == 0 ? 1.0f : alpha_bars_[t - 1];
+    posterior_variance_[t] =
+        betas_[t] * (1.0f - abar_prev) / (1.0f - alpha_bars_[t]);
+  }
+}
+
+nn::Tensor NoiseSchedule::q_sample(const nn::Tensor& x0, std::size_t t,
+                                   Rng& rng, nn::Tensor& noise) const {
+  noise = nn::Tensor(x0.shape());
+  for (std::size_t i = 0; i < noise.size(); ++i) {
+    noise[i] = static_cast<float>(rng.gaussian());
+  }
+  nn::Tensor xt = x0;
+  const float sa = sqrt_alpha_bars_[t];
+  const float sb = sqrt_one_minus_alpha_bars_[t];
+  for (std::size_t i = 0; i < xt.size(); ++i) {
+    xt[i] = sa * x0[i] + sb * noise[i];
+  }
+  return xt;
+}
+
+nn::Tensor NoiseSchedule::predict_x0(const nn::Tensor& xt,
+                                     const nn::Tensor& eps,
+                                     std::size_t t) const {
+  xt.require_shape(eps.shape(), "predict_x0");
+  nn::Tensor x0 = xt;
+  const float sa = sqrt_alpha_bars_[t];
+  const float sb = sqrt_one_minus_alpha_bars_[t];
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    x0[i] = (xt[i] - sb * eps[i]) / sa;
+  }
+  return x0;
+}
+
+}  // namespace repro::diffusion

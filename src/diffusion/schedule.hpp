@@ -1,0 +1,54 @@
+// Noise schedules for denoising diffusion (Ho et al. 2020; Nichol &
+// Dhariwal 2021 cosine variant). Precomputes every per-timestep constant
+// the trainers and samplers need.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace repro::diffusion {
+
+enum class ScheduleKind { kLinear, kCosine };
+
+class NoiseSchedule {
+ public:
+  NoiseSchedule(std::size_t timesteps, ScheduleKind kind,
+                float beta_start = 1e-4f, float beta_end = 2e-2f);
+
+  std::size_t timesteps() const noexcept { return betas_.size(); }
+  float beta(std::size_t t) const noexcept { return betas_[t]; }
+  float alpha(std::size_t t) const noexcept { return alphas_[t]; }
+  float alpha_bar(std::size_t t) const noexcept { return alpha_bars_[t]; }
+  float sqrt_alpha_bar(std::size_t t) const noexcept {
+    return sqrt_alpha_bars_[t];
+  }
+  float sqrt_one_minus_alpha_bar(std::size_t t) const noexcept {
+    return sqrt_one_minus_alpha_bars_[t];
+  }
+  /// Variance of the DDPM posterior q(x_{t-1} | x_t, x_0).
+  float posterior_variance(std::size_t t) const noexcept {
+    return posterior_variance_[t];
+  }
+
+  /// q(x_t | x_0): x_t = sqrt(a_bar_t) x0 + sqrt(1 - a_bar_t) eps.
+  /// `noise` receives the sampled eps (same shape as x0).
+  nn::Tensor q_sample(const nn::Tensor& x0, std::size_t t, Rng& rng,
+                      nn::Tensor& noise) const;
+
+  /// Reconstructs x0 from x_t and predicted noise.
+  nn::Tensor predict_x0(const nn::Tensor& xt, const nn::Tensor& eps,
+                        std::size_t t) const;
+
+ private:
+  std::vector<float> betas_;
+  std::vector<float> alphas_;
+  std::vector<float> alpha_bars_;
+  std::vector<float> sqrt_alpha_bars_;
+  std::vector<float> sqrt_one_minus_alpha_bars_;
+  std::vector<float> posterior_variance_;
+};
+
+}  // namespace repro::diffusion

@@ -1,0 +1,84 @@
+#include "eval/coverage.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "nprint/codec.hpp"
+
+namespace repro::eval {
+
+std::vector<double> label_proportions(const std::vector<int>& labels,
+                                      std::size_t num_classes) {
+  return normalize(class_counts(labels, num_classes));
+}
+
+double coverage_imbalance(const std::vector<double>& proportions) {
+  return imbalance_ratio(proportions);
+}
+
+double divergence_from_uniform(const std::vector<double>& proportions) {
+  const std::vector<double> uniform(
+      proportions.size(), 1.0 / static_cast<double>(proportions.size()));
+  return js_divergence(proportions, uniform);
+}
+
+double divergence_between(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  return js_divergence(a, b);
+}
+
+double sample_diversity(const std::vector<net::Flow>& flows,
+                        std::size_t packets, std::size_t max_pairs,
+                        std::uint64_t seed) {
+  if (flows.size() < 2) return 0.0;
+  Rng rng(seed);
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t k = 0; k < max_pairs; ++k) {
+    const std::size_t i = rng.uniform_u64(flows.size());
+    std::size_t j = rng.uniform_u64(flows.size() - 1);
+    if (j >= i) ++j;
+    const nprint::Matrix a = nprint::encode_flow(flows[i], packets, true);
+    const nprint::Matrix b = nprint::encode_flow(flows[j], packets, true);
+    std::size_t diff = 0;
+    for (std::size_t n = 0; n < a.data().size(); ++n) {
+      if (a.data()[n] != b.data()[n]) ++diff;
+    }
+    total += static_cast<double>(diff) / static_cast<double>(a.data().size());
+    ++pairs;
+  }
+  return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+}
+
+std::string format_coverage_table(const CoverageReport& report) {
+  std::ostringstream out;
+  out << std::left << std::setw(12) << "class";
+  for (const auto& s : report.series) {
+    out << std::right << std::setw(10) << (s.name + " %");
+  }
+  out << "\n";
+  for (std::size_t c = 0; c < report.class_names.size(); ++c) {
+    out << std::left << std::setw(12) << report.class_names[c];
+    for (const auto& s : report.series) {
+      out << std::right << std::setw(10) << std::fixed << std::setprecision(2)
+          << (c < s.proportions.size() ? 100.0 * s.proportions[c] : 0.0);
+    }
+    out << "\n";
+  }
+  out << std::left << std::setw(12) << "imbalance";
+  for (const auto& s : report.series) {
+    out << std::right << std::setw(10) << std::fixed << std::setprecision(2)
+        << coverage_imbalance(s.proportions);
+  }
+  out << "\n" << std::left << std::setw(12) << "JSD(unif)";
+  for (const auto& s : report.series) {
+    out << std::right << std::setw(10) << std::fixed << std::setprecision(4)
+        << divergence_from_uniform(s.proportions);
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace repro::eval

@@ -1,0 +1,52 @@
+// Figure 1 analysis: class-coverage comparison between real data,
+// GAN-generated data, and diffusion-generated data — per-class
+// proportions, imbalance ratio and Jensen–Shannon divergence to the
+// uniform and real distributions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace repro::eval {
+
+struct CoverageSeries {
+  std::string name;                  // "Real", "GAN", "Ours"
+  std::vector<double> proportions;   // per class, sums to 1
+};
+
+struct CoverageReport {
+  std::vector<std::string> class_names;
+  std::vector<CoverageSeries> series;
+};
+
+/// Normalized proportions from labels; classes with ids outside
+/// [0, num_classes) are dropped (GAN label drift makes this possible).
+std::vector<double> label_proportions(const std::vector<int>& labels,
+                                      std::size_t num_classes);
+
+/// max/min proportion (1.0 = perfectly balanced).
+double coverage_imbalance(const std::vector<double>& proportions);
+
+/// JS divergence to the uniform distribution (0 = perfectly balanced).
+double divergence_from_uniform(const std::vector<double>& proportions);
+
+/// JS divergence between two series.
+double divergence_between(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Renders the report as an aligned text table (percent per class plus
+/// the imbalance/JSD summary rows).
+std::string format_coverage_table(const CoverageReport& report);
+
+/// Mean pairwise normalized Hamming distance between the nprint bit
+/// matrices of up to `max_pairs` random flow pairs (0 = all identical —
+/// mode collapse; real same-class traffic lands around 0.05-0.15).
+/// Balanced class counts say nothing if every sample is a clone, so
+/// Figure 1's coverage result is only meaningful alongside this.
+double sample_diversity(const std::vector<net::Flow>& flows,
+                        std::size_t packets, std::size_t max_pairs,
+                        std::uint64_t seed);
+
+}  // namespace repro::eval

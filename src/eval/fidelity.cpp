@@ -1,0 +1,101 @@
+#include "eval/fidelity.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace repro::eval {
+namespace {
+
+/// Column-major feature values of a record set.
+std::vector<std::vector<double>> columns(
+    const std::vector<gan::NetFlowRecord>& records) {
+  std::vector<std::vector<double>> cols(gan::NetFlowRecord::kFeatureCount);
+  for (const auto& record : records) {
+    const auto features = record.features();
+    for (std::size_t f = 0; f < features.size(); ++f) {
+      cols[f].push_back(static_cast<double>(features[f]));
+    }
+  }
+  return cols;
+}
+
+double histogram_jsd(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  double lo = a.front(), hi = a.front();
+  for (double v : a) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  for (double v : b) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) return 0.0;  // both constant and equal range
+  const auto ha = normalize(histogram(a, lo, hi, 20));
+  const auto hb = normalize(histogram(b, lo, hi, 20));
+  return js_divergence(ha, hb);
+}
+
+}  // namespace
+
+std::vector<FeatureFidelity> netflow_fidelity(
+    const std::vector<gan::NetFlowRecord>& real,
+    const std::vector<gan::NetFlowRecord>& synthetic) {
+  if (real.empty() || synthetic.empty()) {
+    throw std::invalid_argument("netflow_fidelity: empty record set");
+  }
+  const auto real_cols = columns(real);
+  const auto syn_cols = columns(synthetic);
+  const auto names = gan::NetFlowRecord::feature_names();
+  std::vector<FeatureFidelity> out;
+  out.reserve(names.size());
+  for (std::size_t f = 0; f < names.size(); ++f) {
+    FeatureFidelity fid;
+    fid.feature = names[f];
+    fid.ks = ks_statistic(real_cols[f], syn_cols[f]);
+    fid.wasserstein = wasserstein1(real_cols[f], syn_cols[f]);
+    fid.jsd = histogram_jsd(real_cols[f], syn_cols[f]);
+    out.push_back(std::move(fid));
+  }
+  return out;
+}
+
+double mean_ks(const std::vector<FeatureFidelity>& fidelity) {
+  if (fidelity.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& f : fidelity) sum += f.ks;
+  return sum / static_cast<double>(fidelity.size());
+}
+
+double mean_jsd(const std::vector<FeatureFidelity>& fidelity) {
+  if (fidelity.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& f : fidelity) sum += f.jsd;
+  return sum / static_cast<double>(fidelity.size());
+}
+
+double class_conditional_ks(const std::vector<gan::NetFlowRecord>& real,
+                            const std::vector<gan::NetFlowRecord>& synthetic,
+                            std::size_t num_classes,
+                            std::size_t min_samples) {
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t cls = 0; cls < num_classes; ++cls) {
+    std::vector<gan::NetFlowRecord> real_cls, syn_cls;
+    for (const auto& r : real) {
+      if (r.label == static_cast<int>(cls)) real_cls.push_back(r);
+    }
+    for (const auto& r : synthetic) {
+      if (r.label == static_cast<int>(cls)) syn_cls.push_back(r);
+    }
+    if (real_cls.size() < min_samples || syn_cls.size() < min_samples) {
+      continue;
+    }
+    total += mean_ks(netflow_fidelity(real_cls, syn_cls));
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 1.0;
+}
+
+}  // namespace repro::eval

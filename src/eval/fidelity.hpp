@@ -1,0 +1,41 @@
+// Distribution-fidelity metrics between real and synthetic NetFlow
+// records — the "similarity scores" the GAN literature optimizes. §2.3's
+// key observation is that aggregate similarity can look good while the
+// data is useless for classification ("despite the good performance of
+// similarity scores"); bench/fidelity_report quantifies both sides.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gan/netflow.hpp"
+
+namespace repro::eval {
+
+/// Marginal-similarity metrics for one feature (lower = more similar).
+struct FeatureFidelity {
+  std::string feature;
+  double ks = 0.0;           // Kolmogorov–Smirnov statistic
+  double wasserstein = 0.0;  // W1 on the raw (squashed) feature values
+  double jsd = 0.0;          // JSD over a 20-bin shared histogram
+};
+
+/// Per-feature marginal fidelity across all records.
+std::vector<FeatureFidelity> netflow_fidelity(
+    const std::vector<gan::NetFlowRecord>& real,
+    const std::vector<gan::NetFlowRecord>& synthetic);
+
+/// Means across features (the single-number "similarity score").
+double mean_ks(const std::vector<FeatureFidelity>& fidelity);
+double mean_jsd(const std::vector<FeatureFidelity>& fidelity);
+
+/// Class-conditional fidelity: mean over classes of the per-class mean
+/// KS. This is where GAN output degrades even when the aggregate looks
+/// fine (the "per-class distribution shift" of §2.3). Classes with
+/// fewer than `min_samples` on either side are skipped.
+double class_conditional_ks(const std::vector<gan::NetFlowRecord>& real,
+                            const std::vector<gan::NetFlowRecord>& synthetic,
+                            std::size_t num_classes,
+                            std::size_t min_samples = 5);
+
+}  // namespace repro::eval

@@ -1,0 +1,80 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace repro::eval {
+
+std::string format_table(const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    widths[c] = headers[c].size();
+  }
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      if (c) out << "  ";
+      out << std::left << std::setw(static_cast<int>(widths[c]))
+          << (c < row.size() ? row[c] : "");
+    }
+    out << "\n";
+  };
+  emit_row(headers);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows) emit_row(row);
+  return out.str();
+}
+
+std::string format_csv(const std::vector<std::string>& headers,
+                       const std::vector<std::vector<std::string>>& rows) {
+  auto quote = [](const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string quoted = "\"";
+    for (char c : field) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    if (c) out << ",";
+    out << quote(headers[c]);
+  }
+  out << "\n";
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ",";
+      out << quote(row[c]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("write_text_file: cannot open " + path);
+  out << text;
+  if (!out) throw std::runtime_error("write_text_file: write failed " + path);
+}
+
+}  // namespace repro::eval

@@ -1,0 +1,24 @@
+// Text-table / CSV rendering used by every bench binary so the printed
+// rows line up with the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace repro::eval {
+
+/// Renders rows as an aligned monospace table with a header rule.
+std::string format_table(const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows);
+
+/// CSV with minimal quoting (commas/quotes/newlines).
+std::string format_csv(const std::vector<std::string>& headers,
+                       const std::vector<std::vector<std::string>>& rows);
+
+/// Fixed-precision double formatting ("0.94").
+std::string fmt(double value, int precision = 2);
+
+/// Writes text to a file, creating/truncating it. Throws on I/O failure.
+void write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace repro::eval

@@ -1,0 +1,114 @@
+#include "eval/scenario.hpp"
+
+#include "ml/features.hpp"
+#include "ml/metrics.hpp"
+#include "ml/split.hpp"
+
+namespace repro::eval {
+namespace {
+
+/// Trains the micro-level RF on `train`, scores it on `test`, and derives
+/// the macro-level accuracy by collapsing micro predictions onto their
+/// macro service (hierarchical evaluation: a flow is macro-correct when
+/// its predicted application belongs to the true service category).
+void score_both_levels(const ml::FeatureMatrix& train,
+                       const ml::FeatureMatrix& test,
+                       const ScenarioConfig& config, ScenarioResult& result) {
+  result.train_size = train.size();
+  result.test_size = test.size();
+
+  ml::ForestConfig forest_cfg = config.forest;
+  forest_cfg.seed = config.seed;
+
+  ml::RandomForest forest(forest_cfg);
+  forest.fit(train);
+  const auto predicted = forest.predict(test);
+  result.micro_accuracy = ml::accuracy(predicted, test.labels);
+  result.micro_macro_f1 =
+      ml::macro_f1(predicted, test.labels, flowgen::kNumApps);
+
+  auto collapse = [](const std::vector<int>& labels) {
+    std::vector<int> macro(labels.size());
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      macro[i] = labels[i] >= 0 &&
+                         static_cast<std::size_t>(labels[i]) < flowgen::kNumApps
+                     ? static_cast<int>(flowgen::macro_of(
+                           static_cast<std::size_t>(labels[i])))
+                     : -1;
+    }
+    return macro;
+  };
+  result.macro_accuracy =
+      ml::accuracy(collapse(predicted), collapse(test.labels));
+}
+
+ml::FeatureMatrix flow_features(const std::vector<net::Flow>& flows,
+                                Granularity granularity,
+                                const ScenarioConfig& config) {
+  if (granularity == Granularity::kNprintPcap) {
+    return ml::nprint_features(flows, config.nprint_packets);
+  }
+  return ml::netflow_features(flows);
+}
+
+}  // namespace
+
+std::string granularity_name(Granularity granularity) {
+  return granularity == Granularity::kNprintPcap ? "nprint-formatted pcap"
+                                                 : "NetFlow";
+}
+
+ScenarioResult run_cross_scenario(const std::string& name,
+                                  const std::vector<net::Flow>& train_flows,
+                                  const std::vector<net::Flow>& test_flows,
+                                  Granularity granularity,
+                                  const ScenarioConfig& config) {
+  ScenarioResult result;
+  result.name = name;
+  result.granularity = granularity;
+  const auto train = flow_features(train_flows, granularity, config);
+  const auto test = flow_features(test_flows, granularity, config);
+  score_both_levels(train, test, config, result);
+  return result;
+}
+
+ScenarioResult run_real_real(const flowgen::Dataset& real,
+                             Granularity granularity,
+                             const ScenarioConfig& config) {
+  ScenarioResult result;
+  result.name = "Real/Real";
+  result.granularity = granularity;
+  Rng rng(config.seed);
+  const auto all = flow_features(real.flows, granularity, config);
+  const auto split = ml::stratified_split(all, config.test_fraction, rng);
+  score_both_levels(split.train, split.test, config, result);
+  return result;
+}
+
+ml::FeatureMatrix netflow_record_features(
+    const std::vector<gan::NetFlowRecord>& records) {
+  ml::FeatureMatrix out;
+  out.feature_count = gan::NetFlowRecord::kFeatureCount;
+  out.rows.reserve(records.size());
+  out.labels.reserve(records.size());
+  for (const auto& r : records) {
+    out.rows.push_back(r.features());
+    out.labels.push_back(r.label);
+  }
+  return out;
+}
+
+ScenarioResult run_cross_scenario_netflow(
+    const std::string& name, const std::vector<gan::NetFlowRecord>& train,
+    const std::vector<gan::NetFlowRecord>& test,
+    const ScenarioConfig& config) {
+  ScenarioResult result;
+  result.name = name;
+  result.granularity = Granularity::kNetFlow;
+  const auto train_features = netflow_record_features(train);
+  const auto test_features = netflow_record_features(test);
+  score_both_levels(train_features, test_features, config, result);
+  return result;
+}
+
+}  // namespace repro::eval

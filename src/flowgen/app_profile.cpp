@@ -1,0 +1,71 @@
+#include "flowgen/app_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro::flowgen {
+
+std::string macro_service_name(MacroService service) {
+  switch (service) {
+    case MacroService::kVideoStreaming:
+      return "Video Streaming";
+    case MacroService::kVideoConferencing:
+      return "Video Conferencing";
+    case MacroService::kSocialMedia:
+      return "Social Media";
+    case MacroService::kIotDevice:
+      return "IoT Device";
+  }
+  return "?";
+}
+
+std::size_t SizeMixture::sample(Rng& rng) const {
+  const double pick = rng.uniform() * (w_small + w_mid + w_large);
+  double mu, sigma;
+  if (pick < w_small) {
+    mu = mu_small;
+    sigma = sigma_small;
+  } else if (pick < w_small + w_mid) {
+    mu = mu_mid;
+    sigma = sigma_mid;
+  } else {
+    mu = mu_large;
+    sigma = sigma_large;
+  }
+  const double v = rng.log_normal(mu, sigma);
+  return static_cast<std::size_t>(std::clamp(v, 0.0, 1460.0));
+}
+
+double ArrivalModel::sample_gap(Rng& rng) const {
+  double gap = rng.log_normal(std::log(std::max(mean_gap, 1e-6)), jitter_sigma);
+  if (period > 0.0 && rng.uniform() < burst_fraction) {
+    // Inside a burst: packets arrive back-to-back; bursts repeat at
+    // `period`, so occasionally insert the long inter-burst gap instead.
+    gap = rng.bernoulli(0.15) ? period : gap * 0.05;
+  }
+  return std::clamp(gap, 1e-6, 10.0);
+}
+
+std::uint16_t AppProfile::sample_server_port(Rng& rng) const {
+  if (server_ports.empty()) return 443;
+  std::vector<double> weights;
+  weights.reserve(server_ports.size());
+  for (const auto& [port, w] : server_ports) weights.push_back(w);
+  return server_ports[rng.weighted_choice(weights)].first;
+}
+
+std::size_t AppProfile::sample_flow_length(Rng& rng) const {
+  const double v = rng.log_normal(len_mu, len_sigma);
+  return static_cast<std::size_t>(
+      std::clamp<double>(v, static_cast<double>(min_packets),
+                         static_cast<double>(max_packets)));
+}
+
+net::IpProto AppProfile::sample_protocol(Rng& rng) const {
+  const double u = rng.uniform();
+  if (u < p_tcp) return net::IpProto::kTcp;
+  if (u < p_tcp + p_udp) return net::IpProto::kUdp;
+  return net::IpProto::kIcmp;
+}
+
+}  // namespace repro::flowgen

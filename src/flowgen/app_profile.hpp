@@ -1,0 +1,125 @@
+// Parametric per-application traffic models.
+//
+// This module is the repo's substitute for the paper's curated dataset of
+// real captures (DESIGN.md §2): each of the 11 micro-applications in
+// Table 1 is described by a generative profile whose parameters encode the
+// qualitative, publicly documented behaviour of that service — dominant
+// transport protocol (Netflix ≈ TCP, Teams/Meet/Zoom ≈ UDP), server port
+// profile, packet-size mixture per direction, inter-arrival process,
+// TTL/window/DSCP ranges, TCP option usage, and flow-length distribution.
+// The profiles are deliberately *distinct* so that service recognition is
+// learnable — which is precisely the property the paper's experiments
+// measure on real data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/headers.hpp"
+
+namespace repro::flowgen {
+
+/// The four macro services of Table 1.
+enum class MacroService {
+  kVideoStreaming = 0,
+  kVideoConferencing = 1,
+  kSocialMedia = 2,
+  kIotDevice = 3,
+};
+
+std::string macro_service_name(MacroService service);
+inline constexpr std::size_t kNumMacroServices = 4;
+
+/// Packet-size mixture: three lognormal components (small control,
+/// medium, near-MTU) with per-component weights. Sizes are payload bytes.
+struct SizeMixture {
+  double w_small = 0.2, mu_small = 3.5, sigma_small = 0.4;
+  double w_mid = 0.3, mu_mid = 5.8, sigma_mid = 0.5;
+  double w_large = 0.5, mu_large = 7.2, sigma_large = 0.1;
+
+  /// Draws a payload size in [0, 1460].
+  std::size_t sample(Rng& rng) const;
+};
+
+/// Inter-arrival process: base-rate exponential optionally modulated by a
+/// periodic component (media chunking / RTP pacing).
+struct ArrivalModel {
+  double mean_gap = 0.01;      // seconds
+  double jitter_sigma = 0.3;   // lognormal sigma on the gap
+  double period = 0.0;         // >0: superimposed burst period (seconds)
+  double burst_fraction = 0.0; // fraction of packets inside bursts
+
+  double sample_gap(Rng& rng) const;
+};
+
+/// How the server's IP stack assigns the IPv4 identification field —
+/// a classic OS/CDN fingerprint visible only at the bit level.
+enum class IpIdMode {
+  kIncrement,  // classic counter (Linux pre-4.x style)
+  kRandom,     // randomized per packet
+  kZero,       // zero with DF set (modern Linux for atomic datagrams)
+};
+
+/// How a TCP-based application uses the connection.
+struct TcpBehavior {
+  bool use_mss_option = true;
+  bool use_sack_option = true;
+  bool use_timestamps = true;
+  bool use_window_scale = true;
+  std::uint16_t mss = 1460;        // advertised in the SYN options
+  std::uint8_t window_scale = 7;   // WS option shift count
+  std::uint16_t base_window = 0xFFFF;
+  double window_jitter = 0.15;     // relative stddev of advertised window
+  double client_request_rate = 0.1; // fraction of data packets that are
+                                    // upstream requests
+  double psh_probability = 0.35;   // PSH on data segments
+  double ack_every = 2.0;          // client ACKs per server segments
+};
+
+/// How a UDP-based application shapes its datagrams.
+struct UdpBehavior {
+  double upstream_fraction = 0.35;  // conferencing is bidirectional
+  std::uint8_t dscp = 0;            // EF marking for RTP etc.
+};
+
+/// One micro-application profile.
+struct AppProfile {
+  std::string name;
+  MacroService macro = MacroService::kVideoStreaming;
+
+  /// Probability that a new flow of this app is TCP / UDP / ICMP. Must
+  /// sum to 1; a flow keeps one protocol throughout (real flows do).
+  double p_tcp = 1.0;
+  double p_udp = 0.0;
+  double p_icmp = 0.0;
+
+  /// Candidate server ports with selection weights (e.g. 443 for TLS,
+  /// 3478-3481 for Teams relay, 8801 for Zoom).
+  std::vector<std::pair<std::uint16_t, double>> server_ports;
+
+  SizeMixture downstream;  // server -> client payload sizes
+  SizeMixture upstream;    // client -> server payload sizes
+  ArrivalModel arrivals;
+  TcpBehavior tcp;
+  UdpBehavior udp;
+
+  /// Server TTL range observed at the client (distance heuristics).
+  std::uint8_t server_ttl_lo = 52, server_ttl_hi = 62;
+  std::uint8_t client_ttl = 64;
+
+  /// Server-side IPv4 identification behaviour.
+  IpIdMode server_ip_id = IpIdMode::kIncrement;
+
+  /// Flow length (packets): lognormal, clamped to [min_packets,
+  /// max_packets].
+  double len_mu = 4.5, len_sigma = 0.8;
+  std::size_t min_packets = 6, max_packets = 4096;
+
+  std::uint16_t sample_server_port(Rng& rng) const;
+  std::size_t sample_flow_length(Rng& rng) const;
+  net::IpProto sample_protocol(Rng& rng) const;
+};
+
+}  // namespace repro::flowgen

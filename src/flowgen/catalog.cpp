@@ -1,0 +1,387 @@
+#include "flowgen/catalog.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace repro::flowgen {
+namespace {
+
+// Each profile encodes publicly documented, qualitatively distinct traffic
+// behaviour; the comments note the facts the parameters derive from.
+
+AppProfile make_netflix() {
+  AppProfile p;
+  p.name = "netflix";
+  p.macro = MacroService::kVideoStreaming;
+  // Netflix streams over TLS/TCP 443 (the paper's §2.3 cites "the
+  // predominance of TCP packets in Netflix traffic").
+  p.p_tcp = 1.0;
+  p.p_udp = 0.0;
+  p.server_ports = {{443, 1.0}};
+  // Downstream dominated by MSS-sized video segments.
+  p.downstream = {.w_small = 0.08, .mu_small = 3.6, .sigma_small = 0.4,
+                  .w_mid = 0.12, .mu_mid = 6.0, .sigma_mid = 0.4,
+                  .w_large = 0.80, .mu_large = 7.27, .sigma_large = 0.04};
+  p.upstream = {.w_small = 0.85, .mu_small = 3.4, .sigma_small = 0.5,
+                .w_mid = 0.13, .mu_mid = 5.2, .sigma_mid = 0.4,
+                .w_large = 0.02, .mu_large = 7.0, .sigma_large = 0.2};
+  // Chunked adaptive streaming: ~4s segment cadence with in-burst
+  // back-to-back arrivals.
+  p.arrivals = {.mean_gap = 0.004, .jitter_sigma = 0.8, .period = 4.0,
+                .burst_fraction = 0.7};
+  // Bit-level fingerprint (invisible to NetFlow features): MSS 1460,
+  // WS=7, full window, incrementing IP ID, Open Connect TTLs.
+  p.tcp.mss = 1460;
+  p.tcp.window_scale = 7;
+  p.tcp.base_window = 0xFFFF;
+  p.tcp.client_request_rate = 0.02;
+  p.tcp.psh_probability = 0.25;
+  p.server_ttl_lo = 58;
+  p.server_ttl_hi = 59;
+  p.server_ip_id = IpIdMode::kIncrement;
+  p.len_mu = 5.0;
+  p.len_sigma = 0.9;
+  return p;
+}
+
+AppProfile make_youtube() {
+  AppProfile p;
+  p.name = "youtube";
+  p.macro = MacroService::kVideoStreaming;
+  // YouTube delivers a large share of traffic over QUIC (UDP 443); the
+  // rest over TLS/TCP.
+  p.p_tcp = 0.40;
+  p.p_udp = 0.60;
+  p.server_ports = {{443, 1.0}};
+  p.downstream = {.w_small = 0.10, .mu_small = 3.8, .sigma_small = 0.4,
+                  .w_mid = 0.20, .mu_mid = 6.4, .sigma_mid = 0.3,
+                  .w_large = 0.70, .mu_large = 7.14, .sigma_large = 0.06};
+  p.upstream = {.w_small = 0.80, .mu_small = 3.5, .sigma_small = 0.4,
+                .w_mid = 0.18, .mu_mid = 5.6, .sigma_mid = 0.3,
+                .w_large = 0.02, .mu_large = 7.0, .sigma_large = 0.2};
+  p.arrivals = {.mean_gap = 0.005, .jitter_sigma = 0.8, .period = 2.5,
+                .burst_fraction = 0.6};
+  p.udp.upstream_fraction = 0.18;  // QUIC ACK traffic upstream
+  // Google frontend fingerprint: MSS 1430, WS=8, ID=0 w/ DF.
+  p.tcp.mss = 1430;
+  p.tcp.window_scale = 8;
+  p.tcp.base_window = 0xFFE0;
+  p.tcp.client_request_rate = 0.03;
+  p.server_ttl_lo = 56;
+  p.server_ttl_hi = 57;
+  p.server_ip_id = IpIdMode::kZero;
+  p.len_mu = 5.0;
+  p.len_sigma = 0.9;
+  return p;
+}
+
+AppProfile make_amazon() {
+  AppProfile p;
+  p.name = "amazon";
+  p.macro = MacroService::kVideoStreaming;
+  // Prime Video: TLS/TCP 443, CDN segments slightly below full MSS.
+  p.p_tcp = 1.0;
+  p.server_ports = {{443, 1.0}};
+  p.downstream = {.w_small = 0.10, .mu_small = 3.7, .sigma_small = 0.4,
+                  .w_mid = 0.25, .mu_mid = 6.6, .sigma_mid = 0.3,
+                  .w_large = 0.65, .mu_large = 7.20, .sigma_large = 0.08};
+  p.upstream = {.w_small = 0.88, .mu_small = 3.3, .sigma_small = 0.4,
+                .w_mid = 0.10, .mu_mid = 5.0, .sigma_mid = 0.4,
+                .w_large = 0.02, .mu_large = 6.8, .sigma_large = 0.2};
+  p.arrivals = {.mean_gap = 0.006, .jitter_sigma = 0.8, .period = 6.0,
+                .burst_fraction = 0.65};
+  // CloudFront fingerprint: no TCP timestamps, MSS 1440, WS=6,
+  // randomized IP IDs.
+  p.tcp.use_timestamps = false;
+  p.tcp.mss = 1440;
+  p.tcp.window_scale = 6;
+  p.tcp.base_window = 0xFFDC;
+  p.server_ttl_lo = 49;
+  p.server_ttl_hi = 50;
+  p.server_ip_id = IpIdMode::kRandom;
+  p.len_mu = 5.0;
+  p.len_sigma = 0.9;
+  return p;
+}
+
+AppProfile make_twitch() {
+  AppProfile p;
+  p.name = "twitch";
+  p.macro = MacroService::kVideoStreaming;
+  // Live HLS over TLS/TCP with a strong 2s chunk cadence.
+  p.p_tcp = 1.0;
+  p.server_ports = {{443, 1.0}};
+  p.downstream = {.w_small = 0.12, .mu_small = 3.9, .sigma_small = 0.4,
+                  .w_mid = 0.18, .mu_mid = 6.2, .sigma_mid = 0.4,
+                  .w_large = 0.70, .mu_large = 7.24, .sigma_large = 0.05};
+  p.upstream = {.w_small = 0.82, .mu_small = 3.6, .sigma_small = 0.4,
+                .w_mid = 0.16, .mu_mid = 5.4, .sigma_mid = 0.3,
+                .w_large = 0.02, .mu_large = 6.9, .sigma_large = 0.2};
+  p.arrivals = {.mean_gap = 0.003, .jitter_sigma = 0.8, .period = 2.0,
+                .burst_fraction = 0.8};
+  p.tcp.psh_probability = 0.45;
+  // Twitch edge fingerprint: MSS 1460, WS=8, small-ish window, ID=0.
+  p.tcp.mss = 1460;
+  p.tcp.window_scale = 8;
+  p.tcp.base_window = 0xFAF0;
+  p.server_ttl_lo = 52;
+  p.server_ttl_hi = 53;
+  p.server_ip_id = IpIdMode::kZero;
+  p.len_mu = 5.1;
+  p.len_sigma = 0.9;
+  return p;
+}
+
+AppProfile make_teams() {
+  AppProfile p;
+  p.name = "teams";
+  p.macro = MacroService::kVideoConferencing;
+  // Teams media rides UDP (STUN/TURN relay ports 3478-3481) — the paper's
+  // §2.3 example of "UDP packets in Teams traffic"; signalling over TCP.
+  p.p_tcp = 0.10;
+  p.p_udp = 0.90;
+  p.server_ports = {{3478, 0.4}, {3479, 0.25}, {3480, 0.2}, {3481, 0.15}};
+  // RTP audio (~120-300 B) + video (~900-1200 B) mixture.
+  p.downstream = {.w_small = 0.45, .mu_small = 5.0, .sigma_small = 0.3,
+                  .w_mid = 0.35, .mu_mid = 6.7, .sigma_mid = 0.2,
+                  .w_large = 0.20, .mu_large = 7.05, .sigma_large = 0.1};
+  p.upstream = {.w_small = 0.50, .mu_small = 4.9, .sigma_small = 0.3,
+                .w_mid = 0.35, .mu_mid = 6.6, .sigma_mid = 0.2,
+                .w_large = 0.15, .mu_large = 7.0, .sigma_large = 0.1};
+  // ~20 ms RTP pacing, moderate jitter, no chunk bursts. The aggregate
+  // statistics of the three conferencing apps deliberately overlap —
+  // their reliable separators are bit-level (relay ports, DSCP, TTL).
+  p.arrivals = {.mean_gap = 0.018, .jitter_sigma = 0.4, .period = 0.0,
+                .burst_fraction = 0.0};
+  p.udp.upstream_fraction = 0.45;
+  p.udp.dscp = 46;  // EF
+  p.server_ttl_lo = 58;
+  p.server_ttl_hi = 59;
+  p.len_mu = 5.5;
+  p.len_sigma = 0.7;
+  return p;
+}
+
+AppProfile make_meet() {
+  AppProfile p;
+  p.name = "meet";
+  p.macro = MacroService::kVideoConferencing;
+  // Google Meet: SRTP over UDP 19305.
+  p.p_tcp = 0.08;
+  p.p_udp = 0.92;
+  p.server_ports = {{19305, 1.0}};
+  p.downstream = {.w_small = 0.40, .mu_small = 4.8, .sigma_small = 0.3,
+                  .w_mid = 0.40, .mu_mid = 6.9, .sigma_mid = 0.15,
+                  .w_large = 0.20, .mu_large = 7.1, .sigma_large = 0.08};
+  p.upstream = {.w_small = 0.45, .mu_small = 4.7, .sigma_small = 0.3,
+                .w_mid = 0.40, .mu_mid = 6.8, .sigma_mid = 0.15,
+                .w_large = 0.15, .mu_large = 7.05, .sigma_large = 0.08};
+  p.arrivals = {.mean_gap = 0.017, .jitter_sigma = 0.4, .period = 0.0,
+                .burst_fraction = 0.0};
+  p.udp.upstream_fraction = 0.47;
+  p.udp.dscp = 34;  // AF41
+  p.server_ttl_lo = 56;
+  p.server_ttl_hi = 57;
+  p.len_mu = 5.5;
+  p.len_sigma = 0.7;
+  return p;
+}
+
+AppProfile make_zoom() {
+  AppProfile p;
+  p.name = "zoom";
+  p.macro = MacroService::kVideoConferencing;
+  // Zoom media over UDP 8801 (fallback 443/TCP).
+  p.p_tcp = 0.12;
+  p.p_udp = 0.88;
+  p.server_ports = {{8801, 0.85}, {8802, 0.1}, {443, 0.05}};
+  p.downstream = {.w_small = 0.35, .mu_small = 5.1, .sigma_small = 0.35,
+                  .w_mid = 0.30, .mu_mid = 6.5, .sigma_mid = 0.25,
+                  .w_large = 0.35, .mu_large = 7.0, .sigma_large = 0.12};
+  p.upstream = {.w_small = 0.40, .mu_small = 5.0, .sigma_small = 0.35,
+                .w_mid = 0.32, .mu_mid = 6.4, .sigma_mid = 0.25,
+                .w_large = 0.28, .mu_large = 6.95, .sigma_large = 0.12};
+  p.arrivals = {.mean_gap = 0.016, .jitter_sigma = 0.4, .period = 0.0,
+                .burst_fraction = 0.0};
+  p.udp.upstream_fraction = 0.44;
+  p.udp.dscp = 0;  // Zoom commonly leaves DSCP unset
+  p.server_ttl_lo = 53;
+  p.server_ttl_hi = 54;
+  p.len_mu = 5.5;
+  p.len_sigma = 0.7;
+  return p;
+}
+
+AppProfile make_facebook() {
+  AppProfile p;
+  p.name = "facebook";
+  p.macro = MacroService::kSocialMedia;
+  // Feed browsing: TLS/TCP 443, request/response with mixed object sizes.
+  p.p_tcp = 0.97;
+  p.p_udp = 0.03;  // some QUIC rollout
+  p.server_ports = {{443, 1.0}};
+  p.downstream = {.w_small = 0.30, .mu_small = 4.2, .sigma_small = 0.5,
+                  .w_mid = 0.40, .mu_mid = 6.3, .sigma_mid = 0.5,
+                  .w_large = 0.30, .mu_large = 7.15, .sigma_large = 0.08};
+  p.upstream = {.w_small = 0.60, .mu_small = 4.0, .sigma_small = 0.5,
+                .w_mid = 0.35, .mu_mid = 5.9, .sigma_mid = 0.4,
+                .w_large = 0.05, .mu_large = 7.0, .sigma_large = 0.15};
+  p.arrivals = {.mean_gap = 0.03, .jitter_sigma = 1.0, .period = 0.0,
+                .burst_fraction = 0.0};
+  p.tcp.client_request_rate = 0.22;  // interactive
+  p.tcp.psh_probability = 0.55;
+  // Meta edge fingerprint: MSS 1440, WS=9, distinct window, counter IDs.
+  p.tcp.mss = 1440;
+  p.tcp.window_scale = 9;
+  p.tcp.base_window = 0xE000;
+  p.server_ttl_lo = 55;
+  p.server_ttl_hi = 56;
+  p.server_ip_id = IpIdMode::kIncrement;
+  p.len_mu = 4.0;
+  p.len_sigma = 1.0;
+  return p;
+}
+
+AppProfile make_twitter() {
+  AppProfile p;
+  p.name = "twitter";
+  p.macro = MacroService::kSocialMedia;
+  // Timeline API calls: many small TLS records.
+  p.p_tcp = 1.0;
+  p.server_ports = {{443, 1.0}};
+  p.downstream = {.w_small = 0.45, .mu_small = 4.5, .sigma_small = 0.5,
+                  .w_mid = 0.40, .mu_mid = 6.0, .sigma_mid = 0.5,
+                  .w_large = 0.15, .mu_large = 7.1, .sigma_large = 0.1};
+  p.upstream = {.w_small = 0.65, .mu_small = 4.2, .sigma_small = 0.5,
+                .w_mid = 0.30, .mu_mid = 5.6, .sigma_mid = 0.4,
+                .w_large = 0.05, .mu_large = 6.9, .sigma_large = 0.15};
+  p.arrivals = {.mean_gap = 0.04, .jitter_sigma = 1.0, .period = 0.0,
+                .burst_fraction = 0.0};
+  p.tcp.client_request_rate = 0.28;
+  p.tcp.psh_probability = 0.6;
+  // Twitter edge fingerprint: no SACK, MSS 1380, odd window value,
+  // randomized IDs.
+  p.tcp.use_sack_option = false;
+  p.tcp.mss = 1380;
+  p.tcp.window_scale = 7;
+  p.tcp.base_window = 0x7210;
+  p.server_ttl_lo = 54;
+  p.server_ttl_hi = 55;
+  p.server_ip_id = IpIdMode::kRandom;
+  p.len_mu = 3.9;
+  p.len_sigma = 1.0;
+  return p;
+}
+
+AppProfile make_instagram() {
+  AppProfile p;
+  p.name = "instagram";
+  p.macro = MacroService::kSocialMedia;
+  // Image/reel heavy: larger downstream objects than the other social
+  // apps, still request/response shaped.
+  p.p_tcp = 0.92;
+  p.p_udp = 0.08;
+  p.server_ports = {{443, 1.0}};
+  p.downstream = {.w_small = 0.20, .mu_small = 4.3, .sigma_small = 0.5,
+                  .w_mid = 0.30, .mu_mid = 6.5, .sigma_mid = 0.4,
+                  .w_large = 0.50, .mu_large = 7.18, .sigma_large = 0.07};
+  p.upstream = {.w_small = 0.62, .mu_small = 4.1, .sigma_small = 0.5,
+                .w_mid = 0.33, .mu_mid = 5.8, .sigma_mid = 0.4,
+                .w_large = 0.05, .mu_large = 7.0, .sigma_large = 0.15};
+  p.arrivals = {.mean_gap = 0.025, .jitter_sigma = 1.0, .period = 0.0,
+                .burst_fraction = 0.0};
+  p.tcp.client_request_rate = 0.15;
+  p.tcp.psh_probability = 0.5;
+  // Instagram CDN fingerprint: MSS 1430, WS=7, high window, ID=0.
+  p.tcp.mss = 1430;
+  p.tcp.window_scale = 7;
+  p.tcp.base_window = 0xFE88;
+  p.server_ttl_lo = 60;
+  p.server_ttl_hi = 61;
+  p.server_ip_id = IpIdMode::kZero;
+  p.len_mu = 4.0;
+  p.len_sigma = 1.0;
+  return p;
+}
+
+AppProfile make_other_iot() {
+  AppProfile p;
+  p.name = "other";
+  p.macro = MacroService::kIotDevice;
+  // Heterogeneous smart-home traffic: MQTT keepalives (TCP 1883/8883),
+  // DNS/NTP (UDP 53/123), and ICMP liveness probes.
+  p.p_tcp = 0.45;
+  p.p_udp = 0.45;
+  p.p_icmp = 0.10;
+  p.server_ports = {{1883, 0.3}, {8883, 0.2}, {53, 0.25}, {123, 0.15},
+                    {80, 0.1}};
+  p.downstream = {.w_small = 0.75, .mu_small = 3.6, .sigma_small = 0.6,
+                  .w_mid = 0.20, .mu_mid = 5.3, .sigma_mid = 0.5,
+                  .w_large = 0.05, .mu_large = 6.8, .sigma_large = 0.3};
+  p.upstream = {.w_small = 0.80, .mu_small = 3.4, .sigma_small = 0.6,
+                .w_mid = 0.17, .mu_mid = 5.0, .sigma_mid = 0.5,
+                .w_large = 0.03, .mu_large = 6.6, .sigma_large = 0.3};
+  p.arrivals = {.mean_gap = 0.5, .jitter_sigma = 1.2, .period = 30.0,
+                .burst_fraction = 0.2};
+  p.udp.upstream_fraction = 0.5;
+  p.tcp.use_window_scale = false;  // constrained embedded stacks
+  p.tcp.use_timestamps = false;
+  p.tcp.base_window = 5840;
+  p.tcp.client_request_rate = 0.4;
+  p.server_ttl_lo = 60;
+  p.server_ttl_hi = 64;
+  p.client_ttl = 255;  // many IoT stacks default to 255
+  p.len_mu = 3.0;  // short chatty flows
+  p.len_sigma = 0.8;
+  p.min_packets = 4;
+  return p;
+}
+
+std::vector<AppProfile> build_catalog() {
+  return {make_netflix(), make_youtube(),  make_amazon(),   make_twitch(),
+          make_teams(),   make_meet(),     make_zoom(),     make_facebook(),
+          make_twitter(), make_instagram(), make_other_iot()};
+}
+
+}  // namespace
+
+const std::vector<AppProfile>& all_profiles() {
+  static const std::vector<AppProfile> catalog = build_catalog();
+  return catalog;
+}
+
+const AppProfile& app_profile(std::size_t class_id) {
+  const auto& catalog = all_profiles();
+  if (class_id >= catalog.size()) {
+    throw std::out_of_range("app_profile: class id out of range");
+  }
+  return catalog[class_id];
+}
+
+const AppProfile& app_profile(App app) {
+  return app_profile(static_cast<std::size_t>(app));
+}
+
+std::string app_name(App app) {
+  return app_profile(app).name;
+}
+
+App app_from_name(const std::string& name) {
+  const auto& catalog = all_profiles();
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    if (catalog[i].name == name) return static_cast<App>(i);
+  }
+  throw std::invalid_argument("app_from_name: unknown app " + name);
+}
+
+MacroService macro_of(std::size_t class_id) {
+  return app_profile(class_id).macro;
+}
+
+const std::vector<std::size_t>& table1_flow_counts() {
+  static const std::vector<std::size_t> counts = {
+      4104, 2702, 1509, 1150, 3886, 1313, 1312, 1477, 1260, 873, 3901};
+  return counts;
+}
+
+}  // namespace repro::flowgen

@@ -1,0 +1,49 @@
+// The 11 micro-applications of Table 1, with the paper's flow counts and
+// class ordering (Figure 1): netflix, youtube, amazon, twitch, teams,
+// meet, zoom, facebook, twitter, instagram, other.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "flowgen/app_profile.hpp"
+
+namespace repro::flowgen {
+
+inline constexpr std::size_t kNumApps = 11;
+
+/// Class ids in the paper's presentation order.
+enum class App : int {
+  kNetflix = 0,
+  kYoutube = 1,
+  kAmazon = 2,
+  kTwitch = 3,
+  kTeams = 4,
+  kMeet = 5,
+  kZoom = 6,
+  kFacebook = 7,
+  kTwitter = 8,
+  kInstagram = 9,
+  kOther = 10,
+};
+
+/// Profile for a given app (static catalog, index = class id).
+const AppProfile& app_profile(App app);
+const AppProfile& app_profile(std::size_t class_id);
+
+/// All profiles in class-id order.
+const std::vector<AppProfile>& all_profiles();
+
+/// Class name ("netflix", ...) and id lookup.
+std::string app_name(App app);
+App app_from_name(const std::string& name);
+
+/// Macro-service id (0..3) for a micro class id.
+MacroService macro_of(std::size_t class_id);
+
+/// The paper's Table 1 flow counts, class-id order:
+/// {4104, 2702, 1509, 1150, 3886, 1313, 1312, 1477, 1260, 873, 3901}.
+const std::vector<std::size_t>& table1_flow_counts();
+
+}  // namespace repro::flowgen

@@ -1,0 +1,92 @@
+#include "flowgen/dataset.hpp"
+
+#include <algorithm>
+
+#include "flowgen/generator.hpp"
+
+namespace repro::flowgen {
+
+std::vector<int> Dataset::micro_labels() const {
+  std::vector<int> labels;
+  labels.reserve(flows.size());
+  for (const auto& flow : flows) labels.push_back(flow.label);
+  return labels;
+}
+
+std::vector<int> Dataset::macro_labels() const {
+  std::vector<int> labels;
+  labels.reserve(flows.size());
+  for (const auto& flow : flows) {
+    labels.push_back(
+        static_cast<int>(macro_of(static_cast<std::size_t>(flow.label))));
+  }
+  return labels;
+}
+
+std::vector<std::size_t> Dataset::per_class_counts() const {
+  std::vector<std::size_t> counts(kNumApps, 0);
+  for (const auto& flow : flows) {
+    if (flow.label >= 0 && static_cast<std::size_t>(flow.label) < kNumApps) {
+      ++counts[static_cast<std::size_t>(flow.label)];
+    }
+  }
+  return counts;
+}
+
+Dataset Dataset::sample_per_class(std::size_t per_class, Rng& rng) const {
+  // Collect indices per class, shuffle, take the first `per_class`.
+  std::vector<std::vector<std::size_t>> buckets(kNumApps);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const int label = flows[i].label;
+    if (label >= 0 && static_cast<std::size_t>(label) < kNumApps) {
+      buckets[static_cast<std::size_t>(label)].push_back(i);
+    }
+  }
+  Dataset out;
+  for (auto& bucket : buckets) {
+    const auto perm = rng.permutation(bucket.size());
+    const std::size_t take = std::min(per_class, bucket.size());
+    for (std::size_t k = 0; k < take; ++k) {
+      out.flows.push_back(flows[bucket[perm[k]]]);
+    }
+  }
+  return out;
+}
+
+Dataset build_dataset(const std::vector<std::size_t>& per_class_counts,
+                      Rng& rng) {
+  Dataset ds;
+  for (std::size_t cls = 0; cls < per_class_counts.size() && cls < kNumApps;
+       ++cls) {
+    for (std::size_t i = 0; i < per_class_counts[cls]; ++i) {
+      ds.flows.push_back(generate_flow(static_cast<App>(cls), rng));
+    }
+  }
+  // Shuffle so class order does not leak into splits.
+  const auto perm = rng.permutation(ds.flows.size());
+  Dataset shuffled;
+  shuffled.flows.reserve(ds.flows.size());
+  for (std::size_t idx : perm) shuffled.flows.push_back(std::move(ds.flows[idx]));
+  return shuffled;
+}
+
+std::vector<std::size_t> scaled_table1_counts(std::size_t max_per_class) {
+  const auto& paper = table1_flow_counts();
+  const std::size_t biggest = *std::max_element(paper.begin(), paper.end());
+  std::vector<std::size_t> scaled(paper.size());
+  for (std::size_t i = 0; i < paper.size(); ++i) {
+    scaled[i] = std::max<std::size_t>(
+        1, paper[i] * max_per_class / biggest);
+  }
+  return scaled;
+}
+
+Dataset build_table1_dataset(std::size_t max_per_class, Rng& rng) {
+  return build_dataset(scaled_table1_counts(max_per_class), rng);
+}
+
+Dataset build_uniform_dataset(std::size_t per_class, Rng& rng) {
+  return build_dataset(std::vector<std::size_t>(kNumApps, per_class), rng);
+}
+
+}  // namespace repro::flowgen

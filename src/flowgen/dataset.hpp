@@ -1,0 +1,51 @@
+// Labeled flow datasets: the container every experiment consumes, plus
+// builders reproducing Table 1's composition (optionally scaled) and
+// uniform per-class datasets.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "flowgen/catalog.hpp"
+#include "net/flow.hpp"
+
+namespace repro::flowgen {
+
+/// A labeled dataset of flows. `flows[i].label` is the micro class id;
+/// macro labels derive via `macro_of`.
+struct Dataset {
+  std::vector<net::Flow> flows;
+
+  std::size_t size() const noexcept { return flows.size(); }
+
+  /// Micro labels of all flows.
+  std::vector<int> micro_labels() const;
+
+  /// Macro-service labels of all flows.
+  std::vector<int> macro_labels() const;
+
+  /// Per-class flow counts (micro classes).
+  std::vector<std::size_t> per_class_counts() const;
+
+  /// Random subset with at most `per_class` flows of each class (the
+  /// paper's 100-flows-per-class fine-tuning cap).
+  Dataset sample_per_class(std::size_t per_class, Rng& rng) const;
+};
+
+/// Builds a dataset with the exact per-class counts given.
+Dataset build_dataset(const std::vector<std::size_t>& per_class_counts,
+                      Rng& rng);
+
+/// Table 1 composition scaled so the largest class has ~`max_per_class`
+/// flows (relative proportions preserved; every class keeps >= 1 flow).
+Dataset build_table1_dataset(std::size_t max_per_class, Rng& rng);
+
+/// Uniform dataset: `per_class` flows for each of the 11 classes.
+Dataset build_uniform_dataset(std::size_t per_class, Rng& rng);
+
+/// Table 1 per-class counts scaled as in `build_table1_dataset`.
+std::vector<std::size_t> scaled_table1_counts(std::size_t max_per_class);
+
+}  // namespace repro::flowgen

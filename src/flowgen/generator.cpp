@@ -1,0 +1,59 @@
+#include "flowgen/generator.hpp"
+
+#include "flowgen/icmp_session.hpp"
+#include "flowgen/tcp_session.hpp"
+#include "flowgen/udp_session.hpp"
+
+namespace repro::flowgen {
+namespace {
+
+/// Draws plausible endpoints: client in RFC1918 space with an ephemeral
+/// port, server in public space on a profile port.
+Endpoints sample_endpoints(const AppProfile& profile, Rng& rng) {
+  Endpoints ep;
+  // 192.168.x.y client.
+  ep.client_addr = (192u << 24) | (168u << 16) |
+                   static_cast<std::uint32_t>(rng.uniform_int(0, 255)) << 8 |
+                   static_cast<std::uint32_t>(rng.uniform_int(2, 254));
+  // Public /8s commonly used by CDNs, avoiding reserved ranges.
+  static constexpr std::uint32_t kPublicFirstOctets[] = {13, 23, 34, 52, 99,
+                                                         104, 142, 151};
+  const auto first = kPublicFirstOctets[rng.uniform_u64(8)];
+  ep.server_addr = (first << 24) |
+                   static_cast<std::uint32_t>(rng.uniform_int(0, 255)) << 16 |
+                   static_cast<std::uint32_t>(rng.uniform_int(0, 255)) << 8 |
+                   static_cast<std::uint32_t>(rng.uniform_int(1, 254));
+  ep.client_port = static_cast<std::uint16_t>(rng.uniform_int(32768, 60999));
+  ep.server_port = profile.sample_server_port(rng);
+  return ep;
+}
+
+}  // namespace
+
+net::Flow generate_flow(App app, std::size_t target_packets, Rng& rng) {
+  const AppProfile& profile = app_profile(app);
+  const Endpoints ep = sample_endpoints(profile, rng);
+  const std::size_t length =
+      target_packets > 0 ? target_packets : profile.sample_flow_length(rng);
+
+  net::Flow flow;
+  switch (profile.sample_protocol(rng)) {
+    case net::IpProto::kTcp:
+      flow = generate_tcp_flow(profile, ep, length, rng);
+      break;
+    case net::IpProto::kUdp:
+      flow = generate_udp_flow(profile, ep, length, rng);
+      break;
+    case net::IpProto::kIcmp:
+      flow = generate_icmp_flow(profile, ep, length, rng);
+      break;
+  }
+  flow.label = static_cast<int>(app);
+  return flow;
+}
+
+net::Flow generate_flow(App app, Rng& rng) {
+  return generate_flow(app, 0, rng);
+}
+
+}  // namespace repro::flowgen

@@ -1,0 +1,19 @@
+// Top-level flow generator: samples endpoints, protocol and flow length
+// from an application profile and dispatches to the TCP/UDP/ICMP session
+// synthesizers.
+#pragma once
+
+#include "common/rng.hpp"
+#include "flowgen/catalog.hpp"
+#include "net/flow.hpp"
+
+namespace repro::flowgen {
+
+/// Generates one labeled flow for the given application class.
+net::Flow generate_flow(App app, Rng& rng);
+
+/// As above with an explicit packet-count target (0 = sample from the
+/// profile's length distribution).
+net::Flow generate_flow(App app, std::size_t target_packets, Rng& rng);
+
+}  // namespace repro::flowgen

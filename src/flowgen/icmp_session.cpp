@@ -1,0 +1,50 @@
+#include "flowgen/icmp_session.hpp"
+
+namespace repro::flowgen {
+
+net::Flow generate_icmp_flow(const AppProfile& profile,
+                             const Endpoints& endpoints,
+                             std::size_t target_packets, Rng& rng) {
+  net::Flow flow;
+  double t = 0.0;
+  const auto ident = static_cast<std::uint16_t>(rng.next_u64());
+  std::uint16_t seq = 1;
+  const double rtt = rng.uniform(0.001, 0.05);
+  for (std::size_t i = 0; i < target_packets; ++i) {
+    const bool request = i % 2 == 0;
+    if (request) {
+      t += profile.arrivals.sample_gap(rng);
+    } else {
+      t += rtt;
+    }
+    net::Packet pkt;
+    pkt.timestamp = t;
+    pkt.ip.protocol = net::IpProto::kIcmp;
+    pkt.ip.identification = static_cast<std::uint16_t>(rng.next_u64());
+    net::IcmpHeader icmp;
+    if (request) {
+      pkt.ip.src_addr = endpoints.client_addr;
+      pkt.ip.dst_addr = endpoints.server_addr;
+      pkt.ip.ttl = profile.client_ttl;
+      icmp.type = 8;  // echo request
+    } else {
+      pkt.ip.src_addr = endpoints.server_addr;
+      pkt.ip.dst_addr = endpoints.client_addr;
+      pkt.ip.ttl = static_cast<std::uint8_t>(
+          rng.uniform_int(profile.server_ttl_lo, profile.server_ttl_hi));
+      icmp.type = 0;  // echo reply
+      ++seq;
+    }
+    icmp.code = 0;
+    icmp.rest_of_header =
+        (static_cast<std::uint32_t>(ident) << 16) | (seq & 0xFFFF);
+    pkt.icmp = icmp;
+    pkt.payload.assign(56, 0);  // classic ping payload size
+    pkt.ip.total_length = static_cast<std::uint16_t>(pkt.datagram_length());
+    flow.packets.push_back(std::move(pkt));
+  }
+  flow.key = net::FlowKey::from_packet(flow.packets.front()).canonical();
+  return flow;
+}
+
+}  // namespace repro::flowgen

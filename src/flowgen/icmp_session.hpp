@@ -1,0 +1,17 @@
+// ICMP flow synthesis: echo request/reply trains (IoT liveness probes).
+#pragma once
+
+#include "common/rng.hpp"
+#include "flowgen/app_profile.hpp"
+#include "flowgen/tcp_session.hpp"  // Endpoints
+#include "net/flow.hpp"
+
+namespace repro::flowgen {
+
+/// Generates an ICMP echo request/reply train of `target_packets`
+/// packets with matching identifiers and incrementing sequence numbers.
+net::Flow generate_icmp_flow(const AppProfile& profile,
+                             const Endpoints& endpoints,
+                             std::size_t target_packets, Rng& rng);
+
+}  // namespace repro::flowgen

@@ -1,0 +1,237 @@
+#include "flowgen/tcp_session.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro::flowgen {
+namespace {
+
+/// Standard option encodings; always padded to a 4-byte multiple with
+/// NOPs (0x01) / END (0x00) like real stacks emit.
+std::vector<std::uint8_t> syn_options(const TcpBehavior& behavior, Rng& rng) {
+  std::vector<std::uint8_t> opts;
+  if (behavior.use_mss_option) {
+    opts.insert(opts.end(),
+                {0x02, 0x04, static_cast<std::uint8_t>(behavior.mss >> 8),
+                 static_cast<std::uint8_t>(behavior.mss)});
+  }
+  if (behavior.use_sack_option) {
+    opts.insert(opts.end(), {0x01, 0x01, 0x04, 0x02});  // NOP NOP SACK-perm
+  }
+  if (behavior.use_timestamps) {
+    const auto tsval = static_cast<std::uint32_t>(rng.next_u64());
+    opts.insert(opts.end(),
+                {0x01, 0x01, 0x08, 0x0A,
+                 static_cast<std::uint8_t>(tsval >> 24),
+                 static_cast<std::uint8_t>(tsval >> 16),
+                 static_cast<std::uint8_t>(tsval >> 8),
+                 static_cast<std::uint8_t>(tsval), 0, 0, 0, 0});
+  }
+  if (behavior.use_window_scale) {
+    opts.insert(opts.end(), {0x01, 0x03, 0x03, behavior.window_scale});
+  }
+  while (opts.size() % 4 != 0) opts.push_back(0x00);
+  if (opts.size() > 40) opts.resize(40);
+  return opts;
+}
+
+std::uint16_t next_ip_id(IpIdMode mode, std::uint16_t& counter,
+                         Rng& rng) noexcept {
+  switch (mode) {
+    case IpIdMode::kIncrement:
+      return ++counter;
+    case IpIdMode::kRandom:
+      return static_cast<std::uint16_t>(rng.next_u64());
+    case IpIdMode::kZero:
+      return 0;
+  }
+  return 0;
+}
+
+std::uint16_t jittered_window(const TcpBehavior& behavior, Rng& rng) {
+  const double w = rng.gaussian(static_cast<double>(behavior.base_window),
+                                behavior.window_jitter *
+                                    static_cast<double>(behavior.base_window));
+  return static_cast<std::uint16_t>(std::clamp(w, 1024.0, 65535.0));
+}
+
+struct Direction {
+  std::uint32_t seq;       // next sequence number to send
+  std::uint32_t acked = 0;  // highest ack we have sent for the peer
+};
+
+net::Packet base_packet(const AppProfile& profile, const Endpoints& ep,
+                        bool from_client, double t, std::uint16_t ip_id,
+                        Rng& rng) {
+  net::Packet pkt;
+  pkt.timestamp = t;
+  pkt.ip.protocol = net::IpProto::kTcp;
+  pkt.ip.identification = ip_id;
+  if (from_client) {
+    pkt.ip.src_addr = ep.client_addr;
+    pkt.ip.dst_addr = ep.server_addr;
+    pkt.ip.ttl = profile.client_ttl;
+  } else {
+    pkt.ip.src_addr = ep.server_addr;
+    pkt.ip.dst_addr = ep.client_addr;
+    pkt.ip.ttl = static_cast<std::uint8_t>(
+        rng.uniform_int(profile.server_ttl_lo, profile.server_ttl_hi));
+  }
+  net::TcpHeader tcp;
+  tcp.src_port = from_client ? ep.client_port : ep.server_port;
+  tcp.dst_port = from_client ? ep.server_port : ep.client_port;
+  pkt.tcp = tcp;
+  return pkt;
+}
+
+void finalize(net::Packet& pkt) {
+  pkt.ip.total_length = static_cast<std::uint16_t>(pkt.datagram_length());
+}
+
+}  // namespace
+
+net::Flow generate_tcp_flow(const AppProfile& profile,
+                            const Endpoints& endpoints,
+                            std::size_t target_packets, Rng& rng) {
+  net::Flow flow;
+  const auto& behavior = profile.tcp;
+  double t = 0.0;
+  const double rtt = rng.uniform(0.005, 0.06);
+
+  Direction client{static_cast<std::uint32_t>(rng.next_u64())};
+  Direction server{static_cast<std::uint32_t>(rng.next_u64())};
+
+  auto emit = [&](net::Packet pkt) {
+    finalize(pkt);
+    flow.packets.push_back(std::move(pkt));
+  };
+
+  // Client stacks virtually all increment the IP ID; the server side
+  // follows the profile's fingerprint.
+  auto client_id = static_cast<std::uint16_t>(rng.next_u64());
+  auto server_id = static_cast<std::uint16_t>(rng.next_u64());
+  auto client_pkt = [&](double ts) {
+    return base_packet(profile, endpoints, true, ts, ++client_id, rng);
+  };
+  auto server_pkt = [&](double ts) {
+    return base_packet(profile, endpoints, false, ts,
+                       next_ip_id(profile.server_ip_id, server_id, rng), rng);
+  };
+
+  // --- Three-way handshake. ---
+  {
+    net::Packet syn = client_pkt(t);
+    syn.tcp->syn = true;
+    syn.tcp->seq = client.seq;
+    syn.tcp->window = jittered_window(behavior, rng);
+    syn.tcp->options = syn_options(behavior, rng);
+    emit(std::move(syn));
+    client.seq += 1;
+
+    t += rtt / 2;
+    net::Packet synack = server_pkt(t);
+    synack.tcp->syn = true;
+    synack.tcp->ack_flag = true;
+    synack.tcp->seq = server.seq;
+    synack.tcp->ack = client.seq;
+    synack.tcp->window = jittered_window(behavior, rng);
+    synack.tcp->options = syn_options(behavior, rng);
+    emit(std::move(synack));
+    server.seq += 1;
+
+    t += rtt / 2;
+    net::Packet ack = client_pkt(t);
+    ack.tcp->ack_flag = true;
+    ack.tcp->seq = client.seq;
+    ack.tcp->ack = server.seq;
+    ack.tcp->window = jittered_window(behavior, rng);
+    emit(std::move(ack));
+  }
+
+  // --- Data transfer. ---
+  // Reserve 3 packets for the FIN / FIN-ACK / ACK teardown when the flow
+  // is long enough to afford one.
+  const bool with_teardown = target_packets >= 10;
+  const std::size_t data_budget =
+      target_packets > flow.packets.size() + (with_teardown ? 3 : 0)
+          ? target_packets - flow.packets.size() - (with_teardown ? 3 : 0)
+          : 0;
+
+  double since_ack = 0.0;  // server segments since last client ACK
+  for (std::size_t i = 0; i < data_budget; ++i) {
+    t += profile.arrivals.sample_gap(rng);
+    const bool upstream = rng.uniform() < behavior.client_request_rate;
+    if (upstream) {
+      net::Packet req = client_pkt(t);
+      const std::size_t len = profile.upstream.sample(rng);
+      req.tcp->seq = client.seq;
+      req.tcp->ack = server.seq;
+      req.tcp->ack_flag = true;
+      req.tcp->psh = len > 0 && rng.bernoulli(behavior.psh_probability);
+      req.tcp->window = jittered_window(behavior, rng);
+      req.payload.assign(len, 0);
+      emit(std::move(req));
+      client.seq += static_cast<std::uint32_t>(len);
+    } else {
+      net::Packet seg = server_pkt(t);
+      const std::size_t len = std::max<std::size_t>(profile.downstream.sample(rng), 1);
+      seg.tcp->seq = server.seq;
+      seg.tcp->ack = client.seq;
+      seg.tcp->ack_flag = true;
+      seg.tcp->psh = rng.bernoulli(behavior.psh_probability);
+      seg.tcp->window = jittered_window(behavior, rng);
+      seg.payload.assign(len, 0);
+      emit(std::move(seg));
+      server.seq += static_cast<std::uint32_t>(len);
+      since_ack += 1.0;
+      // Delayed ACK: client ACKs every ~ack_every segments (if budget).
+      if (since_ack >= behavior.ack_every && i + 1 < data_budget) {
+        ++i;
+        t += rng.uniform(0.0001, 0.002);
+        net::Packet ack = client_pkt(t);
+        ack.tcp->ack_flag = true;
+        ack.tcp->seq = client.seq;
+        ack.tcp->ack = server.seq;
+        ack.tcp->window = jittered_window(behavior, rng);
+        emit(std::move(ack));
+        since_ack = 0.0;
+      }
+    }
+  }
+
+  // --- Teardown: client FIN, server FIN-ACK, client ACK. ---
+  if (with_teardown) {
+    t += profile.arrivals.sample_gap(rng);
+    net::Packet fin = client_pkt(t);
+    fin.tcp->fin = true;
+    fin.tcp->ack_flag = true;
+    fin.tcp->seq = client.seq;
+    fin.tcp->ack = server.seq;
+    fin.tcp->window = jittered_window(behavior, rng);
+    emit(std::move(fin));
+    client.seq += 1;
+
+    t += rtt / 2;
+    net::Packet finack = server_pkt(t);
+    finack.tcp->fin = true;
+    finack.tcp->ack_flag = true;
+    finack.tcp->seq = server.seq;
+    finack.tcp->ack = client.seq;
+    finack.tcp->window = jittered_window(behavior, rng);
+    emit(std::move(finack));
+    server.seq += 1;
+
+    t += rtt / 2;
+    net::Packet last = client_pkt(t);
+    last.tcp->ack_flag = true;
+    last.tcp->seq = client.seq;
+    last.tcp->ack = server.seq;
+    last.tcp->window = jittered_window(behavior, rng);
+    emit(std::move(last));
+  }
+
+  flow.key = net::FlowKey::from_packet(flow.packets.front()).canonical();
+  return flow;
+}
+
+}  // namespace repro::flowgen

@@ -1,0 +1,33 @@
+// Stateful TCP session synthesis: three-way handshake, sequence/ack
+// bookkeeping in both directions, delayed ACKs, PSH at message
+// boundaries, advertised-window dynamics, and FIN/ACK teardown — the
+// "inter-packet constraints (e.g., protocol usage patterns in flows)" the
+// paper says generators must respect (§1 RQ2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "flowgen/app_profile.hpp"
+#include "net/flow.hpp"
+
+namespace repro::flowgen {
+
+/// Endpoint addresses/ports of a session (client is src of the first
+/// packet).
+struct Endpoints {
+  std::uint32_t client_addr = 0;
+  std::uint32_t server_addr = 0;
+  std::uint16_t client_port = 0;
+  std::uint16_t server_port = 0;
+};
+
+/// Generates one TCP flow of ~`target_packets` packets following the
+/// profile's behaviour. The result always begins SYN / SYN-ACK / ACK and,
+/// when the budget allows, ends FIN / FIN-ACK / ACK.
+net::Flow generate_tcp_flow(const AppProfile& profile,
+                            const Endpoints& endpoints,
+                            std::size_t target_packets, Rng& rng);
+
+}  // namespace repro::flowgen

@@ -1,0 +1,67 @@
+#include "flowgen/udp_session.hpp"
+
+#include <algorithm>
+
+namespace repro::flowgen {
+
+net::Flow generate_udp_flow(const AppProfile& profile,
+                            const Endpoints& endpoints,
+                            std::size_t target_packets, Rng& rng) {
+  net::Flow flow;
+  double t = 0.0;
+  auto client_id = static_cast<std::uint16_t>(rng.next_u64());
+  auto server_id = static_cast<std::uint16_t>(rng.next_u64());
+  for (std::size_t i = 0; i < target_packets; ++i) {
+    t += profile.arrivals.sample_gap(rng);
+    const bool upstream = rng.uniform() < profile.udp.upstream_fraction;
+    net::Packet pkt;
+    pkt.timestamp = t;
+    pkt.ip.protocol = net::IpProto::kUdp;
+    if (upstream) {
+      pkt.ip.identification = ++client_id;
+    } else {
+      switch (profile.server_ip_id) {
+        case IpIdMode::kIncrement:
+          pkt.ip.identification = ++server_id;
+          break;
+        case IpIdMode::kRandom:
+          pkt.ip.identification = static_cast<std::uint16_t>(rng.next_u64());
+          break;
+        case IpIdMode::kZero:
+          pkt.ip.identification = 0;
+          break;
+      }
+    }
+    pkt.ip.dscp = profile.udp.dscp;
+    net::UdpHeader udp;
+    std::size_t len;
+    if (upstream) {
+      pkt.ip.src_addr = endpoints.client_addr;
+      pkt.ip.dst_addr = endpoints.server_addr;
+      pkt.ip.ttl = profile.client_ttl;
+      udp.src_port = endpoints.client_port;
+      udp.dst_port = endpoints.server_port;
+      len = profile.upstream.sample(rng);
+    } else {
+      pkt.ip.src_addr = endpoints.server_addr;
+      pkt.ip.dst_addr = endpoints.client_addr;
+      pkt.ip.ttl = static_cast<std::uint8_t>(
+          rng.uniform_int(profile.server_ttl_lo, profile.server_ttl_hi));
+      udp.src_port = endpoints.server_port;
+      udp.dst_port = endpoints.client_port;
+      len = profile.downstream.sample(rng);
+    }
+    // Real media datagrams are never empty; keep at least an RTP header's
+    // worth of payload.
+    len = std::max<std::size_t>(len, 12);
+    udp.length = static_cast<std::uint16_t>(net::UdpHeader::kLength + len);
+    pkt.udp = udp;
+    pkt.payload.assign(len, 0);
+    pkt.ip.total_length = static_cast<std::uint16_t>(pkt.datagram_length());
+    flow.packets.push_back(std::move(pkt));
+  }
+  flow.key = net::FlowKey::from_packet(flow.packets.front()).canonical();
+  return flow;
+}
+
+}  // namespace repro::flowgen

@@ -1,0 +1,17 @@
+// UDP flow synthesis: bidirectional datagram streams (RTP-like media or
+// QUIC-like transfer) with profile-driven sizes, pacing and DSCP marking.
+#pragma once
+
+#include "common/rng.hpp"
+#include "flowgen/app_profile.hpp"
+#include "flowgen/tcp_session.hpp"  // Endpoints
+#include "net/flow.hpp"
+
+namespace repro::flowgen {
+
+/// Generates one UDP flow of `target_packets` packets.
+net::Flow generate_udp_flow(const AppProfile& profile,
+                            const Endpoints& endpoints,
+                            std::size_t target_packets, Rng& rng);
+
+}  // namespace repro::flowgen

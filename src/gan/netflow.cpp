@@ -1,0 +1,86 @@
+#include "gan/netflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace repro::gan {
+namespace {
+
+// log1p scaling keeps the heavy-tailed count features in a range a small
+// GAN can model.
+float squash(double v) { return static_cast<float>(std::log1p(std::max(v, 0.0))); }
+double unsquash(float v) { return std::expm1(std::max(v, 0.0f)); }
+
+}  // namespace
+
+std::vector<float> NetFlowRecord::features() const {
+  std::vector<float> f(kFeatureCount, 0.0f);
+  f[0] = protocol == net::IpProto::kTcp ? 1.0f : 0.0f;
+  f[1] = protocol == net::IpProto::kUdp ? 1.0f : 0.0f;
+  f[2] = protocol == net::IpProto::kIcmp ? 1.0f : 0.0f;
+  f[3] = squash(duration);
+  f[4] = squash(packet_count);
+  f[5] = squash(byte_count);
+  f[6] = squash(mean_packet_size);
+  f[7] = squash(mean_interarrival * 1000.0);  // milliseconds
+  f[8] = static_cast<float>(upstream_fraction);
+  return f;
+}
+
+std::vector<std::string> NetFlowRecord::feature_names() {
+  return {"proto_tcp",       "proto_udp",      "proto_icmp",
+          "log_duration",    "log_pkts",       "log_bytes",
+          "log_mean_size",   "log_mean_iat_ms", "up_fraction"};
+}
+
+NetFlowRecord to_netflow(const net::Flow& flow) {
+  NetFlowRecord r;
+  r.label = flow.label;
+  r.protocol = flow.dominant_protocol();
+  r.duration = flow.duration();
+  r.packet_count = static_cast<double>(flow.packet_count());
+  r.byte_count = static_cast<double>(flow.byte_count());
+  r.mean_packet_size =
+      r.packet_count > 0 ? r.byte_count / r.packet_count : 0.0;
+  r.mean_interarrival =
+      r.packet_count > 1 ? r.duration / (r.packet_count - 1) : 0.0;
+  if (!flow.packets.empty()) {
+    const std::uint32_t initiator = flow.packets.front().ip.src_addr;
+    std::size_t up = 0;
+    for (const auto& pkt : flow.packets) {
+      if (pkt.ip.src_addr == initiator) ++up;
+    }
+    r.upstream_fraction =
+        static_cast<double>(up) / static_cast<double>(flow.packets.size());
+  }
+  return r;
+}
+
+std::vector<NetFlowRecord> to_netflow(const std::vector<net::Flow>& flows) {
+  std::vector<NetFlowRecord> records;
+  records.reserve(flows.size());
+  for (const auto& flow : flows) records.push_back(to_netflow(flow));
+  return records;
+}
+
+NetFlowRecord from_features(const std::vector<float>& features, int label) {
+  NetFlowRecord r;
+  r.label = label;
+  const float tcp = features[0], udp = features[1], icmp = features[2];
+  if (tcp >= udp && tcp >= icmp) {
+    r.protocol = net::IpProto::kTcp;
+  } else if (udp >= icmp) {
+    r.protocol = net::IpProto::kUdp;
+  } else {
+    r.protocol = net::IpProto::kIcmp;
+  }
+  r.duration = unsquash(features[3]);
+  r.packet_count = unsquash(features[4]);
+  r.byte_count = unsquash(features[5]);
+  r.mean_packet_size = unsquash(features[6]);
+  r.mean_interarrival = unsquash(features[7]) / 1000.0;
+  r.upstream_fraction = std::clamp(features[8], 0.0f, 1.0f);
+  return r;
+}
+
+}  // namespace repro::gan

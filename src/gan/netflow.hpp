@@ -1,0 +1,50 @@
+// NetFlow-style flow records: the coarse-grained representation the
+// GAN baseline generates and the "NetFlow" rows of Table 2 classify on.
+//
+// Matching the paper's preprocessing footnote, overfitting-prone fields
+// (IP addresses, port numbers, flow start time) are excluded; what
+// remains are the aggregate fields NetShare generates: protocol,
+// duration, packet count, byte count, and derived statistics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/flow.hpp"
+
+namespace repro::gan {
+
+/// One flow-level record. All experiment paths (real extraction, GAN
+/// output, RF features) go through this struct.
+struct NetFlowRecord {
+  // One-hot-able protocol of the flow (dominant protocol).
+  net::IpProto protocol = net::IpProto::kTcp;
+  double duration = 0.0;       // seconds
+  double packet_count = 0.0;
+  double byte_count = 0.0;
+  double mean_packet_size = 0.0;
+  double mean_interarrival = 0.0;
+  double upstream_fraction = 0.0;  // packets from the flow initiator
+  int label = -1;
+
+  /// Dense numeric feature vector (protocol one-hot + scaled scalars);
+  /// used by both the GAN (as its data space) and the RF NetFlow mode.
+  std::vector<float> features() const;
+
+  static constexpr std::size_t kFeatureCount = 9;
+  static std::vector<std::string> feature_names();
+};
+
+/// Extracts the record for a labeled flow.
+NetFlowRecord to_netflow(const net::Flow& flow);
+
+/// Extracts records for a whole dataset.
+std::vector<NetFlowRecord> to_netflow(const std::vector<net::Flow>& flows);
+
+/// Rebuilds a record from a feature vector (inverse of features();
+/// protocol = arg-max of the one-hot block, scalars unscaled). Used to
+/// materialize GAN samples.
+NetFlowRecord from_features(const std::vector<float>& features, int label);
+
+}  // namespace repro::gan

@@ -1,0 +1,186 @@
+#include "gan/netflow_gan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace repro::gan {
+
+NetFlowGan::NetFlowGan(const GanConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      g1_(config.latent_dim, config.hidden_dim, rng_, true, "gan.g1"),
+      g2_(config.hidden_dim, config.hidden_dim, rng_, true, "gan.g2"),
+      g3_(config.hidden_dim, kDataDim, rng_, true, "gan.g3"),
+      d1_(kDataDim, config.hidden_dim, rng_, true, "gan.d1"),
+      d2_(config.hidden_dim, config.hidden_dim, rng_, true, "gan.d2"),
+      d3_(config.hidden_dim, 1, rng_, true, "gan.d3") {}
+
+std::vector<float> NetFlowGan::pack(const NetFlowRecord& record) const {
+  std::vector<float> data = record.features();
+  // The criticized design: the class label rides along as one more
+  // continuous field, normalized to [0, 1].
+  const float norm = config_.num_classes > 1
+                         ? static_cast<float>(record.label) /
+                               static_cast<float>(config_.num_classes - 1)
+                         : 0.0f;
+  data.push_back(norm);
+  return data;
+}
+
+NetFlowRecord NetFlowGan::unpack(const std::vector<float>& data) const {
+  std::vector<float> features(data.begin(),
+                              data.begin() + NetFlowRecord::kFeatureCount);
+  const float norm = data.back();
+  const int label = static_cast<int>(std::lround(
+      std::clamp(norm, 0.0f, 1.0f) *
+      static_cast<float>(config_.num_classes - 1)));
+  return from_features(features, label);
+}
+
+nn::Tensor NetFlowGan::generate_batch(std::size_t count) {
+  nn::Tensor z({count, config_.latent_dim});
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z[i] = static_cast<float>(rng_.gaussian());
+  }
+  return g3_.forward(g_act2_.forward(g2_.forward(g_act1_.forward(g1_.forward(z)))));
+}
+
+GanTrainStats NetFlowGan::fit(const std::vector<NetFlowRecord>& real) {
+  GanTrainStats stats;
+  if (real.empty()) return stats;
+  std::vector<std::vector<float>> data;
+  data.reserve(real.size());
+  for (const auto& r : real) data.push_back(pack(r));
+
+  std::vector<nn::Parameter*> g_params;
+  for (nn::Linear* l : {&g1_, &g2_, &g3_}) {
+    for (auto* p : l->parameters()) g_params.push_back(p);
+  }
+  std::vector<nn::Parameter*> d_params;
+  for (nn::Linear* l : {&d1_, &d2_, &d3_}) {
+    for (auto* p : l->parameters()) d_params.push_back(p);
+  }
+  nn::Adam::Config gc, dc;
+  gc.lr = config_.lr_g;
+  gc.beta1 = 0.5f;  // standard GAN practice
+  dc.lr = config_.lr_d;
+  dc.beta1 = 0.5f;
+  nn::Adam g_opt(g_params, gc);
+  nn::Adam d_opt(d_params, dc);
+
+  const std::size_t batch = std::min(config_.batch_size, data.size());
+  auto d_forward = [&](const nn::Tensor& x) {
+    return d3_.forward(d_act2_.forward(d2_.forward(d_act1_.forward(d1_.forward(x)))));
+  };
+  auto d_backward = [&](const nn::Tensor& grad) {
+    return d1_.backward(d_act1_.backward(d2_.backward(d_act2_.backward(d3_.backward(grad)))));
+  };
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto perm = rng_.permutation(data.size());
+    for (std::size_t start = 0; start + batch <= data.size();
+         start += batch) {
+      // --- Discriminator step: real up, fake down. ---
+      nn::Tensor real_batch({batch, kDataDim});
+      for (std::size_t i = 0; i < batch; ++i) {
+        const auto& row = data[perm[start + i]];
+        std::copy(row.begin(), row.end(), real_batch.data() + i * kDataDim);
+      }
+      nn::Tensor fake_batch = generate_batch(batch);
+
+      for (auto* p : d_params) p->zero_grad();
+      nn::Tensor grad;
+      nn::Tensor logits_real = d_forward(real_batch);
+      const float loss_real = nn::bce_with_logits_loss(
+          logits_real, nn::Tensor::full({batch, 1}, 1.0f), grad);
+      d_backward(grad);
+      nn::Tensor logits_fake = d_forward(fake_batch);
+      nn::Tensor grad_fake;
+      const float loss_fake = nn::bce_with_logits_loss(
+          logits_fake, nn::Tensor::zeros({batch, 1}), grad_fake);
+      d_backward(grad_fake);
+      d_opt.step();
+      stats.final_d_loss = loss_real + loss_fake;
+
+      // --- Generator step: non-saturating loss. ---
+      for (auto* p : g_params) p->zero_grad();
+      for (auto* p : d_params) p->zero_grad();
+      nn::Tensor fake2 = generate_batch(batch);
+      nn::Tensor logits2 = d_forward(fake2);
+      nn::Tensor grad_g;
+      stats.final_g_loss = nn::bce_with_logits_loss(
+          logits2, nn::Tensor::full({batch, 1}, 1.0f), grad_g);
+      nn::Tensor grad_data = d_backward(grad_g);
+      g1_.backward(g_act1_.backward(
+          g2_.backward(g_act2_.backward(g3_.backward(grad_data)))));
+      g_opt.step();
+      ++stats.steps;
+    }
+  }
+  fitted_ = true;
+  return stats;
+}
+
+std::vector<NetFlowRecord> NetFlowGan::sample(std::size_t count) {
+  std::vector<NetFlowRecord> out;
+  out.reserve(count);
+  const std::size_t chunk = 64;
+  while (out.size() < count) {
+    const std::size_t take = std::min(chunk, count - out.size());
+    nn::Tensor batch = generate_batch(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      std::vector<float> row(batch.data() + i * kDataDim,
+                             batch.data() + (i + 1) * kDataDim);
+      out.push_back(unpack(row));
+    }
+  }
+  return out;
+}
+
+std::vector<double> NetFlowGan::label_distribution(std::size_t count) {
+  std::vector<double> counts(config_.num_classes, 0.0);
+  for (const auto& r : sample(count)) {
+    if (r.label >= 0 &&
+        static_cast<std::size_t>(r.label) < config_.num_classes) {
+      counts[static_cast<std::size_t>(r.label)] += 1.0;
+    }
+  }
+  return counts;
+}
+
+PerClassNetFlowGan::PerClassNetFlowGan(const GanConfig& config)
+    : config_(config) {}
+
+void PerClassNetFlowGan::fit(const std::vector<NetFlowRecord>& real) {
+  models_.clear();
+  for (std::size_t cls = 0; cls < config_.num_classes; ++cls) {
+    std::vector<NetFlowRecord> subset;
+    for (const auto& r : real) {
+      if (r.label == static_cast<int>(cls)) subset.push_back(r);
+    }
+    GanConfig cfg = config_;
+    cfg.seed = config_.seed + cls + 1;
+    auto model = std::make_unique<NetFlowGan>(cfg);
+    if (!subset.empty()) model->fit(subset);
+    models_.push_back(std::move(model));
+  }
+}
+
+std::vector<NetFlowRecord> PerClassNetFlowGan::sample(
+    const std::vector<std::size_t>& per_class) {
+  std::vector<NetFlowRecord> out;
+  for (std::size_t cls = 0; cls < per_class.size() && cls < models_.size();
+       ++cls) {
+    auto samples = models_[cls]->sample(per_class[cls]);
+    for (auto& r : samples) {
+      r.label = static_cast<int>(cls);  // label is known per model
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+}  // namespace repro::gan

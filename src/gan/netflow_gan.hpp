@@ -1,0 +1,101 @@
+// NetShare/DoppelGANger-style GAN baseline over NetFlow records.
+//
+// Faithful to the architecture choices §2.3 criticizes:
+//  * the flow category ("type") is generated as *just another field* — a
+//    continuous scalar appended to the feature vector — "without
+//    considering its impact on other fields' values";
+//  * no stateful/protocol structure: the model sees only aggregate
+//    flow-level features, so it cannot honour inter-packet constraints;
+//  * a standard minimax GAN, which amplifies class imbalance through
+//    mode-seeking behaviour (Figure 1's "GAN" series).
+//
+// A per-class variant (one generator per label) backs the paper's
+// supplemental ablation ("even when generating traces by training a
+// GAN-based model per class, there is negligible improvement").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gan/netflow.hpp"
+#include "nn/activation.hpp"
+#include "nn/linear.hpp"
+
+namespace repro::gan {
+
+struct GanConfig {
+  std::size_t latent_dim = 16;
+  std::size_t hidden_dim = 64;
+  std::size_t num_classes = 11;
+  std::size_t epochs = 200;
+  std::size_t batch_size = 32;
+  float lr_g = 1e-3f;
+  float lr_d = 1e-3f;
+  std::uint64_t seed = 99;
+};
+
+struct GanTrainStats {
+  float final_d_loss = 0.0f;
+  float final_g_loss = 0.0f;
+  std::size_t steps = 0;
+};
+
+class NetFlowGan {
+ public:
+  explicit NetFlowGan(const GanConfig& config);
+
+  /// Trains on real records (labels inside the records).
+  GanTrainStats fit(const std::vector<NetFlowRecord>& real);
+
+  /// Samples `count` synthetic records. The label of each sample is
+  /// whatever the generator emitted in its label field — the class-
+  /// coverage failure mode under test.
+  std::vector<NetFlowRecord> sample(std::size_t count);
+
+  /// Per-class distribution of the generator's label field over `count`
+  /// samples (Figure 1 input).
+  std::vector<double> label_distribution(std::size_t count);
+
+ private:
+  // The data vector the GAN models: features + normalized label scalar.
+  static constexpr std::size_t kDataDim = NetFlowRecord::kFeatureCount + 1;
+
+  std::vector<float> pack(const NetFlowRecord& record) const;
+  NetFlowRecord unpack(const std::vector<float>& data) const;
+  nn::Tensor generate_batch(std::size_t count);
+
+  GanConfig config_;
+  Rng rng_;
+  // Generator: z -> hidden -> hidden -> data.
+  nn::Linear g1_;
+  nn::LeakyReLU g_act1_;
+  nn::Linear g2_;
+  nn::LeakyReLU g_act2_;
+  nn::Linear g3_;
+  // Discriminator: data -> hidden -> hidden -> logit.
+  nn::Linear d1_;
+  nn::LeakyReLU d_act1_;
+  nn::Linear d2_;
+  nn::LeakyReLU d_act2_;
+  nn::Linear d3_;
+  bool fitted_ = false;
+};
+
+/// The per-class ablation: one independent GAN per label, sampled with
+/// the requested per-class counts.
+class PerClassNetFlowGan {
+ public:
+  explicit PerClassNetFlowGan(const GanConfig& config);
+
+  void fit(const std::vector<NetFlowRecord>& real);
+
+  /// Samples `per_class[i]` records from class i's model, each labeled i.
+  std::vector<NetFlowRecord> sample(const std::vector<std::size_t>& per_class);
+
+ private:
+  GanConfig config_;
+  std::vector<std::unique_ptr<NetFlowGan>> models_;
+};
+
+}  // namespace repro::gan

@@ -1,0 +1,178 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace repro::ml {
+namespace {
+
+double gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(const TreeConfig& config) : config_(config) {}
+
+void DecisionTree::fit(const FeatureMatrix& data,
+                       const std::vector<std::size_t>& sample_indices,
+                       std::size_t num_classes, Rng& rng) {
+  if (sample_indices.empty()) {
+    throw std::invalid_argument("DecisionTree::fit: no samples");
+  }
+  nodes_.clear();
+  depth_ = 0;
+  importance_.assign(data.feature_count, 0.0);
+  feature_pool_.resize(data.feature_count);
+  for (std::size_t f = 0; f < data.feature_count; ++f) feature_pool_[f] = f;
+  std::vector<std::size_t> idx = sample_indices;
+  build(data, idx, 0, idx.size(), 0, num_classes, rng);
+}
+
+std::size_t DecisionTree::build(const FeatureMatrix& data,
+                                std::vector<std::size_t>& idx,
+                                std::size_t begin, std::size_t end,
+                                std::size_t depth, std::size_t num_classes,
+                                Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t node_id = nodes_.size();
+  nodes_.emplace_back();
+
+  const std::size_t n = end - begin;
+  std::vector<std::size_t> counts(num_classes, 0);
+  for (std::size_t i = begin; i < end; ++i) {
+    ++counts[static_cast<std::size_t>(data.labels[idx[i]])];
+  }
+  const double node_gini = gini(counts, n);
+
+  auto make_leaf = [&] {
+    Node& node = nodes_[node_id];
+    node.leaf = true;
+    node.distribution.assign(num_classes, 0.0f);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      node.distribution[c] =
+          static_cast<float>(counts[c]) / static_cast<float>(n);
+    }
+  };
+
+  if (depth >= config_.max_depth || n < config_.min_samples_split ||
+      node_gini == 0.0) {
+    make_leaf();
+    return node_id;
+  }
+
+  // --- Find the best split over a random feature subset. ---
+  std::size_t mtry = config_.max_features;
+  if (mtry == 0) {
+    mtry = static_cast<std::size_t>(
+        std::sqrt(static_cast<double>(data.feature_count)));
+    mtry = std::max<std::size_t>(mtry, 1);
+  }
+  mtry = std::min(mtry, data.feature_count);
+
+  double best_score = std::numeric_limits<double>::infinity();
+  std::size_t best_feature = 0;
+  float best_threshold = 0.0f;
+
+  std::vector<std::pair<float, std::size_t>> values(n);  // (value, label)
+  for (std::size_t trial = 0; trial < mtry; ++trial) {
+    // Partial Fisher–Yates over the shared pool: mtry *distinct* features
+    // per node, matching standard random-forest semantics.
+    const std::size_t pick =
+        trial + rng.uniform_u64(data.feature_count - trial);
+    std::swap(feature_pool_[trial], feature_pool_[pick]);
+    const std::size_t feature = feature_pool_[trial];
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t row = idx[begin + i];
+      values[i] = {data.rows[row][feature],
+                   static_cast<std::size_t>(data.labels[row])};
+    }
+    std::sort(values.begin(), values.end());
+    if (values.front().first == values.back().first) continue;  // constant
+
+    std::vector<std::size_t> left_counts(num_classes, 0);
+    std::vector<std::size_t> right_counts = counts;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const auto label = values[i].second;
+      ++left_counts[label];
+      --right_counts[label];
+      if (values[i].first == values[i + 1].first) continue;
+      const std::size_t nl = i + 1, nr = n - nl;
+      if (nl < config_.min_samples_leaf || nr < config_.min_samples_leaf) {
+        continue;
+      }
+      const double score =
+          (static_cast<double>(nl) * gini(left_counts, nl) +
+           static_cast<double>(nr) * gini(right_counts, nr)) /
+          static_cast<double>(n);
+      if (score < best_score) {
+        best_score = score;
+        best_feature = feature;
+        best_threshold = 0.5f * (values[i].first + values[i + 1].first);
+      }
+    }
+  }
+
+  if (!std::isfinite(best_score) || best_score >= node_gini) {
+    make_leaf();
+    return node_id;
+  }
+  importance_[best_feature] +=
+      (node_gini - best_score) * static_cast<double>(n);
+
+  // Partition idx[begin, end) around the threshold.
+  auto middle = std::partition(
+      idx.begin() + static_cast<std::ptrdiff_t>(begin),
+      idx.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t row) {
+        return data.rows[row][best_feature] <= best_threshold;
+      });
+  const auto mid =
+      static_cast<std::size_t>(middle - idx.begin());
+  if (mid == begin || mid == end) {  // numeric degeneracy: bail to leaf
+    make_leaf();
+    return node_id;
+  }
+
+  const std::size_t left_id =
+      build(data, idx, begin, mid, depth + 1, num_classes, rng);
+  const std::size_t right_id =
+      build(data, idx, mid, end, depth + 1, num_classes, rng);
+  Node& node = nodes_[node_id];
+  node.leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = static_cast<std::int32_t>(left_id);
+  node.right = static_cast<std::int32_t>(right_id);
+  return node_id;
+}
+
+const std::vector<float>& DecisionTree::predict_proba(
+    const std::vector<float>& row) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTree::predict_proba: not fitted");
+  }
+  std::size_t cur = 0;
+  while (!nodes_[cur].leaf) {
+    const Node& node = nodes_[cur];
+    cur = static_cast<std::size_t>(
+        row[node.feature] <= node.threshold ? node.left : node.right);
+  }
+  return nodes_[cur].distribution;
+}
+
+int DecisionTree::predict(const std::vector<float>& row) const {
+  const auto& dist = predict_proba(row);
+  return static_cast<int>(
+      std::max_element(dist.begin(), dist.end()) - dist.begin());
+}
+
+}  // namespace repro::ml

@@ -1,0 +1,68 @@
+// CART decision tree (Gini impurity, axis-aligned thresholds) with
+// per-node random feature subsampling — the building block of the
+// random forest.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/features.hpp"
+
+namespace repro::ml {
+
+struct TreeConfig {
+  std::size_t max_depth = 14;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Features examined per node; 0 = sqrt(feature_count).
+  std::size_t max_features = 0;
+};
+
+class DecisionTree {
+ public:
+  explicit DecisionTree(const TreeConfig& config = TreeConfig{});
+
+  /// Fits on the rows selected by `sample_indices` (bootstrap sampling is
+  /// the forest's job). `num_classes` sizes the leaf distributions.
+  void fit(const FeatureMatrix& data,
+           const std::vector<std::size_t>& sample_indices,
+           std::size_t num_classes, Rng& rng);
+
+  /// Majority-class prediction.
+  int predict(const std::vector<float>& row) const;
+
+  /// Leaf class distribution (normalized).
+  const std::vector<float>& predict_proba(const std::vector<float>& row) const;
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+
+  /// Total Gini decrease attributed to each feature (impurity
+  /// importance); used by tests to confirm protocol bits matter.
+  const std::vector<double>& feature_importance() const noexcept {
+    return importance_;
+  }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::size_t feature = 0;
+    float threshold = 0.0f;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::vector<float> distribution;  // filled for leaves
+  };
+
+  std::size_t build(const FeatureMatrix& data, std::vector<std::size_t>& idx,
+                    std::size_t begin, std::size_t end, std::size_t depth,
+                    std::size_t num_classes, Rng& rng);
+
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+  std::size_t depth_ = 0;
+  std::vector<double> importance_;
+  std::vector<std::size_t> feature_pool_;  // scratch for per-node sampling
+};
+
+}  // namespace repro::ml

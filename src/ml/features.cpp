@@ -1,0 +1,43 @@
+#include "ml/features.hpp"
+
+#include "gan/netflow.hpp"
+#include "nprint/codec.hpp"
+
+namespace repro::ml {
+
+FeatureMatrix netflow_features(const std::vector<net::Flow>& flows) {
+  FeatureMatrix out;
+  out.feature_count = gan::NetFlowRecord::kFeatureCount;
+  out.rows.reserve(flows.size());
+  out.labels.reserve(flows.size());
+  for (const auto& flow : flows) {
+    const gan::NetFlowRecord record = gan::to_netflow(flow);
+    out.rows.push_back(record.features());
+    out.labels.push_back(flow.label);
+  }
+  return out;
+}
+
+FeatureMatrix nprint_features(const std::vector<net::Flow>& flows,
+                              std::size_t packets) {
+  FeatureMatrix out;
+  out.feature_count = packets * nprint::kBitsPerPacket;
+  out.rows.reserve(flows.size());
+  out.labels.reserve(flows.size());
+  for (const auto& flow : flows) {
+    const nprint::Matrix matrix =
+        nprint::encode_flow(flow, packets, /*pad_to_max=*/true);
+    out.rows.emplace_back(matrix.data().begin(), matrix.data().end());
+    out.labels.push_back(flow.label);
+  }
+  return out;
+}
+
+void to_macro_labels(FeatureMatrix& matrix) {
+  for (int& label : matrix.labels) {
+    label = static_cast<int>(
+        flowgen::macro_of(static_cast<std::size_t>(label)));
+  }
+}
+
+}  // namespace repro::ml

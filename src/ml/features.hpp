@@ -1,0 +1,39 @@
+// Feature extraction for the service-recognition task, at the paper's two
+// granularities:
+//  * NetFlow features — the coarse aggregate record (gan/netflow.hpp),
+//    what NetShare-like baselines can generate;
+//  * nprint features — the raw bit-level packet representation ("raw
+//    packet bits"), what the diffusion pipeline generates.
+// §2.3 measures the gap between the two on real data (85% vs 94% micro
+// accuracy); Table 2 measures both across synthetic scenarios.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "flowgen/dataset.hpp"
+#include "net/flow.hpp"
+
+namespace repro::ml {
+
+/// A dense feature matrix with labels; the classifier's input.
+struct FeatureMatrix {
+  std::size_t feature_count = 0;
+  std::vector<std::vector<float>> rows;
+  std::vector<int> labels;
+
+  std::size_t size() const noexcept { return rows.size(); }
+};
+
+/// NetFlow-granularity features for each flow.
+FeatureMatrix netflow_features(const std::vector<net::Flow>& flows);
+
+/// nprint-granularity features: the first `packets` rows of the flow's
+/// bit matrix, flattened (packets x 1088 values in {-1, 0, 1}).
+FeatureMatrix nprint_features(const std::vector<net::Flow>& flows,
+                              std::size_t packets);
+
+/// Replaces micro labels with macro-service labels in place.
+void to_macro_labels(FeatureMatrix& matrix);
+
+}  // namespace repro::ml

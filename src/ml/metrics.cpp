@@ -1,0 +1,80 @@
+#include "ml/metrics.hpp"
+
+#include <stdexcept>
+
+namespace repro::ml {
+
+double accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& actual) {
+  if (predicted.size() != actual.size()) {
+    throw std::invalid_argument("accuracy: size mismatch");
+  }
+  if (predicted.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == actual[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    const std::vector<int>& predicted, const std::vector<int>& actual,
+    std::size_t num_classes) {
+  if (predicted.size() != actual.size()) {
+    throw std::invalid_argument("confusion_matrix: size mismatch");
+  }
+  std::vector<std::vector<std::size_t>> matrix(
+      num_classes, std::vector<std::size_t>(num_classes, 0));
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const int a = actual[i], p = predicted[i];
+    if (a >= 0 && static_cast<std::size_t>(a) < num_classes && p >= 0 &&
+        static_cast<std::size_t>(p) < num_classes) {
+      ++matrix[static_cast<std::size_t>(a)][static_cast<std::size_t>(p)];
+    }
+  }
+  return matrix;
+}
+
+std::vector<ClassReport> per_class_report(const std::vector<int>& predicted,
+                                          const std::vector<int>& actual,
+                                          std::size_t num_classes) {
+  const auto cm = confusion_matrix(predicted, actual, num_classes);
+  std::vector<ClassReport> reports(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    std::size_t tp = cm[c][c], fp = 0, fn = 0, support = 0;
+    for (std::size_t other = 0; other < num_classes; ++other) {
+      if (other != c) {
+        fp += cm[other][c];
+        fn += cm[c][other];
+      }
+      support += cm[c][other];
+    }
+    ClassReport& r = reports[c];
+    r.support = support;
+    r.precision = tp + fp > 0
+                      ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                      : 0.0;
+    r.recall = tp + fn > 0
+                   ? static_cast<double>(tp) / static_cast<double>(tp + fn)
+                   : 0.0;
+    r.f1 = r.precision + r.recall > 0.0
+               ? 2.0 * r.precision * r.recall / (r.precision + r.recall)
+               : 0.0;
+  }
+  return reports;
+}
+
+double macro_f1(const std::vector<int>& predicted,
+                const std::vector<int>& actual, std::size_t num_classes) {
+  const auto reports = per_class_report(predicted, actual, num_classes);
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (const auto& r : reports) {
+    if (r.support == 0) continue;
+    sum += r.f1;
+    ++counted;
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace repro::ml

@@ -1,0 +1,34 @@
+// Classification metrics: accuracy, confusion matrix, per-class
+// precision/recall/F1 and macro averages.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace repro::ml {
+
+double accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& actual);
+
+/// confusion[actual][predicted], dense num_classes x num_classes.
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    const std::vector<int>& predicted, const std::vector<int>& actual,
+    std::size_t num_classes);
+
+struct ClassReport {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t support = 0;
+};
+
+std::vector<ClassReport> per_class_report(const std::vector<int>& predicted,
+                                          const std::vector<int>& actual,
+                                          std::size_t num_classes);
+
+/// Unweighted mean of per-class F1 (classes with zero support skipped).
+double macro_f1(const std::vector<int>& predicted,
+                const std::vector<int>& actual, std::size_t num_classes);
+
+}  // namespace repro::ml

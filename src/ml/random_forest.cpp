@@ -1,0 +1,87 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace repro::ml {
+
+RandomForest::RandomForest(const ForestConfig& config) : config_(config) {}
+
+void RandomForest::fit(const FeatureMatrix& train) {
+  if (train.rows.empty()) {
+    throw std::invalid_argument("RandomForest::fit: empty training set");
+  }
+  int max_label = 0;
+  for (int label : train.labels) max_label = std::max(max_label, label);
+  num_classes_ = static_cast<std::size_t>(max_label) + 1;
+  feature_count_ = train.feature_count;
+
+  Rng rng(config_.seed);
+  trees_.clear();
+  trees_.reserve(config_.num_trees);
+  const auto bootstrap_size = static_cast<std::size_t>(
+      config_.bootstrap_fraction * static_cast<double>(train.rows.size()));
+  for (std::size_t t = 0; t < config_.num_trees; ++t) {
+    std::vector<std::size_t> sample(std::max<std::size_t>(bootstrap_size, 1));
+    for (auto& s : sample) s = rng.uniform_u64(train.rows.size());
+    DecisionTree tree(config_.tree);
+    Rng tree_rng = rng.fork();
+    tree.fit(train, sample, num_classes_, tree_rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<float> RandomForest::predict_proba(
+    const std::vector<float>& row) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest::predict_proba: not fitted");
+  }
+  std::vector<float> probs(num_classes_, 0.0f);
+  for (const auto& tree : trees_) {
+    const auto& dist = tree.predict_proba(row);
+    for (std::size_t c = 0; c < num_classes_; ++c) probs[c] += dist[c];
+  }
+  const float inv = 1.0f / static_cast<float>(trees_.size());
+  for (float& p : probs) p *= inv;
+  return probs;
+}
+
+int RandomForest::predict(const std::vector<float>& row) const {
+  const auto probs = predict_proba(row);
+  return static_cast<int>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+std::vector<int> RandomForest::predict(const FeatureMatrix& data) const {
+  std::vector<int> out;
+  out.reserve(data.rows.size());
+  for (const auto& row : data.rows) out.push_back(predict(row));
+  return out;
+}
+
+double RandomForest::score(const FeatureMatrix& data) const {
+  if (data.rows.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.rows.size(); ++i) {
+    // Labels outside the trained range can never be predicted; they count
+    // as errors, which is the honest accuracy.
+    if (predict(data.rows[i]) == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.rows.size());
+}
+
+std::vector<double> RandomForest::feature_importance() const {
+  std::vector<double> total(feature_count_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto& imp = tree.feature_importance();
+    for (std::size_t f = 0; f < feature_count_; ++f) total[f] += imp[f];
+  }
+  double sum = 0.0;
+  for (double v : total) sum += v;
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+}  // namespace repro::ml

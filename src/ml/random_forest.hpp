@@ -1,0 +1,46 @@
+// Random forest classifier (Breiman 2001): bootstrap-bagged CART trees
+// with per-node feature subsampling and soft-vote aggregation — the
+// paper's downstream model ("a Random Forest (RF) model", §2.3/§3.2).
+#pragma once
+
+#include <memory>
+
+#include "ml/decision_tree.hpp"
+
+namespace repro::ml {
+
+struct ForestConfig {
+  std::size_t num_trees = 30;
+  TreeConfig tree;
+  /// Bootstrap sample size as a fraction of the training set.
+  double bootstrap_fraction = 1.0;
+  std::uint64_t seed = 7;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(const ForestConfig& config = ForestConfig{});
+
+  /// Fits on the full matrix; class count is inferred from labels.
+  void fit(const FeatureMatrix& train);
+
+  int predict(const std::vector<float>& row) const;
+  std::vector<float> predict_proba(const std::vector<float>& row) const;
+  std::vector<int> predict(const FeatureMatrix& data) const;
+
+  /// Mean accuracy over a labeled matrix.
+  double score(const FeatureMatrix& data) const;
+
+  std::size_t num_classes() const noexcept { return num_classes_; }
+
+  /// Sum of per-tree impurity importances, normalized to 1.
+  std::vector<double> feature_importance() const;
+
+ private:
+  ForestConfig config_;
+  std::vector<DecisionTree> trees_;
+  std::size_t num_classes_ = 0;
+  std::size_t feature_count_ = 0;
+};
+
+}  // namespace repro::ml

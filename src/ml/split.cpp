@@ -1,0 +1,60 @@
+#include "ml/split.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace repro::ml {
+
+void stratified_split_indices(const std::vector<int>& labels,
+                              double test_fraction, Rng& rng,
+                              std::vector<std::size_t>& train_idx,
+                              std::vector<std::size_t>& test_idx) {
+  train_idx.clear();
+  test_idx.clear();
+  std::map<int, std::vector<std::size_t>> buckets;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    buckets[labels[i]].push_back(i);
+  }
+  for (auto& [label, bucket] : buckets) {
+    const auto perm = rng.permutation(bucket.size());
+    std::size_t test_count = static_cast<std::size_t>(
+        test_fraction * static_cast<double>(bucket.size()) + 0.5);
+    if (bucket.size() >= 2) {
+      test_count = std::clamp<std::size_t>(test_count, 1, bucket.size() - 1);
+    } else {
+      test_count = 0;
+    }
+    for (std::size_t k = 0; k < bucket.size(); ++k) {
+      if (k < test_count) {
+        test_idx.push_back(bucket[perm[k]]);
+      } else {
+        train_idx.push_back(bucket[perm[k]]);
+      }
+    }
+  }
+  std::sort(train_idx.begin(), train_idx.end());
+  std::sort(test_idx.begin(), test_idx.end());
+}
+
+FeatureMatrix subset(const FeatureMatrix& data,
+                     const std::vector<std::size_t>& indices) {
+  FeatureMatrix out;
+  out.feature_count = data.feature_count;
+  out.rows.reserve(indices.size());
+  out.labels.reserve(indices.size());
+  for (std::size_t i : indices) {
+    out.rows.push_back(data.rows[i]);
+    out.labels.push_back(data.labels[i]);
+  }
+  return out;
+}
+
+TrainTestSplit stratified_split(const FeatureMatrix& data,
+                                double test_fraction, Rng& rng) {
+  std::vector<std::size_t> train_idx, test_idx;
+  stratified_split_indices(data.labels, test_fraction, rng, train_idx,
+                           test_idx);
+  return {subset(data, train_idx), subset(data, test_idx)};
+}
+
+}  // namespace repro::ml

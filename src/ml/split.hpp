@@ -1,0 +1,31 @@
+// Train/test splitting — stratified by class to mirror the paper's
+// "conventional 80-20 training-testing split" on an imbalanced dataset.
+#pragma once
+
+#include "common/rng.hpp"
+#include "ml/features.hpp"
+
+namespace repro::ml {
+
+struct TrainTestSplit {
+  FeatureMatrix train;
+  FeatureMatrix test;
+};
+
+/// Splits rows so each class contributes ~`test_fraction` of its samples
+/// to the test set (at least one per class when the class has >= 2 rows).
+TrainTestSplit stratified_split(const FeatureMatrix& data,
+                                double test_fraction, Rng& rng);
+
+/// Same split logic on flows (used when two granularities must share one
+/// split). Returns index sets.
+void stratified_split_indices(const std::vector<int>& labels,
+                              double test_fraction, Rng& rng,
+                              std::vector<std::size_t>& train_idx,
+                              std::vector<std::size_t>& test_idx);
+
+/// Gathers a FeatureMatrix subset by row index.
+FeatureMatrix subset(const FeatureMatrix& data,
+                     const std::vector<std::size_t>& indices);
+
+}  // namespace repro::ml

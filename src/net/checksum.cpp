@@ -1,0 +1,45 @@
+#include "net/checksum.hpp"
+
+namespace repro::net {
+
+void ChecksumAccumulator::add(std::span<const std::uint8_t> data) noexcept {
+  std::size_t i = 0;
+  if (odd_ && !data.empty()) {
+    // Complete the previously-pending high byte with this buffer's first.
+    sum_ += data[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum_ += static_cast<std::uint32_t>(data[i]) << 8;
+    odd_ = true;
+  }
+}
+
+void ChecksumAccumulator::add_u16(std::uint16_t value) noexcept {
+  const std::uint8_t b[2] = {static_cast<std::uint8_t>(value >> 8),
+                             static_cast<std::uint8_t>(value)};
+  add(std::span<const std::uint8_t>(b, 2));
+}
+
+void ChecksumAccumulator::add_u32(std::uint32_t value) noexcept {
+  add_u16(static_cast<std::uint16_t>(value >> 16));
+  add_u16(static_cast<std::uint16_t>(value));
+}
+
+std::uint16_t ChecksumAccumulator::finish() const noexcept {
+  std::uint64_t sum = sum_;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  ChecksumAccumulator acc;
+  acc.add(data);
+  return acc.finish();
+}
+
+}  // namespace repro::net

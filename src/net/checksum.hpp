@@ -1,0 +1,33 @@
+// RFC 1071 Internet checksum, used by the IPv4, TCP, UDP and ICMP
+// serializers. Keeping it separate lets tests verify it against known
+// vectors independently of header layout.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace repro::net {
+
+/// One's-complement sum of 16-bit words (RFC 1071). Odd trailing byte is
+/// padded with zero. Returns the checksum field value (already
+/// complemented); a buffer whose checksum field holds this value sums to
+/// 0xFFFF.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept;
+
+/// Incremental accumulator for checksums spanning several buffers (e.g.
+/// TCP/UDP pseudo-header + segment).
+class ChecksumAccumulator {
+ public:
+  void add(std::span<const std::uint8_t> data) noexcept;
+  void add_u16(std::uint16_t value) noexcept;
+  void add_u32(std::uint32_t value) noexcept;
+
+  /// Finalizes: folds carries and complements.
+  std::uint16_t finish() const noexcept;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  // true when an odd byte is pending in `sum_`'s low half
+};
+
+}  // namespace repro::net

@@ -1,0 +1,107 @@
+#include "net/flow.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace repro::net {
+
+FlowKey FlowKey::canonical() const noexcept {
+  const auto a = std::make_tuple(src_addr, src_port);
+  const auto b = std::make_tuple(dst_addr, dst_port);
+  if (a <= b) return *this;
+  FlowKey flipped = *this;
+  std::swap(flipped.src_addr, flipped.dst_addr);
+  std::swap(flipped.src_port, flipped.dst_port);
+  return flipped;
+}
+
+std::string FlowKey::to_string() const {
+  return ipv4_to_string(src_addr) + ":" + std::to_string(src_port) + " <-> " +
+         ipv4_to_string(dst_addr) + ":" + std::to_string(dst_port) + " " +
+         proto_name(protocol);
+}
+
+FlowKey FlowKey::from_packet(const Packet& packet) noexcept {
+  FlowKey key;
+  key.src_addr = packet.ip.src_addr;
+  key.dst_addr = packet.ip.dst_addr;
+  key.protocol = packet.ip.protocol;
+  if (packet.tcp) {
+    key.src_port = packet.tcp->src_port;
+    key.dst_port = packet.tcp->dst_port;
+  } else if (packet.udp) {
+    key.src_port = packet.udp->src_port;
+    key.dst_port = packet.udp->dst_port;
+  }
+  return key;
+}
+
+std::size_t Flow::byte_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& pkt : packets) total += pkt.datagram_length();
+  return total;
+}
+
+double Flow::duration() const noexcept {
+  if (packets.size() < 2) return 0.0;
+  return packets.back().timestamp - packets.front().timestamp;
+}
+
+IpProto Flow::dominant_protocol() const noexcept {
+  std::size_t counts[3] = {0, 0, 0};  // tcp, udp, icmp
+  for (const auto& pkt : packets) {
+    switch (pkt.ip.protocol) {
+      case IpProto::kTcp:
+        ++counts[0];
+        break;
+      case IpProto::kUdp:
+        ++counts[1];
+        break;
+      case IpProto::kIcmp:
+        ++counts[2];
+        break;
+    }
+  }
+  if (counts[0] >= counts[1] && counts[0] >= counts[2]) return IpProto::kTcp;
+  if (counts[1] >= counts[2]) return IpProto::kUdp;
+  return IpProto::kIcmp;
+}
+
+double Flow::protocol_fraction(IpProto proto) const noexcept {
+  if (packets.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& pkt : packets) {
+    if (pkt.ip.protocol == proto) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(packets.size());
+}
+
+std::vector<Flow> assemble_flows(const std::vector<Packet>& packets) {
+  std::map<FlowKey, std::size_t> index;
+  std::vector<Flow> flows;
+  for (const auto& pkt : packets) {
+    const FlowKey key = FlowKey::from_packet(pkt).canonical();
+    auto [it, inserted] = index.try_emplace(key, flows.size());
+    if (inserted) {
+      Flow flow;
+      flow.key = key;
+      flows.push_back(std::move(flow));
+    }
+    flows[it->second].packets.push_back(pkt);
+  }
+  return flows;
+}
+
+std::vector<Packet> flatten_flows(const std::vector<Flow>& flows) {
+  std::vector<Packet> packets;
+  for (const auto& flow : flows) {
+    packets.insert(packets.end(), flow.packets.begin(), flow.packets.end());
+  }
+  std::stable_sort(packets.begin(), packets.end(),
+                   [](const Packet& a, const Packet& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return packets;
+}
+
+}  // namespace repro::net

@@ -1,0 +1,57 @@
+// Flow abstraction: a 5-tuple-keyed, time-ordered sequence of packets.
+// The dataset unit for every experiment in the paper is a flow (Table 1
+// counts flows; the diffusion model generates one flow image at a time).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace repro::net {
+
+/// Canonical bidirectional 5-tuple key. `canonical()` orders the endpoint
+/// pair so both directions of a connection map to the same flow.
+struct FlowKey {
+  std::uint32_t src_addr = 0;
+  std::uint32_t dst_addr = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProto protocol = IpProto::kTcp;
+
+  FlowKey canonical() const noexcept;
+  auto operator<=>(const FlowKey&) const = default;
+  std::string to_string() const;
+
+  static FlowKey from_packet(const Packet& packet) noexcept;
+};
+
+/// A labeled flow: ordered packets plus the application label used by the
+/// service-recognition task (-1 = unlabeled).
+struct Flow {
+  FlowKey key;
+  int label = -1;
+  std::vector<Packet> packets;
+
+  std::size_t packet_count() const noexcept { return packets.size(); }
+  std::size_t byte_count() const noexcept;
+  double duration() const noexcept;
+
+  /// The protocol carried by the majority of packets (the "dominant
+  /// protocol type" the paper's controllability analysis checks).
+  IpProto dominant_protocol() const noexcept;
+
+  /// Fraction of packets whose protocol equals `proto`.
+  double protocol_fraction(IpProto proto) const noexcept;
+};
+
+/// Groups packets into flows by canonical 5-tuple, preserving packet
+/// order within each flow. Flows are returned in order of first packet.
+std::vector<Flow> assemble_flows(const std::vector<Packet>& packets);
+
+/// Flattens flows back into one time-sorted packet sequence.
+std::vector<Packet> flatten_flows(const std::vector<Flow>& flows);
+
+}  // namespace repro::net

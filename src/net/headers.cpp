@@ -1,0 +1,263 @@
+#include "net/headers.hpp"
+
+#include <stdexcept>
+
+#include "net/checksum.hpp"
+
+namespace repro::net {
+namespace {
+
+void add_pseudo_header(ChecksumAccumulator& acc, std::uint32_t src,
+                       std::uint32_t dst, IpProto proto,
+                       std::uint16_t l4_length) noexcept {
+  acc.add_u32(src);
+  acc.add_u32(dst);
+  acc.add_u16(static_cast<std::uint16_t>(proto));
+  acc.add_u16(l4_length);
+}
+
+void check_options_padding(const std::vector<std::uint8_t>& options,
+                           const char* what) {
+  if (options.size() % 4 != 0) {
+    throw std::invalid_argument(std::string(what) +
+                                ": options must be padded to 4 bytes");
+  }
+  if (options.size() > 40) {
+    throw std::invalid_argument(std::string(what) + ": options exceed 40 bytes");
+  }
+}
+
+}  // namespace
+
+std::string proto_name(IpProto proto) {
+  switch (proto) {
+    case IpProto::kIcmp:
+      return "ICMP";
+    case IpProto::kTcp:
+      return "TCP";
+    case IpProto::kUdp:
+      return "UDP";
+  }
+  return "proto-" + std::to_string(static_cast<int>(proto));
+}
+
+void Ipv4Header::serialize(std::vector<std::uint8_t>& out) const {
+  check_options_padding(options, "Ipv4Header");
+  const auto ihl = static_cast<std::uint8_t>(header_length() / 4);
+  const std::size_t start = out.size();
+  ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>((version << 4) | ihl));
+  w.u8(static_cast<std::uint8_t>((dscp << 2) | (ecn & 0x3)));
+  w.u16_be(total_length);
+  w.u16_be(identification);
+  std::uint16_t frag = fragment_offset & 0x1FFF;
+  if (flag_reserved) frag |= 0x8000;
+  if (flag_dont_fragment) frag |= 0x4000;
+  if (flag_more_fragments) frag |= 0x2000;
+  w.u16_be(frag);
+  w.u8(ttl);
+  w.u8(static_cast<std::uint8_t>(protocol));
+  w.u16_be(0);  // checksum placeholder
+  w.u32_be(src_addr);
+  w.u32_be(dst_addr);
+  w.bytes(options);
+  const std::uint16_t sum = internet_checksum(
+      std::span<const std::uint8_t>(out.data() + start, header_length()));
+  out[start + 10] = static_cast<std::uint8_t>(sum >> 8);
+  out[start + 11] = static_cast<std::uint8_t>(sum);
+}
+
+Ipv4Header Ipv4Header::parse(ByteReader& r) {
+  Ipv4Header h;
+  const std::uint8_t vihl = r.u8();
+  h.version = vihl >> 4;
+  const std::uint8_t ihl = vihl & 0x0F;
+  if (ihl < 5) throw std::invalid_argument("Ipv4Header: ihl < 5");
+  const std::uint8_t tos = r.u8();
+  h.dscp = tos >> 2;
+  h.ecn = tos & 0x3;
+  h.total_length = r.u16_be();
+  h.identification = r.u16_be();
+  const std::uint16_t frag = r.u16_be();
+  h.flag_reserved = (frag & 0x8000) != 0;
+  h.flag_dont_fragment = (frag & 0x4000) != 0;
+  h.flag_more_fragments = (frag & 0x2000) != 0;
+  h.fragment_offset = frag & 0x1FFF;
+  h.ttl = r.u8();
+  h.protocol = static_cast<IpProto>(r.u8());
+  h.header_checksum = r.u16_be();
+  h.src_addr = r.u32_be();
+  h.dst_addr = r.u32_be();
+  const std::size_t opt_len = static_cast<std::size_t>(ihl) * 4 - 20;
+  auto opts = r.bytes(opt_len);
+  h.options.assign(opts.begin(), opts.end());
+  return h;
+}
+
+void TcpHeader::serialize(std::vector<std::uint8_t>& out,
+                          std::span<const std::uint8_t> payload,
+                          std::optional<std::uint32_t> src_addr,
+                          std::optional<std::uint32_t> dst_addr) const {
+  check_options_padding(options, "TcpHeader");
+  const auto data_offset = static_cast<std::uint8_t>(header_length() / 4);
+  const std::size_t start = out.size();
+  ByteWriter w(out);
+  w.u16_be(src_port);
+  w.u16_be(dst_port);
+  w.u32_be(seq);
+  w.u32_be(ack);
+  w.u8(static_cast<std::uint8_t>((data_offset << 4) | (reserved & 0x0F)));
+  std::uint8_t flags = 0;
+  if (cwr) flags |= 0x80;
+  if (ece) flags |= 0x40;
+  if (urg) flags |= 0x20;
+  if (ack_flag) flags |= 0x10;
+  if (psh) flags |= 0x08;
+  if (rst) flags |= 0x04;
+  if (syn) flags |= 0x02;
+  if (fin) flags |= 0x01;
+  w.u8(flags);
+  w.u16_be(window);
+  w.u16_be(0);  // checksum placeholder
+  w.u16_be(urgent_pointer);
+  w.bytes(options);
+  if (src_addr && dst_addr) {
+    ChecksumAccumulator acc;
+    const auto l4_len =
+        static_cast<std::uint16_t>(header_length() + payload.size());
+    add_pseudo_header(acc, *src_addr, *dst_addr, IpProto::kTcp, l4_len);
+    acc.add(std::span<const std::uint8_t>(out.data() + start, header_length()));
+    acc.add(payload);
+    const std::uint16_t sum = acc.finish();
+    out[start + 16] = static_cast<std::uint8_t>(sum >> 8);
+    out[start + 17] = static_cast<std::uint8_t>(sum);
+  } else if (checksum != 0) {
+    out[start + 16] = static_cast<std::uint8_t>(checksum >> 8);
+    out[start + 17] = static_cast<std::uint8_t>(checksum);
+  }
+}
+
+TcpHeader TcpHeader::parse(ByteReader& r) {
+  TcpHeader h;
+  h.src_port = r.u16_be();
+  h.dst_port = r.u16_be();
+  h.seq = r.u32_be();
+  h.ack = r.u32_be();
+  const std::uint8_t off_res = r.u8();
+  const std::uint8_t data_offset = off_res >> 4;
+  if (data_offset < 5) throw std::invalid_argument("TcpHeader: offset < 5");
+  h.reserved = off_res & 0x0F;
+  const std::uint8_t flags = r.u8();
+  h.cwr = (flags & 0x80) != 0;
+  h.ece = (flags & 0x40) != 0;
+  h.urg = (flags & 0x20) != 0;
+  h.ack_flag = (flags & 0x10) != 0;
+  h.psh = (flags & 0x08) != 0;
+  h.rst = (flags & 0x04) != 0;
+  h.syn = (flags & 0x02) != 0;
+  h.fin = (flags & 0x01) != 0;
+  h.window = r.u16_be();
+  h.checksum = r.u16_be();
+  h.urgent_pointer = r.u16_be();
+  const std::size_t opt_len = static_cast<std::size_t>(data_offset) * 4 - 20;
+  auto opts = r.bytes(opt_len);
+  h.options.assign(opts.begin(), opts.end());
+  return h;
+}
+
+void UdpHeader::serialize(std::vector<std::uint8_t>& out,
+                          std::span<const std::uint8_t> payload,
+                          std::optional<std::uint32_t> src_addr,
+                          std::optional<std::uint32_t> dst_addr) const {
+  const std::size_t start = out.size();
+  const auto len = static_cast<std::uint16_t>(kLength + payload.size());
+  ByteWriter w(out);
+  w.u16_be(src_port);
+  w.u16_be(dst_port);
+  w.u16_be(len);
+  w.u16_be(0);  // checksum placeholder
+  if (src_addr && dst_addr) {
+    ChecksumAccumulator acc;
+    add_pseudo_header(acc, *src_addr, *dst_addr, IpProto::kUdp, len);
+    acc.add(std::span<const std::uint8_t>(out.data() + start, kLength));
+    acc.add(payload);
+    std::uint16_t sum = acc.finish();
+    // RFC 768: a computed checksum of zero is transmitted as all ones.
+    if (sum == 0) sum = 0xFFFF;
+    out[start + 6] = static_cast<std::uint8_t>(sum >> 8);
+    out[start + 7] = static_cast<std::uint8_t>(sum);
+  } else if (checksum != 0) {
+    out[start + 6] = static_cast<std::uint8_t>(checksum >> 8);
+    out[start + 7] = static_cast<std::uint8_t>(checksum);
+  }
+}
+
+UdpHeader UdpHeader::parse(ByteReader& r) {
+  UdpHeader h;
+  h.src_port = r.u16_be();
+  h.dst_port = r.u16_be();
+  h.length = r.u16_be();
+  h.checksum = r.u16_be();
+  return h;
+}
+
+void IcmpHeader::serialize(std::vector<std::uint8_t>& out,
+                           std::span<const std::uint8_t> payload) const {
+  const std::size_t start = out.size();
+  ByteWriter w(out);
+  w.u8(type);
+  w.u8(code);
+  w.u16_be(0);  // checksum placeholder
+  w.u32_be(rest_of_header);
+  ChecksumAccumulator acc;
+  acc.add(std::span<const std::uint8_t>(out.data() + start, kLength));
+  acc.add(payload);
+  const std::uint16_t sum = acc.finish();
+  out[start + 2] = static_cast<std::uint8_t>(sum >> 8);
+  out[start + 3] = static_cast<std::uint8_t>(sum);
+}
+
+IcmpHeader IcmpHeader::parse(ByteReader& r) {
+  IcmpHeader h;
+  h.type = r.u8();
+  h.code = r.u8();
+  h.checksum = r.u16_be();
+  h.rest_of_header = r.u32_be();
+  return h;
+}
+
+std::string ipv4_to_string(std::uint32_t addr) {
+  return std::to_string((addr >> 24) & 0xFF) + "." +
+         std::to_string((addr >> 16) & 0xFF) + "." +
+         std::to_string((addr >> 8) & 0xFF) + "." +
+         std::to_string(addr & 0xFF);
+}
+
+std::uint32_t ipv4_from_string(const std::string& text) {
+  std::uint32_t addr = 0;
+  std::size_t pos = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (pos >= text.size()) {
+      throw std::invalid_argument("ipv4_from_string: too few octets");
+    }
+    std::size_t consumed = 0;
+    const int value = std::stoi(text.substr(pos), &consumed);
+    if (value < 0 || value > 255 || consumed == 0) {
+      throw std::invalid_argument("ipv4_from_string: octet out of range");
+    }
+    addr = (addr << 8) | static_cast<std::uint32_t>(value);
+    pos += consumed;
+    if (octet < 3) {
+      if (pos >= text.size() || text[pos] != '.') {
+        throw std::invalid_argument("ipv4_from_string: expected '.'");
+      }
+      ++pos;
+    }
+  }
+  if (pos != text.size()) {
+    throw std::invalid_argument("ipv4_from_string: trailing characters");
+  }
+  return addr;
+}
+
+}  // namespace repro::net

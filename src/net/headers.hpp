@@ -1,0 +1,129 @@
+// Protocol header value types and their wire (de)serialization.
+//
+// These are the headers the nprint bit layout covers (IPv4, TCP, UDP,
+// ICMP). Each struct stores fields in host order; `serialize` emits
+// network-order bytes with a valid checksum, and `parse` round-trips them.
+// Options are carried as raw bytes so header length is preserved exactly —
+// the nprint codec needs bit-faithful round trips.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace repro::net {
+
+/// IANA protocol numbers used throughout the library.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// Human-readable protocol name ("TCP", "UDP", "ICMP", or the number).
+std::string proto_name(IpProto proto);
+
+/// IPv4 header (RFC 791). `ihl` is derived from `options` on serialize.
+struct Ipv4Header {
+  std::uint8_t version = 4;
+  std::uint8_t dscp = 0;        // 6 bits
+  std::uint8_t ecn = 0;         // 2 bits
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  bool flag_reserved = false;
+  bool flag_dont_fragment = true;
+  bool flag_more_fragments = false;
+  std::uint16_t fragment_offset = 0;  // 13 bits
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::kTcp;
+  std::uint16_t header_checksum = 0;  // filled on serialize
+  std::uint32_t src_addr = 0;
+  std::uint32_t dst_addr = 0;
+  std::vector<std::uint8_t> options;  // padded to a 4-byte multiple
+
+  /// Header length in bytes (20 + options).
+  std::size_t header_length() const noexcept { return 20 + options.size(); }
+
+  /// Appends the header with a freshly computed checksum.
+  void serialize(std::vector<std::uint8_t>& out) const;
+
+  /// Parses a header from `r`, consuming exactly ihl*4 bytes.
+  static Ipv4Header parse(ByteReader& r);
+};
+
+/// TCP header (RFC 793). `data_offset` is derived from `options`.
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t reserved = 0;  // 4 bits (incl. historical NS bit slot)
+  bool cwr = false;
+  bool ece = false;
+  bool urg = false;
+  bool ack_flag = false;
+  bool psh = false;
+  bool rst = false;
+  bool syn = false;
+  bool fin = false;
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;  // filled on serialize when addresses given
+  std::uint16_t urgent_pointer = 0;
+  std::vector<std::uint8_t> options;  // padded to a 4-byte multiple
+
+  std::size_t header_length() const noexcept { return 20 + options.size(); }
+
+  /// Appends the header; if src/dst addresses are provided the checksum is
+  /// computed over the pseudo-header + header + payload.
+  void serialize(std::vector<std::uint8_t>& out,
+                 std::span<const std::uint8_t> payload,
+                 std::optional<std::uint32_t> src_addr = std::nullopt,
+                 std::optional<std::uint32_t> dst_addr = std::nullopt) const;
+
+  static TcpHeader parse(ByteReader& r);
+};
+
+/// UDP header (RFC 768).
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // derived from payload on serialize
+  std::uint16_t checksum = 0;
+
+  static constexpr std::size_t kLength = 8;
+
+  void serialize(std::vector<std::uint8_t>& out,
+                 std::span<const std::uint8_t> payload,
+                 std::optional<std::uint32_t> src_addr = std::nullopt,
+                 std::optional<std::uint32_t> dst_addr = std::nullopt) const;
+
+  static UdpHeader parse(ByteReader& r);
+};
+
+/// ICMP header (RFC 792), first 8 bytes (type/code/checksum + rest-of-
+/// header word, e.g. echo id/seq).
+struct IcmpHeader {
+  std::uint8_t type = 8;  // echo request
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;
+  std::uint32_t rest_of_header = 0;
+
+  static constexpr std::size_t kLength = 8;
+
+  void serialize(std::vector<std::uint8_t>& out,
+                 std::span<const std::uint8_t> payload) const;
+
+  static IcmpHeader parse(ByteReader& r);
+};
+
+/// Formats an IPv4 address as dotted-quad.
+std::string ipv4_to_string(std::uint32_t addr);
+
+/// Parses dotted-quad; throws std::invalid_argument on malformed input.
+std::uint32_t ipv4_from_string(const std::string& text);
+
+}  // namespace repro::net

@@ -1,0 +1,127 @@
+#include "net/packet.hpp"
+
+#include <stdexcept>
+
+namespace repro::net {
+
+std::size_t Packet::l4_length() const noexcept {
+  std::size_t len = payload.size();
+  if (tcp) {
+    len += tcp->header_length();
+  } else if (udp) {
+    len += UdpHeader::kLength;
+  } else if (icmp) {
+    len += IcmpHeader::kLength;
+  }
+  return len;
+}
+
+std::size_t Packet::datagram_length() const noexcept {
+  return ip.header_length() + l4_length();
+}
+
+bool Packet::consistent() const noexcept {
+  switch (ip.protocol) {
+    case IpProto::kTcp:
+      return tcp.has_value() && !udp && !icmp;
+    case IpProto::kUdp:
+      return udp.has_value() && !tcp && !icmp;
+    case IpProto::kIcmp:
+      return icmp.has_value() && !tcp && !udp;
+  }
+  return !tcp && !udp && !icmp;
+}
+
+std::vector<std::uint8_t> Packet::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(datagram_length());
+  Ipv4Header header = ip;
+  header.total_length = static_cast<std::uint16_t>(datagram_length());
+  header.serialize(out);
+  if (tcp) {
+    tcp->serialize(out, payload, ip.src_addr, ip.dst_addr);
+  } else if (udp) {
+    udp->serialize(out, payload, ip.src_addr, ip.dst_addr);
+  } else if (icmp) {
+    icmp->serialize(out, payload);
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+Packet Packet::parse(std::span<const std::uint8_t> datagram, double timestamp) {
+  ByteReader r(datagram);
+  Packet pkt;
+  pkt.timestamp = timestamp;
+  pkt.ip = Ipv4Header::parse(r);
+  switch (pkt.ip.protocol) {
+    case IpProto::kTcp:
+      pkt.tcp = TcpHeader::parse(r);
+      break;
+    case IpProto::kUdp:
+      pkt.udp = UdpHeader::parse(r);
+      break;
+    case IpProto::kIcmp:
+      pkt.icmp = IcmpHeader::parse(r);
+      break;
+    default:
+      break;
+  }
+  auto rest = r.bytes(r.remaining());
+  pkt.payload.assign(rest.begin(), rest.end());
+  return pkt;
+}
+
+Packet make_tcp_packet(std::uint32_t src, std::uint32_t dst,
+                       std::uint16_t sport, std::uint16_t dport,
+                       std::size_t payload_len, double timestamp) {
+  Packet pkt;
+  pkt.timestamp = timestamp;
+  pkt.ip.protocol = IpProto::kTcp;
+  pkt.ip.src_addr = src;
+  pkt.ip.dst_addr = dst;
+  TcpHeader tcp;
+  tcp.src_port = sport;
+  tcp.dst_port = dport;
+  pkt.tcp = tcp;
+  pkt.payload.assign(payload_len, 0);
+  pkt.ip.total_length = static_cast<std::uint16_t>(pkt.datagram_length());
+  return pkt;
+}
+
+Packet make_udp_packet(std::uint32_t src, std::uint32_t dst,
+                       std::uint16_t sport, std::uint16_t dport,
+                       std::size_t payload_len, double timestamp) {
+  Packet pkt;
+  pkt.timestamp = timestamp;
+  pkt.ip.protocol = IpProto::kUdp;
+  pkt.ip.src_addr = src;
+  pkt.ip.dst_addr = dst;
+  UdpHeader udp;
+  udp.src_port = sport;
+  udp.dst_port = dport;
+  udp.length = static_cast<std::uint16_t>(UdpHeader::kLength + payload_len);
+  pkt.udp = udp;
+  pkt.payload.assign(payload_len, 0);
+  pkt.ip.total_length = static_cast<std::uint16_t>(pkt.datagram_length());
+  return pkt;
+}
+
+Packet make_icmp_packet(std::uint32_t src, std::uint32_t dst,
+                        std::uint8_t type, std::uint8_t code,
+                        std::size_t payload_len, double timestamp) {
+  Packet pkt;
+  pkt.timestamp = timestamp;
+  pkt.ip.protocol = IpProto::kIcmp;
+  pkt.ip.src_addr = src;
+  pkt.ip.dst_addr = dst;
+  IcmpHeader icmp;
+  icmp.type = type;
+  icmp.code = code;
+  pkt.icmp = icmp;
+  pkt.payload.assign(payload_len, 0);
+  pkt.ip.total_length = static_cast<std::uint16_t>(pkt.datagram_length());
+  return pkt;
+}
+
+}  // namespace repro::net

@@ -1,0 +1,56 @@
+// A parsed packet: IPv4 header plus exactly one transport header and an
+// opaque payload. This is the unit the traffic models emit, the pcap layer
+// stores, and the nprint codec encodes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/headers.hpp"
+
+namespace repro::net {
+
+/// One IPv4 packet with its transport header. Exactly one of tcp/udp/icmp
+/// is engaged, matching `ip.protocol`.
+struct Packet {
+  double timestamp = 0.0;  // seconds since trace start
+  Ipv4Header ip;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  std::optional<IcmpHeader> icmp;
+  std::vector<std::uint8_t> payload;
+
+  /// Transport + payload length in bytes.
+  std::size_t l4_length() const noexcept;
+
+  /// Full IP datagram length (what Ipv4Header::total_length should hold).
+  std::size_t datagram_length() const noexcept;
+
+  /// True when the engaged transport header matches ip.protocol.
+  bool consistent() const noexcept;
+
+  /// Serializes the full IP datagram (header + transport + payload) with
+  /// correct lengths and checksums, regardless of the current
+  /// total_length/checksum field values.
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parses an IP datagram. Throws std::invalid_argument /
+  /// std::out_of_range on malformed input. Unknown transport protocols
+  /// leave all three transport slots empty and put the bytes in payload.
+  static Packet parse(std::span<const std::uint8_t> datagram,
+                      double timestamp = 0.0);
+};
+
+/// Convenience constructors used heavily by the traffic models.
+Packet make_tcp_packet(std::uint32_t src, std::uint32_t dst,
+                       std::uint16_t sport, std::uint16_t dport,
+                       std::size_t payload_len, double timestamp);
+Packet make_udp_packet(std::uint32_t src, std::uint32_t dst,
+                       std::uint16_t sport, std::uint16_t dport,
+                       std::size_t payload_len, double timestamp);
+Packet make_icmp_packet(std::uint32_t src, std::uint32_t dst,
+                        std::uint8_t type, std::uint8_t code,
+                        std::size_t payload_len, double timestamp);
+
+}  // namespace repro::net

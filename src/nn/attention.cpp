@@ -1,0 +1,155 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+#include "nn/reshape.hpp"
+
+namespace repro::nn {
+
+SelfAttention1d::SelfAttention1d(std::size_t channels, Rng& rng,
+                                 const std::string& name)
+    : SelfAttention1d(
+          channels, std::make_unique<Linear>(channels, channels, rng, true, name + ".q"),
+          std::make_unique<Linear>(channels, channels, rng, true, name + ".k"),
+          std::make_unique<Linear>(channels, channels, rng, true, name + ".v"),
+          std::make_unique<Linear>(channels, channels, rng, true, name + ".o"),
+          name) {}
+
+SelfAttention1d::SelfAttention1d(std::size_t channels,
+                                 std::unique_ptr<Module> proj_q,
+                                 std::unique_ptr<Module> proj_k,
+                                 std::unique_ptr<Module> proj_v,
+                                 std::unique_ptr<Module> proj_out,
+                                 const std::string& name)
+    : channels_(channels),
+      norm_(channels, name + ".norm"),
+      q_(std::move(proj_q)),
+      k_(std::move(proj_k)),
+      v_(std::move(proj_v)),
+      o_(std::move(proj_out)) {}
+
+Tensor SelfAttention1d::forward(const Tensor& input) {
+  n_ = input.dim(0);
+  l_ = input.dim(2);
+  // Pre-norm over channels, position-major.
+  Tensor rows = ncl_to_nlc(input);           // [N*L, C]
+  Tensor normed = norm_.forward(rows);
+  q_rows_ = q_->forward(normed);
+  k_rows_ = k_->forward(normed);
+  v_rows_ = v_->forward(normed);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(channels_));
+  attn_ = Tensor({n_, l_, l_});
+  Tensor ctx({n_ * l_, channels_});
+  for (std::size_t b = 0; b < n_; ++b) {
+    const float* qb = q_rows_.data() + b * l_ * channels_;
+    const float* kb = k_rows_.data() + b * l_ * channels_;
+    const float* vb = v_rows_.data() + b * l_ * channels_;
+    float* ab = attn_.data() + b * l_ * l_;
+    // scores + softmax row-wise.
+    for (std::size_t i = 0; i < l_; ++i) {
+      float row_max = -1e30f;
+      for (std::size_t j = 0; j < l_; ++j) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < channels_; ++c) {
+          s += static_cast<double>(qb[i * channels_ + c]) * kb[j * channels_ + c];
+        }
+        const float sv = static_cast<float>(s) * scale;
+        ab[i * l_ + j] = sv;
+        row_max = std::max(row_max, sv);
+      }
+      double denom = 0.0;
+      for (std::size_t j = 0; j < l_; ++j) {
+        const float e = std::exp(ab[i * l_ + j] - row_max);
+        ab[i * l_ + j] = e;
+        denom += e;
+      }
+      for (std::size_t j = 0; j < l_; ++j) {
+        ab[i * l_ + j] = static_cast<float>(ab[i * l_ + j] / denom);
+      }
+      // context_i = sum_j A_ij v_j
+      float* crow = ctx.data() + (b * l_ + i) * channels_;
+      for (std::size_t j = 0; j < l_; ++j) {
+        const float a = ab[i * l_ + j];
+        if (a == 0.0f) continue;
+        const float* vrow = vb + j * channels_;
+        for (std::size_t c = 0; c < channels_; ++c) crow[c] += a * vrow[c];
+      }
+    }
+  }
+  Tensor out_rows = o_->forward(ctx);
+  // Residual connection.
+  out_rows.add(rows);
+  return nlc_to_ncl(out_rows, n_, l_);
+}
+
+Tensor SelfAttention1d::backward(const Tensor& grad_output) {
+  Tensor grad_rows = ncl_to_nlc(grad_output);  // [N*L, C]
+  // Residual: gradient flows both into o_ path and directly to input rows.
+  Tensor grad_ctx = o_->backward(grad_rows);   // [N*L, C]
+
+  Tensor grad_q(q_rows_.shape());
+  Tensor grad_k(k_rows_.shape());
+  Tensor grad_v(v_rows_.shape());
+  const float scale = 1.0f / std::sqrt(static_cast<float>(channels_));
+  for (std::size_t b = 0; b < n_; ++b) {
+    const float* qb = q_rows_.data() + b * l_ * channels_;
+    const float* kb = k_rows_.data() + b * l_ * channels_;
+    const float* vb = v_rows_.data() + b * l_ * channels_;
+    const float* ab = attn_.data() + b * l_ * l_;
+    float* gqb = grad_q.data() + b * l_ * channels_;
+    float* gkb = grad_k.data() + b * l_ * channels_;
+    float* gvb = grad_v.data() + b * l_ * channels_;
+    for (std::size_t i = 0; i < l_; ++i) {
+      const float* gc = grad_ctx.data() + (b * l_ + i) * channels_;
+      // dA_ij = gc . v_j ; dv_j += A_ij * gc
+      std::vector<float> dA(l_);
+      for (std::size_t j = 0; j < l_; ++j) {
+        const float a = ab[i * l_ + j];
+        const float* vrow = vb + j * channels_;
+        float* gvrow = gvb + j * channels_;
+        double d = 0.0;
+        for (std::size_t c = 0; c < channels_; ++c) {
+          d += static_cast<double>(gc[c]) * vrow[c];
+          gvrow[c] += a * gc[c];
+        }
+        dA[j] = static_cast<float>(d);
+      }
+      // Softmax backward: dS_j = A_j * (dA_j - sum_k dA_k A_k).
+      double dot = 0.0;
+      for (std::size_t j = 0; j < l_; ++j) {
+        dot += static_cast<double>(dA[j]) * ab[i * l_ + j];
+      }
+      for (std::size_t j = 0; j < l_; ++j) {
+        const float dS = ab[i * l_ + j] * (dA[j] - static_cast<float>(dot));
+        const float g = dS * scale;
+        // S_ij = scale * q_i . k_j
+        const float* krow = kb + j * channels_;
+        const float* qrow = qb + i * channels_;
+        float* gqrow = gqb + i * channels_;
+        float* gkrow = gkb + j * channels_;
+        for (std::size_t c = 0; c < channels_; ++c) {
+          gqrow[c] += g * krow[c];
+          gkrow[c] += g * qrow[c];
+        }
+      }
+    }
+  }
+
+  Tensor grad_normed = q_->backward(grad_q);
+  grad_normed.add(k_->backward(grad_k));
+  grad_normed.add(v_->backward(grad_v));
+  Tensor grad_input_rows = norm_.backward(grad_normed);
+  grad_input_rows.add(grad_rows);  // residual path
+  return nlc_to_ncl(grad_input_rows, n_, l_);
+}
+
+std::vector<Parameter*> SelfAttention1d::parameters() {
+  std::vector<Parameter*> params = norm_.parameters();
+  for (Module* m : {q_.get(), k_.get(), v_.get(), o_.get()}) {
+    for (Parameter* p : m->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace repro::nn

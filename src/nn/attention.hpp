@@ -1,0 +1,48 @@
+// Single-head self-attention over the packet axis of a [N, C, L] feature
+// map — the U-Net middle block's global mixing layer. Projections are
+// pluggable Modules (plain Linear by default) so LoRA adapters can wrap
+// them, mirroring where LoRA attaches in Stable Diffusion.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "nn/linear.hpp"
+#include "nn/norm.hpp"
+
+namespace repro::nn {
+
+class SelfAttention1d : public Module {
+ public:
+  /// Plain-Linear projections.
+  SelfAttention1d(std::size_t channels, Rng& rng,
+                  const std::string& name = "attn");
+
+  /// Custom projections (must map [*, C] -> [*, C]); used to install
+  /// LoraLinear wrappers.
+  SelfAttention1d(std::size_t channels, std::unique_ptr<Module> proj_q,
+                  std::unique_ptr<Module> proj_k,
+                  std::unique_ptr<Module> proj_v,
+                  std::unique_ptr<Module> proj_out,
+                  const std::string& name = "attn");
+
+  Tensor forward(const Tensor& input) override;  // [N, C, L] -> [N, C, L]
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+
+  Module& proj_q() noexcept { return *q_; }
+  Module& proj_k() noexcept { return *k_; }
+  Module& proj_v() noexcept { return *v_; }
+  Module& proj_out() noexcept { return *o_; }
+
+ private:
+  std::size_t channels_;
+  LayerNorm norm_;
+  std::unique_ptr<Module> q_, k_, v_, o_;
+  // Cached forward state.
+  std::size_t n_ = 0, l_ = 0;
+  Tensor q_rows_, k_rows_, v_rows_;  // [N*L, C]
+  Tensor attn_;                      // [N, L, L]
+};
+
+}  // namespace repro::nn

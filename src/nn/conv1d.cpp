@@ -1,0 +1,105 @@
+#include "nn/conv1d.hpp"
+
+#include "nn/init.hpp"
+
+namespace repro::nn {
+
+Conv1d::Conv1d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, Rng& rng, std::size_t stride,
+               std::size_t padding, const std::string& name)
+    : cin_(in_channels),
+      cout_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding == SIZE_MAX ? kernel / 2 : padding),
+      weight_(name + ".weight", Tensor({out_channels, in_channels, kernel})),
+      bias_(name + ".bias", Tensor({out_channels})) {
+  kaiming_normal(weight_.value, in_channels * kernel, rng);
+}
+
+Tensor Conv1d::forward(const Tensor& input) {
+  if (input.rank() != 3 || input.dim(1) != cin_) {
+    throw std::invalid_argument("Conv1d::forward: bad input " +
+                                input.shape_string());
+  }
+  input_ = input;
+  const std::size_t n = input.dim(0), lin = input.dim(2);
+  const std::size_t lout = out_length(lin);
+  Tensor out({n, cout_, lout});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oc = 0; oc < cout_; ++oc) {
+      const float* w = weight_.value.data() + oc * cin_ * kernel_;
+      float* orow = out.data() + (b * cout_ + oc) * lout;
+      for (std::size_t t = 0; t < lout; ++t) {
+        double acc = bias_.value[oc];
+        const std::ptrdiff_t start =
+            static_cast<std::ptrdiff_t>(t * stride_) -
+            static_cast<std::ptrdiff_t>(padding_);
+        for (std::size_t ic = 0; ic < cin_; ++ic) {
+          const float* irow = input.data() + (b * cin_ + ic) * lin;
+          const float* wrow = w + ic * kernel_;
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            const std::ptrdiff_t pos = start + static_cast<std::ptrdiff_t>(k);
+            if (pos < 0 || pos >= static_cast<std::ptrdiff_t>(lin)) continue;
+            acc += static_cast<double>(wrow[k]) *
+                   irow[static_cast<std::size_t>(pos)];
+          }
+        }
+        orow[t] = static_cast<float>(acc);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv1d::backward(const Tensor& grad_output) {
+  const std::size_t n = input_.dim(0), lin = input_.dim(2);
+  const std::size_t lout = out_length(lin);
+  grad_output.require_shape({n, cout_, lout}, "Conv1d::backward");
+  Tensor grad_input(input_.shape());
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oc = 0; oc < cout_; ++oc) {
+      const float* gorow = grad_output.data() + (b * cout_ + oc) * lout;
+      const float* w = weight_.value.data() + oc * cin_ * kernel_;
+      float* gw = weight_.grad.data() + oc * cin_ * kernel_;
+      double gb = 0.0;
+      for (std::size_t t = 0; t < lout; ++t) {
+        const float g = gorow[t];
+        if (g == 0.0f) continue;
+        gb += g;
+        const std::ptrdiff_t start =
+            static_cast<std::ptrdiff_t>(t * stride_) -
+            static_cast<std::ptrdiff_t>(padding_);
+        for (std::size_t ic = 0; ic < cin_; ++ic) {
+          const float* irow = input_.data() + (b * cin_ + ic) * lin;
+          float* girow = grad_input.data() + (b * cin_ + ic) * lin;
+          const float* wrow = w + ic * kernel_;
+          float* gwrow = gw + ic * kernel_;
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            const std::ptrdiff_t pos = start + static_cast<std::ptrdiff_t>(k);
+            if (pos < 0 || pos >= static_cast<std::ptrdiff_t>(lin)) continue;
+            const auto upos = static_cast<std::size_t>(pos);
+            gwrow[k] += g * irow[upos];
+            girow[upos] += g * wrow[k];
+          }
+        }
+      }
+      bias_.grad[oc] += static_cast<float>(gb);
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> Conv1d::parameters() { return {&weight_, &bias_}; }
+
+void Conv1d::set_trainable(bool trainable) noexcept {
+  weight_.trainable = trainable;
+  bias_.trainable = trainable;
+}
+
+void Conv1d::zero_init() noexcept {
+  weight_.value.fill(0.0f);
+  bias_.value.fill(0.0f);
+}
+
+}  // namespace repro::nn

@@ -1,0 +1,40 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "nn/module.hpp"
+
+namespace repro::nn {
+
+void kaiming_normal(Tensor& w, std::size_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(rng.gaussian(0.0, stddev));
+  }
+}
+
+void xavier_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                    Rng& rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(rng.uniform(-limit, limit));
+  }
+}
+
+void normal_init(Tensor& w, float stddev, Rng& rng) {
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<float>(rng.gaussian(0.0, stddev));
+  }
+}
+
+std::vector<Parameter*> collect_parameters(
+    const std::vector<Module*>& modules) {
+  std::vector<Parameter*> params;
+  for (Module* m : modules) {
+    for (Parameter* p : m->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace repro::nn

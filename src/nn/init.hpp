@@ -1,0 +1,19 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace repro::nn {
+
+/// Kaiming/He normal: stddev = sqrt(2 / fan_in).
+void kaiming_normal(Tensor& w, std::size_t fan_in, Rng& rng);
+
+/// Xavier/Glorot uniform: limit = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                    Rng& rng);
+
+/// N(0, stddev^2).
+void normal_init(Tensor& w, float stddev, Rng& rng);
+
+}  // namespace repro::nn

@@ -1,0 +1,58 @@
+#include "nn/linear.hpp"
+
+#include "nn/init.hpp"
+
+namespace repro::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+               bool bias, const std::string& name)
+    : in_(in_features),
+      out_(out_features),
+      has_bias_(bias),
+      weight_(name + ".weight", Tensor({out_features, in_features})),
+      bias_(name + ".bias", Tensor({out_features})) {
+  kaiming_normal(weight_.value, in_features, rng);
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  if (input.rank() != 2 || input.dim(1) != in_) {
+    throw std::invalid_argument("Linear::forward: bad input " +
+                                input.shape_string());
+  }
+  input_ = input;
+  Tensor out = matmul_bt(input, weight_.value);  // [N, out]
+  if (has_bias_) {
+    const std::size_t n = out.dim(0);
+    for (std::size_t i = 0; i < n; ++i) {
+      float* row = out.data() + i * out_;
+      for (std::size_t j = 0; j < out_; ++j) row[j] += bias_.value[j];
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  grad_output.require_shape({input_.dim(0), out_}, "Linear::backward");
+  // dW += g^T x ; db += sum_n g ; dx = g W
+  weight_.grad.add(matmul_at(grad_output, input_));
+  if (has_bias_) {
+    const std::size_t n = grad_output.dim(0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* row = grad_output.data() + i * out_;
+      for (std::size_t j = 0; j < out_; ++j) bias_.grad[j] += row[j];
+    }
+  }
+  return matmul(grad_output, weight_.value);
+}
+
+std::vector<Parameter*> Linear::parameters() {
+  if (has_bias_) return {&weight_, &bias_};
+  return {&weight_};
+}
+
+void Linear::set_trainable(bool trainable) noexcept {
+  weight_.trainable = trainable;
+  bias_.trainable = trainable;
+}
+
+}  // namespace repro::nn

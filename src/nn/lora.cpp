@@ -1,0 +1,68 @@
+#include "nn/lora.hpp"
+
+#include <cmath>
+
+#include "nn/init.hpp"
+
+namespace repro::nn {
+
+LoraLinear::LoraLinear(std::unique_ptr<Linear> base, std::size_t rank,
+                       float alpha, Rng& rng, const std::string& name)
+    : base_(std::move(base)),
+      rank_(rank),
+      scaling_(rank > 0 ? alpha / static_cast<float>(rank) : 0.0f),
+      a_(name + ".A", Tensor({rank, base_->in_features()})),
+      b_(name + ".B", Tensor({base_->out_features(), rank})) {
+  if (rank_ > 0) {
+    // A ~ N(0, 1/in); B = 0 so the initial adapter contributes nothing.
+    normal_init(a_.value,
+                1.0f / std::sqrt(static_cast<float>(base_->in_features())),
+                rng);
+    b_.value.fill(0.0f);
+  }
+}
+
+Tensor LoraLinear::forward(const Tensor& input) {
+  input_ = input;
+  Tensor out = base_->forward(input);
+  if (rank_ > 0) {
+    ax_ = matmul_bt(input, a_.value);        // [N, r]
+    Tensor delta = matmul_bt(ax_, b_.value);  // [N, out]
+    out.add_scaled(delta, scaling_);
+  }
+  return out;
+}
+
+Tensor LoraLinear::backward(const Tensor& grad_output) {
+  Tensor grad_input = base_->backward(grad_output);
+  if (rank_ > 0) {
+    // delta = s * B (A x); dB += s * g^T (Ax); dAx = s * g B; dA += dAx^T x.
+    Tensor g_scaled = grad_output;
+    g_scaled.scale(scaling_);
+    b_.grad.add(matmul_at(g_scaled, ax_));
+    Tensor grad_ax = matmul(g_scaled, b_.value);  // [N, r]
+    a_.grad.add(matmul_at(grad_ax, input_));
+    grad_input.add(matmul(grad_ax, a_.value));
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> LoraLinear::parameters() {
+  auto params = base_->parameters();
+  if (rank_ > 0) {
+    params.push_back(&a_);
+    params.push_back(&b_);
+  }
+  return params;
+}
+
+Tensor LoraLinear::merged_weight() const {
+  Tensor merged = base_->weight().value;
+  if (rank_ > 0) {
+    Tensor delta = matmul(b_.value, a_.value);  // [out, in]
+    merged.add_scaled(delta, scaling_);
+  }
+  return merged;
+}
+
+}  // namespace repro::nn

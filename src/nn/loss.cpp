@@ -1,0 +1,50 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+namespace repro::nn {
+
+float mse_loss(const Tensor& pred, const Tensor& target, Tensor& grad) {
+  pred.require_shape(target.shape(), "mse_loss");
+  grad = Tensor(pred.shape());
+  const auto n = static_cast<float>(pred.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float d = pred[i] - target[i];
+    loss += static_cast<double>(d) * d;
+    grad[i] = 2.0f * d / n;
+  }
+  return static_cast<float>(loss / n);
+}
+
+float bce_with_logits_loss(const Tensor& logits, const Tensor& targets,
+                           Tensor& grad) {
+  logits.require_shape(targets.shape(), "bce_with_logits_loss");
+  grad = Tensor(logits.shape());
+  const auto n = static_cast<float>(logits.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float x = logits[i];
+    const float t = targets[i];
+    // log(1 + exp(-|x|)) + max(x, 0) - x t  (stable form)
+    loss += std::log1p(std::exp(-std::abs(x))) + std::max(x, 0.0f) - x * t;
+    const float sigma = 1.0f / (1.0f + std::exp(-x));
+    grad[i] = (sigma - t) / n;
+  }
+  return static_cast<float>(loss / n);
+}
+
+float l1_loss(const Tensor& pred, const Tensor& target, Tensor& grad) {
+  pred.require_shape(target.shape(), "l1_loss");
+  grad = Tensor(pred.shape());
+  const auto n = static_cast<float>(pred.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float d = pred[i] - target[i];
+    loss += std::abs(d);
+    grad[i] = (d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f)) / n;
+  }
+  return static_cast<float>(loss / n);
+}
+
+}  // namespace repro::nn

@@ -1,0 +1,19 @@
+// Loss functions. Each returns the scalar loss and writes the gradient
+// w.r.t. the prediction (mean-reduced over all elements).
+#pragma once
+
+#include "nn/tensor.hpp"
+
+namespace repro::nn {
+
+/// Mean squared error; grad = 2 (pred - target) / N.
+float mse_loss(const Tensor& pred, const Tensor& target, Tensor& grad);
+
+/// Binary cross-entropy on logits (numerically stable); targets in {0,1}.
+float bce_with_logits_loss(const Tensor& logits, const Tensor& targets,
+                           Tensor& grad);
+
+/// Mean absolute error; grad = sign(pred - target) / N.
+float l1_loss(const Tensor& pred, const Tensor& target, Tensor& grad);
+
+}  // namespace repro::nn

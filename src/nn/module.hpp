@@ -1,0 +1,63 @@
+// Module interface: a layer owning parameters, caching forward
+// activations, and implementing an explicit backward pass.
+//
+// Contract: `forward` must be called before `backward`; `backward`
+// consumes the gradient of the loss w.r.t. the module output and returns
+// the gradient w.r.t. the module input, accumulating parameter gradients
+// (`Parameter::grad`) as a side effect. Each module instance may be used
+// once per forward/backward cycle (networks needing reuse instantiate the
+// module twice, as ControlNet does with its trainable copy).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace repro::nn {
+
+/// A learnable value with its gradient accumulator. `trainable` is turned
+/// off for the frozen base weights during LoRA fine-tuning.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  bool trainable = true;
+
+  Parameter() = default;
+  Parameter(std::string name_, Tensor value_)
+      : name(std::move(name_)),
+        value(std::move(value_)),
+        grad(Tensor::zeros(value.shape())) {}
+
+  void zero_grad() noexcept { grad.fill(0.0f); }
+};
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  virtual Tensor forward(const Tensor& input) = 0;
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// All parameters owned by this module (and submodules).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  void zero_grad() {
+    for (Parameter* p : parameters()) p->zero_grad();
+  }
+
+  /// Total learnable scalar count.
+  std::size_t parameter_count() {
+    std::size_t n = 0;
+    for (Parameter* p : parameters()) n += p->value.size();
+    return n;
+  }
+};
+
+/// Collects parameters from several modules (for optimizers).
+std::vector<Parameter*> collect_parameters(
+    const std::vector<Module*>& modules);
+
+}  // namespace repro::nn

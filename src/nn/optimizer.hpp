@@ -1,0 +1,58 @@
+// Optimizers. Adam (Kingma & Ba) with optional decoupled weight decay,
+// plus global-norm gradient clipping. Parameters flagged non-trainable
+// (frozen base weights during LoRA fine-tuning) are skipped entirely.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace repro::nn {
+
+class Adam {
+ public:
+  struct Config {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;  // decoupled (AdamW-style)
+  };
+
+  explicit Adam(std::vector<Parameter*> params);
+  Adam(std::vector<Parameter*> params, Config config);
+
+  /// Applies one update from the accumulated gradients, then the caller
+  /// typically zero-grads.
+  void step();
+
+  /// Resets moment estimates (e.g. when switching training phases).
+  void reset_state();
+
+  void set_lr(float lr) noexcept { config_.lr = lr; }
+  float lr() const noexcept { return config_.lr; }
+  const std::vector<Parameter*>& params() const noexcept { return params_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  Config config_;
+  std::vector<Tensor> m_, v_;
+  std::size_t t_ = 0;
+};
+
+/// Plain SGD (used by tests as a reference optimizer).
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr) : params_(std::move(params)), lr_(lr) {}
+  void step();
+
+ private:
+  std::vector<Parameter*> params_;
+  float lr_;
+};
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+float clip_grad_norm(const std::vector<Parameter*>& params, float max_norm);
+
+}  // namespace repro::nn

@@ -1,0 +1,75 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace repro::nn {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x5052574E;  // "NWRP"
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  if (!in) throw std::runtime_error("checkpoint: truncated file");
+  return v;
+}
+
+}  // namespace
+
+void save_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_parameters: cannot open " + path);
+  write_u32(out, kMagic);
+  write_u32(out, static_cast<std::uint32_t>(params.size()));
+  for (const Parameter* p : params) {
+    write_u32(out, static_cast<std::uint32_t>(p->name.size()));
+    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    write_u32(out, static_cast<std::uint32_t>(p->value.shape().size()));
+    for (std::size_t d : p->value.shape()) {
+      write_u32(out, static_cast<std::uint32_t>(d));
+    }
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_parameters: write failed");
+}
+
+void load_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_parameters: cannot open " + path);
+  if (read_u32(in) != kMagic) {
+    throw std::runtime_error("load_parameters: bad magic in " + path);
+  }
+  const std::uint32_t count = read_u32(in);
+  if (count != params.size()) {
+    throw std::runtime_error("load_parameters: parameter count mismatch");
+  }
+  for (Parameter* p : params) {
+    const std::uint32_t name_len = read_u32(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (name != p->name) {
+      throw std::runtime_error("load_parameters: expected parameter '" +
+                               p->name + "', found '" + name + "'");
+    }
+    const std::uint32_t rank = read_u32(in);
+    std::vector<std::size_t> shape(rank);
+    for (auto& d : shape) d = read_u32(in);
+    if (shape != p->value.shape()) {
+      throw std::runtime_error("load_parameters: shape mismatch for " + name);
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_parameters: truncated data");
+  }
+}
+
+}  // namespace repro::nn

@@ -1,0 +1,23 @@
+// Weight checkpointing: a simple tagged binary format (name, shape,
+// float32 data per parameter). Loading verifies names and shapes so a
+// checkpoint cannot be silently applied to the wrong architecture.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace repro::nn {
+
+/// Writes all parameters to `path`. Throws std::runtime_error on I/O
+/// failure.
+void save_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params);
+
+/// Loads parameters by position, verifying name and shape of each.
+/// Throws std::runtime_error on mismatch or I/O failure.
+void load_parameters(const std::string& path,
+                     const std::vector<Parameter*>& params);
+
+}  // namespace repro::nn

@@ -1,0 +1,298 @@
+#include "nprint/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bytes.hpp"
+
+namespace repro::nprint {
+namespace {
+
+/// Writes `bytes` as bits (MSB first) into `row` starting at `offset`.
+void write_bits(float* row, std::size_t offset,
+                std::span<const std::uint8_t> bytes) noexcept {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int b = 0; b < 8; ++b) {
+      row[offset + i * 8 + static_cast<std::size_t>(b)] =
+          (bytes[i] >> (7 - b)) & 1 ? 1.0f : 0.0f;
+    }
+  }
+}
+
+/// Reads `count` bytes from `row` at bit `offset`; vacant bits read as 0.
+std::vector<std::uint8_t> read_bytes(const float* row, std::size_t offset,
+                                     std::size_t count) {
+  std::vector<std::uint8_t> out(count, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint8_t byte = 0;
+    for (int b = 0; b < 8; ++b) {
+      byte = static_cast<std::uint8_t>(byte << 1);
+      if (row[offset + i * 8 + static_cast<std::size_t>(b)] > 0.5f) byte |= 1;
+    }
+    out[i] = byte;
+  }
+  return out;
+}
+
+/// Count of non-vacant bits in [offset, offset+size).
+std::size_t occupancy(const float* row, std::size_t offset,
+                      std::size_t size) noexcept {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    if (row[offset + i] > -0.5f) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+bool Matrix::row_vacant(std::size_t row) const noexcept {
+  const float* r = data_.data() + row * kBitsPerPacket;
+  for (std::size_t i = 0; i < kBitsPerPacket; ++i) {
+    if (r[i] > -0.5f) return false;
+  }
+  return true;
+}
+
+std::size_t Matrix::active_rows() const noexcept {
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (!row_vacant(r)) ++n;
+  }
+  return n;
+}
+
+std::vector<float> encode_packet(const net::Packet& packet) {
+  std::vector<float> row(kBitsPerPacket, -1.0f);
+
+  // IPv4: serialize the header alone (checksum recomputed) and emit its
+  // ihl*4 bytes; the remaining option area stays vacant.
+  {
+    std::vector<std::uint8_t> bytes;
+    net::Ipv4Header header = packet.ip;
+    header.total_length = static_cast<std::uint16_t>(packet.datagram_length());
+    header.serialize(bytes);
+    write_bits(row.data(), kIpv4Offset, bytes);
+  }
+
+  if (packet.tcp) {
+    std::vector<std::uint8_t> bytes;
+    packet.tcp->serialize(bytes, packet.payload, packet.ip.src_addr,
+                          packet.ip.dst_addr);
+    write_bits(row.data(), kTcpOffset, bytes);
+  } else if (packet.udp) {
+    std::vector<std::uint8_t> bytes;
+    net::UdpHeader header = *packet.udp;
+    header.length =
+        static_cast<std::uint16_t>(net::UdpHeader::kLength + packet.payload.size());
+    header.serialize(bytes, packet.payload, packet.ip.src_addr,
+                     packet.ip.dst_addr);
+    write_bits(row.data(), kUdpOffset, bytes);
+  } else if (packet.icmp) {
+    std::vector<std::uint8_t> bytes;
+    packet.icmp->serialize(bytes, packet.payload);
+    write_bits(row.data(), kIcmpOffset, bytes);
+  }
+  return row;
+}
+
+Matrix encode_flow(const net::Flow& flow, std::size_t max_packets,
+                   bool pad_to_max) {
+  const std::size_t active = std::min(flow.packets.size(), max_packets);
+  const std::size_t rows = pad_to_max ? max_packets : active;
+  Matrix matrix(rows);
+  for (std::size_t i = 0; i < active; ++i) {
+    const auto row = encode_packet(flow.packets[i]);
+    std::copy(row.begin(), row.end(),
+              matrix.data().begin() + static_cast<std::ptrdiff_t>(i * kBitsPerPacket));
+  }
+  return matrix;
+}
+
+bool decode_packet(const float* row, net::Packet& out) {
+  const std::size_t ip_occ = occupancy(row, kIpv4Offset, kIpv4Bits);
+  const std::size_t tcp_occ = occupancy(row, kTcpOffset, kTcpBits);
+  const std::size_t udp_occ = occupancy(row, kUdpOffset, kUdpBits);
+  const std::size_t icmp_occ = occupancy(row, kIcmpOffset, kIcmpBits);
+  if (ip_occ + tcp_occ + udp_occ + icmp_occ == 0) return false;
+
+  out = net::Packet{};
+
+  // --- IPv4 header: read the fixed 20 bytes, then options per ihl. ---
+  auto fixed = read_bytes(row, kIpv4Offset, 20);
+  repro::ByteReader r20{std::span<const std::uint8_t>(fixed)};
+  net::Ipv4Header ip;
+  {
+    const std::uint8_t vihl = r20.u8();
+    ip.version = 4;  // repaired: we only model IPv4
+    std::uint8_t ihl = vihl & 0x0F;
+    ihl = std::clamp<std::uint8_t>(ihl, 5, 15);
+    const std::uint8_t tos = r20.u8();
+    ip.dscp = tos >> 2;
+    ip.ecn = tos & 0x3;
+    ip.total_length = r20.u16_be();
+    ip.identification = r20.u16_be();
+    const std::uint16_t frag = r20.u16_be();
+    ip.flag_reserved = (frag & 0x8000) != 0;
+    ip.flag_dont_fragment = (frag & 0x4000) != 0;
+    ip.flag_more_fragments = (frag & 0x2000) != 0;
+    ip.fragment_offset = frag & 0x1FFF;
+    ip.ttl = r20.u8();
+    ip.protocol = static_cast<net::IpProto>(r20.u8());
+    ip.header_checksum = r20.u16_be();
+    ip.src_addr = r20.u32_be();
+    ip.dst_addr = r20.u32_be();
+    // Options: only keep bytes actually occupied in the matrix; clamp to
+    // the ihl-declared length so the header stays parseable.
+    const std::size_t declared_opt = (static_cast<std::size_t>(ihl) - 5) * 4;
+    const std::size_t occupied_opt_bits =
+        occupancy(row, kIpv4Offset + 160, kIpv4Bits - 160);
+    const std::size_t occupied_opt = (occupied_opt_bits / 32) * 4;
+    const std::size_t opt_len = std::min(declared_opt, occupied_opt);
+    ip.options = read_bytes(row, kIpv4Offset + 160, opt_len);
+  }
+  out.ip = ip;
+
+  // --- Transport: choose the region with highest relative occupancy. ---
+  const double tcp_frac = static_cast<double>(tcp_occ) / kTcpBits;
+  const double udp_frac = static_cast<double>(udp_occ) / kUdpBits;
+  const double icmp_frac = static_cast<double>(icmp_occ) / kIcmpBits;
+  // The IPv4 protocol field votes too: a clean generated matrix has both
+  // signals agreeing, a noisy one is resolved by occupancy.
+  double tcp_score = tcp_frac, udp_score = udp_frac, icmp_score = icmp_frac;
+  switch (ip.protocol) {
+    case net::IpProto::kTcp:
+      tcp_score += 0.25;
+      break;
+    case net::IpProto::kUdp:
+      udp_score += 0.25;
+      break;
+    case net::IpProto::kIcmp:
+      icmp_score += 0.25;
+      break;
+    default:
+      break;
+  }
+
+  if (tcp_score >= udp_score && tcp_score >= icmp_score && tcp_occ > 0) {
+    auto bytes = read_bytes(row, kTcpOffset, 20);
+    repro::ByteReader tr{std::span<const std::uint8_t>(bytes)};
+    net::TcpHeader tcp = net::TcpHeader{};
+    tcp.src_port = tr.u16_be();
+    tcp.dst_port = tr.u16_be();
+    tcp.seq = tr.u32_be();
+    tcp.ack = tr.u32_be();
+    const std::uint8_t off_res = tr.u8();
+    std::uint8_t doff = off_res >> 4;
+    doff = std::clamp<std::uint8_t>(doff, 5, 15);
+    tcp.reserved = off_res & 0x0F;
+    const std::uint8_t flags = tr.u8();
+    tcp.cwr = (flags & 0x80) != 0;
+    tcp.ece = (flags & 0x40) != 0;
+    tcp.urg = (flags & 0x20) != 0;
+    tcp.ack_flag = (flags & 0x10) != 0;
+    tcp.psh = (flags & 0x08) != 0;
+    tcp.rst = (flags & 0x04) != 0;
+    tcp.syn = (flags & 0x02) != 0;
+    tcp.fin = (flags & 0x01) != 0;
+    tcp.window = tr.u16_be();
+    tcp.checksum = tr.u16_be();
+    tcp.urgent_pointer = tr.u16_be();
+    const std::size_t declared_opt = (static_cast<std::size_t>(doff) - 5) * 4;
+    const std::size_t occupied_opt_bits =
+        occupancy(row, kTcpOffset + 160, kTcpBits - 160);
+    const std::size_t occupied_opt = (occupied_opt_bits / 32) * 4;
+    tcp.options = read_bytes(row, kTcpOffset + 160,
+                             std::min(declared_opt, occupied_opt));
+    out.tcp = std::move(tcp);
+    out.ip.protocol = net::IpProto::kTcp;
+  } else if (udp_score >= icmp_score && udp_occ > 0) {
+    auto bytes = read_bytes(row, kUdpOffset, 8);
+    repro::ByteReader ur{std::span<const std::uint8_t>(bytes)};
+    out.udp = net::UdpHeader::parse(ur);
+    out.ip.protocol = net::IpProto::kUdp;
+  } else if (icmp_occ > 0) {
+    auto bytes = read_bytes(row, kIcmpOffset, 8);
+    repro::ByteReader ir{std::span<const std::uint8_t>(bytes)};
+    out.icmp = net::IcmpHeader::parse(ir);
+    out.ip.protocol = net::IpProto::kIcmp;
+  } else {
+    // IP-only row (no transport region occupied): synthesize a payload-less
+    // UDP packet so the result is still replayable.
+    out.udp = net::UdpHeader{};
+    out.ip.protocol = net::IpProto::kUdp;
+  }
+
+  // Reconstruct payload length from the IPv4 total length, clamped to a
+  // sane range (generated lengths can be arbitrary bit patterns).
+  const std::size_t header_len = out.ip.header_length() + out.l4_length();
+  std::size_t payload_len = 0;
+  if (out.ip.total_length > header_len) {
+    payload_len = std::min<std::size_t>(out.ip.total_length - header_len, 9000);
+  }
+  out.payload.assign(payload_len, 0);
+  out.ip.total_length = static_cast<std::uint16_t>(out.datagram_length());
+  return true;
+}
+
+net::Flow decode_flow(const Matrix& matrix, double inter_packet_gap) {
+  net::Flow flow;
+  double t = 0.0;
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    net::Packet pkt;
+    if (!decode_packet(matrix.data().data() + r * kBitsPerPacket, pkt)) {
+      continue;
+    }
+    pkt.timestamp = t;
+    t += inter_packet_gap;
+    flow.packets.push_back(std::move(pkt));
+  }
+  if (!flow.packets.empty()) {
+    flow.key = net::FlowKey::from_packet(flow.packets.front()).canonical();
+  }
+  return flow;
+}
+
+void quantize(Matrix& matrix) noexcept {
+  for (float& v : matrix.data()) {
+    if (v < -0.5f) {
+      v = -1.0f;
+    } else if (v < 0.5f) {
+      v = 0.0f;
+    } else {
+      v = 1.0f;
+    }
+  }
+}
+
+std::string to_csv(const Matrix& matrix, bool include_header) {
+  std::string out;
+  out.reserve(matrix.rows() * kBitsPerPacket * 3);
+  if (include_header) {
+    for (std::size_t i = 0; i < kBitsPerPacket; ++i) {
+      if (i) out += ',';
+      out += feature_name(i);
+    }
+    out += '\n';
+  }
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    for (std::size_t i = 0; i < kBitsPerPacket; ++i) {
+      if (i) out += ',';
+      const float v = matrix.at(r, i);
+      out += v > 0.5f ? "1" : (v > -0.5f ? "0" : "-1");
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+double ternary_fraction(const Matrix& matrix) noexcept {
+  if (matrix.data().empty()) return 1.0;
+  std::size_t n = 0;
+  for (float v : matrix.data()) {
+    if (v == -1.0f || v == 0.0f || v == 1.0f) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(matrix.data().size());
+}
+
+}  // namespace repro::nprint

@@ -1,0 +1,83 @@
+// nprint codec: packets/flows <-> ternary bit matrices, both directions.
+//
+// Encoding is bit-faithful: every bit of every present header is emitted
+// in wire order into its layout region; absent headers and bytes beyond
+// the actual header length are vacant (-1). Decoding reverses this and is
+// deliberately *robust*: it is fed model-generated matrices, so it infers
+// the transport from region vacancy, repairs the IPv4 protocol/length
+// fields, and recomputes checksums when re-serialized — exactly the
+// "back-transformed into nprint and finally into pcap" step of §3.1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "net/packet.hpp"
+#include "nprint/layout.hpp"
+
+namespace repro::nprint {
+
+/// A flow as a (packets x 1088) ternary matrix; row-major, values are
+/// exactly -1.0f, 0.0f or 1.0f after encode/quantize.
+class Matrix {
+ public:
+  Matrix() = default;
+  explicit Matrix(std::size_t rows) : rows_(rows), data_(rows * kBitsPerPacket, -1.0f) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return kBitsPerPacket; }
+
+  float& at(std::size_t row, std::size_t col) noexcept {
+    return data_[row * kBitsPerPacket + col];
+  }
+  float at(std::size_t row, std::size_t col) const noexcept {
+    return data_[row * kBitsPerPacket + col];
+  }
+
+  std::vector<float>& data() noexcept { return data_; }
+  const std::vector<float>& data() const noexcept { return data_; }
+
+  /// True when a row has no non-vacant bit (padding row).
+  bool row_vacant(std::size_t row) const noexcept;
+
+  /// Number of leading non-vacant rows (decoded packet count).
+  std::size_t active_rows() const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::vector<float> data_;
+};
+
+/// Encodes one packet into a 1088-entry ternary vector.
+std::vector<float> encode_packet(const net::Packet& packet);
+
+/// Encodes up to `max_packets` of the flow (paper default 1024); remaining
+/// rows, if `pad_to_max`, are vacant padding so every image has the same
+/// height.
+Matrix encode_flow(const net::Flow& flow, std::size_t max_packets = kMaxPacketsPerFlow,
+                   bool pad_to_max = false);
+
+/// Decodes one row back into a packet. Vacancy decides the transport
+/// header; malformed field values are repaired (see codec.cpp). Returns
+/// false for a fully vacant row.
+bool decode_packet(const float* row, net::Packet& out);
+
+/// Decodes a matrix into a flow, skipping vacant rows. Timestamps are
+/// synthesized at `inter_packet_gap` seconds apart (nprint does not carry
+/// timing).
+net::Flow decode_flow(const Matrix& matrix, double inter_packet_gap = 1e-3);
+
+/// Snaps arbitrary real values to the nearest of {-1, 0, +1} — the
+/// "color processing" step applied to raw diffusion output.
+void quantize(Matrix& matrix) noexcept;
+
+/// Renders the matrix in the nprint tool's CSV convention: one packet
+/// per line, integer values in {-1, 0, 1}, optional header line with
+/// the 1088 feature names from layout.hpp.
+std::string to_csv(const Matrix& matrix, bool include_header = true);
+
+/// Fraction of entries already exactly ternary (diagnostic).
+double ternary_fraction(const Matrix& matrix) noexcept;
+
+}  // namespace repro::nprint

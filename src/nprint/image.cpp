@@ -1,0 +1,93 @@
+#include "nprint/image.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace repro::nprint {
+namespace {
+
+int color_distance(const Rgb& a, const Rgb& b) noexcept {
+  int d = 0;
+  for (int i = 0; i < 3; ++i) {
+    const int diff = static_cast<int>(a[static_cast<std::size_t>(i)]) -
+                     static_cast<int>(b[static_cast<std::size_t>(i)]);
+    d += diff * diff;
+  }
+  return d;
+}
+
+float nearest_value(const Rgb& px) noexcept {
+  const int d_set = color_distance(px, kColorSet);
+  const int d_clear = color_distance(px, kColorClear);
+  const int d_vacant = color_distance(px, kColorVacant);
+  if (d_set <= d_clear && d_set <= d_vacant) return 1.0f;
+  if (d_clear <= d_vacant) return 0.0f;
+  return -1.0f;
+}
+
+}  // namespace
+
+Image render(const Matrix& matrix) {
+  Image img;
+  img.width = matrix.cols();
+  img.height = matrix.rows();
+  img.pixels.resize(img.width * img.height * 3);
+  for (std::size_t y = 0; y < img.height; ++y) {
+    for (std::size_t x = 0; x < img.width; ++x) {
+      const float v = matrix.at(y, x);
+      const Rgb& c = v > 0.5f ? kColorSet : (v > -0.5f ? kColorClear : kColorVacant);
+      const std::size_t base = (y * img.width + x) * 3;
+      img.pixels[base] = c[0];
+      img.pixels[base + 1] = c[1];
+      img.pixels[base + 2] = c[2];
+    }
+  }
+  return img;
+}
+
+Matrix parse_image(const Image& image) {
+  if (image.width != kBitsPerPacket) {
+    throw std::invalid_argument("parse_image: width must be 1088");
+  }
+  Matrix matrix(image.height);
+  for (std::size_t y = 0; y < image.height; ++y) {
+    for (std::size_t x = 0; x < image.width; ++x) {
+      matrix.at(y, x) = nearest_value(image.pixel(x, y));
+    }
+  }
+  return matrix;
+}
+
+void write_ppm(const std::string& path, const Image& image) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_ppm: cannot open " + path);
+  out << "P6\n" << image.width << " " << image.height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.pixels.data()),
+            static_cast<std::streamsize>(image.pixels.size()));
+  if (!out) throw std::runtime_error("write_ppm: write failed for " + path);
+}
+
+Image read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_ppm: cannot open " + path);
+  std::string magic;
+  in >> magic;
+  if (magic != "P6") throw std::runtime_error("read_ppm: not a P6 file");
+  std::size_t width = 0, height = 0;
+  int maxval = 0;
+  in >> width >> height >> maxval;
+  if (maxval != 255) throw std::runtime_error("read_ppm: expected maxval 255");
+  in.get();  // single whitespace after header
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(width * height * 3);
+  in.read(reinterpret_cast<char*>(img.pixels.data()),
+          static_cast<std::streamsize>(img.pixels.size()));
+  if (static_cast<std::size_t>(in.gcount()) != img.pixels.size()) {
+    throw std::runtime_error("read_ppm: truncated pixel data");
+  }
+  return img;
+}
+
+}  // namespace repro::nprint

@@ -1,0 +1,46 @@
+// Image rendering of nprint matrices (Figure 2 of the paper): each pixel
+// row is one packet, each column one bit; red = 1, green = 0, grey = -1.
+// Written as binary PPM (P6) so no image library is needed; any viewer or
+// converter handles PPM.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "nprint/codec.hpp"
+
+namespace repro::nprint {
+
+/// RGB triple.
+using Rgb = std::array<std::uint8_t, 3>;
+
+inline constexpr Rgb kColorSet = {220, 50, 47};     // red   -> bit 1
+inline constexpr Rgb kColorClear = {64, 160, 43};   // green -> bit 0
+inline constexpr Rgb kColorVacant = {128, 128, 128};  // grey -> vacant
+
+/// RGB image buffer (row-major, 3 bytes/pixel).
+struct Image {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<std::uint8_t> pixels;  // width * height * 3
+
+  Rgb pixel(std::size_t x, std::size_t y) const noexcept {
+    const std::size_t base = (y * width + x) * 3;
+    return {pixels[base], pixels[base + 1], pixels[base + 2]};
+  }
+};
+
+/// Renders a ternary matrix to RGB.
+Image render(const Matrix& matrix);
+
+/// Inverse of `render` with nearest-color matching, so arbitrary RGB
+/// (e.g. a hand-edited or re-encoded image) maps back to {-1, 0, 1}.
+Matrix parse_image(const Image& image);
+
+/// Binary PPM (P6) I/O. Throws std::runtime_error on I/O failure or
+/// malformed files.
+void write_ppm(const std::string& path, const Image& image);
+Image read_ppm(const std::string& path);
+
+}  // namespace repro::nprint

@@ -1,0 +1,170 @@
+#include "nprint/layout.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace repro::nprint {
+namespace {
+
+struct Field {
+  const char* name;
+  std::size_t bits;
+};
+
+// Bit-accurate field tables matching the header layouts in net/headers.hpp
+// and the column naming convention of the nprint tool.
+constexpr std::array<Field, 10> kTcpFields = {{
+    {"tcp_sprt", 16},
+    {"tcp_dprt", 16},
+    {"tcp_seq", 32},
+    {"tcp_ackn", 32},
+    {"tcp_doff", 4},
+    {"tcp_res", 4},
+    {"tcp_flags", 8},  // cwr..fin
+    {"tcp_wsize", 16},
+    {"tcp_cksum", 16},
+    {"tcp_urp", 16},
+}};
+
+constexpr std::array<Field, 4> kUdpFields = {{
+    {"udp_sport", 16},
+    {"udp_dport", 16},
+    {"udp_len", 16},
+    {"udp_cksum", 16},
+}};
+
+constexpr std::array<Field, 4> kIcmpFields = {{
+    {"icmp_type", 8},
+    {"icmp_code", 8},
+    {"icmp_cksum", 16},
+    {"icmp_roh", 32},
+}};
+
+constexpr std::array<Field, 13> kIpv4Fields = {{
+    {"ipv4_ver", 4},
+    {"ipv4_hl", 4},
+    {"ipv4_dscp", 6},
+    {"ipv4_ecn", 2},
+    {"ipv4_tl", 16},
+    {"ipv4_id", 16},
+    {"ipv4_flags", 3},
+    {"ipv4_foff", 13},
+    {"ipv4_ttl", 8},
+    {"ipv4_proto", 8},
+    {"ipv4_cksum", 16},
+    {"ipv4_src", 32},
+    {"ipv4_dst", 32},
+}};
+
+template <std::size_t N>
+std::string name_in_region(const std::array<Field, N>& fields,
+                           std::size_t bit, const char* opt_name,
+                           std::size_t region_bits) {
+  std::size_t pos = 0;
+  for (const auto& f : fields) {
+    if (bit < pos + f.bits) {
+      return std::string(f.name) + "_" + std::to_string(bit - pos);
+    }
+    pos += f.bits;
+  }
+  // Remaining bits are the variable-length options area.
+  if (bit < region_bits) {
+    return std::string(opt_name) + "_" + std::to_string(bit - pos);
+  }
+  throw std::out_of_range("feature_name: bit outside region");
+}
+
+}  // namespace
+
+namespace {
+
+template <std::size_t N>
+void append_spans(std::vector<FieldSpan>& spans,
+                  const std::array<Field, N>& fields, std::size_t base,
+                  const char* opt_name, std::size_t region_bits) {
+  std::size_t pos = 0;
+  for (const auto& f : fields) {
+    spans.push_back({f.name, base + pos, f.bits});
+    pos += f.bits;
+  }
+  // Remaining variable-length option area as 32-bit words.
+  while (pos < region_bits) {
+    const std::size_t chunk = std::min<std::size_t>(32, region_bits - pos);
+    spans.push_back({opt_name, base + pos, chunk});
+    pos += chunk;
+  }
+}
+
+std::vector<FieldSpan> build_spans() {
+  std::vector<FieldSpan> spans;
+  append_spans(spans, kTcpFields, kTcpOffset, "tcp_opt", kTcpBits);
+  append_spans(spans, kUdpFields, kUdpOffset, "udp_pad", kUdpBits);
+  append_spans(spans, kIcmpFields, kIcmpOffset, "icmp_pad", kIcmpBits);
+  append_spans(spans, kIpv4Fields, kIpv4Offset, "ipv4_opt", kIpv4Bits);
+  return spans;
+}
+
+}  // namespace
+
+const std::vector<FieldSpan>& field_spans() {
+  static const std::vector<FieldSpan> spans = build_spans();
+  return spans;
+}
+
+Region region_of(std::size_t index) noexcept {
+  if (index < kUdpOffset) return Region::kTcp;
+  if (index < kIcmpOffset) return Region::kUdp;
+  if (index < kIpv4Offset) return Region::kIcmp;
+  return Region::kIpv4;
+}
+
+std::size_t region_offset(Region region) noexcept {
+  switch (region) {
+    case Region::kTcp:
+      return kTcpOffset;
+    case Region::kUdp:
+      return kUdpOffset;
+    case Region::kIcmp:
+      return kIcmpOffset;
+    case Region::kIpv4:
+      return kIpv4Offset;
+  }
+  return 0;
+}
+
+std::size_t region_size(Region region) noexcept {
+  switch (region) {
+    case Region::kTcp:
+      return kTcpBits;
+    case Region::kUdp:
+      return kUdpBits;
+    case Region::kIcmp:
+      return kIcmpBits;
+    case Region::kIpv4:
+      return kIpv4Bits;
+  }
+  return 0;
+}
+
+std::string feature_name(std::size_t index) {
+  if (index >= kBitsPerPacket) {
+    throw std::out_of_range("feature_name: index out of range");
+  }
+  switch (region_of(index)) {
+    case Region::kTcp:
+      return name_in_region(kTcpFields, index - kTcpOffset, "tcp_opt",
+                            kTcpBits);
+    case Region::kUdp:
+      return name_in_region(kUdpFields, index - kUdpOffset, "udp_pad",
+                            kUdpBits);
+    case Region::kIcmp:
+      return name_in_region(kIcmpFields, index - kIcmpOffset, "icmp_pad",
+                            kIcmpBits);
+    case Region::kIpv4:
+      return name_in_region(kIpv4Fields, index - kIpv4Offset, "ipv4_opt",
+                            kIpv4Bits);
+  }
+  throw std::out_of_range("feature_name: unreachable");
+}
+
+}  // namespace repro::nprint

@@ -1,0 +1,65 @@
+// The nprint bit layout (Figure 2 of the paper).
+//
+// Each packet becomes a vector of 1088 ternary features, one per header
+// *bit*, ordered as the paper's Figure 2 renders them:
+//
+//   [ TCP 480 | UDP 64 | ICMP 64 | IPv4 480 ]
+//
+// TCP and IPv4 regions are sized for the maximum header (60 bytes = 480
+// bits, i.e. 40 bytes of options each); UDP and ICMP are fixed 8-byte
+// headers. Feature values are +1 (bit set), 0 (bit clear) and -1 (bit
+// vacant: header absent, or beyond the actual header length).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace repro::nprint {
+
+inline constexpr std::size_t kTcpBits = 480;
+inline constexpr std::size_t kUdpBits = 64;
+inline constexpr std::size_t kIcmpBits = 64;
+inline constexpr std::size_t kIpv4Bits = 480;
+
+inline constexpr std::size_t kTcpOffset = 0;
+inline constexpr std::size_t kUdpOffset = kTcpOffset + kTcpBits;
+inline constexpr std::size_t kIcmpOffset = kUdpOffset + kUdpBits;
+inline constexpr std::size_t kIpv4Offset = kIcmpOffset + kIcmpBits;
+
+/// Total bit-features per packet (the paper's 1088).
+inline constexpr std::size_t kBitsPerPacket =
+    kTcpBits + kUdpBits + kIcmpBits + kIpv4Bits;
+static_assert(kBitsPerPacket == 1088);
+
+/// Maximum packets per flow image (paper: 1024 rows of pixels).
+inline constexpr std::size_t kMaxPacketsPerFlow = 1024;
+
+/// Region of the layout a bit index belongs to.
+enum class Region { kTcp, kUdp, kIcmp, kIpv4 };
+
+/// Region containing bit `index`; requires index < kBitsPerPacket.
+Region region_of(std::size_t index) noexcept;
+
+/// Half-open [begin, end) bit range of a region.
+std::size_t region_offset(Region region) noexcept;
+std::size_t region_size(Region region) noexcept;
+
+/// Human-readable feature name for a bit index, in nprint's style, e.g.
+/// "tcp_sprt_3", "ipv4_ttl_0", "udp_len_12", "icmp_type_1". Option
+/// regions are named "tcp_opt_N" / "ipv4_opt_N".
+std::string feature_name(std::size_t index);
+
+/// A contiguous header field in the layout. Option areas are split into
+/// 32-bit words so no span dwarfs the others.
+struct FieldSpan {
+  const char* name;
+  std::size_t offset;  // absolute bit offset in the 1088-bit layout
+  std::size_t bits;
+};
+
+/// All field spans in layout order; spans tile [0, kBitsPerPacket)
+/// exactly. Used for field-balanced losses and reporting.
+const std::vector<FieldSpan>& field_spans();
+
+}  // namespace repro::nprint

@@ -1,0 +1,53 @@
+#include "replay/engine.hpp"
+
+#include <algorithm>
+
+namespace repro::replay {
+
+void ReplayEngine::add_function(std::unique_ptr<NetworkFunction> function) {
+  chain_.push_back(std::move(function));
+}
+
+ReplayReport ReplayEngine::replay(const std::vector<net::Packet>& packets,
+                                  double time_scale) {
+  ReplayReport report;
+  report.input_packets = packets.size();
+  report.functions.resize(chain_.size());
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    report.functions[i].name = chain_[i]->name();
+  }
+  if (packets.empty()) return report;
+
+  std::vector<const net::Packet*> ordered;
+  ordered.reserve(packets.size());
+  for (const auto& pkt : packets) ordered.push_back(&pkt);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const net::Packet* a, const net::Packet* b) {
+                     return a->timestamp < b->timestamp;
+                   });
+
+  const double t0 = ordered.front()->timestamp;
+  for (const net::Packet* src : ordered) {
+    net::Packet pkt = *src;
+    const double timestamp = t0 + (src->timestamp - t0) * time_scale;
+    pkt.timestamp = timestamp;
+    bool alive = true;
+    for (std::size_t i = 0; i < chain_.size() && alive; ++i) {
+      FunctionStats& stats = report.functions[i];
+      ++stats.processed;
+      if (chain_[i]->process(pkt, timestamp) == Verdict::kForward) {
+        ++stats.forwarded;
+      } else {
+        ++stats.dropped;
+        alive = false;
+      }
+    }
+    if (alive) ++report.delivered_packets;
+  }
+  report.trace_duration =
+      (ordered.back()->timestamp - t0) * time_scale;
+  for (auto& function : chain_) function->finish();
+  return report;
+}
+
+}  // namespace repro::replay

@@ -1,0 +1,86 @@
+#include "replay/functions.hpp"
+
+#include <algorithm>
+
+namespace repro::replay {
+
+Verdict FlowCounter::process(net::Packet& packet, double timestamp) {
+  const net::FlowKey key = net::FlowKey::from_packet(packet).canonical();
+  auto [it, inserted] = flows_.try_emplace(key);
+  FlowEntry& entry = it->second;
+  if (inserted) entry.first_seen = timestamp;
+  entry.last_seen = timestamp;
+  entry.packets += 1;
+  entry.bytes += packet.datagram_length();
+  ++by_protocol_[packet.ip.protocol];
+  return Verdict::kForward;
+}
+
+std::size_t FlowCounter::packets_by_protocol(net::IpProto proto) const {
+  const auto it = by_protocol_.find(proto);
+  return it == by_protocol_.end() ? 0 : it->second;
+}
+
+Verdict PortAcl::process(net::Packet& packet, double /*timestamp*/) {
+  std::uint16_t dport = 0;
+  if (packet.tcp) {
+    dport = packet.tcp->dst_port;
+  } else if (packet.udp) {
+    dport = packet.udp->dst_port;
+  }
+  if (denied_.count(dport)) {
+    ++drops_;
+    return Verdict::kDrop;
+  }
+  return Verdict::kForward;
+}
+
+Verdict RateLimiter::process(net::Packet& packet, double timestamp) {
+  if (last_time_ >= 0.0 && timestamp > last_time_) {
+    tokens_ = std::min(burst_, tokens_ + (timestamp - last_time_) * rate_);
+  }
+  last_time_ = std::max(last_time_, timestamp);
+  const auto cost = static_cast<double>(packet.datagram_length());
+  if (tokens_ >= cost) {
+    tokens_ -= cost;
+    return Verdict::kForward;
+  }
+  ++drops_;
+  return Verdict::kDrop;
+}
+
+bool SourceNat::is_private(std::uint32_t address) noexcept {
+  const std::uint32_t a = address >> 24;
+  if (a == 10) return true;
+  if (a == 192 && ((address >> 16) & 0xFF) == 168) return true;
+  if (a == 172) {
+    const std::uint32_t b = (address >> 16) & 0xFF;
+    return b >= 16 && b <= 31;
+  }
+  return false;
+}
+
+Verdict SourceNat::process(net::Packet& packet, double /*timestamp*/) {
+  const std::uint16_t sport = packet.tcp   ? packet.tcp->src_port
+                              : packet.udp ? packet.udp->src_port
+                                           : 0;
+  const std::uint16_t dport = packet.tcp   ? packet.tcp->dst_port
+                              : packet.udp ? packet.udp->dst_port
+                                           : 0;
+  if (is_private(packet.ip.src_addr)) {
+    // Outbound: remember who owns this client port, then masquerade.
+    mappings_[{packet.ip.protocol, sport}] = packet.ip.src_addr;
+    packet.ip.src_addr = public_address_;
+    ++rewrites_;
+  } else if (packet.ip.dst_addr == public_address_) {
+    // Return traffic: translate back to the recorded private host.
+    const auto it = mappings_.find({packet.ip.protocol, dport});
+    if (it != mappings_.end()) {
+      packet.ip.dst_addr = it->second;
+      ++reverse_rewrites_;
+    }
+  }
+  return Verdict::kForward;
+}
+
+}  // namespace repro::replay

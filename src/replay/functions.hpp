@@ -1,0 +1,109 @@
+// Stock network functions for the replay engine: counters, ACLs, a
+// token-bucket rate limiter, and a NAT-style address rewriter. Together
+// with ConntrackFunction these form a small but realistic middlebox
+// chain for exercising replayed traces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/flow.hpp"
+#include "replay/engine.hpp"
+
+namespace repro::replay {
+
+/// Counts packets/bytes per flow and per protocol; never drops.
+class FlowCounter : public NetworkFunction {
+ public:
+  struct FlowEntry {
+    std::size_t packets = 0;
+    std::size_t bytes = 0;
+    double first_seen = 0.0;
+    double last_seen = 0.0;
+  };
+
+  std::string name() const override { return "flow-counter"; }
+  Verdict process(net::Packet& packet, double timestamp) override;
+
+  const std::map<net::FlowKey, FlowEntry>& flows() const noexcept {
+    return flows_;
+  }
+  std::size_t packets_by_protocol(net::IpProto proto) const;
+
+ private:
+  std::map<net::FlowKey, FlowEntry> flows_;
+  std::map<net::IpProto, std::size_t> by_protocol_;
+};
+
+/// Drops packets whose destination port is on the deny list.
+class PortAcl : public NetworkFunction {
+ public:
+  explicit PortAcl(std::set<std::uint16_t> denied_ports)
+      : denied_(std::move(denied_ports)) {}
+
+  std::string name() const override { return "port-acl"; }
+  Verdict process(net::Packet& packet, double timestamp) override;
+
+  std::size_t drops() const noexcept { return drops_; }
+
+ private:
+  std::set<std::uint16_t> denied_;
+  std::size_t drops_ = 0;
+};
+
+/// Token-bucket rate limiter over the whole trace (bytes per second,
+/// with a burst allowance). Uses packet timestamps, not wall time.
+class RateLimiter : public NetworkFunction {
+ public:
+  RateLimiter(double bytes_per_second, double burst_bytes)
+      : rate_(bytes_per_second), burst_(burst_bytes), tokens_(burst_bytes) {}
+
+  std::string name() const override { return "rate-limiter"; }
+  Verdict process(net::Packet& packet, double timestamp) override;
+
+  std::size_t drops() const noexcept { return drops_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_time_ = -1.0;
+  std::size_t drops_ = 0;
+};
+
+/// Bidirectional source-NAT: private (RFC1918) source addresses are
+/// rewritten to one public address on the way out, and return traffic
+/// addressed to the public address is translated back using a
+/// (protocol, client port) mapping recorded on the forward path — so
+/// stateful functions behind the NAT still see one consistent 5-tuple
+/// per connection. Checksums stay valid because the Packet struct
+/// recomputes them on serialize().
+class SourceNat : public NetworkFunction {
+ public:
+  explicit SourceNat(std::uint32_t public_address)
+      : public_address_(public_address) {}
+
+  std::string name() const override { return "source-nat"; }
+  Verdict process(net::Packet& packet, double timestamp) override;
+
+  std::size_t rewrites() const noexcept { return rewrites_; }
+  std::size_t reverse_rewrites() const noexcept { return reverse_rewrites_; }
+
+  static bool is_private(std::uint32_t address) noexcept;
+
+ private:
+  struct MappingKey {
+    net::IpProto protocol;
+    std::uint16_t client_port;
+    auto operator<=>(const MappingKey&) const = default;
+  };
+
+  std::uint32_t public_address_;
+  std::size_t rewrites_ = 0;
+  std::size_t reverse_rewrites_ = 0;
+  std::map<MappingKey, std::uint32_t> mappings_;  // -> private address
+};
+
+}  // namespace repro::replay

@@ -1,0 +1,77 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro {
+namespace {
+
+TEST(Bytes, BigEndianRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  w.u8(0xAB);
+  w.u16_be(0x1234);
+  w.u32_be(0xDEADBEEF);
+  ByteReader r{std::span<const std::uint8_t>(buf)};
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16_be(), 0x1234);
+  EXPECT_EQ(r.u32_be(), 0xDEADBEEFu);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Bytes, LittleEndianRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  w.u16_le(0x1234);
+  w.u32_le(0xCAFEBABE);
+  ByteReader r{std::span<const std::uint8_t>(buf)};
+  EXPECT_EQ(r.u16_le(), 0x1234);
+  EXPECT_EQ(r.u32_le(), 0xCAFEBABEu);
+}
+
+TEST(Bytes, BigEndianByteOrderOnWire) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  w.u16_be(0x0102);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+}
+
+TEST(Bytes, LittleEndianByteOrderOnWire) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  w.u32_le(0x01020304);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(Bytes, ReaderThrowsOnUnderflow) {
+  const std::uint8_t raw[3] = {1, 2, 3};
+  ByteReader r{std::span<const std::uint8_t>(raw, 3)};
+  EXPECT_THROW(r.u32_be(), std::out_of_range);
+  EXPECT_EQ(r.u16_be(), 0x0102);
+  EXPECT_THROW(r.u16_be(), std::out_of_range);
+}
+
+TEST(Bytes, SkipAndBytes) {
+  const std::uint8_t raw[5] = {1, 2, 3, 4, 5};
+  ByteReader r{std::span<const std::uint8_t>(raw, 5)};
+  r.skip(2);
+  const auto rest = r.bytes(2);
+  EXPECT_EQ(rest[0], 3);
+  EXPECT_EQ(rest[1], 4);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_THROW(r.skip(2), std::out_of_range);
+}
+
+TEST(Bytes, WriterAppendsSpan) {
+  std::vector<std::uint8_t> buf = {9};
+  ByteWriter w(buf);
+  const std::uint8_t extra[2] = {7, 8};
+  w.bytes(std::span<const std::uint8_t>(extra, 2));
+  EXPECT_EQ(buf, (std::vector<std::uint8_t>{9, 7, 8}));
+}
+
+}  // namespace
+}  // namespace repro

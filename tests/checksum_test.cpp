@@ -1,0 +1,83 @@
+#include "net/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace repro::net {
+namespace {
+
+TEST(Checksum, Rfc1071ReferenceVector) {
+  // Classic example from RFC 1071 §3: the words 0x0001, 0xf203, 0xf4f5,
+  // 0xf6f7 sum to 0xddf2 (before complement), so the checksum is ~0xddf2.
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03,
+                                          0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xddf2));
+}
+
+TEST(Checksum, ZeroBufferIsAllOnes) {
+  const std::vector<std::uint8_t> data(8, 0);
+  EXPECT_EQ(internet_checksum(data), 0xFFFF);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> odd = {0x12, 0x34, 0x56};
+  const std::vector<std::uint8_t> even = {0x12, 0x34, 0x56, 0x00};
+  EXPECT_EQ(internet_checksum(odd), internet_checksum(even));
+}
+
+TEST(Checksum, BufferWithChecksumFieldSumsToAllOnes) {
+  // Verification property used by every IP stack: inserting the checksum
+  // back into the data makes the one's-complement sum 0xFFFF (i.e. the
+  // computed checksum of the patched buffer is 0).
+  std::vector<std::uint8_t> data = {0x45, 0x00, 0x00, 0x28, 0x1c, 0x46,
+                                    0x40, 0x00, 0x40, 0x06, 0x00, 0x00,
+                                    0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8,
+                                    0x00, 0xc7};
+  const std::uint16_t sum = internet_checksum(data);
+  data[10] = static_cast<std::uint8_t>(sum >> 8);
+  data[11] = static_cast<std::uint8_t>(sum);
+  EXPECT_EQ(internet_checksum(data), 0x0000);
+}
+
+TEST(Checksum, KnownIpv4HeaderChecksum) {
+  // Wikipedia's worked IPv4 header example; checksum field must come out
+  // as 0xB861.
+  std::vector<std::uint8_t> header = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00,
+                                      0x40, 0x00, 0x40, 0x11, 0x00, 0x00,
+                                      0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8,
+                                      0x00, 0xc7};
+  EXPECT_EQ(internet_checksum(header), 0xB861);
+}
+
+TEST(Checksum, AccumulatorMatchesOneShot) {
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  ChecksumAccumulator acc;
+  acc.add(std::span<const std::uint8_t>(data.data(), 3));
+  acc.add(std::span<const std::uint8_t>(data.data() + 3, 4));
+  acc.add(std::span<const std::uint8_t>(data.data() + 7, 2));
+  EXPECT_EQ(acc.finish(), internet_checksum(data));
+}
+
+TEST(Checksum, AccumulatorOddSplitAcrossBuffers) {
+  // Splitting at an odd offset must preserve 16-bit word alignment
+  // semantics of the overall stream.
+  const std::vector<std::uint8_t> data = {0xAA, 0xBB, 0xCC, 0xDD, 0xEE};
+  ChecksumAccumulator acc;
+  acc.add(std::span<const std::uint8_t>(data.data(), 1));
+  acc.add(std::span<const std::uint8_t>(data.data() + 1, 1));
+  acc.add(std::span<const std::uint8_t>(data.data() + 2, 3));
+  EXPECT_EQ(acc.finish(), internet_checksum(data));
+}
+
+TEST(Checksum, AccumulatorHelpers) {
+  ChecksumAccumulator a, b;
+  a.add_u16(0x1234);
+  a.add_u32(0xAABBCCDD);
+  const std::vector<std::uint8_t> same = {0x12, 0x34, 0xAA, 0xBB, 0xCC, 0xDD};
+  b.add(same);
+  EXPECT_EQ(a.finish(), b.finish());
+}
+
+}  // namespace
+}  // namespace repro::net

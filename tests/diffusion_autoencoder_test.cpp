@@ -1,0 +1,142 @@
+#include "diffusion/autoencoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flowgen/generator.hpp"
+
+namespace repro::diffusion {
+namespace {
+
+AutoencoderConfig tiny_config() {
+  AutoencoderConfig cfg;
+  cfg.hidden_dim = 64;
+  cfg.latent_dim = 12;
+  return cfg;
+}
+
+nn::Tensor sample_rows(std::size_t count, Rng& rng) {
+  nn::Tensor rows({count, nprint::kBitsPerPacket});
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto app = static_cast<flowgen::App>(rng.uniform_u64(3));
+    const net::Flow flow = flowgen::generate_flow(app, 4, rng);
+    const auto row = nprint::encode_packet(flow.packets[0]);
+    std::copy(row.begin(), row.end(),
+              rows.data() + i * nprint::kBitsPerPacket);
+  }
+  return rows;
+}
+
+TEST(Autoencoder, EncodeDecodeShapes) {
+  Rng rng(1);
+  PacketAutoencoder ae(tiny_config(), rng);
+  nn::Tensor rows({5, nprint::kBitsPerPacket});
+  const nn::Tensor z = ae.encode(rows);
+  EXPECT_EQ(z.shape(), (std::vector<std::size_t>{5, 12}));
+  const nn::Tensor recon = ae.decode(z);
+  EXPECT_EQ(recon.shape(), rows.shape());
+}
+
+TEST(Autoencoder, TrainingReducesReconstructionLoss) {
+  Rng rng(2);
+  PacketAutoencoder ae(tiny_config(), rng);
+  const nn::Tensor rows = sample_rows(48, rng);
+  const float before = ae.reconstruction_loss(rows);
+  ae.train(rows, /*epochs=*/12, /*batch_size=*/16, /*lr=*/2e-3f, rng);
+  const float after = ae.reconstruction_loss(rows);
+  EXPECT_LT(after, before * 0.5f);
+}
+
+TEST(Autoencoder, MatrixRoundTripShapes) {
+  Rng rng(3);
+  PacketAutoencoder ae(tiny_config(), rng);
+  const net::Flow flow = flowgen::generate_flow(flowgen::App::kNetflix, 6, rng);
+  const nprint::Matrix matrix = nprint::encode_flow(flow, 8, true);
+  const nn::Tensor latent = ae.encode_matrix(matrix);
+  EXPECT_EQ(latent.shape(), (std::vector<std::size_t>{1, 12, 8}));
+  const nprint::Matrix back = ae.decode_matrix(latent);
+  EXPECT_EQ(back.rows(), 8u);
+  EXPECT_EQ(back.cols(), nprint::kBitsPerPacket);
+}
+
+TEST(Autoencoder, EncodeMatrixTransposesConsistently) {
+  // encode_matrix must place packet t's latent at [:, t].
+  Rng rng(4);
+  PacketAutoencoder ae(tiny_config(), rng);
+  const net::Flow flow = flowgen::generate_flow(flowgen::App::kTeams, 4, rng);
+  const nprint::Matrix matrix = nprint::encode_flow(flow, 4, true);
+  const nn::Tensor latent = ae.encode_matrix(matrix);
+
+  nn::Tensor row0({1, nprint::kBitsPerPacket});
+  std::copy(matrix.data().begin(),
+            matrix.data().begin() + nprint::kBitsPerPacket, row0.data());
+  const nn::Tensor z0 = ae.encode(row0);
+  for (std::size_t c = 0; c < 12; ++c) {
+    EXPECT_FLOAT_EQ(latent.at3(0, c, 0), z0.at2(0, c));
+  }
+}
+
+TEST(Autoencoder, ParameterCountMatchesArchitecture) {
+  Rng rng(5);
+  AutoencoderConfig cfg = tiny_config();
+  PacketAutoencoder ae(cfg, rng);
+  std::size_t total = 0;
+  for (nn::Parameter* p : ae.parameters()) total += p->value.size();
+  const std::size_t expected =
+      (cfg.input_dim * cfg.hidden_dim + cfg.hidden_dim) +
+      (cfg.hidden_dim * cfg.latent_dim + cfg.latent_dim) +
+      (cfg.latent_dim * cfg.hidden_dim + cfg.hidden_dim) +
+      (cfg.hidden_dim * cfg.input_dim + cfg.input_dim);
+  EXPECT_EQ(total, expected);
+}
+
+TEST(Autoencoder, RegionWeightingFlagChangesLoss) {
+  // Same data, same seed: the weighted loss differs from the plain MSE
+  // (it emphasizes the small UDP/ICMP regions), while both train.
+  Rng rng_a(21), rng_b(21);
+  AutoencoderConfig weighted = tiny_config();
+  AutoencoderConfig plain = tiny_config();
+  plain.region_weighting = false;
+  PacketAutoencoder ae_weighted(weighted, rng_a);
+  PacketAutoencoder ae_plain(plain, rng_b);
+  Rng data_rng(22);
+  const nn::Tensor rows = sample_rows(32, data_rng);
+  Rng train_a(23), train_b(23);
+  const float loss_weighted = ae_weighted.train(rows, 3, 16, 2e-3f, train_a);
+  const float loss_plain = ae_plain.train(rows, 3, 16, 2e-3f, train_b);
+  EXPECT_TRUE(std::isfinite(loss_weighted));
+  EXPECT_TRUE(std::isfinite(loss_plain));
+  EXPECT_NE(loss_weighted, loss_plain);
+}
+
+TEST(Autoencoder, LearnsVacancyStructure) {
+  // After training on TCP-only rows, reconstructions must clearly
+  // separate occupied (TCP/IPv4) regions from vacant (UDP/ICMP) ones.
+  Rng rng(6);
+  PacketAutoencoder ae(tiny_config(), rng);
+  nn::Tensor rows({40, nprint::kBitsPerPacket});
+  for (std::size_t i = 0; i < 40; ++i) {
+    const net::Flow flow =
+        flowgen::generate_flow(flowgen::App::kNetflix, 4, rng);
+    const auto row = nprint::encode_packet(flow.packets[0]);
+    std::copy(row.begin(), row.end(), rows.data() + i * nprint::kBitsPerPacket);
+  }
+  ae.train(rows, 40, 16, 2e-3f, rng);
+  const nn::Tensor recon = ae.decode(ae.encode(rows));
+  // UDP region (vacant in TCP rows) must reconstruct clearly negative.
+  double udp_mean = 0.0;
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < 40; ++r) {
+    for (std::size_t i = nprint::kUdpOffset;
+         i < nprint::kUdpOffset + nprint::kUdpBits; ++i) {
+      udp_mean += recon[r * nprint::kBitsPerPacket + i];
+      ++n;
+    }
+  }
+  udp_mean /= static_cast<double>(n);
+  EXPECT_LT(udp_mean, -0.5);
+}
+
+}  // namespace
+}  // namespace repro::diffusion

@@ -1,0 +1,64 @@
+#include "diffusion/conditioning.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::diffusion {
+namespace {
+
+PromptCodec codec() {
+  return PromptCodec({"netflix", "youtube", "amazon"});
+}
+
+TEST(PromptCodec, EncodeProducesTypePrompts) {
+  const auto c = codec();
+  EXPECT_EQ(c.encode_prompt(0), "Type-0");
+  EXPECT_EQ(c.encode_prompt(2), "Type-2");
+  EXPECT_THROW(c.encode_prompt(3), std::out_of_range);
+  EXPECT_THROW(c.encode_prompt(-1), std::out_of_range);
+}
+
+TEST(PromptCodec, ParseTypePrompts) {
+  const auto c = codec();
+  EXPECT_EQ(c.parse_prompt("Type-1"), 1);
+  EXPECT_EQ(c.parse_prompt("type-2"), 2);
+  EXPECT_EQ(c.parse_prompt("TYPE-0"), 0);
+}
+
+TEST(PromptCodec, ParseClassNames) {
+  const auto c = codec();
+  EXPECT_EQ(c.parse_prompt("netflix"), 0);
+  EXPECT_EQ(c.parse_prompt("Amazon"), 2);
+}
+
+TEST(PromptCodec, EmptyPromptIsNull) {
+  const auto c = codec();
+  EXPECT_EQ(c.parse_prompt(""), c.null_id());
+  EXPECT_EQ(c.null_id(), 3);
+}
+
+TEST(PromptCodec, UnknownPromptsRejected) {
+  const auto c = codec();
+  EXPECT_EQ(c.parse_prompt("Type-9"), std::nullopt);
+  EXPECT_EQ(c.parse_prompt("Type-x"), std::nullopt);
+  EXPECT_EQ(c.parse_prompt("hulu"), std::nullopt);
+}
+
+TEST(PromptCodec, RoundTripAllClasses) {
+  const auto c = codec();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(c.parse_prompt(c.encode_prompt(i)), i);
+  }
+}
+
+TEST(PromptCodec, ClassNameLookup) {
+  const auto c = codec();
+  EXPECT_EQ(c.class_name(1), "youtube");
+  EXPECT_THROW(c.class_name(5), std::out_of_range);
+}
+
+TEST(PromptCodec, RejectsEmptyClassList) {
+  EXPECT_THROW(PromptCodec({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repro::diffusion

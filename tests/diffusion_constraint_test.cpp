@@ -1,0 +1,226 @@
+#include "diffusion/constraint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flowgen/generator.hpp"
+
+namespace repro::diffusion {
+namespace {
+
+using net::IpProto;
+
+TEST(ProtocolTemplate, UniformFillsAllRows) {
+  const auto t = ProtocolTemplate::uniform(IpProto::kUdp, 5);
+  ASSERT_EQ(t.per_packet.size(), 5u);
+  for (const auto proto : t.per_packet) {
+    EXPECT_EQ(proto, IpProto::kUdp);
+  }
+}
+
+TEST(ProtocolTemplate, FromFlowCopiesPerPacketAndPadsWithDominant) {
+  net::Flow flow;
+  flow.packets.push_back(net::make_udp_packet(1, 2, 3, 4, 8, 0.0));
+  flow.packets.push_back(net::make_udp_packet(1, 2, 3, 4, 8, 0.1));
+  flow.packets.push_back(net::make_tcp_packet(1, 2, 3, 4, 8, 0.2));
+  const auto t = ProtocolTemplate::from_flow(flow, 6);
+  ASSERT_EQ(t.per_packet.size(), 6u);
+  EXPECT_EQ(t.per_packet[0], IpProto::kUdp);
+  EXPECT_EQ(t.per_packet[2], IpProto::kTcp);
+  EXPECT_EQ(t.per_packet[5], IpProto::kUdp);  // dominant pads
+}
+
+TEST(Constraint, ProjectionForcesFullCompliance) {
+  // Encode a UDP flow, demand TCP: projection must flip every row.
+  Rng rng(1);
+  const net::Flow flow = flowgen::generate_flow(flowgen::App::kTeams, 6, rng);
+  nprint::Matrix matrix = nprint::encode_flow(flow, 8, true);
+  const auto target = ProtocolTemplate::uniform(IpProto::kTcp, 8);
+  EXPECT_LT(template_compliance(matrix, target), 0.5);
+  project_to_template(matrix, target);
+  EXPECT_DOUBLE_EQ(template_compliance(matrix, target), 1.0);
+}
+
+TEST(Constraint, ProjectionSetsIpv4ProtocolField) {
+  Rng rng(2);
+  const net::Flow flow = flowgen::generate_flow(flowgen::App::kTeams, 4, rng);
+  nprint::Matrix matrix = nprint::encode_flow(flow, 4, true);
+  project_to_template(matrix, ProtocolTemplate::uniform(IpProto::kTcp, 4));
+  const net::Flow decoded = nprint::decode_flow(matrix);
+  for (const auto& pkt : decoded.packets) {
+    EXPECT_EQ(pkt.ip.protocol, IpProto::kTcp);
+    EXPECT_TRUE(pkt.tcp.has_value());
+  }
+}
+
+TEST(Constraint, ProjectionSkipsVacantRows) {
+  nprint::Matrix matrix(4);  // all vacant
+  project_to_template(matrix, ProtocolTemplate::uniform(IpProto::kTcp, 4));
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_TRUE(matrix.row_vacant(r));
+  }
+}
+
+TEST(Constraint, ProjectionPreservesMatchingContent) {
+  // A TCP row projected onto a TCP template keeps its TCP content bits.
+  Rng rng(3);
+  const net::Flow flow = flowgen::generate_flow(flowgen::App::kNetflix, 4, rng);
+  nprint::Matrix matrix = nprint::encode_flow(flow, 4, true);
+  const nprint::Matrix before = matrix;
+  project_to_template(matrix, ProtocolTemplate::from_flow(flow, 4));
+  // TCP source-port bits (0..15) must be untouched.
+  for (std::size_t r = 0; r < matrix.active_rows(); ++r) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(matrix.at(r, i), before.at(r, i));
+    }
+  }
+}
+
+TEST(Constraint, ComplianceIgnoresRowsBeyondTemplate) {
+  Rng rng(4);
+  const net::Flow flow = flowgen::generate_flow(flowgen::App::kNetflix, 6, rng);
+  const nprint::Matrix matrix = nprint::encode_flow(flow, 6, false);
+  const auto target = ProtocolTemplate::uniform(IpProto::kTcp, 3);
+  EXPECT_DOUBLE_EQ(template_compliance(matrix, target), 1.0);
+}
+
+TEST(Constraint, ComplianceZeroWhenAllVacant) {
+  nprint::Matrix matrix(4);
+  EXPECT_DOUBLE_EQ(
+      template_compliance(matrix, ProtocolTemplate::uniform(IpProto::kTcp, 4)),
+      0.0);
+}
+
+TEST(Constraint, MixedTemplateRespectedPerRow) {
+  Rng rng(5);
+  const net::Flow flow = flowgen::generate_flow(flowgen::App::kOther, 4, rng);
+  nprint::Matrix matrix = nprint::encode_flow(flow, 4, true);
+  ProtocolTemplate target;
+  target.per_packet = {IpProto::kTcp, IpProto::kUdp, IpProto::kIcmp,
+                       IpProto::kTcp};
+  project_to_template(matrix, target);
+  EXPECT_DOUBLE_EQ(template_compliance(matrix, target), 1.0);
+  const net::Flow decoded = nprint::decode_flow(matrix);
+  ASSERT_EQ(decoded.packets.size(), 4u);
+  EXPECT_TRUE(decoded.packets[0].tcp.has_value());
+  EXPECT_TRUE(decoded.packets[1].udp.has_value());
+  EXPECT_TRUE(decoded.packets[2].icmp.has_value());
+}
+
+/// Fabricates a "generated" TCP flow with garbage flags/sequence numbers
+/// but meaningful content fields (windows, TTLs, sizes).
+net::Flow scrambled_tcp_flow(std::size_t packets, Rng& rng) {
+  net::Flow flow;
+  for (std::size_t i = 0; i < packets; ++i) {
+    net::Packet pkt = net::make_tcp_packet(
+        0xC0A80005, 0x0D0D0D01, 50123, 443,
+        static_cast<std::size_t>(rng.uniform_int(0, 1200)), i * 0.01);
+    pkt.tcp->seq = static_cast<std::uint32_t>(rng.next_u64());
+    pkt.tcp->ack = static_cast<std::uint32_t>(rng.next_u64());
+    pkt.tcp->syn = rng.bernoulli(0.3);
+    pkt.tcp->fin = rng.bernoulli(0.3);
+    pkt.tcp->ack_flag = rng.bernoulli(0.5);
+    pkt.tcp->window = static_cast<std::uint16_t>(rng.uniform_int(1000, 60000));
+    pkt.ip.ttl = static_cast<std::uint8_t>(rng.uniform_int(50, 64));
+    flow.packets.push_back(std::move(pkt));
+  }
+  flow.key = net::FlowKey::from_packet(flow.packets.front()).canonical();
+  return flow;
+}
+
+TEST(StatefulRepair, ProducesValidHandshake) {
+  Rng rng(11);
+  const net::Flow tmpl = flowgen::generate_flow(flowgen::App::kNetflix, 16, rng);
+  const net::Flow garbage = scrambled_tcp_flow(16, rng);
+  const net::Flow fixed = enforce_tcp_state(garbage, tmpl);
+  ASSERT_EQ(fixed.packets.size(), 16u);
+  EXPECT_TRUE(fixed.packets[0].tcp->syn);
+  EXPECT_FALSE(fixed.packets[0].tcp->ack_flag);
+  EXPECT_TRUE(fixed.packets[1].tcp->syn);
+  EXPECT_TRUE(fixed.packets[1].tcp->ack_flag);
+  EXPECT_FALSE(fixed.packets[2].tcp->syn);
+  EXPECT_TRUE(fixed.packets[2].tcp->ack_flag);
+}
+
+TEST(StatefulRepair, PreservesGeneratedContentFields) {
+  Rng rng(12);
+  const net::Flow tmpl = flowgen::generate_flow(flowgen::App::kNetflix, 16, rng);
+  const net::Flow garbage = scrambled_tcp_flow(16, rng);
+  const net::Flow fixed = enforce_tcp_state(garbage, tmpl);
+  for (std::size_t i = 1; i < fixed.packets.size(); ++i) {
+    EXPECT_EQ(fixed.packets[i].tcp->window, garbage.packets[i].tcp->window);
+    EXPECT_EQ(fixed.packets[i].ip.ttl, garbage.packets[i].ip.ttl);
+    if (!fixed.packets[i].tcp->syn) {
+      EXPECT_EQ(fixed.packets[i].payload.size(),
+                garbage.packets[i].payload.size());
+    }
+  }
+}
+
+TEST(StatefulRepair, UdpTemplateHarmonizesEndpoints) {
+  Rng rng(15);
+  net::Flow tmpl = flowgen::generate_flow(flowgen::App::kMeet, 8, rng);
+  while (tmpl.dominant_protocol() != net::IpProto::kUdp) {
+    tmpl = flowgen::generate_flow(flowgen::App::kMeet, 8, rng);
+  }
+  // Scrambled UDP flow: every packet has different endpoints.
+  net::Flow garbage;
+  for (std::size_t i = 0; i < 8; ++i) {
+    garbage.packets.push_back(net::make_udp_packet(
+        static_cast<std::uint32_t>(rng.next_u64()),
+        static_cast<std::uint32_t>(rng.next_u64()),
+        static_cast<std::uint16_t>(rng.next_u64()),
+        static_cast<std::uint16_t>(rng.next_u64()), 50, i * 0.01));
+  }
+  const net::Flow fixed = enforce_tcp_state(garbage, tmpl);
+  // One canonical 5-tuple across the whole flow now.
+  const net::FlowKey key = net::FlowKey::from_packet(fixed.packets[0]).canonical();
+  for (const auto& pkt : fixed.packets) {
+    EXPECT_EQ(net::FlowKey::from_packet(pkt).canonical(), key);
+    // Payload lengths untouched.
+    EXPECT_EQ(pkt.payload.size(), 50u);
+  }
+  // Both directions present (templates are bidirectional).
+  bool up = false, down = false;
+  for (const auto& pkt : fixed.packets) {
+    if (pkt.ip.src_addr == fixed.packets[0].ip.src_addr) {
+      up = true;
+    } else {
+      down = true;
+    }
+  }
+  EXPECT_TRUE(up);
+  EXPECT_TRUE(down);
+}
+
+TEST(StatefulRepair, NonTcpTemplateIsNoOp) {
+  Rng rng(13);
+  const net::Flow tmpl = flowgen::generate_flow(flowgen::App::kTeams, 8, rng);
+  if (tmpl.dominant_protocol() == net::IpProto::kTcp) {
+    GTEST_SKIP() << "drew the rare TCP teams flow";
+  }
+  const net::Flow garbage = scrambled_tcp_flow(8, rng);
+  const net::Flow same = enforce_tcp_state(garbage, tmpl);
+  for (std::size_t i = 0; i < same.packets.size(); ++i) {
+    EXPECT_EQ(same.packets[i].tcp->seq, garbage.packets[i].tcp->seq);
+  }
+}
+
+TEST(StatefulRepair, EmptyFlowsHandled) {
+  const net::Flow empty;
+  Rng rng(14);
+  const net::Flow tmpl = flowgen::generate_flow(flowgen::App::kNetflix, 8, rng);
+  EXPECT_TRUE(enforce_tcp_state(empty, tmpl).packets.empty());
+  const net::Flow garbage = scrambled_tcp_flow(4, rng);
+  EXPECT_EQ(enforce_tcp_state(garbage, empty).packets.size(), 4u);
+}
+
+TEST(Constraint, ProjectedMatrixStaysTernary) {
+  Rng rng(6);
+  const net::Flow flow = flowgen::generate_flow(flowgen::App::kMeet, 4, rng);
+  nprint::Matrix matrix = nprint::encode_flow(flow, 4, true);
+  project_to_template(matrix, ProtocolTemplate::uniform(IpProto::kTcp, 4));
+  EXPECT_DOUBLE_EQ(nprint::ternary_fraction(matrix), 1.0);
+}
+
+}  // namespace
+}  // namespace repro::diffusion

@@ -1,0 +1,106 @@
+#include "diffusion/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace repro::diffusion {
+namespace {
+
+class ScheduleKindTest : public ::testing::TestWithParam<ScheduleKind> {};
+
+TEST_P(ScheduleKindTest, AlphaBarMonotonicallyDecreasing) {
+  NoiseSchedule schedule(100, GetParam());
+  for (std::size_t t = 1; t < schedule.timesteps(); ++t) {
+    EXPECT_LT(schedule.alpha_bar(t), schedule.alpha_bar(t - 1)) << "t=" << t;
+  }
+  EXPECT_GT(schedule.alpha_bar(0), 0.9f);
+  // The linear schedule at T=100 keeps noticeable signal at the terminal
+  // step (its betas were tuned for T=1000); cosine decays to ~0 at any T.
+  EXPECT_LT(schedule.alpha_bar(99), 0.5f);
+}
+
+TEST_P(ScheduleKindTest, BetasInUnitInterval) {
+  NoiseSchedule schedule(200, GetParam());
+  for (std::size_t t = 0; t < schedule.timesteps(); ++t) {
+    EXPECT_GT(schedule.beta(t), 0.0f);
+    EXPECT_LT(schedule.beta(t), 1.0f);
+    EXPECT_NEAR(schedule.alpha(t), 1.0f - schedule.beta(t), 1e-7);
+  }
+}
+
+TEST_P(ScheduleKindTest, SqrtIdentities) {
+  NoiseSchedule schedule(50, GetParam());
+  for (std::size_t t = 0; t < 50; ++t) {
+    EXPECT_NEAR(schedule.sqrt_alpha_bar(t) * schedule.sqrt_alpha_bar(t),
+                schedule.alpha_bar(t), 1e-6);
+    EXPECT_NEAR(schedule.sqrt_one_minus_alpha_bar(t) *
+                    schedule.sqrt_one_minus_alpha_bar(t),
+                1.0f - schedule.alpha_bar(t), 1e-6);
+  }
+}
+
+TEST_P(ScheduleKindTest, PosteriorVarianceNonNegativeAndBounded) {
+  NoiseSchedule schedule(100, GetParam());
+  for (std::size_t t = 0; t < 100; ++t) {
+    EXPECT_GE(schedule.posterior_variance(t), 0.0f);
+    EXPECT_LE(schedule.posterior_variance(t), schedule.beta(t) + 1e-6f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKinds, ScheduleKindTest,
+                         ::testing::Values(ScheduleKind::kLinear,
+                                           ScheduleKind::kCosine),
+                         [](const auto& info) {
+                           return info.param == ScheduleKind::kLinear
+                                      ? "linear"
+                                      : "cosine";
+                         });
+
+TEST(Schedule, RejectsZeroTimesteps) {
+  EXPECT_THROW(NoiseSchedule(0, ScheduleKind::kLinear), std::invalid_argument);
+}
+
+TEST(Schedule, QSampleStatistics) {
+  NoiseSchedule schedule(100, ScheduleKind::kCosine);
+  Rng rng(1);
+  nn::Tensor x0 = nn::Tensor::full({10000}, 2.0f);
+  nn::Tensor noise;
+  const std::size_t t = 50;
+  const nn::Tensor xt = schedule.q_sample(x0, t, rng, noise);
+  // Mean ~ sqrt(abar)*2, variance ~ 1 - abar.
+  double mean = 0.0;
+  for (std::size_t i = 0; i < xt.size(); ++i) mean += xt[i];
+  mean /= static_cast<double>(xt.size());
+  EXPECT_NEAR(mean, 2.0 * schedule.sqrt_alpha_bar(t), 0.05);
+  double var = 0.0;
+  for (std::size_t i = 0; i < xt.size(); ++i) {
+    var += (xt[i] - mean) * (xt[i] - mean);
+  }
+  var /= static_cast<double>(xt.size());
+  EXPECT_NEAR(var, 1.0 - schedule.alpha_bar(t), 0.05);
+}
+
+TEST(Schedule, PredictX0InvertsQSample) {
+  NoiseSchedule schedule(100, ScheduleKind::kLinear);
+  Rng rng(2);
+  nn::Tensor x0({64});
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    x0[i] = static_cast<float>(rng.gaussian());
+  }
+  nn::Tensor noise;
+  const std::size_t t = 70;
+  const nn::Tensor xt = schedule.q_sample(x0, t, rng, noise);
+  const nn::Tensor recovered = schedule.predict_x0(xt, noise, t);
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    EXPECT_NEAR(recovered[i], x0[i], 1e-3);
+  }
+}
+
+TEST(Schedule, TimestepCountHonored) {
+  NoiseSchedule schedule(42, ScheduleKind::kCosine);
+  EXPECT_EQ(schedule.timesteps(), 42u);
+}
+
+}  // namespace
+}  // namespace repro::diffusion

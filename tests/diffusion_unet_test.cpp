@@ -1,0 +1,230 @@
+#include "diffusion/unet1d.hpp"
+
+#include <gtest/gtest.h>
+
+#include "diffusion/controlnet.hpp"
+#include "flowgen/generator.hpp"
+
+namespace repro::diffusion {
+namespace {
+
+UNetConfig tiny_config(std::size_t lora_rank = 0) {
+  UNetConfig cfg;
+  cfg.in_channels = 4;
+  cfg.base_channels = 8;
+  cfg.temb_dim = 16;
+  cfg.num_classes = 3;
+  cfg.groups = 4;
+  cfg.lora_rank = lora_rank;
+  return cfg;
+}
+
+TEST(UNet, OutputShapeMatchesInput) {
+  Rng rng(1);
+  UNet1d unet(tiny_config(), rng);
+  nn::Tensor x({2, 4, 16});
+  const nn::Tensor eps = unet.forward(x, {1.0f, 2.0f}, {0, 1});
+  EXPECT_EQ(eps.shape(), x.shape());
+}
+
+TEST(UNet, RejectsBadInput) {
+  Rng rng(2);
+  UNet1d unet(tiny_config(), rng);
+  EXPECT_THROW(unet.forward(nn::Tensor({1, 3, 16}), {0.0f}, {0}),
+               std::invalid_argument);
+  EXPECT_THROW(unet.forward(nn::Tensor({1, 4, 10}), {0.0f}, {0}),
+               std::invalid_argument);  // L not divisible by 4
+}
+
+TEST(UNet, ClassConditioningChangesOutput) {
+  Rng rng(3);
+  UNet1d unet(tiny_config(), rng);
+  nn::Tensor x({1, 4, 16});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.gaussian());
+  }
+  const nn::Tensor a = unet.forward(x, {5.0f}, {0});
+  const nn::Tensor b = unet.forward(x, {5.0f}, {1});
+  float diff = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(UNet, TimestepConditioningChangesOutput) {
+  Rng rng(4);
+  UNet1d unet(tiny_config(), rng);
+  nn::Tensor x({1, 4, 16});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.gaussian());
+  }
+  const nn::Tensor a = unet.forward(x, {1.0f}, {0});
+  const nn::Tensor b = unet.forward(x, {90.0f}, {0});
+  float diff = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(UNet, FreshControlBranchIsNoOp) {
+  // ControlNet's zero convolutions must make the control residuals exact
+  // zeros before training, so conditioning on a hint changes nothing.
+  Rng rng(5);
+  const UNetConfig cfg = tiny_config();
+  UNet1d unet(cfg, rng);
+  ControlNetBranch control(cfg, rng);
+  nn::Tensor x({1, 4, 16});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.gaussian());
+  }
+  nn::Tensor hint({1, kHintChannels, 16});
+  for (std::size_t t = 0; t < 16; ++t) hint.at3(0, 0, t) = 1.0f;
+
+  const ControlResiduals residuals =
+      control.forward(x, {3.0f}, {1}, hint);
+  for (std::size_t i = 0; i < residuals.skip1.size(); ++i) {
+    EXPECT_EQ(residuals.skip1[i], 0.0f);
+  }
+  for (std::size_t i = 0; i < residuals.mid.size(); ++i) {
+    EXPECT_EQ(residuals.mid[i], 0.0f);
+  }
+
+  const nn::Tensor without = unet.forward(x, {3.0f}, {1});
+  const nn::Tensor with_ctrl = unet.forward(x, {3.0f}, {1}, &residuals);
+  for (std::size_t i = 0; i < without.size(); ++i) {
+    EXPECT_FLOAT_EQ(with_ctrl[i], without[i]);
+  }
+}
+
+TEST(UNet, ControlResidualShapes) {
+  Rng rng(6);
+  const UNetConfig cfg = tiny_config();
+  ControlNetBranch control(cfg, rng);
+  nn::Tensor x({2, 4, 16});
+  nn::Tensor hint({2, kHintChannels, 16});
+  const ControlResiduals res = control.forward(x, {1.0f, 2.0f}, {0, 1}, hint);
+  EXPECT_EQ(res.skip1.shape(), (std::vector<std::size_t>{2, 8, 16}));
+  EXPECT_EQ(res.skip2.shape(), (std::vector<std::size_t>{2, 16, 8}));
+  EXPECT_EQ(res.mid.shape(), (std::vector<std::size_t>{2, 16, 4}));
+}
+
+TEST(UNet, LoraParametersOnlyWithPositiveRank) {
+  Rng rng(7);
+  UNet1d plain(tiny_config(0), rng);
+  EXPECT_TRUE(plain.lora_parameters().empty());
+  UNet1d lora(tiny_config(4), rng);
+  const auto adapters = lora.lora_parameters();
+  EXPECT_EQ(adapters.size(), 8u);  // q,k,v,o each A+B
+}
+
+TEST(UNet, FreezeBaseLeavesOnlyAdaptersTrainable) {
+  Rng rng(8);
+  UNet1d unet(tiny_config(2), rng);
+  unet.freeze_base();
+  std::size_t trainable = 0;
+  for (nn::Parameter* p : unet.parameters()) {
+    if (p->trainable) ++trainable;
+  }
+  // Adapters plus the class ("word") embedding table stay trainable.
+  EXPECT_EQ(trainable, unet.lora_parameters().size() + 1);
+  EXPECT_TRUE(unet.class_embedding_table().trainable);
+  unet.unfreeze_all();
+  for (nn::Parameter* p : unet.parameters()) {
+    EXPECT_TRUE(p->trainable);
+  }
+}
+
+TEST(UNet, GradControlMatchesResidualShapes) {
+  Rng rng(9);
+  const UNetConfig cfg = tiny_config();
+  UNet1d unet(cfg, rng);
+  ControlNetBranch control(cfg, rng);
+  nn::Tensor x({1, 4, 16});
+  nn::Tensor hint({1, kHintChannels, 16});
+  const ControlResiduals res = control.forward(x, {1.0f}, {0}, hint);
+  const nn::Tensor out = unet.forward(x, {1.0f}, {0}, &res);
+  unet.zero_grad();
+  ControlResiduals grads;
+  unet.backward(nn::Tensor::full(out.shape(), 1.0f), &grads);
+  EXPECT_EQ(grads.skip1.shape(), res.skip1.shape());
+  EXPECT_EQ(grads.skip2.shape(), res.skip2.shape());
+  EXPECT_EQ(grads.mid.shape(), res.mid.shape());
+  // Feeding the grads into the branch must accumulate nonzero gradients
+  // on the zero convs (their input is nonzero).
+  control.zero_grad();
+  control.backward(grads);
+  bool any_nonzero = false;
+  for (nn::Parameter* p : control.parameters()) {
+    for (std::size_t i = 0; i < p->grad.size(); ++i) {
+      if (p->grad[i] != 0.0f) {
+        any_nonzero = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(UNet, UpsampleHelpers) {
+  nn::Tensor x({1, 2, 3});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  const nn::Tensor up = upsample2x(x);
+  EXPECT_EQ(up.dim(2), 6u);
+  EXPECT_EQ(up.at3(0, 0, 0), x.at3(0, 0, 0));
+  EXPECT_EQ(up.at3(0, 0, 1), x.at3(0, 0, 0));
+  EXPECT_EQ(up.at3(0, 1, 4), x.at3(0, 1, 2));
+  const nn::Tensor back = upsample2x_backward(up);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_FLOAT_EQ(back[i], 2.0f * x[i]);
+  }
+}
+
+TEST(UNet, ConcatSplitInverse) {
+  nn::Tensor a({1, 2, 3});
+  nn::Tensor b({1, 3, 3});
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<float>(i);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 100.0f + static_cast<float>(i);
+  const nn::Tensor cat = concat_channels(a, b);
+  EXPECT_EQ(cat.dim(1), 5u);
+  nn::Tensor ga, gb;
+  split_channels(cat, 2, ga, gb);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(ga[i], a[i]);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(gb[i], b[i]);
+  EXPECT_THROW(concat_channels(a, nn::Tensor({1, 3, 4})),
+               std::invalid_argument);
+}
+
+TEST(ProtocolHint, OneHotPerPacket) {
+  Rng rng(10);
+  const net::Flow flow = flowgen::generate_flow(flowgen::App::kTeams, 6, rng);
+  const nn::Tensor hint = protocol_hint(flow, 8);
+  EXPECT_EQ(hint.shape(), (std::vector<std::size_t>{1, 3, 8}));
+  for (std::size_t t = 0; t < 8; ++t) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 3; ++c) sum += hint.at3(0, c, t);
+    EXPECT_FLOAT_EQ(sum, 1.0f) << "column " << t;
+  }
+}
+
+TEST(UNet, WidenedHintChannelsAccepted) {
+  // The pipeline widens the hint with the template latent; the branch
+  // must consume whatever hint width the config declares.
+  Rng rng(11);
+  UNetConfig cfg = tiny_config();
+  cfg.hint_channels = 7;
+  ControlNetBranch control(cfg, rng);
+  nn::Tensor x({1, 4, 16});
+  nn::Tensor hint({1, 7, 16});
+  const ControlResiduals res = control.forward(x, {1.0f}, {0}, hint);
+  EXPECT_EQ(res.skip1.dim(1), cfg.base_channels);
+}
+
+TEST(ProtocolHint, PaddingUsesDominantProtocol) {
+  net::Flow flow;
+  flow.packets.push_back(net::make_udp_packet(1, 2, 3, 4, 8, 0.0));
+  const nn::Tensor hint = protocol_hint(flow, 4);
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_FLOAT_EQ(hint.at3(0, 1, t), 1.0f);  // UDP channel
+  }
+}
+
+}  // namespace
+}  // namespace repro::diffusion

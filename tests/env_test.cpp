@@ -1,0 +1,42 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace repro {
+namespace {
+
+TEST(Env, SizeFallbackWhenUnset) {
+  ::unsetenv("REPRO_TEST_UNSET_VAR");
+  EXPECT_EQ(env_size("REPRO_TEST_UNSET_VAR", 42), 42u);
+}
+
+TEST(Env, SizeParsesValue) {
+  ::setenv("REPRO_TEST_SIZE", "128", 1);
+  EXPECT_EQ(env_size("REPRO_TEST_SIZE", 1), 128u);
+  ::unsetenv("REPRO_TEST_SIZE");
+}
+
+TEST(Env, SizeFallbackOnGarbage) {
+  ::setenv("REPRO_TEST_SIZE", "abc", 1);
+  EXPECT_EQ(env_size("REPRO_TEST_SIZE", 9), 9u);
+  ::unsetenv("REPRO_TEST_SIZE");
+}
+
+TEST(Env, DoubleParsesValue) {
+  ::setenv("REPRO_TEST_DOUBLE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("REPRO_TEST_DOUBLE", 0.0), 2.5);
+  ::unsetenv("REPRO_TEST_DOUBLE");
+}
+
+TEST(Env, StringFallback) {
+  ::unsetenv("REPRO_TEST_STRING");
+  EXPECT_EQ(env_string("REPRO_TEST_STRING", "dflt"), "dflt");
+  ::setenv("REPRO_TEST_STRING", "hello", 1);
+  EXPECT_EQ(env_string("REPRO_TEST_STRING", "dflt"), "hello");
+  ::unsetenv("REPRO_TEST_STRING");
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,96 @@
+#include "eval/fidelity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flowgen/generator.hpp"
+
+namespace repro::eval {
+namespace {
+
+std::vector<gan::NetFlowRecord> records_for(flowgen::App app, std::size_t n,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<gan::NetFlowRecord> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    net::Flow flow = flowgen::generate_flow(app, rng);
+    out.push_back(gan::to_netflow(flow));
+  }
+  return out;
+}
+
+TEST(Fidelity, IdenticalSetsScoreNearZero) {
+  const auto records = records_for(flowgen::App::kNetflix, 40, 1);
+  const auto fid = netflow_fidelity(records, records);
+  EXPECT_EQ(fid.size(), gan::NetFlowRecord::kFeatureCount);
+  for (const auto& f : fid) {
+    EXPECT_NEAR(f.ks, 0.0, 1e-9) << f.feature;
+    EXPECT_NEAR(f.jsd, 0.0, 1e-9) << f.feature;
+    EXPECT_NEAR(f.wasserstein, 0.0, 1e-9) << f.feature;
+  }
+  EXPECT_NEAR(mean_ks(fid), 0.0, 1e-9);
+  EXPECT_NEAR(mean_jsd(fid), 0.0, 1e-9);
+}
+
+TEST(Fidelity, SameDistributionScoresLow) {
+  const auto a = records_for(flowgen::App::kTwitch, 60, 2);
+  const auto b = records_for(flowgen::App::kTwitch, 60, 3);
+  EXPECT_LT(mean_ks(netflow_fidelity(a, b)), 0.25);
+}
+
+TEST(Fidelity, DifferentAppsScoreHigher) {
+  const auto netflix = records_for(flowgen::App::kNetflix, 50, 4);
+  const auto netflix2 = records_for(flowgen::App::kNetflix, 50, 5);
+  const auto teams = records_for(flowgen::App::kTeams, 50, 6);
+  const double same = mean_ks(netflow_fidelity(netflix, netflix2));
+  const double cross = mean_ks(netflow_fidelity(netflix, teams));
+  EXPECT_GT(cross, same);
+  // Protocol one-hot features alone force a large cross-app KS.
+  EXPECT_GT(cross, 0.2);
+}
+
+TEST(Fidelity, RejectsEmptyInput) {
+  const auto records = records_for(flowgen::App::kZoom, 5, 7);
+  EXPECT_THROW(netflow_fidelity({}, records), std::invalid_argument);
+  EXPECT_THROW(netflow_fidelity(records, {}), std::invalid_argument);
+}
+
+TEST(Fidelity, ClassConditionalDetectsPerClassShift) {
+  // Aggregate: both sets contain 50% netflix-like and 50% teams-like
+  // records, but labels are swapped in the synthetic set — aggregate
+  // marginals match, class-conditional KS must be large.
+  auto real = records_for(flowgen::App::kNetflix, 30, 8);
+  {
+    auto teams = records_for(flowgen::App::kTeams, 30, 9);
+    for (auto& r : teams) real.push_back(r);
+  }
+  for (std::size_t i = 0; i < real.size(); ++i) {
+    real[i].label = i < 30 ? 0 : 4;
+  }
+  std::vector<gan::NetFlowRecord> swapped = real;
+  for (auto& r : swapped) {
+    r.label = r.label == 0 ? 4 : 0;  // the per-class structure is broken
+  }
+  const double aggregate = mean_ks(netflow_fidelity(real, swapped));
+  const double conditional =
+      class_conditional_ks(real, swapped, flowgen::kNumApps);
+  EXPECT_NEAR(aggregate, 0.0, 1e-9);  // identical marginals
+  EXPECT_GT(conditional, 0.3);
+}
+
+TEST(Fidelity, ClassConditionalSkipsTinyClasses) {
+  const auto a = records_for(flowgen::App::kNetflix, 20, 10);
+  auto b = records_for(flowgen::App::kNetflix, 20, 11);
+  // All class 0: classes 1..10 have no samples and must be skipped
+  // without contaminating the average.
+  const double ks = class_conditional_ks(a, b, flowgen::kNumApps);
+  EXPECT_GE(ks, 0.0);
+  EXPECT_LT(ks, 0.3);
+}
+
+TEST(Fidelity, MeanHelpersOnEmpty) {
+  EXPECT_DOUBLE_EQ(mean_ks({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_jsd({}), 0.0);
+}
+
+}  // namespace
+}  // namespace repro::eval

@@ -1,0 +1,161 @@
+#include "eval/coverage.hpp"
+#include "eval/report.hpp"
+#include "eval/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "flowgen/dataset.hpp"
+#include "flowgen/generator.hpp"
+
+namespace repro::eval {
+namespace {
+
+flowgen::Dataset small_real(std::size_t per_class) {
+  Rng rng(31);
+  return flowgen::build_uniform_dataset(per_class, rng);
+}
+
+ScenarioConfig fast_config() {
+  ScenarioConfig cfg;
+  cfg.nprint_packets = 6;
+  cfg.forest.num_trees = 20;
+  return cfg;
+}
+
+TEST(Scenario, RealRealNprintIsAccurate) {
+  const auto real = small_real(12);
+  const auto result = run_real_real(real, Granularity::kNprintPcap, fast_config());
+  EXPECT_EQ(result.name, "Real/Real");
+  EXPECT_GT(result.micro_accuracy, 0.6);
+  EXPECT_GT(result.macro_accuracy, 0.7);
+  EXPECT_GT(result.train_size, result.test_size);
+}
+
+TEST(Scenario, RealRealNprintBeatsNetflow) {
+  // The paper's granularity claim (§2.3: 94% raw bits vs 85% NetFlow).
+  const auto real = small_real(12);
+  const auto nprint =
+      run_real_real(real, Granularity::kNprintPcap, fast_config());
+  const auto netflow =
+      run_real_real(real, Granularity::kNetFlow, fast_config());
+  EXPECT_GE(nprint.micro_accuracy, netflow.micro_accuracy - 0.05);
+}
+
+TEST(Scenario, CrossScenarioUsesDistinctSets) {
+  Rng rng(32);
+  const auto train = flowgen::build_uniform_dataset(8, rng);
+  const auto test = flowgen::build_uniform_dataset(4, rng);
+  const auto result =
+      run_cross_scenario("Synthetic/Real", train.flows, test.flows,
+                         Granularity::kNprintPcap, fast_config());
+  EXPECT_EQ(result.train_size, train.size());
+  EXPECT_EQ(result.test_size, test.size());
+  EXPECT_GT(result.micro_accuracy, 0.5);  // same generator both sides
+}
+
+TEST(Scenario, NetflowRecordPath) {
+  Rng rng(33);
+  const auto train = flowgen::build_uniform_dataset(8, rng);
+  const auto test = flowgen::build_uniform_dataset(4, rng);
+  const auto result = run_cross_scenario_netflow(
+      "Real/Real", gan::to_netflow(train.flows), gan::to_netflow(test.flows),
+      fast_config());
+  EXPECT_EQ(result.granularity, Granularity::kNetFlow);
+  EXPECT_GT(result.micro_accuracy, 0.2);
+}
+
+TEST(Scenario, GranularityNames) {
+  EXPECT_EQ(granularity_name(Granularity::kNprintPcap),
+            "nprint-formatted pcap");
+  EXPECT_EQ(granularity_name(Granularity::kNetFlow), "NetFlow");
+}
+
+TEST(Coverage, ProportionsNormalized) {
+  const auto p = label_proportions({0, 0, 1, 2, 9}, 3);
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.25, 1e-12);
+  EXPECT_NEAR(p[2], 0.25, 1e-12);
+}
+
+TEST(Coverage, UniformHasZeroDivergenceAndUnitImbalance) {
+  const std::vector<double> uniform = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(divergence_from_uniform(uniform), 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(coverage_imbalance(uniform), 1.0);
+}
+
+TEST(Coverage, SkewIncreasesDivergence) {
+  const std::vector<double> mild = {0.3, 0.25, 0.25, 0.2};
+  const std::vector<double> severe = {0.85, 0.05, 0.05, 0.05};
+  EXPECT_LT(divergence_from_uniform(mild), divergence_from_uniform(severe));
+}
+
+TEST(Coverage, TableRendersAllSeries) {
+  CoverageReport report;
+  report.class_names = {"netflix", "youtube"};
+  report.series = {{"Real", {0.6, 0.4}}, {"Ours", {0.5, 0.5}}};
+  const std::string table = format_coverage_table(report);
+  EXPECT_NE(table.find("netflix"), std::string::npos);
+  EXPECT_NE(table.find("Real %"), std::string::npos);
+  EXPECT_NE(table.find("Ours %"), std::string::npos);
+  EXPECT_NE(table.find("imbalance"), std::string::npos);
+}
+
+TEST(Coverage, SampleDiversityDetectsClones) {
+  Rng rng(41);
+  std::vector<net::Flow> varied;
+  for (int i = 0; i < 6; ++i) {
+    varied.push_back(flowgen::generate_flow(flowgen::App::kNetflix, rng));
+  }
+  std::vector<net::Flow> clones(6, varied[0]);
+  const double varied_div = sample_diversity(varied, 8, 40, 1);
+  const double clone_div = sample_diversity(clones, 8, 40, 1);
+  EXPECT_GT(varied_div, 0.01);
+  EXPECT_DOUBLE_EQ(clone_div, 0.0);
+}
+
+TEST(Coverage, SampleDiversityDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(sample_diversity({}, 8, 10, 1), 0.0);
+  Rng rng(42);
+  const auto one = flowgen::generate_flow(flowgen::App::kZoom, rng);
+  EXPECT_DOUBLE_EQ(sample_diversity({one}, 8, 10, 1), 0.0);
+}
+
+TEST(Report, FormatTableAligns) {
+  const std::string table =
+      format_table({"name", "value"}, {{"a", "1"}, {"long-name", "2"}});
+  EXPECT_NE(table.find("name"), std::string::npos);
+  EXPECT_NE(table.find("long-name"), std::string::npos);
+  EXPECT_NE(table.find("---"), std::string::npos);
+}
+
+TEST(Report, CsvQuotesSpecialCharacters) {
+  const std::string csv =
+      format_csv({"a", "b"}, {{"x,y", "he said \"hi\""}});
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Report, FmtPrecision) {
+  EXPECT_EQ(fmt(0.94321), "0.94");
+  EXPECT_EQ(fmt(0.94321, 3), "0.943");
+}
+
+TEST(Report, WriteTextFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "repro_report_test.txt").string();
+  write_text_file(path, "hello");
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "hello");
+  std::remove(path.c_str());
+  EXPECT_THROW(write_text_file("/nonexistent-dir/x.txt", "y"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace repro::eval

@@ -1,0 +1,104 @@
+#include "net/flow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::net {
+namespace {
+
+TEST(FlowKey, CanonicalOrdersEndpoints) {
+  FlowKey a{0x0A000002, 0x0A000001, 50000, 443, IpProto::kTcp};
+  FlowKey b{0x0A000001, 0x0A000002, 443, 50000, IpProto::kTcp};
+  EXPECT_EQ(a.canonical(), b.canonical());
+}
+
+TEST(FlowKey, CanonicalIsIdempotent) {
+  FlowKey a{0x0A000001, 0x0B000001, 1234, 80, IpProto::kUdp};
+  EXPECT_EQ(a.canonical(), a.canonical().canonical());
+}
+
+TEST(FlowKey, FromPacketExtractsPorts) {
+  const auto pkt = make_tcp_packet(1, 2, 1000, 2000, 0, 0.0);
+  const FlowKey key = FlowKey::from_packet(pkt);
+  EXPECT_EQ(key.src_port, 1000);
+  EXPECT_EQ(key.dst_port, 2000);
+  EXPECT_EQ(key.protocol, IpProto::kTcp);
+}
+
+TEST(FlowKey, IcmpHasZeroPorts) {
+  const auto pkt = make_icmp_packet(1, 2, 8, 0, 0, 0.0);
+  const FlowKey key = FlowKey::from_packet(pkt);
+  EXPECT_EQ(key.src_port, 0);
+  EXPECT_EQ(key.dst_port, 0);
+}
+
+TEST(Flow, ByteCountAndDuration) {
+  Flow flow;
+  flow.packets.push_back(make_udp_packet(1, 2, 3, 4, 100, 1.0));
+  flow.packets.push_back(make_udp_packet(2, 1, 4, 3, 50, 3.5));
+  EXPECT_EQ(flow.byte_count(), (20u + 8u + 100u) + (20u + 8u + 50u));
+  EXPECT_DOUBLE_EQ(flow.duration(), 2.5);
+}
+
+TEST(Flow, DurationZeroForSinglePacket) {
+  Flow flow;
+  flow.packets.push_back(make_udp_packet(1, 2, 3, 4, 0, 9.0));
+  EXPECT_DOUBLE_EQ(flow.duration(), 0.0);
+}
+
+TEST(Flow, DominantProtocolMajority) {
+  Flow flow;
+  flow.packets.push_back(make_tcp_packet(1, 2, 3, 4, 0, 0.0));
+  flow.packets.push_back(make_udp_packet(1, 2, 3, 4, 0, 0.1));
+  flow.packets.push_back(make_udp_packet(1, 2, 3, 4, 0, 0.2));
+  EXPECT_EQ(flow.dominant_protocol(), IpProto::kUdp);
+  EXPECT_NEAR(flow.protocol_fraction(IpProto::kUdp), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(flow.protocol_fraction(IpProto::kTcp), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Flow, AssembleGroupsBidirectionalTraffic) {
+  std::vector<Packet> packets;
+  packets.push_back(make_tcp_packet(0x0A000001, 0x0B000001, 1000, 443, 0, 0.0));
+  packets.push_back(make_tcp_packet(0x0B000001, 0x0A000001, 443, 1000, 0, 0.1));
+  packets.push_back(make_udp_packet(0x0A000001, 0x0B000001, 1000, 443, 0, 0.2));
+  const auto flows = assemble_flows(packets);
+  // TCP pair collapses into one flow; UDP with the same 4-tuple is a
+  // separate flow because the protocol differs.
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].packets.size(), 2u);
+  EXPECT_EQ(flows[1].packets.size(), 1u);
+}
+
+TEST(Flow, AssemblePreservesArrivalOrderWithinFlow) {
+  std::vector<Packet> packets;
+  for (int i = 0; i < 5; ++i) {
+    packets.push_back(
+        make_udp_packet(1, 2, 10, 20, static_cast<std::size_t>(i), i * 0.1));
+  }
+  const auto flows = assemble_flows(packets);
+  ASSERT_EQ(flows.size(), 1u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(flows[0].packets[i].payload.size(), i);
+  }
+}
+
+TEST(Flow, FlattenSortsByTimestamp) {
+  Flow a, b;
+  a.packets.push_back(make_udp_packet(1, 2, 3, 4, 0, 5.0));
+  a.packets.push_back(make_udp_packet(1, 2, 3, 4, 0, 7.0));
+  b.packets.push_back(make_udp_packet(5, 6, 7, 8, 0, 6.0));
+  const auto flat = flatten_flows({a, b});
+  ASSERT_EQ(flat.size(), 3u);
+  EXPECT_DOUBLE_EQ(flat[0].timestamp, 5.0);
+  EXPECT_DOUBLE_EQ(flat[1].timestamp, 6.0);
+  EXPECT_DOUBLE_EQ(flat[2].timestamp, 7.0);
+}
+
+TEST(FlowKey, ToStringIsReadable) {
+  FlowKey key{0xC0A80101, 0x0D0D0D0D, 50000, 443, IpProto::kTcp};
+  const std::string s = key.to_string();
+  EXPECT_NE(s.find("192.168.1.1:50000"), std::string::npos);
+  EXPECT_NE(s.find("TCP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro::net

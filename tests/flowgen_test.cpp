@@ -1,0 +1,409 @@
+#include "flowgen/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "flowgen/dataset.hpp"
+#include "flowgen/icmp_session.hpp"
+#include "flowgen/tcp_session.hpp"
+#include "flowgen/udp_session.hpp"
+
+namespace repro::flowgen {
+namespace {
+
+TEST(Catalog, ElevenAppsInPaperOrder) {
+  const auto& profiles = all_profiles();
+  ASSERT_EQ(profiles.size(), kNumApps);
+  EXPECT_EQ(profiles[0].name, "netflix");
+  EXPECT_EQ(profiles[1].name, "youtube");
+  EXPECT_EQ(profiles[2].name, "amazon");
+  EXPECT_EQ(profiles[3].name, "twitch");
+  EXPECT_EQ(profiles[4].name, "teams");
+  EXPECT_EQ(profiles[5].name, "meet");
+  EXPECT_EQ(profiles[6].name, "zoom");
+  EXPECT_EQ(profiles[7].name, "facebook");
+  EXPECT_EQ(profiles[8].name, "twitter");
+  EXPECT_EQ(profiles[9].name, "instagram");
+  EXPECT_EQ(profiles[10].name, "other");
+}
+
+TEST(Catalog, MacroMappingMatchesTable1) {
+  EXPECT_EQ(macro_of(0), MacroService::kVideoStreaming);
+  EXPECT_EQ(macro_of(3), MacroService::kVideoStreaming);
+  EXPECT_EQ(macro_of(4), MacroService::kVideoConferencing);
+  EXPECT_EQ(macro_of(6), MacroService::kVideoConferencing);
+  EXPECT_EQ(macro_of(7), MacroService::kSocialMedia);
+  EXPECT_EQ(macro_of(9), MacroService::kSocialMedia);
+  EXPECT_EQ(macro_of(10), MacroService::kIotDevice);
+}
+
+TEST(Catalog, Table1CountsMatchPaper) {
+  const auto& counts = table1_flow_counts();
+  ASSERT_EQ(counts.size(), kNumApps);
+  EXPECT_EQ(counts[0], 4104u);   // Netflix
+  EXPECT_EQ(counts[4], 3886u);   // MS Teams
+  EXPECT_EQ(counts[10], 3901u);  // IoT Other
+  std::size_t streaming = counts[0] + counts[1] + counts[2] + counts[3];
+  EXPECT_EQ(streaming, 9465u);  // Table 1 total for Video Streaming
+  std::size_t conferencing = counts[4] + counts[5] + counts[6];
+  EXPECT_EQ(conferencing, 6511u);
+  std::size_t social = counts[7] + counts[8] + counts[9];
+  EXPECT_EQ(social, 3610u);
+}
+
+TEST(Catalog, NameLookupRoundTrip) {
+  for (std::size_t i = 0; i < kNumApps; ++i) {
+    const App app = static_cast<App>(i);
+    EXPECT_EQ(app_from_name(app_name(app)), app);
+  }
+  EXPECT_THROW(app_from_name("myspace"), std::invalid_argument);
+}
+
+TEST(Catalog, ProtocolMixesSumToOne) {
+  for (const auto& profile : all_profiles()) {
+    EXPECT_NEAR(profile.p_tcp + profile.p_udp + profile.p_icmp, 1.0, 1e-9)
+        << profile.name;
+  }
+}
+
+class PerAppTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerAppTest, FlowsHaveProfilePorts) {
+  const App app = static_cast<App>(GetParam());
+  const AppProfile& profile = app_profile(app);
+  Rng rng(100 + GetParam());
+  std::set<std::uint16_t> allowed;
+  for (const auto& [port, weight] : profile.server_ports) allowed.insert(port);
+  for (int i = 0; i < 10; ++i) {
+    const net::Flow flow = generate_flow(app, rng);
+    ASSERT_FALSE(flow.packets.empty());
+    if (flow.key.protocol == net::IpProto::kIcmp) continue;
+    // One endpoint port of the flow key must be a profile server port.
+    const bool ok = allowed.count(flow.key.src_port) ||
+                    allowed.count(flow.key.dst_port);
+    EXPECT_TRUE(ok) << profile.name;
+  }
+}
+
+TEST_P(PerAppTest, FlowsAreLabeled) {
+  const App app = static_cast<App>(GetParam());
+  Rng rng(200 + GetParam());
+  const net::Flow flow = generate_flow(app, rng);
+  EXPECT_EQ(flow.label, GetParam());
+}
+
+TEST_P(PerAppTest, SingleProtocolPerFlow) {
+  // The paper's inter-packet constraint: real flows do not mix transport
+  // protocols, so neither may generated ones.
+  const App app = static_cast<App>(GetParam());
+  Rng rng(300 + GetParam());
+  for (int i = 0; i < 5; ++i) {
+    const net::Flow flow = generate_flow(app, rng);
+    EXPECT_DOUBLE_EQ(flow.protocol_fraction(flow.dominant_protocol()), 1.0);
+  }
+}
+
+TEST_P(PerAppTest, PacketsAreChronological) {
+  const App app = static_cast<App>(GetParam());
+  Rng rng(400 + GetParam());
+  const net::Flow flow = generate_flow(app, 50, rng);
+  for (std::size_t i = 1; i < flow.packets.size(); ++i) {
+    EXPECT_GE(flow.packets[i].timestamp, flow.packets[i - 1].timestamp);
+  }
+}
+
+TEST_P(PerAppTest, AllPacketsConsistentAndSerializable) {
+  const App app = static_cast<App>(GetParam());
+  Rng rng(500 + GetParam());
+  const net::Flow flow = generate_flow(app, 30, rng);
+  for (const auto& pkt : flow.packets) {
+    EXPECT_TRUE(pkt.consistent());
+    const auto wire = pkt.serialize();
+    EXPECT_EQ(wire.size(), pkt.datagram_length());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, PerAppTest, ::testing::Range(0, 11),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return app_name(static_cast<App>(info.param));
+                         });
+
+TEST(ProtocolMix, NetflixIsTcpDominant) {
+  // §2.3: "the predominance of TCP packets in Netflix traffic".
+  Rng rng(1);
+  std::size_t tcp = 0, total = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto flow = generate_flow(App::kNetflix, rng);
+    if (flow.dominant_protocol() == net::IpProto::kTcp) ++tcp;
+    ++total;
+  }
+  EXPECT_EQ(tcp, total);
+}
+
+TEST(ProtocolMix, TeamsIsUdpDominant) {
+  // §2.3: "UDP packets in Teams traffic".
+  Rng rng(2);
+  std::size_t udp = 0;
+  const int n = 50;
+  for (int i = 0; i < n; ++i) {
+    if (generate_flow(App::kTeams, rng).dominant_protocol() ==
+        net::IpProto::kUdp) {
+      ++udp;
+    }
+  }
+  EXPECT_GT(static_cast<double>(udp) / n, 0.75);
+}
+
+TEST(TcpSession, HandshakeAndTeardownStructure) {
+  Rng rng(3);
+  const AppProfile& profile = app_profile(App::kNetflix);
+  Endpoints ep{0x0A000001, 0x0D000001, 44444, 443};
+  const net::Flow flow = generate_tcp_flow(profile, ep, 20, rng);
+  ASSERT_GE(flow.packets.size(), 6u);
+  // SYN from client.
+  const auto& syn = flow.packets[0];
+  EXPECT_TRUE(syn.tcp->syn);
+  EXPECT_FALSE(syn.tcp->ack_flag);
+  EXPECT_EQ(syn.ip.src_addr, ep.client_addr);
+  EXPECT_FALSE(syn.tcp->options.empty());
+  // SYN-ACK from server.
+  const auto& synack = flow.packets[1];
+  EXPECT_TRUE(synack.tcp->syn);
+  EXPECT_TRUE(synack.tcp->ack_flag);
+  EXPECT_EQ(synack.ip.src_addr, ep.server_addr);
+  EXPECT_EQ(synack.tcp->ack, syn.tcp->seq + 1);
+  // Final ACK.
+  const auto& ack = flow.packets[2];
+  EXPECT_FALSE(ack.tcp->syn);
+  EXPECT_TRUE(ack.tcp->ack_flag);
+  EXPECT_EQ(ack.tcp->ack, synack.tcp->seq + 1);
+  // Teardown: FIN, FIN-ACK, ACK at the end.
+  const auto& fin = flow.packets[flow.packets.size() - 3];
+  const auto& finack = flow.packets[flow.packets.size() - 2];
+  const auto& last = flow.packets.back();
+  EXPECT_TRUE(fin.tcp->fin);
+  EXPECT_TRUE(finack.tcp->fin);
+  EXPECT_TRUE(finack.tcp->ack_flag);
+  EXPECT_TRUE(last.tcp->ack_flag);
+  EXPECT_FALSE(last.tcp->fin);
+}
+
+TEST(TcpSession, SequenceNumbersAdvanceWithPayload) {
+  Rng rng(4);
+  const AppProfile& profile = app_profile(App::kTwitch);
+  Endpoints ep{1, 2, 1000, 443};
+  const net::Flow flow = generate_tcp_flow(profile, ep, 40, rng);
+  // Server-side segments: each next seq must equal prev seq + prev payload.
+  std::uint32_t expected = 0;
+  bool first = true;
+  for (const auto& pkt : flow.packets) {
+    if (pkt.ip.src_addr != ep.server_addr) continue;
+    if (!first) {
+      EXPECT_EQ(pkt.tcp->seq, expected);
+    }
+    first = false;
+    expected = pkt.tcp->seq + static_cast<std::uint32_t>(pkt.payload.size()) +
+               (pkt.tcp->syn || pkt.tcp->fin ? 1 : 0);
+  }
+}
+
+TEST(TcpSession, RespectsTargetLength) {
+  Rng rng(5);
+  Endpoints ep{1, 2, 1000, 443};
+  const net::Flow flow =
+      generate_tcp_flow(app_profile(App::kNetflix), ep, 25, rng);
+  EXPECT_EQ(flow.packets.size(), 25u);
+}
+
+TEST(UdpSession, DscpMarkingApplied) {
+  Rng rng(6);
+  const AppProfile& teams = app_profile(App::kTeams);
+  Endpoints ep{1, 2, 40000, 3478};
+  const net::Flow flow = generate_udp_flow(teams, ep, 20, rng);
+  for (const auto& pkt : flow.packets) {
+    EXPECT_EQ(pkt.ip.dscp, 46);
+  }
+}
+
+TEST(UdpSession, BidirectionalTraffic) {
+  Rng rng(7);
+  Endpoints ep{1, 2, 40000, 19305};
+  const net::Flow flow =
+      generate_udp_flow(app_profile(App::kMeet), ep, 100, rng);
+  std::size_t up = 0;
+  for (const auto& pkt : flow.packets) {
+    if (pkt.ip.src_addr == ep.client_addr) ++up;
+  }
+  EXPECT_GT(up, 20u);
+  EXPECT_LT(up, 80u);
+}
+
+TEST(IcmpSession, EchoRequestReplyPairs) {
+  Rng rng(8);
+  Endpoints ep{1, 2, 0, 0};
+  const net::Flow flow =
+      generate_icmp_flow(app_profile(App::kOther), ep, 10, rng);
+  ASSERT_EQ(flow.packets.size(), 10u);
+  for (std::size_t i = 0; i < flow.packets.size(); ++i) {
+    const auto& icmp = *flow.packets[i].icmp;
+    if (i % 2 == 0) {
+      EXPECT_EQ(icmp.type, 8) << "packet " << i;
+    } else {
+      EXPECT_EQ(icmp.type, 0) << "packet " << i;
+      // Reply identifier matches request identifier.
+      EXPECT_EQ(icmp.rest_of_header >> 16,
+                flow.packets[i - 1].icmp->rest_of_header >> 16);
+    }
+  }
+}
+
+TEST(AppProfile, SizeMixtureStaysWithinMtu) {
+  Rng rng(71);
+  const AppProfile& p = app_profile(App::kNetflix);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LE(p.downstream.sample(rng), 1460u);
+    EXPECT_LE(p.upstream.sample(rng), 1460u);
+  }
+}
+
+TEST(AppProfile, FlowLengthClampedToBounds) {
+  Rng rng(72);
+  const AppProfile& p = app_profile(App::kOther);  // min_packets = 4
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t len = p.sample_flow_length(rng);
+    EXPECT_GE(len, p.min_packets);
+    EXPECT_LE(len, p.max_packets);
+  }
+}
+
+TEST(AppProfile, ArrivalGapsPositiveAndBounded) {
+  Rng rng(73);
+  for (const auto& profile : all_profiles()) {
+    for (int i = 0; i < 200; ++i) {
+      const double gap = profile.arrivals.sample_gap(rng);
+      EXPECT_GT(gap, 0.0) << profile.name;
+      EXPECT_LE(gap, 10.0) << profile.name;
+    }
+  }
+}
+
+TEST(AppProfile, ServerPortsComeFromProfile) {
+  Rng rng(74);
+  const AppProfile& teams = app_profile(App::kTeams);
+  std::set<std::uint16_t> allowed;
+  for (const auto& [port, w] : teams.server_ports) allowed.insert(port);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(allowed.count(teams.sample_server_port(rng)));
+  }
+}
+
+TEST(AppProfile, EmptyPortListFallsBackTo443) {
+  AppProfile p;
+  p.server_ports.clear();
+  Rng rng(75);
+  EXPECT_EQ(p.sample_server_port(rng), 443);
+}
+
+TEST(TcpSession, IpIdModesAreDistinguishable) {
+  Rng rng(76);
+  // Zero-mode server (twitch) vs increment-mode server (netflix).
+  Endpoints ep{1, 2, 1000, 443};
+  const net::Flow twitch =
+      generate_tcp_flow(app_profile(App::kTwitch), ep, 30, rng);
+  for (const auto& pkt : twitch.packets) {
+    if (pkt.ip.src_addr == ep.server_addr) {
+      EXPECT_EQ(pkt.ip.identification, 0);
+    }
+  }
+  const net::Flow netflix =
+      generate_tcp_flow(app_profile(App::kNetflix), ep, 30, rng);
+  std::vector<std::uint16_t> server_ids;
+  for (const auto& pkt : netflix.packets) {
+    if (pkt.ip.src_addr == ep.server_addr) {
+      server_ids.push_back(pkt.ip.identification);
+    }
+  }
+  ASSERT_GE(server_ids.size(), 3u);
+  for (std::size_t i = 1; i < server_ids.size(); ++i) {
+    EXPECT_EQ(static_cast<std::uint16_t>(server_ids[i] - server_ids[i - 1]),
+              1);
+  }
+}
+
+TEST(TcpSession, SynCarriesProfileMss) {
+  Rng rng(77);
+  Endpoints ep{1, 2, 1000, 443};
+  const net::Flow flow =
+      generate_tcp_flow(app_profile(App::kTwitter), ep, 16, rng);
+  const auto& opts = flow.packets[0].tcp->options;
+  // MSS option: kind 2, len 4, value 1380 (twitter's fingerprint).
+  ASSERT_GE(opts.size(), 4u);
+  EXPECT_EQ(opts[0], 0x02);
+  EXPECT_EQ(opts[1], 0x04);
+  EXPECT_EQ((opts[2] << 8) | opts[3], 1380);
+}
+
+TEST(Dataset, BuildExactCounts) {
+  Rng rng(9);
+  const Dataset ds = build_dataset({3, 0, 2, 0, 0, 0, 0, 0, 0, 0, 1}, rng);
+  EXPECT_EQ(ds.size(), 6u);
+  const auto counts = ds.per_class_counts();
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[10], 1u);
+}
+
+TEST(Dataset, Table1ScalingPreservesProportions) {
+  const auto scaled = scaled_table1_counts(100);
+  EXPECT_EQ(scaled[0], 100u);  // netflix is the largest class
+  // youtube/netflix ratio 2702/4104 ~ 0.658.
+  EXPECT_NEAR(static_cast<double>(scaled[1]) / scaled[0], 2702.0 / 4104.0,
+              0.02);
+  for (std::size_t c : scaled) EXPECT_GE(c, 1u);
+}
+
+TEST(Dataset, UniformDatasetBalanced) {
+  Rng rng(10);
+  const Dataset ds = build_uniform_dataset(4, rng);
+  for (std::size_t c : ds.per_class_counts()) {
+    EXPECT_EQ(c, 4u);
+  }
+}
+
+TEST(Dataset, MicroAndMacroLabels) {
+  Rng rng(11);
+  Dataset ds = build_dataset({1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 1}, rng);
+  const auto micro = ds.micro_labels();
+  const auto macro = ds.macro_labels();
+  ASSERT_EQ(micro.size(), 3u);
+  for (std::size_t i = 0; i < micro.size(); ++i) {
+    EXPECT_EQ(macro[i], static_cast<int>(macro_of(
+                            static_cast<std::size_t>(micro[i]))));
+  }
+}
+
+TEST(Dataset, SamplePerClassCaps) {
+  Rng rng(12);
+  const Dataset ds = build_uniform_dataset(10, rng);
+  const Dataset capped = ds.sample_per_class(3, rng);
+  for (std::size_t c : capped.per_class_counts()) {
+    EXPECT_EQ(c, 3u);
+  }
+}
+
+TEST(Dataset, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  const Dataset da = build_uniform_dataset(2, a);
+  const Dataset db = build_uniform_dataset(2, b);
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da.flows[i].label, db.flows[i].label);
+    ASSERT_EQ(da.flows[i].packets.size(), db.flows[i].packets.size());
+    EXPECT_EQ(da.flows[i].packets[0].serialize(),
+              db.flows[i].packets[0].serialize());
+  }
+}
+
+}  // namespace
+}  // namespace repro::flowgen

@@ -1,0 +1,193 @@
+#include "gan/netflow_gan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flowgen/generator.hpp"
+
+namespace repro::gan {
+namespace {
+
+TEST(NetFlow, ExtractionFromKnownFlow) {
+  net::Flow flow;
+  flow.label = 4;
+  flow.packets.push_back(net::make_udp_packet(0x0A000001, 0x0B000001, 40000, 3478, 100, 0.0));
+  flow.packets.push_back(net::make_udp_packet(0x0B000001, 0x0A000001, 3478, 40000, 200, 1.0));
+  flow.packets.push_back(net::make_udp_packet(0x0A000001, 0x0B000001, 40000, 3478, 100, 2.0));
+  const NetFlowRecord r = to_netflow(flow);
+  EXPECT_EQ(r.label, 4);
+  EXPECT_EQ(r.protocol, net::IpProto::kUdp);
+  EXPECT_DOUBLE_EQ(r.duration, 2.0);
+  EXPECT_DOUBLE_EQ(r.packet_count, 3.0);
+  EXPECT_DOUBLE_EQ(r.byte_count, 128.0 + 228.0 + 128.0);
+  EXPECT_NEAR(r.mean_interarrival, 1.0, 1e-9);
+  EXPECT_NEAR(r.upstream_fraction, 2.0 / 3.0, 1e-9);
+}
+
+TEST(NetFlow, FeatureVectorLayout) {
+  NetFlowRecord r;
+  r.protocol = net::IpProto::kIcmp;
+  r.duration = std::exp(1.0) - 1.0;  // log1p -> exactly 1.0
+  const auto f = r.features();
+  ASSERT_EQ(f.size(), NetFlowRecord::kFeatureCount);
+  EXPECT_EQ(f[0], 0.0f);
+  EXPECT_EQ(f[1], 0.0f);
+  EXPECT_EQ(f[2], 1.0f);
+  EXPECT_NEAR(f[3], 1.0f, 1e-5);
+}
+
+TEST(NetFlow, FeatureNamesSizeMatches) {
+  EXPECT_EQ(NetFlowRecord::feature_names().size(),
+            NetFlowRecord::kFeatureCount);
+}
+
+TEST(NetFlow, FromFeaturesRoundTrip) {
+  NetFlowRecord r;
+  r.protocol = net::IpProto::kUdp;
+  r.duration = 12.5;
+  r.packet_count = 420.0;
+  r.byte_count = 123456.0;
+  r.mean_packet_size = 294.0;
+  r.mean_interarrival = 0.03;
+  r.upstream_fraction = 0.4;
+  const NetFlowRecord back = from_features(r.features(), 3);
+  EXPECT_EQ(back.label, 3);
+  EXPECT_EQ(back.protocol, net::IpProto::kUdp);
+  EXPECT_NEAR(back.duration, r.duration, 0.01);
+  EXPECT_NEAR(back.packet_count, r.packet_count, 0.5);
+  EXPECT_NEAR(back.upstream_fraction, 0.4, 1e-5);
+}
+
+TEST(NetFlow, BatchExtraction) {
+  Rng rng(1);
+  std::vector<net::Flow> flows;
+  for (int i = 0; i < 5; ++i) {
+    flows.push_back(flowgen::generate_flow(flowgen::App::kNetflix, rng));
+  }
+  const auto records = to_netflow(flows);
+  ASSERT_EQ(records.size(), 5u);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.protocol, net::IpProto::kTcp);
+    EXPECT_EQ(r.label, 0);
+  }
+}
+
+std::vector<NetFlowRecord> training_records(std::size_t per_class,
+                                            std::size_t classes) {
+  Rng rng(9);
+  std::vector<NetFlowRecord> records;
+  for (std::size_t cls = 0; cls < classes; ++cls) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      net::Flow flow =
+          flowgen::generate_flow(static_cast<flowgen::App>(cls), rng);
+      flow.label = static_cast<int>(cls);
+      records.push_back(to_netflow(flow));
+    }
+  }
+  return records;
+}
+
+GanConfig tiny_gan_config() {
+  GanConfig cfg;
+  cfg.epochs = 30;
+  cfg.hidden_dim = 32;
+  cfg.num_classes = 3;
+  return cfg;
+}
+
+TEST(NetFlowGan, TrainingRunsAndLossesFinite) {
+  NetFlowGan gan(tiny_gan_config());
+  const auto stats = gan.fit(training_records(20, 3));
+  EXPECT_GT(stats.steps, 0u);
+  EXPECT_TRUE(std::isfinite(stats.final_d_loss));
+  EXPECT_TRUE(std::isfinite(stats.final_g_loss));
+}
+
+TEST(NetFlowGan, SampleCountAndLabelRange) {
+  NetFlowGan gan(tiny_gan_config());
+  gan.fit(training_records(15, 3));
+  const auto samples = gan.sample(40);
+  ASSERT_EQ(samples.size(), 40u);
+  for (const auto& r : samples) {
+    EXPECT_GE(r.label, 0);
+    EXPECT_LT(r.label, 3);
+    EXPECT_GE(r.upstream_fraction, 0.0);
+    EXPECT_LE(r.upstream_fraction, 1.0);
+    EXPECT_GE(r.packet_count, 0.0);
+  }
+}
+
+TEST(NetFlowGan, LabelDistributionSumsToSampleCount) {
+  NetFlowGan gan(tiny_gan_config());
+  gan.fit(training_records(15, 3));
+  const auto dist = gan.label_distribution(100);
+  ASSERT_EQ(dist.size(), 3u);
+  double total = 0.0;
+  for (double d : dist) total += d;
+  EXPECT_DOUBLE_EQ(total, 100.0);
+}
+
+TEST(NetFlowGan, EmptyFitIsNoOp) {
+  NetFlowGan gan(tiny_gan_config());
+  const auto stats = gan.fit({});
+  EXPECT_EQ(stats.steps, 0u);
+}
+
+TEST(PerClassGan, SamplesCarryRequestedLabels) {
+  GanConfig cfg = tiny_gan_config();
+  cfg.epochs = 10;
+  PerClassNetFlowGan gan(cfg);
+  gan.fit(training_records(10, 3));
+  const auto samples = gan.sample({5, 0, 7});
+  ASSERT_EQ(samples.size(), 12u);
+  std::size_t class0 = 0, class2 = 0;
+  for (const auto& r : samples) {
+    if (r.label == 0) ++class0;
+    if (r.label == 2) ++class2;
+    EXPECT_NE(r.label, 1);
+  }
+  EXPECT_EQ(class0, 5u);
+  EXPECT_EQ(class2, 7u);
+}
+
+TEST(NetFlowGan, SingleClassConfigDoesNotDivideByZero) {
+  GanConfig cfg = tiny_gan_config();
+  cfg.num_classes = 1;
+  cfg.epochs = 5;
+  NetFlowGan gan(cfg);
+  gan.fit(training_records(10, 1));
+  const auto samples = gan.sample(10);
+  for (const auto& r : samples) {
+    EXPECT_EQ(r.label, 0);
+  }
+}
+
+TEST(NetFlowGan, FromFeaturesClampsProtocolOneHot) {
+  // Raw generator output is unconstrained; the arg-max decode must cope
+  // with negative and >1 values.
+  std::vector<float> features(NetFlowRecord::kFeatureCount, 0.0f);
+  features[0] = -0.2f;
+  features[1] = 1.7f;
+  features[2] = 0.3f;
+  features[8] = 2.5f;  // upstream fraction out of range
+  const NetFlowRecord r = from_features(features, 2);
+  EXPECT_EQ(r.protocol, net::IpProto::kUdp);
+  EXPECT_DOUBLE_EQ(r.upstream_fraction, 1.0);
+}
+
+TEST(NetFlowGan, DeterministicForSameSeed) {
+  const auto records = training_records(10, 3);
+  NetFlowGan a(tiny_gan_config()), b(tiny_gan_config());
+  a.fit(records);
+  b.fit(records);
+  const auto sa = a.sample(5);
+  const auto sb = b.sample(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(sa[i].label, sb[i].label);
+    EXPECT_DOUBLE_EQ(sa[i].duration, sb[i].duration);
+  }
+}
+
+}  // namespace
+}  // namespace repro::gan

@@ -1,0 +1,168 @@
+#include "ml/random_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "flowgen/dataset.hpp"
+#include "flowgen/generator.hpp"
+#include "ml/features.hpp"
+#include "ml/split.hpp"
+
+namespace repro::ml {
+namespace {
+
+FeatureMatrix gaussian_blobs(std::size_t per_class, std::size_t classes,
+                             Rng& rng) {
+  FeatureMatrix data;
+  data.feature_count = 4;
+  for (std::size_t cls = 0; cls < classes; ++cls) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      std::vector<float> row(4);
+      for (std::size_t f = 0; f < 4; ++f) {
+        row[f] = static_cast<float>(
+            rng.gaussian(static_cast<double>(cls) * 3.0, 0.5));
+      }
+      data.rows.push_back(std::move(row));
+      data.labels.push_back(static_cast<int>(cls));
+    }
+  }
+  return data;
+}
+
+TEST(RandomForest, SeparatesGaussianBlobs) {
+  Rng rng(1);
+  const auto train = gaussian_blobs(40, 3, rng);
+  const auto test = gaussian_blobs(20, 3, rng);
+  ForestConfig cfg;
+  cfg.num_trees = 15;
+  RandomForest forest(cfg);
+  forest.fit(train);
+  EXPECT_GT(forest.score(test), 0.95);
+  EXPECT_EQ(forest.num_classes(), 3u);
+}
+
+TEST(RandomForest, PredictProbaNormalized) {
+  Rng rng(2);
+  const auto train = gaussian_blobs(30, 2, rng);
+  RandomForest forest;
+  forest.fit(train);
+  const auto proba = forest.predict_proba(train.rows[0]);
+  float sum = 0.0f;
+  for (float p : proba) sum += p;
+  EXPECT_NEAR(sum, 1.0f, 1e-4);
+}
+
+TEST(RandomForest, BatchPredictMatchesSingle) {
+  Rng rng(3);
+  const auto train = gaussian_blobs(25, 2, rng);
+  RandomForest forest;
+  forest.fit(train);
+  const auto batch = forest.predict(train);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(batch[i], forest.predict(train.rows[i]));
+  }
+}
+
+TEST(RandomForest, DeterministicForSameSeed) {
+  Rng rng(4);
+  const auto train = gaussian_blobs(25, 2, rng);
+  ForestConfig cfg;
+  cfg.seed = 77;
+  RandomForest a(cfg), b(cfg);
+  a.fit(train);
+  b.fit(train);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    EXPECT_EQ(a.predict(train.rows[i]), b.predict(train.rows[i]));
+  }
+}
+
+TEST(RandomForest, ThrowsOnEmptyAndUnfitted) {
+  RandomForest forest;
+  FeatureMatrix empty;
+  EXPECT_THROW(forest.fit(empty), std::invalid_argument);
+  const std::vector<float> row = {1.0f};
+  EXPECT_THROW(forest.predict(row), std::logic_error);
+}
+
+TEST(RandomForest, FeatureImportanceNormalized) {
+  Rng rng(5);
+  const auto train = gaussian_blobs(30, 2, rng);
+  RandomForest forest;
+  forest.fit(train);
+  const auto imp = forest.feature_importance();
+  double sum = 0.0;
+  for (double v : imp) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(RandomForest, ClassifiesFlowgenAppsFromNprintFeatures) {
+  // The §2.3 premise: raw-bit features make service recognition easy.
+  Rng rng(6);
+  flowgen::Dataset ds;
+  for (std::size_t i = 0; i < 15; ++i) {
+    ds.flows.push_back(flowgen::generate_flow(flowgen::App::kNetflix, rng));
+    ds.flows.push_back(flowgen::generate_flow(flowgen::App::kTeams, rng));
+  }
+  auto features = nprint_features(ds.flows, 6);
+  // Remap labels to 0/1 for the two-class task.
+  for (int& label : features.labels) label = label == 4 ? 1 : 0;
+  Rng split_rng(7);
+  const auto split = stratified_split(features, 0.3, split_rng);
+  ForestConfig cfg;
+  cfg.num_trees = 10;
+  RandomForest forest(cfg);
+  forest.fit(split.train);
+  EXPECT_GT(forest.score(split.test), 0.9);
+}
+
+TEST(Split, StratificationPreservesClassBalance) {
+  FeatureMatrix data;
+  data.feature_count = 1;
+  for (int i = 0; i < 100; ++i) {
+    data.rows.push_back({static_cast<float>(i)});
+    data.labels.push_back(i < 80 ? 0 : 1);  // 80/20 imbalance
+  }
+  Rng rng(8);
+  const auto split = stratified_split(data, 0.25, rng);
+  std::size_t test0 = 0, test1 = 0;
+  for (int label : split.test.labels) {
+    if (label == 0) ++test0;
+    if (label == 1) ++test1;
+  }
+  EXPECT_EQ(test0, 20u);  // 25% of 80
+  EXPECT_EQ(test1, 5u);   // 25% of 20
+  EXPECT_EQ(split.train.size() + split.test.size(), 100u);
+}
+
+TEST(Split, TinyClassesKeepTrainSample) {
+  FeatureMatrix data;
+  data.feature_count = 1;
+  data.rows = {{0.0f}, {1.0f}, {2.0f}};
+  data.labels = {0, 0, 1};  // class 1 has a single sample
+  Rng rng(9);
+  const auto split = stratified_split(data, 0.5, rng);
+  // Single-sample class stays in training.
+  bool class1_in_train = false;
+  for (int label : split.train.labels) {
+    if (label == 1) class1_in_train = true;
+  }
+  EXPECT_TRUE(class1_in_train);
+}
+
+TEST(Split, IndicesPartitionInput) {
+  std::vector<int> labels(50);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 5);
+  }
+  Rng rng(10);
+  std::vector<std::size_t> train_idx, test_idx;
+  stratified_split_indices(labels, 0.2, rng, train_idx, test_idx);
+  EXPECT_EQ(train_idx.size() + test_idx.size(), labels.size());
+  std::set<std::size_t> all(train_idx.begin(), train_idx.end());
+  all.insert(test_idx.begin(), test_idx.end());
+  EXPECT_EQ(all.size(), labels.size());
+}
+
+}  // namespace
+}  // namespace repro::ml

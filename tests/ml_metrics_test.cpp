@@ -1,0 +1,71 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace repro::ml {
+namespace {
+
+TEST(Metrics, AccuracyBasics) {
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(accuracy({1, 2, 3}, {1, 2, 4}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+  EXPECT_THROW(accuracy({1}, {1, 2}), std::invalid_argument);
+}
+
+TEST(Metrics, ConfusionMatrixLayout) {
+  // actual -> predicted
+  const auto cm = confusion_matrix({0, 1, 1, 0}, {0, 0, 1, 1}, 2);
+  EXPECT_EQ(cm[0][0], 1u);  // actual 0 predicted 0
+  EXPECT_EQ(cm[0][1], 1u);  // actual 0 predicted 1 (4th sample)
+  EXPECT_EQ(cm[1][0], 1u);
+  EXPECT_EQ(cm[1][1], 1u);
+}
+
+TEST(Metrics, ConfusionMatrixIgnoresOutOfRange) {
+  const auto cm = confusion_matrix({0, 5}, {0, 1}, 2);
+  EXPECT_EQ(cm[0][0], 1u);
+  std::size_t total = 0;
+  for (const auto& row : cm) {
+    for (std::size_t v : row) total += v;
+  }
+  EXPECT_EQ(total, 1u);
+}
+
+TEST(Metrics, PerClassReportPerfectPrediction) {
+  const auto reports = per_class_report({0, 1, 2}, {0, 1, 2}, 3);
+  for (const auto& r : reports) {
+    EXPECT_DOUBLE_EQ(r.precision, 1.0);
+    EXPECT_DOUBLE_EQ(r.recall, 1.0);
+    EXPECT_DOUBLE_EQ(r.f1, 1.0);
+    EXPECT_EQ(r.support, 1u);
+  }
+}
+
+TEST(Metrics, PerClassReportKnownValues) {
+  // Class 0: tp=2, fn=1 (one 0 predicted as 1), fp=0 => p=1, r=2/3.
+  const std::vector<int> actual = {0, 0, 0, 1, 1};
+  const std::vector<int> predicted = {0, 0, 1, 1, 1};
+  const auto reports = per_class_report(predicted, actual, 2);
+  EXPECT_DOUBLE_EQ(reports[0].precision, 1.0);
+  EXPECT_NEAR(reports[0].recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(reports[1].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(reports[1].recall, 1.0);
+}
+
+TEST(Metrics, MacroF1SkipsEmptyClasses) {
+  // Class 2 never appears in actual: excluded from the macro average.
+  const std::vector<int> actual = {0, 0, 1, 1};
+  const std::vector<int> predicted = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(macro_f1(predicted, actual, 3), 1.0);
+}
+
+TEST(Metrics, MacroF1WorstCase) {
+  const std::vector<int> actual = {0, 0, 1, 1};
+  const std::vector<int> predicted = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(macro_f1(predicted, actual, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace repro::ml

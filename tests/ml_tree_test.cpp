@@ -1,0 +1,147 @@
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::ml {
+namespace {
+
+/// Axis-separable two-class problem: class = x0 > 0.5.
+FeatureMatrix separable_data(std::size_t n, Rng& rng) {
+  FeatureMatrix data;
+  data.feature_count = 3;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    std::vector<float> row(3);
+    row[0] = label == 1 ? static_cast<float>(rng.uniform(0.6, 1.0))
+                        : static_cast<float>(rng.uniform(0.0, 0.4));
+    row[1] = static_cast<float>(rng.uniform());  // noise
+    row[2] = static_cast<float>(rng.uniform());  // noise
+    data.rows.push_back(std::move(row));
+    data.labels.push_back(label);
+  }
+  return data;
+}
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+TEST(DecisionTree, LearnsSeparableProblem) {
+  Rng rng(1);
+  const auto data = separable_data(200, rng);
+  DecisionTree tree;
+  Rng tree_rng(2);
+  tree.fit(data, all_indices(data.size()), 2, tree_rng);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (tree.predict(data.rows[i]) == data.labels[i]) ++correct;
+  }
+  EXPECT_EQ(correct, data.size());  // training accuracy on separable data
+}
+
+TEST(DecisionTree, ImportanceFavorsInformativeFeature) {
+  Rng rng(3);
+  const auto data = separable_data(300, rng);
+  TreeConfig cfg;
+  cfg.max_features = 3;  // examine all features each split
+  DecisionTree tree(cfg);
+  Rng tree_rng(4);
+  tree.fit(data, all_indices(data.size()), 2, tree_rng);
+  const auto& imp = tree.feature_importance();
+  EXPECT_GT(imp[0], imp[1]);
+  EXPECT_GT(imp[0], imp[2]);
+}
+
+TEST(DecisionTree, PredictProbaSumsToOne) {
+  Rng rng(5);
+  const auto data = separable_data(100, rng);
+  DecisionTree tree;
+  Rng tree_rng(6);
+  tree.fit(data, all_indices(data.size()), 2, tree_rng);
+  const auto& proba = tree.predict_proba(data.rows[0]);
+  float sum = 0.0f;
+  for (float p : proba) sum += p;
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+}
+
+TEST(DecisionTree, MaxDepthLimitsTree) {
+  Rng rng(7);
+  const auto data = separable_data(200, rng);
+  TreeConfig cfg;
+  cfg.max_depth = 1;
+  DecisionTree tree(cfg);
+  Rng tree_rng(8);
+  tree.fit(data, all_indices(data.size()), 2, tree_rng);
+  EXPECT_LE(tree.depth(), 1u);
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTree, PureNodeBecomesLeafImmediately) {
+  FeatureMatrix data;
+  data.feature_count = 1;
+  for (int i = 0; i < 10; ++i) {
+    data.rows.push_back({static_cast<float>(i)});
+    data.labels.push_back(1);  // all one class
+  }
+  DecisionTree tree;
+  Rng rng(9);
+  tree.fit(data, all_indices(10), 2, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict({100.0f}), 1);
+}
+
+TEST(DecisionTree, ConstantFeaturesYieldLeaf) {
+  FeatureMatrix data;
+  data.feature_count = 2;
+  for (int i = 0; i < 10; ++i) {
+    data.rows.push_back({1.0f, 2.0f});
+    data.labels.push_back(i % 2);
+  }
+  DecisionTree tree;
+  Rng rng(10);
+  tree.fit(data, all_indices(10), 2, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  const auto& proba = tree.predict_proba({1.0f, 2.0f});
+  EXPECT_NEAR(proba[0], 0.5f, 1e-5);
+}
+
+TEST(DecisionTree, ThrowsOnEmptyFitAndUnfittedPredict) {
+  DecisionTree tree;
+  FeatureMatrix data;
+  data.feature_count = 1;
+  Rng rng(11);
+  EXPECT_THROW(tree.fit(data, {}, 2, rng), std::invalid_argument);
+  EXPECT_THROW(tree.predict({1.0f}), std::logic_error);
+}
+
+TEST(DecisionTree, HandlesTernaryNprintLikeFeatures) {
+  // Features in {-1, 0, 1} as the nprint matrix provides.
+  FeatureMatrix data;
+  data.feature_count = 4;
+  Rng rng(12);
+  for (int i = 0; i < 120; ++i) {
+    const int label = i % 2;
+    std::vector<float> row(4, -1.0f);
+    // Class 1 has feature 2 occupied (protocol region present).
+    if (label == 1) {
+      row[2] = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+    }
+    data.rows.push_back(std::move(row));
+    data.labels.push_back(label);
+  }
+  TreeConfig cfg;
+  cfg.max_features = 4;
+  DecisionTree tree(cfg);
+  Rng tree_rng(13);
+  tree.fit(data, all_indices(data.size()), 2, tree_rng);
+  std::vector<float> vacant(4, -1.0f);
+  EXPECT_EQ(tree.predict(vacant), 0);
+  std::vector<float> occupied(4, -1.0f);
+  occupied[2] = 1.0f;
+  EXPECT_EQ(tree.predict(occupied), 1);
+}
+
+}  // namespace
+}  // namespace repro::ml

@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "nn/activation.hpp"
+#include "nn/attention.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/embedding.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/lora.hpp"
+#include "nn/norm.hpp"
+
+namespace repro::nn {
+namespace {
+
+TEST(Linear, OutputShapeAndBias) {
+  Rng rng(1);
+  Linear layer(3, 2, rng);
+  layer.weight().value.fill(0.0f);
+  layer.bias().value[0] = 1.5f;
+  layer.bias().value[1] = -2.0f;
+  Tensor x = Tensor::full({4, 3}, 1.0f);
+  const Tensor y = layer.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{4, 2}));
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y.at2(3, 1), -2.0f);
+}
+
+TEST(Linear, RejectsWrongInputShape) {
+  Rng rng(2);
+  Linear layer(3, 2, rng);
+  EXPECT_THROW(layer.forward(Tensor({4, 5})), std::invalid_argument);
+}
+
+TEST(Conv1d, SameConvolutionPreservesLength) {
+  Rng rng(3);
+  Conv1d layer(2, 3, 3, rng);
+  const Tensor y = layer.forward(Tensor({1, 2, 10}));
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 3, 10}));
+}
+
+TEST(Conv1d, StrideTwoHalvesLength) {
+  Rng rng(4);
+  Conv1d layer(2, 2, 3, rng, 2);
+  const Tensor y = layer.forward(Tensor({1, 2, 10}));
+  EXPECT_EQ(y.dim(2), 5u);
+}
+
+TEST(Conv1d, IdentityKernelCopiesInput) {
+  Rng rng(5);
+  Conv1d layer(1, 1, 1, rng, 1, 0);
+  layer.weight().value[0] = 1.0f;
+  layer.bias().value[0] = 0.0f;
+  Tensor x({1, 1, 5});
+  for (std::size_t i = 0; i < 5; ++i) x[i] = static_cast<float>(i);
+  const Tensor y = layer.forward(x);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv1d, ZeroInitProducesZeroOutput) {
+  Rng rng(6);
+  Conv1d layer(3, 3, 1, rng, 1, 0);
+  layer.zero_init();
+  Tensor x({2, 3, 4});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = 1.0f;
+  const Tensor y = layer.forward(x);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], 0.0f);
+}
+
+TEST(GroupNorm, NormalizesPerGroup) {
+  GroupNorm layer(4, 2);
+  Rng rng(7);
+  Tensor x({1, 4, 8});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.gaussian(5.0, 3.0));
+  }
+  const Tensor y = layer.forward(x);
+  // Each group's (channels 0-1, then 2-3) output has mean~0, var~1.
+  for (int g = 0; g < 2; ++g) {
+    double sum = 0.0, sq = 0.0;
+    for (int c = g * 2; c < g * 2 + 2; ++c) {
+      for (int t = 0; t < 8; ++t) {
+        const float v = y.at3(0, static_cast<std::size_t>(c),
+                              static_cast<std::size_t>(t));
+        sum += v;
+        sq += static_cast<double>(v) * v;
+      }
+    }
+    EXPECT_NEAR(sum / 16.0, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 16.0, 1.0, 1e-2);
+  }
+}
+
+TEST(GroupNorm, RejectsIndivisibleGroups) {
+  EXPECT_THROW(GroupNorm(5, 2), std::invalid_argument);
+  EXPECT_THROW(GroupNorm(4, 0), std::invalid_argument);
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  LayerNorm layer(6);
+  Rng rng(8);
+  Tensor x({3, 6});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.gaussian(-2.0, 4.0));
+  }
+  const Tensor y = layer.forward(x);
+  for (std::size_t r = 0; r < 3; ++r) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 6; ++j) sum += y.at2(r, j);
+    EXPECT_NEAR(sum / 6.0, 0.0, 1e-4);
+  }
+}
+
+TEST(Activations, KnownValues) {
+  Tensor x({3});
+  x[0] = 0.0f;
+  x[1] = 10.0f;
+  x[2] = -10.0f;
+  SiLU silu;
+  const Tensor ys = silu.forward(x);
+  EXPECT_FLOAT_EQ(ys[0], 0.0f);
+  EXPECT_NEAR(ys[1], 10.0f, 1e-3);
+  EXPECT_NEAR(ys[2], 0.0f, 1e-3);
+  ReLU relu;
+  const Tensor yr = relu.forward(x);
+  EXPECT_FLOAT_EQ(yr[1], 10.0f);
+  EXPECT_FLOAT_EQ(yr[2], 0.0f);
+  Sigmoid sig;
+  const Tensor yg = sig.forward(x);
+  EXPECT_FLOAT_EQ(yg[0], 0.5f);
+}
+
+TEST(Attention, PreservesShape) {
+  Rng rng(9);
+  SelfAttention1d layer(4, rng);
+  const Tensor y = layer.forward(Tensor({2, 4, 6}));
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 4, 6}));
+}
+
+TEST(Lora, ZeroRankIsPassThrough) {
+  Rng rng(10);
+  auto base = std::make_unique<Linear>(4, 3, rng);
+  Linear reference = *base;  // copy weights
+  LoraLinear lora(std::move(base), 0, 1.0f, rng);
+  Tensor x({2, 4});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  const Tensor y1 = lora.forward(x);
+  const Tensor y2 = reference.forward(x);
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_FLOAT_EQ(y1[i], y2[i]);
+  }
+}
+
+TEST(Lora, FreshAdapterIsIdentityDelta) {
+  // B is zero-initialized, so before any training the adapter must not
+  // change the base layer's output (the defining LoRA property).
+  Rng rng(11);
+  auto base = std::make_unique<Linear>(4, 3, rng);
+  Linear reference = *base;
+  LoraLinear lora(std::move(base), 2, 8.0f, rng);
+  Tensor x({2, 4});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i) - 3;
+  const Tensor y1 = lora.forward(x);
+  const Tensor y2 = reference.forward(x);
+  for (std::size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_FLOAT_EQ(y1[i], y2[i]);
+  }
+}
+
+TEST(Lora, MergedWeightMatchesForward) {
+  Rng rng(12);
+  auto base = std::make_unique<Linear>(3, 2, rng);
+  LoraLinear lora(std::move(base), 2, 4.0f, rng);
+  // Give B nonzero values.
+  for (Parameter* p : lora.parameters()) {
+    if (p->name.rfind(".B") != std::string::npos) {
+      for (std::size_t i = 0; i < p->value.size(); ++i) {
+        p->value[i] = 0.1f * static_cast<float>(i + 1);
+      }
+    }
+  }
+  Tensor x({1, 3});
+  x[0] = 1.0f;
+  x[1] = -2.0f;
+  x[2] = 0.5f;
+  const Tensor y = lora.forward(x);
+  const Tensor merged = lora.merged_weight();
+  // y = merged @ x + bias
+  const Tensor& bias = lora.base().bias().value;
+  for (std::size_t o = 0; o < 2; ++o) {
+    float acc = bias[o];
+    for (std::size_t i = 0; i < 3; ++i) {
+      acc += merged.at2(o, i) * x[i];
+    }
+    EXPECT_NEAR(y[o], acc, 1e-5);
+  }
+}
+
+TEST(Lora, FreezeBaseKeepsAdaptersTrainable) {
+  Rng rng(13);
+  auto base = std::make_unique<Linear>(3, 2, rng);
+  LoraLinear lora(std::move(base), 2, 4.0f, rng);
+  lora.freeze_base();
+  int trainable = 0, frozen = 0;
+  for (Parameter* p : lora.parameters()) {
+    if (p->trainable) {
+      ++trainable;
+      EXPECT_TRUE(p->name.rfind(".A") != std::string::npos ||
+                  p->name.rfind(".B") != std::string::npos);
+    } else {
+      ++frozen;
+    }
+  }
+  EXPECT_EQ(trainable, 2);
+  EXPECT_EQ(frozen, 2);  // weight + bias
+}
+
+TEST(Embedding, LookupAndRangeCheck) {
+  Rng rng(14);
+  Embedding emb(4, 3, rng);
+  Tensor ids({2});
+  ids[0] = 0;
+  ids[1] = 3;
+  const Tensor out = emb.forward(ids);
+  EXPECT_EQ(out.shape(), (std::vector<std::size_t>{2, 3}));
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(out.at2(0, j), emb.table().value[j]);
+    EXPECT_EQ(out.at2(1, j), emb.table().value[3 * 3 + j]);
+  }
+  ids[0] = 4;
+  EXPECT_THROW(emb.forward(ids), std::out_of_range);
+}
+
+TEST(Sinusoidal, StructureAndRange) {
+  const Tensor emb = sinusoidal_embedding({0.0f, 5.0f}, 8);
+  EXPECT_EQ(emb.shape(), (std::vector<std::size_t>{2, 8}));
+  // t = 0: all sin terms 0, all cos terms 1.
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(emb.at2(0, 2 * j), 0.0f);
+    EXPECT_FLOAT_EQ(emb.at2(0, 2 * j + 1), 1.0f);
+  }
+  // Bounded by [-1, 1].
+  for (std::size_t i = 0; i < emb.size(); ++i) {
+    EXPECT_LE(std::abs(emb[i]), 1.0f);
+  }
+  EXPECT_THROW(sinusoidal_embedding({1.0f}, 7), std::invalid_argument);
+}
+
+TEST(Loss, MseKnownValue) {
+  Tensor pred({2});
+  pred[0] = 1.0f;
+  pred[1] = 3.0f;
+  Tensor target({2});
+  target[0] = 0.0f;
+  target[1] = 1.0f;
+  Tensor grad;
+  const float loss = mse_loss(pred, target, grad);
+  EXPECT_FLOAT_EQ(loss, (1.0f + 4.0f) / 2.0f);
+  EXPECT_FLOAT_EQ(grad[0], 1.0f);   // 2*1/2
+  EXPECT_FLOAT_EQ(grad[1], 2.0f);   // 2*2/2
+}
+
+TEST(Loss, BceWithLogitsMatchesReference) {
+  Tensor logits({2});
+  logits[0] = 0.0f;
+  logits[1] = 2.0f;
+  Tensor targets({2});
+  targets[0] = 1.0f;
+  targets[1] = 0.0f;
+  Tensor grad;
+  const float loss = bce_with_logits_loss(logits, targets, grad);
+  const float expected =
+      (std::log(2.0f) + std::log1p(std::exp(2.0f))) / 2.0f;
+  EXPECT_NEAR(loss, expected, 1e-5);
+  EXPECT_NEAR(grad[0], (0.5f - 1.0f) / 2.0f, 1e-6);
+}
+
+TEST(Loss, L1KnownValue) {
+  Tensor pred = Tensor::full({4}, 2.0f);
+  Tensor target = Tensor::full({4}, 3.0f);
+  Tensor grad;
+  EXPECT_FLOAT_EQ(l1_loss(pred, target, grad), 1.0f);
+  EXPECT_FLOAT_EQ(grad[0], -0.25f);
+}
+
+}  // namespace
+}  // namespace repro::nn

@@ -1,0 +1,110 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace repro::nn {
+namespace {
+
+TEST(Adam, MinimizesQuadratic) {
+  // f(w) = sum (w - 3)^2, df/dw = 2(w - 3).
+  Parameter w("w", Tensor::full({4}, 10.0f));
+  Adam::Config cfg;
+  cfg.lr = 0.1f;
+  Adam opt({&w}, cfg);
+  for (int step = 0; step < 500; ++step) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      w.grad[i] = 2.0f * (w.value[i] - 3.0f);
+    }
+    opt.step();
+    w.zero_grad();
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w.value[i], 3.0f, 1e-2);
+  }
+}
+
+TEST(Adam, SkipsFrozenParameters) {
+  Parameter frozen("frozen", Tensor::full({2}, 5.0f));
+  frozen.trainable = false;
+  Parameter live("live", Tensor::full({2}, 5.0f));
+  Adam opt({&frozen, &live});
+  frozen.grad.fill(1.0f);
+  live.grad.fill(1.0f);
+  opt.step();
+  EXPECT_FLOAT_EQ(frozen.value[0], 5.0f);
+  EXPECT_NE(live.value[0], 5.0f);
+}
+
+TEST(Adam, WeightDecayShrinksWeights) {
+  Parameter w("w", Tensor::full({1}, 4.0f));
+  Adam::Config cfg;
+  cfg.lr = 0.1f;
+  cfg.weight_decay = 0.1f;
+  Adam opt({&w}, cfg);
+  // Zero gradient: only decay acts.
+  for (int i = 0; i < 10; ++i) {
+    opt.step();
+  }
+  EXPECT_LT(w.value[0], 4.0f);
+  EXPECT_GT(w.value[0], 0.0f);
+}
+
+TEST(Adam, ResetStateClearsMoments) {
+  Parameter w("w", Tensor::full({1}, 1.0f));
+  Adam::Config cfg;
+  cfg.lr = 0.5f;
+  Adam opt({&w}, cfg);
+  w.grad[0] = 1.0f;
+  opt.step();
+  const float after_one = w.value[0];
+  opt.reset_state();
+  // After reset, a step with the same gradient behaves like the first.
+  Parameter w2("w2", Tensor::full({1}, after_one));
+  Adam opt2({&w2}, cfg);
+  w.grad[0] = 1.0f;
+  w2.grad[0] = 1.0f;
+  opt.step();
+  opt2.step();
+  EXPECT_NEAR(w.value[0], w2.value[0], 1e-6);
+}
+
+TEST(Sgd, SimpleStep) {
+  Parameter w("w", Tensor::full({2}, 1.0f));
+  Sgd opt({&w}, 0.5f);
+  w.grad.fill(2.0f);
+  opt.step();
+  EXPECT_FLOAT_EQ(w.value[0], 0.0f);
+}
+
+TEST(ClipGradNorm, ScalesWhenAboveThreshold) {
+  Parameter a("a", Tensor::zeros({2}));
+  a.grad[0] = 3.0f;
+  a.grad[1] = 4.0f;  // norm 5
+  const float norm = clip_grad_norm({&a}, 1.0f);
+  EXPECT_FLOAT_EQ(norm, 5.0f);
+  EXPECT_NEAR(a.grad[0], 0.6f, 1e-6);
+  EXPECT_NEAR(a.grad[1], 0.8f, 1e-6);
+}
+
+TEST(ClipGradNorm, LeavesSmallGradientsAlone) {
+  Parameter a("a", Tensor::zeros({2}));
+  a.grad[0] = 0.1f;
+  clip_grad_norm({&a}, 1.0f);
+  EXPECT_FLOAT_EQ(a.grad[0], 0.1f);
+}
+
+TEST(ClipGradNorm, IgnoresFrozenParams) {
+  Parameter frozen("f", Tensor::zeros({1}));
+  frozen.trainable = false;
+  frozen.grad[0] = 100.0f;
+  Parameter live("l", Tensor::zeros({1}));
+  live.grad[0] = 0.5f;
+  const float norm = clip_grad_norm({&frozen, &live}, 1.0f);
+  EXPECT_FLOAT_EQ(norm, 0.5f);
+  EXPECT_FLOAT_EQ(frozen.grad[0], 100.0f);
+}
+
+}  // namespace
+}  // namespace repro::nn

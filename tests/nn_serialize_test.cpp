@@ -1,0 +1,87 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.hpp"
+#include "nn/linear.hpp"
+
+namespace repro::nn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Serialize, SaveLoadRoundTrip) {
+  Rng rng(1);
+  Linear a(4, 3, rng, true, "layer");
+  Linear b(4, 3, rng, true, "layer");  // different random init
+  const std::string path = temp_path("repro_ckpt_roundtrip.bin");
+  save_parameters(path, a.parameters());
+  load_parameters(path, b.parameters());
+  for (std::size_t i = 0; i < a.weight().value.size(); ++i) {
+    EXPECT_EQ(b.weight().value[i], a.weight().value[i]);
+  }
+  for (std::size_t i = 0; i < a.bias().value.size(); ++i) {
+    EXPECT_EQ(b.bias().value[i], a.bias().value[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsNameMismatch) {
+  Rng rng(2);
+  Linear a(2, 2, rng, true, "alpha");
+  Linear b(2, 2, rng, true, "beta");
+  const std::string path = temp_path("repro_ckpt_name.bin");
+  save_parameters(path, a.parameters());
+  EXPECT_THROW(load_parameters(path, b.parameters()), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsShapeMismatch) {
+  Rng rng(3);
+  Linear a(2, 2, rng, true, "layer");
+  Linear b(3, 2, rng, true, "layer");
+  const std::string path = temp_path("repro_ckpt_shape.bin");
+  save_parameters(path, a.parameters());
+  EXPECT_THROW(load_parameters(path, b.parameters()), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsCountMismatch) {
+  Rng rng(4);
+  Linear a(2, 2, rng, true, "layer");
+  Linear b(2, 2, rng, false, "layer");  // no bias -> fewer params
+  const std::string path = temp_path("repro_ckpt_count.bin");
+  save_parameters(path, a.parameters());
+  EXPECT_THROW(load_parameters(path, b.parameters()), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsGarbageFile) {
+  const std::string path = temp_path("repro_ckpt_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint";
+  }
+  Rng rng(5);
+  Linear a(2, 2, rng);
+  EXPECT_THROW(load_parameters(path, a.parameters()), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  Rng rng(6);
+  Linear a(2, 2, rng);
+  EXPECT_THROW(load_parameters("/nonexistent/ckpt.bin", a.parameters()),
+               std::runtime_error);
+  EXPECT_THROW(save_parameters("/nonexistent/ckpt.bin", a.parameters()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace repro::nn

@@ -1,0 +1,100 @@
+#include "nprint/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "net/packet.hpp"
+
+namespace repro::nprint {
+namespace {
+
+Matrix sample_matrix() {
+  net::Flow flow;
+  flow.packets.push_back(net::make_tcp_packet(1, 2, 100, 443, 64, 0.0));
+  flow.packets.push_back(net::make_udp_packet(1, 2, 100, 53, 32, 0.1));
+  return encode_flow(flow, 4, /*pad_to_max=*/true);
+}
+
+TEST(Image, RenderDimensionsMatchMatrix) {
+  const Matrix m = sample_matrix();
+  const Image img = render(m);
+  EXPECT_EQ(img.width, kBitsPerPacket);
+  EXPECT_EQ(img.height, 4u);
+  EXPECT_EQ(img.pixels.size(), img.width * img.height * 3);
+}
+
+TEST(Image, ColorsFollowPaperConvention) {
+  Matrix m(1);
+  m.at(0, 0) = 1.0f;
+  m.at(0, 1) = 0.0f;
+  // bit 2 stays -1 (vacant)
+  const Image img = render(m);
+  EXPECT_EQ(img.pixel(0, 0), kColorSet);     // red for 1
+  EXPECT_EQ(img.pixel(1, 0), kColorClear);   // green for 0
+  EXPECT_EQ(img.pixel(2, 0), kColorVacant);  // grey for -1
+}
+
+TEST(Image, RenderParseInverse) {
+  const Matrix m = sample_matrix();
+  const Matrix back = parse_image(render(m));
+  ASSERT_EQ(back.rows(), m.rows());
+  for (std::size_t i = 0; i < m.data().size(); ++i) {
+    EXPECT_EQ(back.data()[i], m.data()[i]) << "index " << i;
+  }
+}
+
+TEST(Image, ParseToleratesNoisyColors) {
+  Image img = render(sample_matrix());
+  // Perturb every channel slightly; nearest-color matching must recover.
+  for (auto& byte : img.pixels) {
+    byte = static_cast<std::uint8_t>(
+        std::min<int>(255, std::max<int>(0, int(byte) + 11)));
+  }
+  const Matrix noisy = parse_image(img);
+  const Matrix clean = parse_image(render(sample_matrix()));
+  EXPECT_EQ(noisy.data(), clean.data());
+}
+
+TEST(Image, ParseRejectsWrongWidth) {
+  Image img;
+  img.width = 10;
+  img.height = 1;
+  img.pixels.assign(30, 0);
+  EXPECT_THROW(parse_image(img), std::invalid_argument);
+}
+
+TEST(Image, PpmFileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "repro_image_test.ppm").string();
+  const Image img = render(sample_matrix());
+  write_ppm(path, img);
+  const Image loaded = read_ppm(path);
+  EXPECT_EQ(loaded.width, img.width);
+  EXPECT_EQ(loaded.height, img.height);
+  EXPECT_EQ(loaded.pixels, img.pixels);
+  std::remove(path.c_str());
+}
+
+TEST(Image, PpmRejectsMissingFile) {
+  EXPECT_THROW(read_ppm("/nonexistent-dir/foo.ppm"), std::runtime_error);
+}
+
+TEST(Image, FullImagePipelineRoundTrip) {
+  // matrix -> image -> ppm -> image -> matrix -> flow: the exact path a
+  // user inspecting Figure 2 artifacts takes.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "repro_pipe_test.ppm").string();
+  const Matrix m = sample_matrix();
+  write_ppm(path, render(m));
+  const Matrix back = parse_image(read_ppm(path));
+  const net::Flow flow = decode_flow(back);
+  ASSERT_EQ(flow.packets.size(), 2u);
+  EXPECT_EQ(flow.packets[0].ip.protocol, net::IpProto::kTcp);
+  EXPECT_EQ(flow.packets[1].ip.protocol, net::IpProto::kUdp);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace repro::nprint

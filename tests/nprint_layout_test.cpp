@@ -1,0 +1,74 @@
+#include "nprint/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace repro::nprint {
+namespace {
+
+TEST(Layout, TotalMatchesPaper) {
+  EXPECT_EQ(kBitsPerPacket, 1088u);
+  EXPECT_EQ(kTcpBits, 480u);
+  EXPECT_EQ(kUdpBits, 64u);
+  EXPECT_EQ(kIcmpBits, 64u);
+  EXPECT_EQ(kIpv4Bits, 480u);
+  EXPECT_EQ(kMaxPacketsPerFlow, 1024u);
+}
+
+TEST(Layout, RegionsAreContiguous) {
+  EXPECT_EQ(kTcpOffset, 0u);
+  EXPECT_EQ(kUdpOffset, kTcpBits);
+  EXPECT_EQ(kIcmpOffset, kTcpBits + kUdpBits);
+  EXPECT_EQ(kIpv4Offset, kTcpBits + kUdpBits + kIcmpBits);
+  EXPECT_EQ(kIpv4Offset + kIpv4Bits, kBitsPerPacket);
+}
+
+TEST(Layout, RegionOfBoundaries) {
+  EXPECT_EQ(region_of(0), Region::kTcp);
+  EXPECT_EQ(region_of(kTcpBits - 1), Region::kTcp);
+  EXPECT_EQ(region_of(kUdpOffset), Region::kUdp);
+  EXPECT_EQ(region_of(kIcmpOffset - 1), Region::kUdp);
+  EXPECT_EQ(region_of(kIcmpOffset), Region::kIcmp);
+  EXPECT_EQ(region_of(kIpv4Offset - 1), Region::kIcmp);
+  EXPECT_EQ(region_of(kIpv4Offset), Region::kIpv4);
+  EXPECT_EQ(region_of(kBitsPerPacket - 1), Region::kIpv4);
+}
+
+TEST(Layout, RegionOffsetAndSizeConsistent) {
+  for (Region r : {Region::kTcp, Region::kUdp, Region::kIcmp, Region::kIpv4}) {
+    const std::size_t off = region_offset(r);
+    const std::size_t size = region_size(r);
+    EXPECT_EQ(region_of(off), r);
+    EXPECT_EQ(region_of(off + size - 1), r);
+  }
+}
+
+TEST(Layout, FeatureNamesForKnownFields) {
+  EXPECT_EQ(feature_name(0), "tcp_sprt_0");
+  EXPECT_EQ(feature_name(15), "tcp_sprt_15");
+  EXPECT_EQ(feature_name(16), "tcp_dprt_0");
+  EXPECT_EQ(feature_name(kUdpOffset), "udp_sport_0");
+  EXPECT_EQ(feature_name(kIcmpOffset), "icmp_type_0");
+  EXPECT_EQ(feature_name(kIpv4Offset), "ipv4_ver_0");
+  EXPECT_EQ(feature_name(kIpv4Offset + 64), "ipv4_ttl_0");
+  EXPECT_EQ(feature_name(kIpv4Offset + 72), "ipv4_proto_0");
+  EXPECT_EQ(feature_name(kIpv4Offset + 160), "ipv4_opt_0");
+  EXPECT_EQ(feature_name(160), "tcp_opt_0");
+}
+
+TEST(Layout, FeatureNamesUniqueAcrossLayout) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kBitsPerPacket; ++i) {
+    names.insert(feature_name(i));
+  }
+  EXPECT_EQ(names.size(), kBitsPerPacket);
+}
+
+TEST(Layout, FeatureNameRejectsOutOfRange) {
+  EXPECT_THROW(feature_name(kBitsPerPacket), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace repro::nprint

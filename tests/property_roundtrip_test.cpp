@@ -1,0 +1,150 @@
+// Property-style sweeps over randomized inputs: invariants that must
+// hold for *every* flow the traffic models can produce, not just
+// hand-picked cases. Parameterized over (app, seed) pairs.
+#include <gtest/gtest.h>
+
+#include "flowgen/generator.hpp"
+#include "net/checksum.hpp"
+#include "net/pcap.hpp"
+#include "nprint/codec.hpp"
+
+namespace repro {
+namespace {
+
+struct SweepCase {
+  int app;
+  std::uint64_t seed;
+};
+
+class FlowSweepTest : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  net::Flow make_flow() {
+    Rng rng(GetParam().seed * 1000003ULL + 17);
+    return flowgen::generate_flow(
+        static_cast<flowgen::App>(GetParam().app), rng);
+  }
+};
+
+TEST_P(FlowSweepTest, EveryPacketHasValidIpChecksumOnWire) {
+  const net::Flow flow = make_flow();
+  for (const auto& pkt : flow.packets) {
+    const auto wire = pkt.serialize();
+    const std::size_t ihl = (wire[0] & 0x0F) * 4;
+    EXPECT_EQ(net::internet_checksum(
+                  std::span<const std::uint8_t>(wire.data(), ihl)),
+              0x0000);
+  }
+}
+
+TEST_P(FlowSweepTest, TransportChecksumsVerify) {
+  const net::Flow flow = make_flow();
+  for (const auto& pkt : flow.packets) {
+    const auto wire = pkt.serialize();
+    const std::size_t ihl = (wire[0] & 0x0F) * 4;
+    net::ChecksumAccumulator acc;
+    if (pkt.ip.protocol == net::IpProto::kIcmp) {
+      acc.add(std::span<const std::uint8_t>(wire.data() + ihl,
+                                            wire.size() - ihl));
+    } else {
+      acc.add_u32(pkt.ip.src_addr);
+      acc.add_u32(pkt.ip.dst_addr);
+      acc.add_u16(static_cast<std::uint16_t>(pkt.ip.protocol));
+      acc.add_u16(static_cast<std::uint16_t>(wire.size() - ihl));
+      acc.add(std::span<const std::uint8_t>(wire.data() + ihl,
+                                            wire.size() - ihl));
+    }
+    EXPECT_EQ(acc.finish(), 0x0000)
+        << net::proto_name(pkt.ip.protocol);
+  }
+}
+
+TEST_P(FlowSweepTest, WireRoundTripPreservesHeaders) {
+  const net::Flow flow = make_flow();
+  for (const auto& pkt : flow.packets) {
+    const net::Packet parsed = net::Packet::parse(pkt.serialize());
+    EXPECT_TRUE(parsed.consistent());
+    EXPECT_EQ(parsed.ip.src_addr, pkt.ip.src_addr);
+    EXPECT_EQ(parsed.ip.ttl, pkt.ip.ttl);
+    EXPECT_EQ(parsed.ip.protocol, pkt.ip.protocol);
+    EXPECT_EQ(parsed.payload.size(), pkt.payload.size());
+    if (pkt.tcp) {
+      EXPECT_EQ(parsed.tcp->seq, pkt.tcp->seq);
+      EXPECT_EQ(parsed.tcp->options, pkt.tcp->options);
+    }
+  }
+}
+
+TEST_P(FlowSweepTest, NprintRoundTripPreservesKeyFields) {
+  const net::Flow flow = make_flow();
+  const std::size_t take = std::min<std::size_t>(flow.packets.size(), 8);
+  for (std::size_t i = 0; i < take; ++i) {
+    const auto& pkt = flow.packets[i];
+    const auto row = nprint::encode_packet(pkt);
+    net::Packet decoded;
+    ASSERT_TRUE(nprint::decode_packet(row.data(), decoded));
+    EXPECT_EQ(decoded.ip.protocol, pkt.ip.protocol);
+    EXPECT_EQ(decoded.ip.ttl, pkt.ip.ttl);
+    EXPECT_EQ(decoded.ip.src_addr, pkt.ip.src_addr);
+    EXPECT_EQ(decoded.ip.dscp, pkt.ip.dscp);
+    if (pkt.tcp) {
+      ASSERT_TRUE(decoded.tcp.has_value());
+      EXPECT_EQ(decoded.tcp->src_port, pkt.tcp->src_port);
+      EXPECT_EQ(decoded.tcp->dst_port, pkt.tcp->dst_port);
+      EXPECT_EQ(decoded.tcp->syn, pkt.tcp->syn);
+      EXPECT_EQ(decoded.tcp->fin, pkt.tcp->fin);
+      EXPECT_EQ(decoded.tcp->window, pkt.tcp->window);
+    }
+    if (pkt.udp) {
+      ASSERT_TRUE(decoded.udp.has_value());
+      EXPECT_EQ(decoded.udp->src_port, pkt.udp->src_port);
+      EXPECT_EQ(decoded.udp->dst_port, pkt.udp->dst_port);
+    }
+    if (pkt.icmp) {
+      ASSERT_TRUE(decoded.icmp.has_value());
+      EXPECT_EQ(decoded.icmp->type, pkt.icmp->type);
+    }
+  }
+}
+
+TEST_P(FlowSweepTest, PcapFileRoundTripIsByteExact) {
+  const net::Flow flow = make_flow();
+  const std::string path =
+      std::string("/tmp/repro_prop_") +
+      std::to_string(GetParam().app) + "_" +
+      std::to_string(GetParam().seed) + ".pcap";
+  net::write_pcap_file(path, flow.packets);
+  const auto loaded = net::read_pcap_file(path);
+  ASSERT_EQ(loaded.size(), flow.packets.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].serialize(), flow.packets[i].serialize());
+  }
+  std::remove(path.c_str());
+}
+
+TEST_P(FlowSweepTest, QuantizeIsIdempotentOnEncodedFlows) {
+  const net::Flow flow = make_flow();
+  nprint::Matrix matrix = nprint::encode_flow(flow, 16, true);
+  const auto before = matrix.data();
+  nprint::quantize(matrix);
+  EXPECT_EQ(matrix.data(), before);  // already ternary
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (int app = 0; app < 11; ++app) {
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      cases.push_back({app, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAppsSeeds, FlowSweepTest, ::testing::ValuesIn(sweep_cases()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return flowgen::app_name(static_cast<flowgen::App>(info.param.app)) +
+             "_s" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,167 @@
+#include "replay/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "replay/functions.hpp"
+
+namespace repro::replay {
+namespace {
+
+net::Packet udp_at(double t, std::uint16_t dport = 53,
+                   std::size_t payload = 20) {
+  return net::make_udp_packet(0xC0A80001, 0x08080808, 40000, dport, payload, t);
+}
+
+TEST(ReplayEngine, EmptyChainDeliversEverything) {
+  ReplayEngine engine;
+  const std::vector<net::Packet> packets = {udp_at(0.0), udp_at(0.5)};
+  const ReplayReport report = engine.replay(packets);
+  EXPECT_EQ(report.input_packets, 2u);
+  EXPECT_EQ(report.delivered_packets, 2u);
+  EXPECT_DOUBLE_EQ(report.trace_duration, 0.5);
+}
+
+TEST(ReplayEngine, EmptyTrace) {
+  ReplayEngine engine;
+  engine.add_function(std::make_unique<FlowCounter>());
+  const ReplayReport report = engine.replay({});
+  EXPECT_EQ(report.input_packets, 0u);
+  EXPECT_EQ(report.delivered_packets, 0u);
+}
+
+TEST(ReplayEngine, ChainOrderShortCircuitsOnDrop) {
+  ReplayEngine engine;
+  engine.add_function(std::make_unique<PortAcl>(std::set<std::uint16_t>{53}));
+  auto counter = std::make_unique<FlowCounter>();
+  FlowCounter* counter_ptr = counter.get();
+  engine.add_function(std::move(counter));
+
+  const std::vector<net::Packet> packets = {udp_at(0.0, 53), udp_at(0.1, 80)};
+  const ReplayReport report = engine.replay(packets);
+  EXPECT_EQ(report.delivered_packets, 1u);
+  EXPECT_EQ(report.functions[0].dropped, 1u);
+  EXPECT_EQ(report.functions[0].forwarded, 1u);
+  // The dropped packet never reached the counter.
+  EXPECT_EQ(report.functions[1].processed, 1u);
+  EXPECT_EQ(counter_ptr->flows().size(), 1u);
+}
+
+TEST(ReplayEngine, ReplaysInTimestampOrder) {
+  ReplayEngine engine;
+  auto counter = std::make_unique<FlowCounter>();
+  FlowCounter* ptr = counter.get();
+  engine.add_function(std::move(counter));
+  // Deliberately out of order input.
+  std::vector<net::Packet> packets = {udp_at(2.0), udp_at(0.0), udp_at(1.0)};
+  engine.replay(packets);
+  const auto& entry = ptr->flows().begin()->second;
+  EXPECT_DOUBLE_EQ(entry.first_seen, 0.0);
+  EXPECT_DOUBLE_EQ(entry.last_seen, 2.0);
+}
+
+TEST(ReplayEngine, TimeScaleStretchesTimestamps) {
+  ReplayEngine engine;
+  auto counter = std::make_unique<FlowCounter>();
+  FlowCounter* ptr = counter.get();
+  engine.add_function(std::move(counter));
+  const std::vector<net::Packet> packets = {udp_at(10.0), udp_at(11.0)};
+  const ReplayReport report = engine.replay(packets, 3.0);
+  EXPECT_DOUBLE_EQ(report.trace_duration, 3.0);
+  EXPECT_DOUBLE_EQ(ptr->flows().begin()->second.last_seen, 13.0);
+}
+
+TEST(FlowCounter, AggregatesPerFlowAndProtocol) {
+  FlowCounter counter;
+  net::Packet a = udp_at(0.0);
+  net::Packet b = udp_at(1.0);
+  net::Packet c = net::make_tcp_packet(1, 2, 3, 4, 10, 2.0);
+  counter.process(a, 0.0);
+  counter.process(b, 1.0);
+  counter.process(c, 2.0);
+  EXPECT_EQ(counter.flows().size(), 2u);
+  EXPECT_EQ(counter.packets_by_protocol(net::IpProto::kUdp), 2u);
+  EXPECT_EQ(counter.packets_by_protocol(net::IpProto::kTcp), 1u);
+  EXPECT_EQ(counter.packets_by_protocol(net::IpProto::kIcmp), 0u);
+}
+
+TEST(PortAcl, DropsOnlyDeniedPorts) {
+  PortAcl acl({443, 8801});
+  net::Packet allowed = udp_at(0.0, 53);
+  net::Packet denied = udp_at(0.0, 8801);
+  net::Packet icmp = net::make_icmp_packet(1, 2, 8, 0, 0, 0.0);
+  EXPECT_EQ(acl.process(allowed, 0.0), Verdict::kForward);
+  EXPECT_EQ(acl.process(denied, 0.0), Verdict::kDrop);
+  EXPECT_EQ(acl.process(icmp, 0.0), Verdict::kForward);  // no port -> pass
+  EXPECT_EQ(acl.drops(), 1u);
+}
+
+TEST(RateLimiter, EnforcesTokenBucket) {
+  // 100 B/s with a 150 B burst; 3 x 100B packets back-to-back: the first
+  // passes on burst, the second drains to 50 tokens -> dropped, the
+  // third after 1s (+100 tokens) passes.
+  RateLimiter limiter(100.0, 150.0);
+  net::Packet p1 = udp_at(0.0, 53, 72);   // 100 B datagram
+  net::Packet p2 = udp_at(0.0, 53, 72);
+  net::Packet p3 = udp_at(1.0, 53, 72);
+  EXPECT_EQ(limiter.process(p1, 0.0), Verdict::kForward);
+  EXPECT_EQ(limiter.process(p2, 0.0), Verdict::kDrop);
+  EXPECT_EQ(limiter.process(p3, 1.0), Verdict::kForward);
+  EXPECT_EQ(limiter.drops(), 1u);
+}
+
+TEST(RateLimiter, BurstCapsTokenAccumulation) {
+  RateLimiter limiter(1000.0, 100.0);
+  net::Packet big = udp_at(100.0, 53, 200);  // 228 B > burst cap
+  EXPECT_EQ(limiter.process(big, 100.0), Verdict::kDrop);
+}
+
+TEST(SourceNat, RewritesPrivateSourcesOnly) {
+  SourceNat nat(net::ipv4_from_string("203.0.113.7"));
+  net::Packet priv = net::make_tcp_packet(
+      net::ipv4_from_string("192.168.1.5"), 0x08080808, 1, 2, 0, 0.0);
+  net::Packet pub = net::make_tcp_packet(
+      net::ipv4_from_string("8.8.4.4"), 0x08080808, 1, 2, 0, 0.0);
+  nat.process(priv, 0.0);
+  nat.process(pub, 0.0);
+  EXPECT_EQ(priv.ip.src_addr, net::ipv4_from_string("203.0.113.7"));
+  EXPECT_EQ(pub.ip.src_addr, net::ipv4_from_string("8.8.4.4"));
+  EXPECT_EQ(nat.rewrites(), 1u);
+}
+
+TEST(SourceNat, ReverseTranslationRestoresPrivateHost) {
+  // WAN view: outbound masqueraded, inbound addressed to the public IP
+  // translated back to the recorded private host by client port.
+  const std::uint32_t pub = net::ipv4_from_string("203.0.113.7");
+  SourceNat nat(pub);
+  net::Packet out = net::make_udp_packet(
+      net::ipv4_from_string("192.168.1.5"), 0x08080808, 40001, 53, 8, 0.0);
+  nat.process(out, 0.0);
+  EXPECT_EQ(out.ip.src_addr, pub);
+  net::Packet back = net::make_udp_packet(
+      0x08080808, pub, 53, 40001, 8, 0.1);
+  nat.process(back, 0.1);
+  EXPECT_EQ(back.ip.dst_addr, net::ipv4_from_string("192.168.1.5"));
+  EXPECT_EQ(nat.reverse_rewrites(), 1u);
+}
+
+TEST(SourceNat, ReverseIgnoresUnknownPorts) {
+  const std::uint32_t pub = net::ipv4_from_string("203.0.113.7");
+  SourceNat nat(pub);
+  net::Packet back = net::make_udp_packet(0x08080808, pub, 53, 5555, 8, 0.0);
+  nat.process(back, 0.0);
+  EXPECT_EQ(back.ip.dst_addr, pub);  // no mapping -> untouched
+  EXPECT_EQ(nat.reverse_rewrites(), 0u);
+}
+
+TEST(SourceNat, PrivateRangeClassification) {
+  EXPECT_TRUE(SourceNat::is_private(net::ipv4_from_string("10.0.0.1")));
+  EXPECT_TRUE(SourceNat::is_private(net::ipv4_from_string("172.16.0.1")));
+  EXPECT_TRUE(SourceNat::is_private(net::ipv4_from_string("172.31.255.255")));
+  EXPECT_TRUE(SourceNat::is_private(net::ipv4_from_string("192.168.99.1")));
+  EXPECT_FALSE(SourceNat::is_private(net::ipv4_from_string("172.32.0.1")));
+  EXPECT_FALSE(SourceNat::is_private(net::ipv4_from_string("11.0.0.1")));
+  EXPECT_FALSE(SourceNat::is_private(net::ipv4_from_string("193.168.0.1")));
+}
+
+}  // namespace
+}  // namespace repro::replay

@@ -1,0 +1,124 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace repro {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({1.0}), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(Stats, QuantileThrowsOnEmpty) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, NormalizeSumsToOne) {
+  const auto p = normalize({2.0, 3.0, 5.0});
+  EXPECT_DOUBLE_EQ(p[0], 0.2);
+  EXPECT_DOUBLE_EQ(p[1], 0.3);
+  EXPECT_DOUBLE_EQ(p[2], 0.5);
+}
+
+TEST(Stats, NormalizeZeroTotalGivesUniform) {
+  const auto p = normalize({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 0.5);
+}
+
+TEST(Stats, NormalizeClampsNegatives) {
+  const auto p = normalize({-1.0, 1.0});
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 1.0);
+}
+
+TEST(Stats, KlDivergenceZeroForIdentical) {
+  const std::vector<double> p = {0.25, 0.25, 0.5};
+  EXPECT_NEAR(kl_divergence(p, p), 0.0, 1e-9);
+}
+
+TEST(Stats, KlDivergenceNonNegative) {
+  const std::vector<double> p = {0.9, 0.1};
+  const std::vector<double> q = {0.5, 0.5};
+  EXPECT_GT(kl_divergence(p, q), 0.0);
+}
+
+TEST(Stats, JsDivergenceSymmetricAndBounded) {
+  const std::vector<double> p = {1.0, 0.0};
+  const std::vector<double> q = {0.0, 1.0};
+  const double d = js_divergence(p, q);
+  EXPECT_NEAR(d, js_divergence(q, p), 1e-12);
+  EXPECT_NEAR(d, std::log(2.0), 1e-6);  // maximal for disjoint support
+}
+
+TEST(Stats, JsThrowsOnSizeMismatch) {
+  EXPECT_THROW(js_divergence({0.5, 0.5}, {1.0}), std::invalid_argument);
+}
+
+TEST(Stats, TotalVariation) {
+  EXPECT_DOUBLE_EQ(total_variation({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(total_variation({0.5, 0.5}, {0.5, 0.5}), 0.0);
+}
+
+TEST(Stats, KsStatisticIdenticalSamples) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(ks_statistic(a, a), 0.0, 1e-12);
+}
+
+TEST(Stats, KsStatisticDisjointSamples) {
+  EXPECT_NEAR(ks_statistic({1.0, 2.0}, {10.0, 20.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, Wasserstein1ShiftedSample) {
+  // A constant shift by delta has W1 = delta.
+  const std::vector<double> a = {0.0, 1.0, 2.0};
+  const std::vector<double> b = {3.0, 4.0, 5.0};
+  EXPECT_NEAR(wasserstein1(a, b), 3.0, 1e-9);
+}
+
+TEST(Stats, ImbalanceRatio) {
+  EXPECT_DOUBLE_EQ(imbalance_ratio({0.25, 0.25, 0.25, 0.25}), 1.0);
+  EXPECT_DOUBLE_EQ(imbalance_ratio({0.6, 0.2, 0.2}), 3.0);
+  EXPECT_TRUE(std::isinf(imbalance_ratio({1.0, 0.0})));
+}
+
+TEST(Stats, HistogramCountsAndClamping) {
+  const auto h = histogram({0.1, 0.9, 1.5, -5.0, 100.0}, 0.0, 2.0, 2);
+  // -5 clamps into bin 0, 100 clamps into bin 1.
+  EXPECT_DOUBLE_EQ(h[0], 3.0);
+  EXPECT_DOUBLE_EQ(h[1], 2.0);
+}
+
+TEST(Stats, HistogramRejectsBadArguments) {
+  EXPECT_THROW(histogram({}, 0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(histogram({}, 1.0, 0.0, 4), std::invalid_argument);
+}
+
+TEST(Stats, ClassCountsIgnoresOutOfRange) {
+  const auto counts = class_counts({0, 1, 1, 2, -1, 7}, 3);
+  EXPECT_DOUBLE_EQ(counts[0], 1.0);
+  EXPECT_DOUBLE_EQ(counts[1], 2.0);
+  EXPECT_DOUBLE_EQ(counts[2], 1.0);
+}
+
+}  // namespace
+}  // namespace repro
