@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_control.dir/ablation_control.cpp.o"
+  "CMakeFiles/ablation_control.dir/ablation_control.cpp.o.d"
+  "ablation_control"
+  "ablation_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gan_per_class.dir/ablation_gan_per_class.cpp.o"
+  "CMakeFiles/ablation_gan_per_class.dir/ablation_gan_per_class.cpp.o.d"
+  "ablation_gan_per_class"
+  "ablation_gan_per_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gan_per_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_gan_per_class.
+# This may be replaced when dependencies are built.

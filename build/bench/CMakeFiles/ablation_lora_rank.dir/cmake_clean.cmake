@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lora_rank.dir/ablation_lora_rank.cpp.o"
+  "CMakeFiles/ablation_lora_rank.dir/ablation_lora_rank.cpp.o.d"
+  "ablation_lora_rank"
+  "ablation_lora_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lora_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidelity_report.dir/fidelity_report.cpp.o"
+  "CMakeFiles/fidelity_report.dir/fidelity_report.cpp.o.d"
+  "fidelity_report"
+  "fidelity_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidelity_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

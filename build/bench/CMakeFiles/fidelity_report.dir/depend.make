@@ -1,0 +1,2 @@
+# Empty dependencies file for fidelity_report.
+# This may be replaced when dependencies are built.

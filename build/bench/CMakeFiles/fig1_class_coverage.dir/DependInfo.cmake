@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_class_coverage.cpp" "bench/CMakeFiles/fig1_class_coverage.dir/fig1_class_coverage.cpp.o" "gcc" "bench/CMakeFiles/fig1_class_coverage.dir/fig1_class_coverage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/repro_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffusion/CMakeFiles/repro_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/gan/CMakeFiles/repro_gan.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/repro_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowgen/CMakeFiles/repro_flowgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/repro_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/nprint/CMakeFiles/repro_nprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_class_coverage.dir/fig1_class_coverage.cpp.o"
+  "CMakeFiles/fig1_class_coverage.dir/fig1_class_coverage.cpp.o.d"
+  "fig1_class_coverage"
+  "fig1_class_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_class_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

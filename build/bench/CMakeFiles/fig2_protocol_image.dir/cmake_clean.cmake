@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_protocol_image.dir/fig2_protocol_image.cpp.o"
+  "CMakeFiles/fig2_protocol_image.dir/fig2_protocol_image.cpp.o.d"
+  "fig2_protocol_image"
+  "fig2_protocol_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_protocol_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

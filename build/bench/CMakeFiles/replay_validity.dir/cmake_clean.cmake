@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_validity.dir/replay_validity.cpp.o"
+  "CMakeFiles/replay_validity.dir/replay_validity.cpp.o.d"
+  "replay_validity"
+  "replay_validity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

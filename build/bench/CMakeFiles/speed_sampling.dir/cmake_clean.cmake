@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_sampling.dir/speed_sampling.cpp.o"
+  "CMakeFiles/speed_sampling.dir/speed_sampling.cpp.o.d"
+  "speed_sampling"
+  "speed_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

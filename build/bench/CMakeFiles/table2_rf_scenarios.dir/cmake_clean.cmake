@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_rf_scenarios.dir/table2_rf_scenarios.cpp.o"
+  "CMakeFiles/table2_rf_scenarios.dir/table2_rf_scenarios.cpp.o.d"
+  "table2_rf_scenarios"
+  "table2_rf_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_rf_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

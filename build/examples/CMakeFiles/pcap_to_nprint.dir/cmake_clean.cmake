@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_to_nprint.dir/pcap_to_nprint.cpp.o"
+  "CMakeFiles/pcap_to_nprint.dir/pcap_to_nprint.cpp.o.d"
+  "pcap_to_nprint"
+  "pcap_to_nprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_to_nprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pcap_to_nprint.
+# This may be replaced when dependencies are built.

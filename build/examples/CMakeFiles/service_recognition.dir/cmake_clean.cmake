@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_recognition.dir/service_recognition.cpp.o"
+  "CMakeFiles/service_recognition.dir/service_recognition.cpp.o.d"
+  "service_recognition"
+  "service_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_to_traffic.dir/text_to_traffic.cpp.o"
+  "CMakeFiles/text_to_traffic.dir/text_to_traffic.cpp.o.d"
+  "text_to_traffic"
+  "text_to_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_to_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for text_to_traffic.
+# This may be replaced when dependencies are built.

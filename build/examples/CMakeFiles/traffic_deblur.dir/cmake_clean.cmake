@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_deblur.dir/traffic_deblur.cpp.o"
+  "CMakeFiles/traffic_deblur.dir/traffic_deblur.cpp.o.d"
+  "traffic_deblur"
+  "traffic_deblur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_deblur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

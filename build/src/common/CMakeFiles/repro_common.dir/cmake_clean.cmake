@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_common.dir/env.cpp.o"
+  "CMakeFiles/repro_common.dir/env.cpp.o.d"
+  "CMakeFiles/repro_common.dir/logging.cpp.o"
+  "CMakeFiles/repro_common.dir/logging.cpp.o.d"
+  "CMakeFiles/repro_common.dir/rng.cpp.o"
+  "CMakeFiles/repro_common.dir/rng.cpp.o.d"
+  "CMakeFiles/repro_common.dir/stats.cpp.o"
+  "CMakeFiles/repro_common.dir/stats.cpp.o.d"
+  "librepro_common.a"
+  "librepro_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

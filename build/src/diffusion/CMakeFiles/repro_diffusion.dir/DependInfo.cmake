@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diffusion/autoencoder.cpp" "src/diffusion/CMakeFiles/repro_diffusion.dir/autoencoder.cpp.o" "gcc" "src/diffusion/CMakeFiles/repro_diffusion.dir/autoencoder.cpp.o.d"
+  "/root/repo/src/diffusion/conditioning.cpp" "src/diffusion/CMakeFiles/repro_diffusion.dir/conditioning.cpp.o" "gcc" "src/diffusion/CMakeFiles/repro_diffusion.dir/conditioning.cpp.o.d"
+  "/root/repo/src/diffusion/constraint.cpp" "src/diffusion/CMakeFiles/repro_diffusion.dir/constraint.cpp.o" "gcc" "src/diffusion/CMakeFiles/repro_diffusion.dir/constraint.cpp.o.d"
+  "/root/repo/src/diffusion/controlnet.cpp" "src/diffusion/CMakeFiles/repro_diffusion.dir/controlnet.cpp.o" "gcc" "src/diffusion/CMakeFiles/repro_diffusion.dir/controlnet.cpp.o.d"
+  "/root/repo/src/diffusion/pipeline.cpp" "src/diffusion/CMakeFiles/repro_diffusion.dir/pipeline.cpp.o" "gcc" "src/diffusion/CMakeFiles/repro_diffusion.dir/pipeline.cpp.o.d"
+  "/root/repo/src/diffusion/resblock.cpp" "src/diffusion/CMakeFiles/repro_diffusion.dir/resblock.cpp.o" "gcc" "src/diffusion/CMakeFiles/repro_diffusion.dir/resblock.cpp.o.d"
+  "/root/repo/src/diffusion/sampler.cpp" "src/diffusion/CMakeFiles/repro_diffusion.dir/sampler.cpp.o" "gcc" "src/diffusion/CMakeFiles/repro_diffusion.dir/sampler.cpp.o.d"
+  "/root/repo/src/diffusion/schedule.cpp" "src/diffusion/CMakeFiles/repro_diffusion.dir/schedule.cpp.o" "gcc" "src/diffusion/CMakeFiles/repro_diffusion.dir/schedule.cpp.o.d"
+  "/root/repo/src/diffusion/unet1d.cpp" "src/diffusion/CMakeFiles/repro_diffusion.dir/unet1d.cpp.o" "gcc" "src/diffusion/CMakeFiles/repro_diffusion.dir/unet1d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nprint/CMakeFiles/repro_nprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowgen/CMakeFiles/repro_flowgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

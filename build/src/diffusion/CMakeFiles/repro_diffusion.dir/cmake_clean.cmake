@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_diffusion.dir/autoencoder.cpp.o"
+  "CMakeFiles/repro_diffusion.dir/autoencoder.cpp.o.d"
+  "CMakeFiles/repro_diffusion.dir/conditioning.cpp.o"
+  "CMakeFiles/repro_diffusion.dir/conditioning.cpp.o.d"
+  "CMakeFiles/repro_diffusion.dir/constraint.cpp.o"
+  "CMakeFiles/repro_diffusion.dir/constraint.cpp.o.d"
+  "CMakeFiles/repro_diffusion.dir/controlnet.cpp.o"
+  "CMakeFiles/repro_diffusion.dir/controlnet.cpp.o.d"
+  "CMakeFiles/repro_diffusion.dir/pipeline.cpp.o"
+  "CMakeFiles/repro_diffusion.dir/pipeline.cpp.o.d"
+  "CMakeFiles/repro_diffusion.dir/resblock.cpp.o"
+  "CMakeFiles/repro_diffusion.dir/resblock.cpp.o.d"
+  "CMakeFiles/repro_diffusion.dir/sampler.cpp.o"
+  "CMakeFiles/repro_diffusion.dir/sampler.cpp.o.d"
+  "CMakeFiles/repro_diffusion.dir/schedule.cpp.o"
+  "CMakeFiles/repro_diffusion.dir/schedule.cpp.o.d"
+  "CMakeFiles/repro_diffusion.dir/unet1d.cpp.o"
+  "CMakeFiles/repro_diffusion.dir/unet1d.cpp.o.d"
+  "librepro_diffusion.a"
+  "librepro_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

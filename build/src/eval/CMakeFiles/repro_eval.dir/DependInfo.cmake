@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/coverage.cpp" "src/eval/CMakeFiles/repro_eval.dir/coverage.cpp.o" "gcc" "src/eval/CMakeFiles/repro_eval.dir/coverage.cpp.o.d"
+  "/root/repo/src/eval/fidelity.cpp" "src/eval/CMakeFiles/repro_eval.dir/fidelity.cpp.o" "gcc" "src/eval/CMakeFiles/repro_eval.dir/fidelity.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/eval/CMakeFiles/repro_eval.dir/report.cpp.o" "gcc" "src/eval/CMakeFiles/repro_eval.dir/report.cpp.o.d"
+  "/root/repo/src/eval/scenario.cpp" "src/eval/CMakeFiles/repro_eval.dir/scenario.cpp.o" "gcc" "src/eval/CMakeFiles/repro_eval.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/repro_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffusion/CMakeFiles/repro_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/gan/CMakeFiles/repro_gan.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowgen/CMakeFiles/repro_flowgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nprint/CMakeFiles/repro_nprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

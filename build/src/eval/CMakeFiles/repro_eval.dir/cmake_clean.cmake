@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_eval.dir/coverage.cpp.o"
+  "CMakeFiles/repro_eval.dir/coverage.cpp.o.d"
+  "CMakeFiles/repro_eval.dir/fidelity.cpp.o"
+  "CMakeFiles/repro_eval.dir/fidelity.cpp.o.d"
+  "CMakeFiles/repro_eval.dir/report.cpp.o"
+  "CMakeFiles/repro_eval.dir/report.cpp.o.d"
+  "CMakeFiles/repro_eval.dir/scenario.cpp.o"
+  "CMakeFiles/repro_eval.dir/scenario.cpp.o.d"
+  "librepro_eval.a"
+  "librepro_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flowgen/app_profile.cpp" "src/flowgen/CMakeFiles/repro_flowgen.dir/app_profile.cpp.o" "gcc" "src/flowgen/CMakeFiles/repro_flowgen.dir/app_profile.cpp.o.d"
+  "/root/repo/src/flowgen/catalog.cpp" "src/flowgen/CMakeFiles/repro_flowgen.dir/catalog.cpp.o" "gcc" "src/flowgen/CMakeFiles/repro_flowgen.dir/catalog.cpp.o.d"
+  "/root/repo/src/flowgen/dataset.cpp" "src/flowgen/CMakeFiles/repro_flowgen.dir/dataset.cpp.o" "gcc" "src/flowgen/CMakeFiles/repro_flowgen.dir/dataset.cpp.o.d"
+  "/root/repo/src/flowgen/generator.cpp" "src/flowgen/CMakeFiles/repro_flowgen.dir/generator.cpp.o" "gcc" "src/flowgen/CMakeFiles/repro_flowgen.dir/generator.cpp.o.d"
+  "/root/repo/src/flowgen/icmp_session.cpp" "src/flowgen/CMakeFiles/repro_flowgen.dir/icmp_session.cpp.o" "gcc" "src/flowgen/CMakeFiles/repro_flowgen.dir/icmp_session.cpp.o.d"
+  "/root/repo/src/flowgen/tcp_session.cpp" "src/flowgen/CMakeFiles/repro_flowgen.dir/tcp_session.cpp.o" "gcc" "src/flowgen/CMakeFiles/repro_flowgen.dir/tcp_session.cpp.o.d"
+  "/root/repo/src/flowgen/udp_session.cpp" "src/flowgen/CMakeFiles/repro_flowgen.dir/udp_session.cpp.o" "gcc" "src/flowgen/CMakeFiles/repro_flowgen.dir/udp_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

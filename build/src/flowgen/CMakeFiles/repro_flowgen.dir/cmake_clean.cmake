@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_flowgen.dir/app_profile.cpp.o"
+  "CMakeFiles/repro_flowgen.dir/app_profile.cpp.o.d"
+  "CMakeFiles/repro_flowgen.dir/catalog.cpp.o"
+  "CMakeFiles/repro_flowgen.dir/catalog.cpp.o.d"
+  "CMakeFiles/repro_flowgen.dir/dataset.cpp.o"
+  "CMakeFiles/repro_flowgen.dir/dataset.cpp.o.d"
+  "CMakeFiles/repro_flowgen.dir/generator.cpp.o"
+  "CMakeFiles/repro_flowgen.dir/generator.cpp.o.d"
+  "CMakeFiles/repro_flowgen.dir/icmp_session.cpp.o"
+  "CMakeFiles/repro_flowgen.dir/icmp_session.cpp.o.d"
+  "CMakeFiles/repro_flowgen.dir/tcp_session.cpp.o"
+  "CMakeFiles/repro_flowgen.dir/tcp_session.cpp.o.d"
+  "CMakeFiles/repro_flowgen.dir/udp_session.cpp.o"
+  "CMakeFiles/repro_flowgen.dir/udp_session.cpp.o.d"
+  "librepro_flowgen.a"
+  "librepro_flowgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_flowgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

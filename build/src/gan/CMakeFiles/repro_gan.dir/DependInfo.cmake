@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gan/netflow.cpp" "src/gan/CMakeFiles/repro_gan.dir/netflow.cpp.o" "gcc" "src/gan/CMakeFiles/repro_gan.dir/netflow.cpp.o.d"
+  "/root/repo/src/gan/netflow_gan.cpp" "src/gan/CMakeFiles/repro_gan.dir/netflow_gan.cpp.o" "gcc" "src/gan/CMakeFiles/repro_gan.dir/netflow_gan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowgen/CMakeFiles/repro_flowgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_gan.dir/netflow.cpp.o"
+  "CMakeFiles/repro_gan.dir/netflow.cpp.o.d"
+  "CMakeFiles/repro_gan.dir/netflow_gan.cpp.o"
+  "CMakeFiles/repro_gan.dir/netflow_gan.cpp.o.d"
+  "librepro_gan.a"
+  "librepro_gan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_gan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/repro_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/repro_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/features.cpp" "src/ml/CMakeFiles/repro_ml.dir/features.cpp.o" "gcc" "src/ml/CMakeFiles/repro_ml.dir/features.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/repro_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/repro_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/repro_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/repro_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/split.cpp" "src/ml/CMakeFiles/repro_ml.dir/split.cpp.o" "gcc" "src/ml/CMakeFiles/repro_ml.dir/split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nprint/CMakeFiles/repro_nprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/gan/CMakeFiles/repro_gan.dir/DependInfo.cmake"
+  "/root/repo/build/src/flowgen/CMakeFiles/repro_flowgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/repro_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/repro_ml.dir/features.cpp.o"
+  "CMakeFiles/repro_ml.dir/features.cpp.o.d"
+  "CMakeFiles/repro_ml.dir/metrics.cpp.o"
+  "CMakeFiles/repro_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/repro_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/repro_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/repro_ml.dir/split.cpp.o"
+  "CMakeFiles/repro_ml.dir/split.cpp.o.d"
+  "librepro_ml.a"
+  "librepro_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librepro_ml.a"
+)

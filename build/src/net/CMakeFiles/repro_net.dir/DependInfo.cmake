@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cpp" "src/net/CMakeFiles/repro_net.dir/checksum.cpp.o" "gcc" "src/net/CMakeFiles/repro_net.dir/checksum.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/net/CMakeFiles/repro_net.dir/flow.cpp.o" "gcc" "src/net/CMakeFiles/repro_net.dir/flow.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/net/CMakeFiles/repro_net.dir/headers.cpp.o" "gcc" "src/net/CMakeFiles/repro_net.dir/headers.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/repro_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/repro_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/repro_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/repro_net.dir/pcap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_net.dir/checksum.cpp.o"
+  "CMakeFiles/repro_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/repro_net.dir/flow.cpp.o"
+  "CMakeFiles/repro_net.dir/flow.cpp.o.d"
+  "CMakeFiles/repro_net.dir/headers.cpp.o"
+  "CMakeFiles/repro_net.dir/headers.cpp.o.d"
+  "CMakeFiles/repro_net.dir/packet.cpp.o"
+  "CMakeFiles/repro_net.dir/packet.cpp.o.d"
+  "CMakeFiles/repro_net.dir/pcap.cpp.o"
+  "CMakeFiles/repro_net.dir/pcap.cpp.o.d"
+  "librepro_net.a"
+  "librepro_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

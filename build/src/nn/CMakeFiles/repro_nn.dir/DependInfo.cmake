@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/repro_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/repro_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/conv1d.cpp" "src/nn/CMakeFiles/repro_nn.dir/conv1d.cpp.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/conv1d.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/nn/CMakeFiles/repro_nn.dir/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/embedding.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/repro_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/repro_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/lora.cpp" "src/nn/CMakeFiles/repro_nn.dir/lora.cpp.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/lora.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/repro_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/nn/CMakeFiles/repro_nn.dir/norm.cpp.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/norm.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/repro_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/repro_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/nn/CMakeFiles/repro_nn.dir/tensor.cpp.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

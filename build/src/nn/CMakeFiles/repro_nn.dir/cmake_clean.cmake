@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_nn.dir/activation.cpp.o"
+  "CMakeFiles/repro_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/attention.cpp.o"
+  "CMakeFiles/repro_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/conv1d.cpp.o"
+  "CMakeFiles/repro_nn.dir/conv1d.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/embedding.cpp.o"
+  "CMakeFiles/repro_nn.dir/embedding.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/init.cpp.o"
+  "CMakeFiles/repro_nn.dir/init.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/linear.cpp.o"
+  "CMakeFiles/repro_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/lora.cpp.o"
+  "CMakeFiles/repro_nn.dir/lora.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/loss.cpp.o"
+  "CMakeFiles/repro_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/norm.cpp.o"
+  "CMakeFiles/repro_nn.dir/norm.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/repro_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/serialize.cpp.o"
+  "CMakeFiles/repro_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/repro_nn.dir/tensor.cpp.o"
+  "CMakeFiles/repro_nn.dir/tensor.cpp.o.d"
+  "librepro_nn.a"
+  "librepro_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

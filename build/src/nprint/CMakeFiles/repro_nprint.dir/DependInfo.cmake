@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nprint/codec.cpp" "src/nprint/CMakeFiles/repro_nprint.dir/codec.cpp.o" "gcc" "src/nprint/CMakeFiles/repro_nprint.dir/codec.cpp.o.d"
+  "/root/repo/src/nprint/image.cpp" "src/nprint/CMakeFiles/repro_nprint.dir/image.cpp.o" "gcc" "src/nprint/CMakeFiles/repro_nprint.dir/image.cpp.o.d"
+  "/root/repo/src/nprint/layout.cpp" "src/nprint/CMakeFiles/repro_nprint.dir/layout.cpp.o" "gcc" "src/nprint/CMakeFiles/repro_nprint.dir/layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

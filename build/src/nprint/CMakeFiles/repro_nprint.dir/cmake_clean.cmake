@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_nprint.dir/codec.cpp.o"
+  "CMakeFiles/repro_nprint.dir/codec.cpp.o.d"
+  "CMakeFiles/repro_nprint.dir/image.cpp.o"
+  "CMakeFiles/repro_nprint.dir/image.cpp.o.d"
+  "CMakeFiles/repro_nprint.dir/layout.cpp.o"
+  "CMakeFiles/repro_nprint.dir/layout.cpp.o.d"
+  "librepro_nprint.a"
+  "librepro_nprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_nprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replay/conntrack.cpp" "src/replay/CMakeFiles/repro_replay.dir/conntrack.cpp.o" "gcc" "src/replay/CMakeFiles/repro_replay.dir/conntrack.cpp.o.d"
+  "/root/repo/src/replay/engine.cpp" "src/replay/CMakeFiles/repro_replay.dir/engine.cpp.o" "gcc" "src/replay/CMakeFiles/repro_replay.dir/engine.cpp.o.d"
+  "/root/repo/src/replay/functions.cpp" "src/replay/CMakeFiles/repro_replay.dir/functions.cpp.o" "gcc" "src/replay/CMakeFiles/repro_replay.dir/functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

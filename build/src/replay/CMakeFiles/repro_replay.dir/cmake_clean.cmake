@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_replay.dir/conntrack.cpp.o"
+  "CMakeFiles/repro_replay.dir/conntrack.cpp.o.d"
+  "CMakeFiles/repro_replay.dir/engine.cpp.o"
+  "CMakeFiles/repro_replay.dir/engine.cpp.o.d"
+  "CMakeFiles/repro_replay.dir/functions.cpp.o"
+  "CMakeFiles/repro_replay.dir/functions.cpp.o.d"
+  "librepro_replay.a"
+  "librepro_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_diffusion.dir/diffusion_autoencoder_test.cpp.o"
+  "CMakeFiles/test_diffusion.dir/diffusion_autoencoder_test.cpp.o.d"
+  "CMakeFiles/test_diffusion.dir/diffusion_conditioning_test.cpp.o"
+  "CMakeFiles/test_diffusion.dir/diffusion_conditioning_test.cpp.o.d"
+  "CMakeFiles/test_diffusion.dir/diffusion_constraint_test.cpp.o"
+  "CMakeFiles/test_diffusion.dir/diffusion_constraint_test.cpp.o.d"
+  "CMakeFiles/test_diffusion.dir/diffusion_pipeline_test.cpp.o"
+  "CMakeFiles/test_diffusion.dir/diffusion_pipeline_test.cpp.o.d"
+  "CMakeFiles/test_diffusion.dir/diffusion_sampler_test.cpp.o"
+  "CMakeFiles/test_diffusion.dir/diffusion_sampler_test.cpp.o.d"
+  "CMakeFiles/test_diffusion.dir/diffusion_schedule_test.cpp.o"
+  "CMakeFiles/test_diffusion.dir/diffusion_schedule_test.cpp.o.d"
+  "CMakeFiles/test_diffusion.dir/diffusion_unet_test.cpp.o"
+  "CMakeFiles/test_diffusion.dir/diffusion_unet_test.cpp.o.d"
+  "test_diffusion"
+  "test_diffusion.pdb"
+  "test_diffusion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

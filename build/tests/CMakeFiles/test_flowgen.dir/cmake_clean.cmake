@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flowgen.dir/flowgen_test.cpp.o"
+  "CMakeFiles/test_flowgen.dir/flowgen_test.cpp.o.d"
+  "test_flowgen"
+  "test_flowgen.pdb"
+  "test_flowgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flowgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

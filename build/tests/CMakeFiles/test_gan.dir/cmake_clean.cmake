@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gan.dir/gan_test.cpp.o"
+  "CMakeFiles/test_gan.dir/gan_test.cpp.o.d"
+  "test_gan"
+  "test_gan.pdb"
+  "test_gan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml_forest_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml_forest_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml_metrics_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml_metrics_test.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml_tree_test.cpp.o"
+  "CMakeFiles/test_ml.dir/ml_tree_test.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+  "test_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

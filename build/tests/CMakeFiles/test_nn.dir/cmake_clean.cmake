@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn_gradcheck_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn_gradcheck_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn_module_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn_module_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn_optimizer_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn_optimizer_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn_serialize_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn_serialize_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn_tensor_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn_tensor_test.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nprint.dir/nprint_codec_test.cpp.o"
+  "CMakeFiles/test_nprint.dir/nprint_codec_test.cpp.o.d"
+  "CMakeFiles/test_nprint.dir/nprint_image_test.cpp.o"
+  "CMakeFiles/test_nprint.dir/nprint_image_test.cpp.o.d"
+  "CMakeFiles/test_nprint.dir/nprint_layout_test.cpp.o"
+  "CMakeFiles/test_nprint.dir/nprint_layout_test.cpp.o.d"
+  "test_nprint"
+  "test_nprint.pdb"
+  "test_nprint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay.dir/replay_conntrack_test.cpp.o"
+  "CMakeFiles/test_replay.dir/replay_conntrack_test.cpp.o.d"
+  "CMakeFiles/test_replay.dir/replay_engine_test.cpp.o"
+  "CMakeFiles/test_replay.dir/replay_engine_test.cpp.o.d"
+  "test_replay"
+  "test_replay.pdb"
+  "test_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
