@@ -18,9 +18,11 @@ using namespace repro;
 
 int main() {
   bench::Scale scale;
-  bench::print_header("ablation_control",
-                      "controllability ablation (ControlNet vs projection)");
+  bench::BenchReport report("ablation_control",
+                            "controllability ablation (ControlNet vs "
+                            "projection)");
 
+  report.stage("build_dataset");
   Rng rng(1);
   const flowgen::Dataset real =
       flowgen::build_table1_dataset(scale.flows_per_class, rng);
@@ -38,6 +40,7 @@ int main() {
 
   // One pipeline with the control branch trained; the ablation toggles
   // how much of it is used at generation time.
+  report.stage("fit_diffusion");
   diffusion::TraceDiffusion pipeline(bench::pipeline_config(scale),
                                      bench::class_names());
   std::printf("fitting pipeline (with control branch) on %zu flows...\n",
@@ -56,6 +59,7 @@ int main() {
       {"both (paper)", true, diffusion::ConstraintMode::kProjected},
   };
 
+  report.stage("run_variants");
   const eval::ScenarioConfig sc = bench::scenario_config(scale);
   std::vector<std::vector<std::string>> rows;
   double compliance_none = 0.0, compliance_both = 0.0;
@@ -103,5 +107,7 @@ int main() {
               "unconstrained ... %s (%.3f vs %.3f)\n",
               compliance_both > compliance_none ? "yes" : "NO",
               compliance_both, compliance_none);
+  report.note("compliance_none", compliance_none);
+  report.note("compliance_both", compliance_both);
   return compliance_both >= compliance_none ? 0 : 1;
 }

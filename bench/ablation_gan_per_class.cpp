@@ -14,9 +14,11 @@ using namespace repro;
 
 int main() {
   bench::Scale scale;
-  bench::print_header("ablation_gan_per_class",
-                      "§2.3 per-class GAN ablation (~20% Syn/Real micro)");
+  bench::BenchReport report("ablation_gan_per_class",
+                            "§2.3 per-class GAN ablation (~20% Syn/Real "
+                            "micro)");
 
+  report.stage("build_dataset");
   Rng rng(1);
   const flowgen::Dataset real =
       flowgen::build_table1_dataset(scale.flows_per_class, rng);
@@ -34,6 +36,7 @@ int main() {
   const std::size_t syn_total = flowgen::kNumApps * scale.syn_per_class;
 
   // --- Joint GAN (label as just another feature). ---
+  report.stage("fit_joint_gan");
   gan::NetFlowGan joint(bench::gan_config(scale));
   std::printf("training joint GAN...\n");
   joint.fit(train_records);
@@ -42,6 +45,7 @@ int main() {
       "Synthetic/Real (joint GAN)", joint_syn, test_records, sc);
 
   // --- Per-class GANs. ---
+  report.stage("fit_per_class_gans");
   gan::PerClassNetFlowGan per_class(bench::gan_config(scale));
   std::printf("training 11 per-class GANs...\n");
   per_class.fit(train_records);
@@ -51,6 +55,7 @@ int main() {
       "Synthetic/Real (per-class GAN)", per_class_syn, test_records, sc);
 
   // Reference: real/real on NetFlow.
+  report.stage("evaluate");
   const auto real_result =
       eval::run_real_real(real, eval::Granularity::kNetFlow, sc);
 
@@ -69,6 +74,9 @@ int main() {
   std::printf("paper: per-class GAN stays ~0.20 micro, far below the "
               "Real/Real reference.\n");
 
+  report.note("joint_micro", joint_result.micro_accuracy);
+  report.note("per_class_micro", per_class_result.micro_accuracy);
+  report.note("real_real_micro", real_result.micro_accuracy);
   const bool shape =
       per_class_result.micro_accuracy < real_result.micro_accuracy - 0.2;
   std::printf("shape check: per-class GAN well below reference ... %s\n",

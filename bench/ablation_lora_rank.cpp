@@ -33,9 +33,10 @@ int main() {
   scale.train_per_class = std::max<std::size_t>(scale.train_per_class / 2, 4);
   scale.diff_epochs = std::max<std::size_t>(scale.diff_epochs / 2, 3);
   scale.ae_epochs = std::max<std::size_t>(scale.ae_epochs / 2, 5);
-  bench::print_header("ablation_lora_rank",
-                      "LoRA rank sweep for class-coverage extension");
+  bench::BenchReport report("ablation_lora_rank",
+                            "LoRA rank sweep for class-coverage extension");
 
+  report.stage("build_dataset");
   Rng rng(1);
   const flowgen::Dataset all =
       flowgen::build_uniform_dataset(scale.train_per_class, rng);
@@ -49,11 +50,13 @@ int main() {
   }
 
   // Reference RF trained on real data over all 11 classes.
+  report.stage("fit_reference_rf");
   const eval::ScenarioConfig sc = bench::scenario_config(scale);
   ml::ForestConfig forest_cfg = sc.forest;
   ml::RandomForest reference(forest_cfg);
   reference.fit(ml::nprint_features(all.flows, sc.nprint_packets));
 
+  report.stage("rank_sweep");
   std::vector<std::vector<std::string>> rows;
   for (std::size_t rank : {std::size_t{0}, std::size_t{2}, std::size_t{4},
                            std::size_t{8}}) {
@@ -107,6 +110,8 @@ int main() {
                                  static_cast<double>(features.rows.size()),
                              2);
     }
+    report.note("rank" + std::to_string(rank) + "_recognition",
+                total ? static_cast<double>(recognized) / total : 0.0);
     rows.push_back(
         {rank == 0 ? "0 (zero-shot, no fine-tune)" : std::to_string(rank),
          eval::fmt(total ? static_cast<double>(recognized) / total : 0.0, 3),

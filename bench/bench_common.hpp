@@ -13,11 +13,16 @@
 //   REPRO_RF_TREES         random-forest size (30)
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/env.hpp"
+#include "common/telemetry/export.hpp"
+#include "common/telemetry/metrics.hpp"
+#include "common/telemetry/trace.hpp"
 #include "diffusion/pipeline.hpp"
 #include "eval/scenario.hpp"
 #include "flowgen/dataset.hpp"
@@ -90,5 +95,145 @@ inline void print_header(const char* title, const char* paper_artifact) {
   std::printf("reproduces: %s\n", paper_artifact);
   std::printf("==================================================\n");
 }
+
+/// Serializes the Scale (the run's environment knobs) into `json` as an
+/// object value.
+inline void append_scale(telemetry::JsonWriter& json, const Scale& scale) {
+  json.begin_object();
+  const std::pair<const char*, std::size_t> fields[] = {
+      {"flows_per_class", scale.flows_per_class},
+      {"train_per_class", scale.train_per_class},
+      {"syn_per_class", scale.syn_per_class},
+      {"packets", scale.packets},
+      {"ae_epochs", scale.ae_epochs},
+      {"diff_epochs", scale.diff_epochs},
+      {"ctrl_epochs", scale.ctrl_epochs},
+      {"gan_epochs", scale.gan_epochs},
+      {"ddim_steps", scale.ddim_steps},
+      {"rf_trees", scale.rf_trees},
+  };
+  for (const auto& [name, value] : fields) {
+    json.key(name);
+    json.value(static_cast<std::uint64_t>(value));
+  }
+  json.end_object();
+}
+
+/// Machine-readable bench report: named stage wall times plus headline
+/// result numbers, written as BENCH_<name>.json next to the stdout
+/// report (and BENCH_<name>.trace.json with the Chrome trace when
+/// telemetry is on). Construct at the top of main, call stage() at
+/// phase boundaries and note() for key numbers; the destructor writes
+/// the files.
+class BenchReport {
+ public:
+  BenchReport(std::string name, const char* paper_artifact)
+      : name_(std::move(name)), start_(Clock::now()), stage_start_(start_) {
+    print_header(name_.c_str(), paper_artifact);
+    // Per-run attribution: drop metrics/spans accumulated before main
+    // (there are none today, but statics may warm caches later).
+    telemetry::Registry::instance().reset();
+    telemetry::reset_profile();
+  }
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+  ~BenchReport() { finish(); }
+
+  /// Ends the current stage (if any) and starts `stage_name`.
+  void stage(const char* stage_name) {
+    close_stage();
+    current_stage_ = stage_name;
+    stage_start_ = Clock::now();
+  }
+
+  /// Records a headline result number under "results" in the JSON.
+  void note(const std::string& key, double value) {
+    notes_.emplace_back(key, value);
+  }
+
+  /// Idempotent; writes BENCH_<name>.json (+ .trace.json if telemetry
+  /// is enabled).
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    close_stage();
+    const double total = seconds_since(start_);
+
+    telemetry::JsonWriter json;
+    json.begin_object();
+    json.key("bench");
+    json.value(name_);
+    json.key("telemetry_enabled");
+    json.value(telemetry::enabled());
+    json.key("total_seconds");
+    json.value(total);
+    json.key("scale");
+    append_scale(json, scale_);
+    json.key("stages");
+    json.begin_array();
+    for (const auto& [stage_name, seconds] : stages_) {
+      json.begin_object();
+      json.key("name");
+      json.value(stage_name);
+      json.key("seconds");
+      json.value(seconds);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("results");
+    json.begin_object();
+    for (const auto& [key, value] : notes_) {
+      json.key(key);
+      json.value(value);
+    }
+    json.end_object();
+    json.key("metrics");
+    append_metrics(json, telemetry::Registry::instance().snapshot());
+    json.key("spans");
+    json.begin_array();
+    for (const auto& child : telemetry::profile_snapshot().children) {
+      append_span(json, child);
+    }
+    json.end_array();
+    json.end_object();
+
+    const std::string path = "BENCH_" + name_ + ".json";
+    if (telemetry::write_text_file(path, std::move(json).str())) {
+      std::printf("bench report: %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "bench report: cannot write %s\n", path.c_str());
+    }
+    if (telemetry::enabled()) {
+      const std::string trace_path = "BENCH_" + name_ + ".trace.json";
+      if (telemetry::write_text_file(trace_path,
+                                     telemetry::chrome_trace_json())) {
+        std::printf("chrome trace: %s (load in chrome://tracing)\n",
+                    trace_path.c_str());
+      }
+    }
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+
+  void close_stage() {
+    if (current_stage_.empty()) return;
+    stages_.emplace_back(current_stage_, seconds_since(stage_start_));
+    current_stage_.clear();
+  }
+
+  std::string name_;
+  Scale scale_;
+  Clock::time_point start_;
+  Clock::time_point stage_start_;
+  std::string current_stage_;
+  std::vector<std::pair<std::string, double>> stages_;
+  std::vector<std::pair<std::string, double>> notes_;
+  bool finished_ = false;
+};
 
 }  // namespace repro::bench

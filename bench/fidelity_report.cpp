@@ -21,10 +21,11 @@ using namespace repro;
 
 int main() {
   bench::Scale scale;
-  bench::print_header("fidelity_report",
-                      "§2.3 similarity-vs-utility analysis (aggregate vs "
-                      "per-class distribution shift)");
+  bench::BenchReport report("fidelity_report",
+                            "§2.3 similarity-vs-utility analysis (aggregate "
+                            "vs per-class distribution shift)");
 
+  report.stage("build_dataset");
   Rng rng(1);
   const flowgen::Dataset real =
       flowgen::build_table1_dataset(scale.flows_per_class, rng);
@@ -38,12 +39,14 @@ int main() {
   const auto real_records = gan::to_netflow(train_flows);
 
   // --- GAN synthetic records. ---
+  report.stage("fit_gan");
   gan::NetFlowGan gan_model(bench::gan_config(scale));
   std::printf("training GAN...\n");
   gan_model.fit(real_records);
   const auto gan_records = gan_model.sample(real_records.size());
 
   // --- Diffusion synthetic flows -> NetFlow records. ---
+  report.stage("fit_diffusion");
   diffusion::TraceDiffusion pipeline(bench::pipeline_config(scale),
                                      bench::class_names());
   Rng cap_rng(3);
@@ -57,6 +60,7 @@ int main() {
   const auto ours_records = gan::to_netflow(ours.flows);
 
   // --- Per-feature marginal table. ---
+  report.stage("fidelity_analysis");
   const auto gan_fid = eval::netflow_fidelity(real_records, gan_records);
   const auto ours_fid = eval::netflow_fidelity(real_records, ours_records);
   std::vector<std::vector<std::string>> rows;
@@ -99,6 +103,11 @@ int main() {
                                  summary)
                   .c_str());
 
+  report.note("gan_aggregate_ks", gan_agg);
+  report.note("gan_conditional_ks", gan_cond);
+  report.note("ours_aggregate_ks", ours_agg);
+  report.note("ours_conditional_ks", ours_cond);
+  report.note("ours_syn_real_micro", ours_transfer.micro_accuracy);
   const bool shape_gap = gan_cond > gan_agg + 0.05;
   const bool shape_utility =
       ours_transfer.micro_accuracy > gan_transfer.micro_accuracy;

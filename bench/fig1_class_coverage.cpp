@@ -36,10 +36,11 @@ eval::CoverageReport build_report(const std::vector<std::string>& names,
 
 int main() {
   bench::Scale scale;
-  bench::print_header("fig1_class_coverage",
-                      "Figure 1 (class coverage / imbalance, 11-class and "
-                      "2-class)");
+  bench::BenchReport report("fig1_class_coverage",
+                            "Figure 1 (class coverage / imbalance, 11-class "
+                            "and 2-class)");
 
+  report.stage("build_dataset");
   Rng rng(1);
   const flowgen::Dataset real =
       flowgen::build_table1_dataset(scale.flows_per_class, rng);
@@ -47,6 +48,7 @@ int main() {
       eval::label_proportions(real.micro_labels(), flowgen::kNumApps);
 
   // --- GAN series: label field distribution of generated samples. ---
+  report.stage("fit_gan");
   gan::NetFlowGan gan_model(bench::gan_config(scale));
   std::printf("training GAN on %zu records...\n", real.size());
   gan_model.fit(gan::to_netflow(real.flows));
@@ -55,6 +57,7 @@ int main() {
   std::vector<double> gan_props = normalize(gan_counts);
 
   // --- Ours: diffusion pipeline invoked equally per class. ---
+  report.stage("fit_diffusion");
   diffusion::TraceDiffusion pipeline(bench::pipeline_config(scale),
                                      bench::class_names());
   Rng cap_rng(2);
@@ -81,6 +84,7 @@ int main() {
                   .c_str());
 
   // --- (b) 2-class (netflix/youtube) variant. ---
+  report.stage("two_class_variant");
   {
     Rng rng2(3);
     flowgen::Dataset real2;
@@ -138,6 +142,9 @@ int main() {
   const double gan_imb = eval::coverage_imbalance(gan_props);
   const double ours_imb = eval::coverage_imbalance(ours_props);
   const double real_imb = eval::coverage_imbalance(real_props);
+  report.note("gan_imbalance", gan_imb);
+  report.note("ours_imbalance", ours_imb);
+  report.note("real_imbalance", real_imb);
   std::printf("shape checks:\n");
   std::printf("  ours more balanced than real ............ %s (%.2f vs %.2f)\n",
               ours_imb < real_imb ? "yes" : "NO", ours_imb, real_imb);

@@ -35,10 +35,11 @@ char region_char(const nprint::Matrix& matrix, std::size_t row,
 
 int main() {
   bench::Scale scale;
-  bench::print_header("fig2_protocol_image",
-                      "Figure 2 (synthetic Amazon flow image, protocol "
-                      "compliance)");
+  bench::BenchReport report("fig2_protocol_image",
+                            "Figure 2 (synthetic Amazon flow image, protocol "
+                            "compliance)");
 
+  report.stage("fit_diffusion");
   Rng rng(1);
   const flowgen::Dataset real =
       flowgen::build_table1_dataset(scale.flows_per_class, rng);
@@ -49,6 +50,7 @@ int main() {
   pipeline.fit(real.sample_per_class(scale.train_per_class, cap_rng));
 
   // --- The Figure 2 artifact: one Amazon flow image. ---
+  report.stage("generate_image");
   const int amazon = static_cast<int>(flowgen::App::kAmazon);
   diffusion::ProtocolTemplate used;
   const nprint::Matrix matrix = pipeline.generate_matrix(
@@ -73,6 +75,7 @@ int main() {
               diffusion::template_compliance(matrix, used));
 
   // --- Compliance sweep across all classes (Teams=UDP etc.). ---
+  report.stage("compliance_sweep");
   std::printf("\nper-class protocol compliance over %zu generated flows:\n",
               scale.syn_per_class);
   std::vector<std::vector<std::string>> rows;
@@ -105,6 +108,7 @@ int main() {
                                           "compliance"},
                                          rows)
                           .c_str());
+  report.note("worst_class_compliance", worst);
   std::printf("shape check: full compliance across classes ... %s\n",
               worst >= 0.999 ? "yes" : "NO");
   return worst >= 0.999 ? 0 : 1;

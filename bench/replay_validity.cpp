@@ -58,19 +58,22 @@ ReplayRow run_chain(const std::string& name,
 
 int main() {
   bench::Scale scale;
-  bench::print_header("replay_validity",
-                      "replayable-trace experiment (stateful conntrack "
-                      "acceptance, §2.3/§3.2/§4)");
+  bench::BenchReport report("replay_validity",
+                            "replayable-trace experiment (stateful conntrack "
+                            "acceptance, §2.3/§3.2/§4)");
 
+  report.stage("build_dataset");
   Rng rng(1);
   const flowgen::Dataset real =
       flowgen::build_table1_dataset(scale.flows_per_class, rng);
 
+  report.stage("fit_diffusion");
   diffusion::TraceDiffusion pipeline(bench::pipeline_config(scale),
                                      bench::class_names());
   Rng cap_rng(2);
   std::printf("fitting diffusion pipeline...\n");
   pipeline.fit(real.sample_per_class(scale.train_per_class, cap_rng));
+  report.stage("generate_synthetic");
   const flowgen::Dataset ours = pipeline.generate_dataset(
       std::vector<std::size_t>(flowgen::kNumApps, scale.syn_per_class),
       bench::generate_options(scale));
@@ -91,6 +94,7 @@ int main() {
       std::vector<std::size_t>(flowgen::kNumApps, scale.syn_per_class),
       stateful_opts);
 
+  report.stage("replay_chains");
   std::vector<ReplayRow> rows = {
       run_chain("real traffic", real.flows),
       run_chain("synthetic (ours, full stack)", ours.flows),
@@ -114,6 +118,9 @@ int main() {
   std::printf("note: the GAN baseline emits NetFlow records, not packets — "
               "there is no trace to replay, which is the paper's point.\n");
 
+  report.note("real_tcp_acceptance", rows[0].tcp_acceptance);
+  report.note("ours_tcp_acceptance", rows[1].tcp_acceptance);
+  report.note("stateful_tcp_acceptance", rows[3].tcp_acceptance);
   const bool shape_real = rows[0].tcp_acceptance > 0.999;
   const bool shape_better =
       rows[1].tcp_acceptance >= rows[2].tcp_acceptance;

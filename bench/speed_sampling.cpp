@@ -131,4 +131,16 @@ BENCHMARK(BM_DecodeOnly)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): after the google-benchmark
+// run, emit the machine-readable telemetry report (BENCH_*.json) like
+// every other bench so the perf trajectory includes sampling speed.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::BenchReport report("speed_sampling",
+                            "§4 generative-speed challenge (flows/second)");
+  report.stage("benchmarks");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

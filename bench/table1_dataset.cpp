@@ -11,8 +11,9 @@ using namespace repro;
 
 int main() {
   bench::Scale scale;
-  bench::print_header("table1_dataset", "Table 1 (dataset composition)");
+  bench::BenchReport report("table1_dataset", "Table 1 (dataset composition)");
 
+  report.stage("build_dataset");
   Rng rng(1);
   const flowgen::Dataset ds =
       flowgen::build_table1_dataset(scale.flows_per_class, rng);
@@ -61,5 +62,6 @@ int main() {
   std::printf("note: ours is the paper composition scaled so the largest\n"
               "class has %zu flows (REPRO_FLOWS_PER_CLASS).\n",
               scale.flows_per_class);
+  report.note("total_flows", static_cast<double>(ours_total));
   return 0;
 }

@@ -45,11 +45,12 @@ constexpr PaperRow kPaperRows[] = {
 
 int main() {
   bench::Scale scale;
-  bench::print_header("table2_rf_scenarios",
-                      "Table 2 (RF accuracy across scenarios) + the §2.3 "
-                      "granularity comparison");
+  bench::BenchReport report("table2_rf_scenarios",
+                            "Table 2 (RF accuracy across scenarios) + the "
+                            "§2.3 granularity comparison");
 
   const auto t_start = std::chrono::steady_clock::now();
+  report.stage("build_dataset");
   Rng rng(1);
   const flowgen::Dataset real =
       flowgen::build_table1_dataset(scale.flows_per_class, rng);
@@ -68,6 +69,7 @@ int main() {
   const eval::ScenarioConfig sc = bench::scenario_config(scale);
 
   // --- Diffusion pipeline ("Ours"). ---
+  report.stage("fit_diffusion");
   diffusion::TraceDiffusion pipeline(bench::pipeline_config(scale),
                                      bench::class_names());
   {
@@ -83,6 +85,7 @@ int main() {
                 stats.ae_final_loss, stats.diffusion_final_loss,
                 stats.control_final_loss);
   }
+  report.stage("generate_synthetic");
   std::printf("generating %zu synthetic flows/class (DDIM %zu steps)...\n",
               scale.syn_per_class, scale.ddim_steps);
   const flowgen::Dataset ours_syn = pipeline.generate_dataset(
@@ -90,6 +93,7 @@ int main() {
       bench::generate_options(scale));
 
   // --- GAN baseline on NetFlow records. ---
+  report.stage("fit_gan");
   gan::NetFlowGan netflow_gan(bench::gan_config(scale));
   const auto real_train_records = gan::to_netflow(real_train);
   const auto real_test_records = gan::to_netflow(real_test);
@@ -99,6 +103,7 @@ int main() {
   const auto gan_syn = netflow_gan.sample(ours_syn.size());
 
   // --- The six Table 2 rows. ---
+  report.stage("evaluate_scenarios");
   std::vector<eval::ScenarioResult> results;
   results.push_back(
       eval::run_real_real(real, eval::Granularity::kNprintPcap, sc));
@@ -155,5 +160,13 @@ int main() {
                            std::chrono::steady_clock::now() - t_start)
                            .count();
   std::printf("\ntotal wall time: %.1fs\n", elapsed);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::string tag = "row" + std::to_string(i);
+    report.note(tag + "_macro", results[i].macro_accuracy);
+    report.note(tag + "_micro", results[i].micro_accuracy);
+  }
+  report.note("shape_checks_passed",
+              shape_granularity && shape_real_syn && shape_syn_real ? 1.0
+                                                                    : 0.0);
   return shape_granularity && shape_real_syn && shape_syn_real ? 0 : 1;
 }

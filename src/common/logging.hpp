@@ -20,22 +20,29 @@ void log_line(LogLevel level, const std::string& message);
 
 namespace detail {
 
-/// Stream-style accumulator; emits on destruction.
+/// Stream-style accumulator; emits on destruction. Messages below the
+/// global threshold skip formatting entirely: operator<< discards its
+/// argument without touching the stream.
 class LogMessage {
  public:
-  explicit LogMessage(LogLevel level) : level_(level) {}
+  explicit LogMessage(LogLevel level)
+      : level_(level),
+        enabled_(static_cast<int>(level) >= static_cast<int>(log_level())) {}
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
-  ~LogMessage() { log_line(level_, stream_.str()); }
+  ~LogMessage() {
+    if (enabled_) log_line(level_, stream_.str());
+  }
 
   template <typename T>
   LogMessage& operator<<(const T& value) {
-    stream_ << value;
+    if (enabled_) stream_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool enabled_;
   std::ostringstream stream_;
 };
 

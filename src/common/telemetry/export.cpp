@@ -1,0 +1,205 @@
+#include "common/telemetry/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace repro::telemetry {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void JsonWriter::element_prefix() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_ += ',';
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::begin_object() {
+  element_prefix();
+  out_ += '{';
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  out_ += '}';
+  first_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  element_prefix();
+  out_ += '[';
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  out_ += ']';
+  first_.pop_back();
+}
+
+void JsonWriter::key(const std::string& k) {
+  element_prefix();
+  out_ += json_escape(k);
+  out_ += ':';
+  pending_key_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  element_prefix();
+  out_ += json_escape(v);
+}
+
+void JsonWriter::value(const char* v) { value(std::string(v)); }
+
+void JsonWriter::value(double v) {
+  element_prefix();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  element_prefix();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  element_prefix();
+  out_ += v ? "true" : "false";
+}
+
+void append_metrics(JsonWriter& json, const MetricsSnapshot& snapshot) {
+  json.begin_object();
+  json.key("counters");
+  json.begin_object();
+  for (const auto& [name, value] : snapshot.counters) {
+    json.key(name);
+    json.value(value);
+  }
+  json.end_object();
+  json.key("gauges");
+  json.begin_object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    json.key(name);
+    json.value(value);
+  }
+  json.end_object();
+  json.key("histograms");
+  json.begin_object();
+  for (const auto& [name, hist] : snapshot.histograms) {
+    json.key(name);
+    json.begin_object();
+    json.key("count");
+    json.value(hist.count);
+    json.key("sum");
+    json.value(hist.sum);
+    json.key("min");
+    json.value(hist.min);
+    json.key("max");
+    json.value(hist.max);
+    json.key("mean");
+    json.value(hist.mean());
+    json.key("p50");
+    json.value(hist.quantile(0.50));
+    json.key("p95");
+    json.value(hist.quantile(0.95));
+    json.key("p99");
+    json.value(hist.quantile(0.99));
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+void append_span(JsonWriter& json, const SpanReport& span) {
+  json.begin_object();
+  json.key("name");
+  json.value(span.name);
+  json.key("calls");
+  json.value(span.calls);
+  json.key("total_ms");
+  json.value(span.total_seconds * 1e3);
+  json.key("self_ms");
+  json.value(span.self_seconds * 1e3);
+  json.key("children");
+  json.begin_array();
+  for (const auto& child : span.children) {
+    append_span(json, child);
+  }
+  json.end_array();
+  json.end_object();
+}
+
+std::string metrics_json(const MetricsSnapshot& snapshot) {
+  JsonWriter json;
+  append_metrics(json, snapshot);
+  return std::move(json).str();
+}
+
+std::string telemetry_json() {
+  JsonWriter json;
+  json.begin_object();
+  json.key("enabled");
+  json.value(enabled());
+  json.key("metrics");
+  append_metrics(json, Registry::instance().snapshot());
+  json.key("spans");
+  json.begin_array();
+  for (const auto& child : profile_snapshot().children) {
+    append_span(json, child);
+  }
+  json.end_array();
+  json.end_object();
+  return std::move(json).str();
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace repro::telemetry

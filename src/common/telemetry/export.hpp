@@ -1,0 +1,64 @@
+// JSON serialization of telemetry state: a dependency-free writer plus
+// exporters for the metrics registry snapshot and the span profile tree.
+//
+// The writer produces compact single-line JSON. Doubles are emitted with
+// enough precision to round-trip; NaN/Inf (not representable in JSON)
+// become null.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/metrics.hpp"
+#include "common/telemetry/trace.hpp"
+
+namespace repro::telemetry {
+
+/// Escapes and quotes `s` for use as a JSON string token.
+std::string json_escape(const std::string& s);
+
+/// Minimal streaming JSON builder with automatic comma placement.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(const std::string& k);
+  void value(const std::string& v);
+  void value(const char* v);
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(bool v);
+
+  const std::string& str() const& { return out_; }
+  std::string str() && { return std::move(out_); }
+
+ private:
+  void element_prefix();
+  std::string out_;
+  std::vector<bool> first_;  // one entry per open container
+  bool pending_key_ = false;
+};
+
+/// Appends the registry snapshot as an object:
+/// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+///  max,mean,p50,p95,p99},...}}.
+void append_metrics(JsonWriter& json, const MetricsSnapshot& snapshot);
+
+/// Appends one span node (recursively) as
+/// {"name":...,"calls":...,"total_ms":...,"self_ms":...,"children":[...]}.
+void append_span(JsonWriter& json, const SpanReport& span);
+
+/// The registry snapshot alone, as a JSON document.
+std::string metrics_json(const MetricsSnapshot& snapshot);
+
+/// Full telemetry state: {"enabled":...,"metrics":{...},"spans":[...]}
+/// where "spans" holds the top-level children of the profile tree.
+std::string telemetry_json();
+
+/// Writes `content` to `path`, returning false on I/O failure.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace repro::telemetry

@@ -1,0 +1,148 @@
+// Thread-safe metrics registry: named counters, gauges, and fixed-bucket
+// histograms with quantile estimates.
+//
+// Telemetry is gated by the REPRO_TELEMETRY environment variable (any
+// non-zero value enables it; see common/env.hpp). The convenience
+// recorders (count/gauge_set/observe) and the REPRO_SPAN macro in
+// trace.hpp are no-ops while telemetry is disabled: a single relaxed
+// atomic load, no locks, no allocation. Metric objects returned by the
+// Registry are never destroyed by reset(), so references may be cached
+// across a reset.
+//
+// Naming convention: `subsystem.stage[.detail]`, lower-case, dot
+// separated — e.g. "diffusion.sample.ddim_step", "ml.rf.trees_fit".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace repro::telemetry {
+
+/// Global on/off switch; initialized from REPRO_TELEMETRY at startup.
+bool enabled() noexcept;
+
+/// Overrides the environment-derived switch (tests, CLI tools).
+void set_enabled(bool on) noexcept;
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (also supports accumulation).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double v) noexcept;
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Read-only copy of a histogram's state plus quantile estimation.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<double> bounds;          ///< ascending bucket upper bounds
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+
+  double mean() const noexcept { return count ? sum / static_cast<double>(count) : 0.0; }
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// containing bucket; exact at the observed min/max.
+  double quantile(double q) const noexcept;
+};
+
+/// Fixed-bucket histogram; observation is lock-free.
+class Histogram {
+ public:
+  /// `bounds` are ascending bucket upper limits; an implicit overflow
+  /// bucket catches everything above the last bound.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+  HistogramSnapshot snapshot() const;
+  void reset() noexcept;
+
+  /// `count` log-spaced upper bounds covering [lo, hi].
+  static std::vector<double> exponential_bounds(double lo, double hi,
+                                                std::size_t count);
+  /// Default bounds for duration-style metrics: 1us .. 100s, 4/decade.
+  static const std::vector<double>& duration_bounds();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Process-wide registry of named metrics.
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Find-or-create; returned references stay valid for the process
+  /// lifetime (reset() zeroes values but keeps the objects).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First call for a name fixes its buckets; empty `bounds` selects
+  /// Histogram::duration_bounds().
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& bounds = {});
+
+  MetricsSnapshot snapshot() const;
+  /// Zeroes every metric in place (registered objects survive).
+  void reset();
+
+ private:
+  Registry() = default;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// --- Convenience recorders: no-ops while telemetry is disabled. ---
+
+/// Increments counter `name` by `n`.
+void count(const char* name, std::uint64_t n = 1);
+/// Sets gauge `name` to `v`.
+void gauge_set(const char* name, double v);
+/// Records `v` into histogram `name` (duration bounds by default).
+void observe(const char* name, double v);
+
+}  // namespace repro::telemetry

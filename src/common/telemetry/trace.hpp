@@ -1,0 +1,96 @@
+// Hierarchical trace spans.
+//
+// REPRO_SPAN("subsystem.stage") opens an RAII span: while telemetry is
+// enabled, entering builds/extends a per-thread parent/child profile
+// tree (wall time + call counts) and records a Chrome trace_event slice;
+// while disabled the constructor is a single atomic load — no locks, no
+// allocation, no clock read.
+//
+// The aggregated tree is exported three ways:
+//   * profile_text_report()  — indented table for terminals,
+//   * chrome_trace_json()    — trace_event JSON for chrome://tracing or
+//                              https://ui.perfetto.dev,
+//   * profile_snapshot()     — structured tree for the JSON exporter.
+//
+// Span names must have static storage duration (string literals).
+// reset_profile() must only be called while no spans are open on other
+// threads.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/telemetry/metrics.hpp"
+
+namespace repro::telemetry {
+
+namespace detail {
+struct ProfileNode;
+struct ThreadProfile;
+
+/// The calling thread's profile (created and registered on first use).
+ThreadProfile& thread_profile();
+ProfileNode* span_enter(ThreadProfile& tp, const char* name);
+void span_exit(ThreadProfile& tp, ProfileNode* node,
+               std::chrono::steady_clock::time_point start) noexcept;
+}  // namespace detail
+
+/// Aggregated view of one span node (merged across threads).
+struct SpanReport {
+  std::string name;
+  std::uint64_t calls = 0;
+  double total_seconds = 0.0;  ///< inclusive wall time
+  double self_seconds = 0.0;   ///< total minus instrumented children
+  std::vector<SpanReport> children;
+
+  /// Depth-first count of nodes (excluding this synthetic root when
+  /// called on the snapshot root).
+  std::size_t node_count() const noexcept;
+};
+
+/// RAII span timer; use via REPRO_SPAN.
+class SpanTimer {
+ public:
+  explicit SpanTimer(const char* name) noexcept {
+    if (!enabled()) return;
+    tp_ = &detail::thread_profile();
+    node_ = detail::span_enter(*tp_, name);
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~SpanTimer() {
+    if (tp_ != nullptr) detail::span_exit(*tp_, node_, start_);
+  }
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  detail::ThreadProfile* tp_ = nullptr;
+  detail::ProfileNode* node_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Merged profile tree; the returned root is synthetic ("<root>") with
+/// one child per top-level span name.
+SpanReport profile_snapshot();
+
+/// Human-readable indented tree (calls, total ms, self ms, % of parent).
+std::string profile_text_report();
+
+/// Chrome trace_event JSON (array-of-slices form). Events are capped per
+/// thread (REPRO_TRACE_EVENTS, default 262144); drops are counted in the
+/// "telemetry.trace.dropped_events" counter.
+std::string chrome_trace_json();
+
+/// Clears all span trees and trace events. Only call while no spans are
+/// open on other threads.
+void reset_profile();
+
+}  // namespace repro::telemetry
+
+#define REPRO_SPAN_CONCAT2(a, b) a##b
+#define REPRO_SPAN_CONCAT(a, b) REPRO_SPAN_CONCAT2(a, b)
+/// Opens a span covering the rest of the enclosing scope.
+#define REPRO_SPAN(name) \
+  ::repro::telemetry::SpanTimer REPRO_SPAN_CONCAT(repro_span_, __LINE__)(name)

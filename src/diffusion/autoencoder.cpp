@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/telemetry/trace.hpp"
 #include "nn/loss.hpp"
 
 namespace repro::diffusion {
@@ -70,6 +71,7 @@ float PacketAutoencoder::train_step(const nn::Tensor& rows,
 
 float PacketAutoencoder::train(const nn::Tensor& rows, std::size_t epochs,
                                std::size_t batch_size, float lr, Rng& rng) {
+  REPRO_SPAN("diffusion.ae.train");
   const std::size_t n = rows.dim(0);
   const std::size_t d = rows.dim(1);
   nn::Adam::Config cfg;
@@ -91,6 +93,8 @@ float PacketAutoencoder::train(const nn::Tensor& rows, std::size_t epochs,
       ++batches;
     }
     last_epoch_loss = static_cast<float>(epoch_loss / std::max<std::size_t>(batches, 1));
+    telemetry::count("diffusion.ae.epochs");
+    telemetry::observe("diffusion.ae.epoch_loss", last_epoch_loss);
   }
   return last_epoch_loss;
 }
@@ -110,6 +114,7 @@ std::vector<nn::Parameter*> PacketAutoencoder::parameters() {
 }
 
 nn::Tensor PacketAutoencoder::encode_matrix(const nprint::Matrix& matrix) {
+  REPRO_SPAN("diffusion.ae.encode_matrix");
   const std::size_t l = matrix.rows();
   nn::Tensor rows({l, config_.input_dim});
   std::copy(matrix.data().begin(), matrix.data().end(), rows.data());
@@ -124,6 +129,7 @@ nn::Tensor PacketAutoencoder::encode_matrix(const nprint::Matrix& matrix) {
 }
 
 nprint::Matrix PacketAutoencoder::decode_matrix(const nn::Tensor& latent) {
+  REPRO_SPAN("diffusion.ae.decode_matrix");
   const std::size_t l = latent.dim(2);
   nn::Tensor rows({l, config_.latent_dim});
   for (std::size_t t = 0; t < l; ++t) {

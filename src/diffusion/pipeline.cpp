@@ -8,6 +8,7 @@
 
 #include "common/logging.hpp"
 #include "common/stats.hpp"
+#include "common/telemetry/trace.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/serialize.hpp"
@@ -106,6 +107,7 @@ const nn::Tensor& TraceDiffusion::class_hint(int class_id) {
 
 std::vector<TraceDiffusion::Encoded> TraceDiffusion::encode_dataset(
     const flowgen::Dataset& data) {
+  REPRO_SPAN("diffusion.encode_dataset");
   std::vector<Encoded> encoded;
   encoded.reserve(data.flows.size());
   for (const auto& flow : data.flows) {
@@ -124,6 +126,8 @@ FitStats TraceDiffusion::fit(const flowgen::Dataset& real) {
   if (real.flows.empty()) {
     throw std::invalid_argument("TraceDiffusion::fit: empty dataset");
   }
+  REPRO_SPAN("diffusion.fit");
+  telemetry::count("diffusion.fit.flows", real.flows.size());
   FitStats stats;
   stats.flows_used = real.flows.size();
   stats.unet_parameters = unet_->parameter_count();
@@ -141,6 +145,7 @@ FitStats TraceDiffusion::fit(const flowgen::Dataset& real) {
 
   // --- Phase A: packet autoencoder. ---
   {
+    REPRO_SPAN("diffusion.fit.autoencoder");
     // Gather training rows (active packet rows only; padding rows are
     // trivially all -1 and would dominate the loss).
     std::vector<const net::Flow*> flows;
@@ -197,12 +202,16 @@ FitStats TraceDiffusion::fit(const flowgen::Dataset& real) {
   // --- Phase B: conditional latent diffusion. ---
   std::vector<Encoded> encoded = encode_dataset(real);
   unet_->unfreeze_all();
-  stats.diffusion_final_loss = train_diffusion_epochs(
-      encoded, config_.diffusion_epochs, config_.diffusion_lr,
-      unet_->parameters(), /*with_control_hints=*/false);
+  {
+    REPRO_SPAN("diffusion.fit.unet");
+    stats.diffusion_final_loss = train_diffusion_epochs(
+        encoded, config_.diffusion_epochs, config_.diffusion_lr,
+        unet_->parameters(), /*with_control_hints=*/false);
+  }
 
   // --- Phase C: ControlNet branch (base frozen). ---
   if (config_.train_control) {
+    REPRO_SPAN("diffusion.fit.controlnet");
     for (nn::Parameter* p : unet_->parameters()) p->trainable = false;
     stats.control_final_loss = train_diffusion_epochs(
         encoded, config_.control_epochs, config_.control_lr,
@@ -303,6 +312,9 @@ float TraceDiffusion::train_diffusion_epochs(
     }
     last_loss =
         static_cast<float>(epoch_loss / std::max<std::size_t>(batches, 1));
+    telemetry::count("diffusion.train.epochs");
+    telemetry::count("diffusion.train.batches", batches);
+    telemetry::observe("diffusion.train.epoch_loss", last_loss);
     REPRO_LOG_DEBUG() << (with_control_hints ? "control" : "diffusion")
                       << " epoch " << epoch << " loss " << last_loss;
   }
@@ -328,6 +340,7 @@ float TraceDiffusion::fit_lora(const flowgen::Dataset& data,
     }
   }
   fit_timing(data);
+  REPRO_SPAN("diffusion.fit_lora");
   std::vector<Encoded> encoded = encode_dataset(data);
   unet_->freeze_base();
   std::vector<nn::Parameter*> params = unet_->lora_parameters();
@@ -381,6 +394,7 @@ float tensor_std(const nn::Tensor& x) {
 
 nn::Tensor TraceDiffusion::sample_latents(int class_id, std::size_t count,
                                           const GenerateOptions& opts) {
+  REPRO_SPAN("diffusion.sample.latents");
   const std::size_t c = config_.autoencoder.latent_dim;
   const std::size_t l = config_.packets;
   const std::vector<int> cond_ids(count, class_id);
@@ -394,6 +408,8 @@ nn::Tensor TraceDiffusion::sample_latents(int class_id, std::size_t count,
   }
 
   EpsFn eps_fn = [&](const nn::Tensor& x, std::size_t t) {
+    REPRO_SPAN("diffusion.sample.eps_eval");
+    telemetry::count("diffusion.sample.eps_evals");
     const std::vector<float> timesteps(count, static_cast<float>(t));
     ControlResiduals residuals;
     const ControlResiduals* res_ptr = nullptr;
@@ -486,11 +502,14 @@ std::vector<net::Flow> TraceDiffusion::generate(int class_id,
       static_cast<std::size_t>(class_id) >= prompts_.num_classes()) {
     throw std::invalid_argument("TraceDiffusion::generate: bad class id");
   }
+  REPRO_SPAN("diffusion.generate");
+  telemetry::count("diffusion.generate.flows", opts.count);
   const std::size_t c = config_.autoencoder.latent_dim;
   const std::size_t l = config_.packets;
   nn::Tensor latents = sample_latents(class_id, opts.count, opts);
   latents.scale(1.0f / latent_scale_);
 
+  REPRO_SPAN("diffusion.generate.decode");
   std::vector<net::Flow> flows;
   flows.reserve(opts.count);
   for (std::size_t i = 0; i < opts.count; ++i) {
@@ -551,6 +570,7 @@ net::Flow TraceDiffusion::deblur(const net::Flow& corrupted,
   if (!fitted_) {
     throw std::logic_error("TraceDiffusion::deblur: call fit() first");
   }
+  REPRO_SPAN("diffusion.deblur");
   const std::size_t c = config_.autoencoder.latent_dim;
   const std::size_t l = config_.packets;
 

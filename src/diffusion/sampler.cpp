@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/telemetry/trace.hpp"
+
 namespace repro::diffusion {
 namespace {
 
@@ -71,6 +73,7 @@ nn::Tensor ddpm_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
     throw std::invalid_argument("ddpm_sample_from: t0 out of range");
   }
   for (std::size_t step = t0 + 1; step-- > 0;) {
+    REPRO_SPAN("diffusion.sample.ddpm_step");
     const nn::Tensor eps = eps_fn(x_t0, step);
     ddpm_step(x_t0, eps, schedule, step, rng);
   }
@@ -94,6 +97,7 @@ nn::Tensor ddim_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
   }
   const std::vector<std::size_t> taus = ddim_taus(t0, steps);
   for (std::size_t i = 0; i < steps; ++i) {
+    REPRO_SPAN("diffusion.sample.ddim_step");
     const std::size_t t = taus[i];
     const bool last = i + 1 == steps;
     const float abar_t = schedule.alpha_bar(t);
@@ -140,6 +144,7 @@ nn::Tensor ddim_inpaint(const EpsFn& eps_fn, const NoiseSchedule& schedule,
   clamp_known(x, t0, /*final=*/false);
   const std::vector<std::size_t> taus = ddim_taus(t0, steps);
   for (std::size_t i = 0; i < steps; ++i) {
+    REPRO_SPAN("diffusion.sample.ddim_step");
     const std::size_t t = taus[i];
     const bool last = i + 1 == steps;
     const float abar_t = schedule.alpha_bar(t);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/telemetry/trace.hpp"
 #include "flowgen/generator.hpp"
 
 namespace repro::flowgen {
@@ -55,6 +56,7 @@ Dataset Dataset::sample_per_class(std::size_t per_class, Rng& rng) const {
 
 Dataset build_dataset(const std::vector<std::size_t>& per_class_counts,
                       Rng& rng) {
+  REPRO_SPAN("flowgen.build_dataset");
   Dataset ds;
   for (std::size_t cls = 0; cls < per_class_counts.size() && cls < kNumApps;
        ++cls) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/telemetry/trace.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 
@@ -51,6 +52,8 @@ nn::Tensor NetFlowGan::generate_batch(std::size_t count) {
 GanTrainStats NetFlowGan::fit(const std::vector<NetFlowRecord>& real) {
   GanTrainStats stats;
   if (real.empty()) return stats;
+  REPRO_SPAN("gan.fit");
+  telemetry::count("gan.records_fit", real.size());
   std::vector<std::vector<float>> data;
   data.reserve(real.size());
   for (const auto& r : real) data.push_back(pack(r));
@@ -125,6 +128,8 @@ GanTrainStats NetFlowGan::fit(const std::vector<NetFlowRecord>& real) {
 }
 
 std::vector<NetFlowRecord> NetFlowGan::sample(std::size_t count) {
+  REPRO_SPAN("gan.sample");
+  telemetry::count("gan.records_sampled", count);
   std::vector<NetFlowRecord> out;
   out.reserve(count);
   const std::size_t chunk = 64;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/telemetry/trace.hpp"
+
 namespace repro::ml {
 
 RandomForest::RandomForest(const ForestConfig& config) : config_(config) {}
@@ -11,6 +13,9 @@ void RandomForest::fit(const FeatureMatrix& train) {
   if (train.rows.empty()) {
     throw std::invalid_argument("RandomForest::fit: empty training set");
   }
+  REPRO_SPAN("ml.rf.fit");
+  telemetry::count("ml.rf.trees_fit", config_.num_trees);
+  telemetry::count("ml.rf.rows_fit", train.rows.size());
   int max_label = 0;
   for (int label : train.labels) max_label = std::max(max_label, label);
   num_classes_ = static_cast<std::size_t>(max_label) + 1;
@@ -53,6 +58,8 @@ int RandomForest::predict(const std::vector<float>& row) const {
 }
 
 std::vector<int> RandomForest::predict(const FeatureMatrix& data) const {
+  REPRO_SPAN("ml.rf.predict");
+  telemetry::count("ml.rf.rows_predicted", data.rows.size());
   std::vector<int> out;
   out.reserve(data.rows.size());
   for (const auto& row : data.rows) out.push_back(predict(row));
@@ -61,6 +68,8 @@ std::vector<int> RandomForest::predict(const FeatureMatrix& data) const {
 
 double RandomForest::score(const FeatureMatrix& data) const {
   if (data.rows.empty()) return 0.0;
+  REPRO_SPAN("ml.rf.score");
+  telemetry::count("ml.rf.rows_predicted", data.rows.size());
   std::size_t correct = 0;
   for (std::size_t i = 0; i < data.rows.size(); ++i) {
     // Labels outside the trained range can never be predicted; they count

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/telemetry/trace.hpp"
 #include "nn/reshape.hpp"
 
 namespace repro::nn {
@@ -29,6 +30,7 @@ SelfAttention1d::SelfAttention1d(std::size_t channels,
       o_(std::move(proj_out)) {}
 
 Tensor SelfAttention1d::forward(const Tensor& input) {
+  REPRO_SPAN("nn.attention.forward");
   n_ = input.dim(0);
   l_ = input.dim(2);
   // Pre-norm over channels, position-major.
@@ -84,6 +86,7 @@ Tensor SelfAttention1d::forward(const Tensor& input) {
 }
 
 Tensor SelfAttention1d::backward(const Tensor& grad_output) {
+  REPRO_SPAN("nn.attention.backward");
   Tensor grad_rows = ncl_to_nlc(grad_output);  // [N*L, C]
   // Residual: gradient flows both into o_ path and directly to input rows.
   Tensor grad_ctx = o_->backward(grad_rows);   // [N*L, C]

@@ -1,5 +1,6 @@
 #include "nn/conv1d.hpp"
 
+#include "common/telemetry/trace.hpp"
 #include "nn/init.hpp"
 
 namespace repro::nn {
@@ -18,6 +19,7 @@ Conv1d::Conv1d(std::size_t in_channels, std::size_t out_channels,
 }
 
 Tensor Conv1d::forward(const Tensor& input) {
+  REPRO_SPAN("nn.conv1d.forward");
   if (input.rank() != 3 || input.dim(1) != cin_) {
     throw std::invalid_argument("Conv1d::forward: bad input " +
                                 input.shape_string());
@@ -53,6 +55,7 @@ Tensor Conv1d::forward(const Tensor& input) {
 }
 
 Tensor Conv1d::backward(const Tensor& grad_output) {
+  REPRO_SPAN("nn.conv1d.backward");
   const std::size_t n = input_.dim(0), lin = input_.dim(2);
   const std::size_t lout = out_length(lin);
   grad_output.require_shape({n, cout_, lout}, "Conv1d::backward");

@@ -1,5 +1,6 @@
 #include "nn/linear.hpp"
 
+#include "common/telemetry/trace.hpp"
 #include "nn/init.hpp"
 
 namespace repro::nn {
@@ -15,6 +16,7 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
 }
 
 Tensor Linear::forward(const Tensor& input) {
+  REPRO_SPAN("nn.linear.forward");
   if (input.rank() != 2 || input.dim(1) != in_) {
     throw std::invalid_argument("Linear::forward: bad input " +
                                 input.shape_string());
@@ -32,6 +34,7 @@ Tensor Linear::forward(const Tensor& input) {
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {
+  REPRO_SPAN("nn.linear.backward");
   grad_output.require_shape({input_.dim(0), out_}, "Linear::backward");
   // dW += g^T x ; db += sum_n g ; dx = g W
   weight_.grad.add(matmul_at(grad_output, input_));

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/bytes.hpp"
+#include "common/telemetry/trace.hpp"
 
 namespace repro::nprint {
 namespace {
@@ -98,7 +99,10 @@ std::vector<float> encode_packet(const net::Packet& packet) {
 
 Matrix encode_flow(const net::Flow& flow, std::size_t max_packets,
                    bool pad_to_max) {
+  REPRO_SPAN("nprint.encode_flow");
   const std::size_t active = std::min(flow.packets.size(), max_packets);
+  telemetry::count("nprint.flows_encoded");
+  telemetry::count("nprint.packets_encoded", active);
   const std::size_t rows = pad_to_max ? max_packets : active;
   Matrix matrix(rows);
   for (std::size_t i = 0; i < active; ++i) {
@@ -236,6 +240,8 @@ bool decode_packet(const float* row, net::Packet& out) {
 }
 
 net::Flow decode_flow(const Matrix& matrix, double inter_packet_gap) {
+  REPRO_SPAN("nprint.decode_flow");
+  telemetry::count("nprint.flows_decoded");
   net::Flow flow;
   double t = 0.0;
   for (std::size_t r = 0; r < matrix.rows(); ++r) {

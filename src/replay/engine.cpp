@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/telemetry/trace.hpp"
+
 namespace repro::replay {
 
 void ReplayEngine::add_function(std::unique_ptr<NetworkFunction> function) {
@@ -10,6 +12,8 @@ void ReplayEngine::add_function(std::unique_ptr<NetworkFunction> function) {
 
 ReplayReport ReplayEngine::replay(const std::vector<net::Packet>& packets,
                                   double time_scale) {
+  REPRO_SPAN("replay.run");
+  telemetry::count("replay.packets_in", packets.size());
   ReplayReport report;
   report.input_packets = packets.size();
   report.functions.resize(chain_.size());
@@ -44,6 +48,7 @@ ReplayReport ReplayEngine::replay(const std::vector<net::Packet>& packets,
     }
     if (alive) ++report.delivered_packets;
   }
+  telemetry::count("replay.packets_delivered", report.delivered_packets);
   report.trace_duration =
       (ordered.back()->timestamp - t0) * time_scale;
   for (auto& function : chain_) function->finish();
