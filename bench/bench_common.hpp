@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/env.hpp"
+#include "common/parallel/thread_pool.hpp"
 #include "common/telemetry/export.hpp"
 #include "common/telemetry/metrics.hpp"
 #include "common/telemetry/trace.hpp"
@@ -165,6 +166,8 @@ class BenchReport {
     json.value(name_);
     json.key("telemetry_enabled");
     json.value(telemetry::enabled());
+    json.key("threads");
+    json.value(static_cast<std::uint64_t>(parallel::thread_count()));
     json.key("total_seconds");
     json.value(total);
     json.key("scale");
@@ -197,14 +200,15 @@ class BenchReport {
     json.end_array();
     json.end_object();
 
-    const std::string path = "BENCH_" + name_ + ".json";
+    const std::string path = telemetry::report_path("BENCH_" + name_ + ".json");
     if (telemetry::write_text_file(path, std::move(json).str())) {
       std::printf("bench report: %s\n", path.c_str());
     } else {
       std::fprintf(stderr, "bench report: cannot write %s\n", path.c_str());
     }
     if (telemetry::enabled()) {
-      const std::string trace_path = "BENCH_" + name_ + ".trace.json";
+      const std::string trace_path =
+          telemetry::report_path("BENCH_" + name_ + ".trace.json");
       if (telemetry::write_text_file(trace_path,
                                      telemetry::chrome_trace_json())) {
         std::printf("chrome trace: %s (load in chrome://tracing)\n",

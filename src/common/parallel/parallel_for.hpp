@@ -1,0 +1,79 @@
+// parallel_for — the library's single data-parallel primitive.
+//
+// parallel_for(begin, end, grain, fn) partitions [begin, end) into
+// fixed chunks [begin + k*grain, begin + (k+1)*grain) and invokes
+// fn(chunk_begin, chunk_end) once per chunk, distributing the chunks
+// over the global thread pool (thread_pool.hpp).
+//
+// Determinism contract (see DESIGN.md "Parallel execution"):
+//   * Chunk boundaries are a pure function of (begin, end, grain) —
+//     they never depend on the thread count, so a caller that keeps
+//     floating-point accumulation inside a chunk (or combines per-chunk
+//     partials in chunk order, see chunk_count/chunk_index) computes
+//     bit-identical results at every REPRO_THREADS setting.
+//   * Chunks may run in any order and concurrently: fn must only write
+//     state owned by its chunk (or per-chunk slots sized by
+//     chunk_count).
+//   * Exceptions thrown by fn abort remaining chunks and the first one
+//     is rethrown on the calling thread.
+//   * Nested calls (from inside fn) execute inline on the calling
+//     worker — no deadlock, same chunk boundaries.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "common/parallel/thread_pool.hpp"
+
+namespace repro::parallel {
+
+/// Number of chunks parallel_for will create for `n` items at `grain`
+/// (for sizing per-chunk partial-reduction buffers).
+constexpr std::size_t chunk_count(std::size_t n, std::size_t grain) noexcept {
+  if (grain == 0) grain = 1;
+  return n == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+/// Index of the chunk starting at `chunk_begin` (as passed to fn).
+constexpr std::size_t chunk_index(std::size_t begin, std::size_t grain,
+                                  std::size_t chunk_begin) noexcept {
+  return grain == 0 ? chunk_begin - begin : (chunk_begin - begin) / grain;
+}
+
+/// Grain size so one chunk performs roughly `target_ops` operations when
+/// each item costs `ops_per_item`; never returns 0.
+constexpr std::size_t grain_for(std::size_t ops_per_item,
+                                std::size_t target_ops = 1u << 16) noexcept {
+  if (ops_per_item == 0) ops_per_item = 1;
+  const std::size_t grain = target_ops / ops_per_item;
+  return grain == 0 ? 1 : grain;
+}
+
+/// Applies `fn(chunk_begin, chunk_end)` over fixed-size chunks of
+/// [begin, end). Runs inline (chunk-by-chunk, same boundaries) when the
+/// pool is serial, the range fits one chunk, or the caller is already a
+/// pool worker.
+inline void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = chunk_count(end - begin, grain);
+  if (chunks == 1 || thread_count() == 1 || in_worker()) {
+    for (std::size_t cb = begin; cb < end; cb += grain) {
+      fn(cb, cb + grain < end ? cb + grain : end);
+    }
+    return;
+  }
+  detail::run_chunked(begin, end, grain, fn);
+}
+
+/// Item-wise convenience: fn(i) for each i in [begin, end).
+inline void parallel_for_each(std::size_t begin, std::size_t end,
+                              std::size_t grain,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_for(begin, end, grain, [&](std::size_t cb, std::size_t ce) {
+    for (std::size_t i = cb; i < ce; ++i) fn(i);
+  });
+}
+
+}  // namespace repro::parallel

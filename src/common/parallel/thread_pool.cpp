@@ -1,0 +1,212 @@
+#include "common/parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/env.hpp"
+#include "common/telemetry/metrics.hpp"
+#include "common/telemetry/trace.hpp"
+
+namespace repro::parallel {
+namespace {
+
+thread_local bool t_in_worker = false;
+
+/// One in-flight parallel_for. Lives on the caller's stack; workers only
+/// touch it between their draining++/-- window, and the caller retires
+/// the job only once draining == 0 again.
+struct Job {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  std::size_t num_chunks = 0;
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<int> draining{0};
+  std::exception_ptr error;  // guarded by error_mutex
+  std::mutex error_mutex;
+  std::chrono::steady_clock::time_point submitted;
+};
+
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  std::size_t lanes() const noexcept {
+    return lanes_.load(std::memory_order_relaxed);
+  }
+
+  void resize(std::size_t n) {
+    if (n == 0) n = 1;
+    std::lock_guard<std::mutex> config_lock(config_mutex_);
+    join_workers();
+    spawn_workers(n);
+  }
+
+  void run(Job& job) {
+    // One job at a time: concurrent top-level callers serialize here
+    // (nested calls never reach run(); they are inlined by the caller).
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &job;
+      ++job_seq_;
+    }
+    work_cv_.notify_all();
+    {
+      // Mark the caller as inside the parallel region for the duration
+      // of its own drain so nested parallel_for calls run inline
+      // instead of deadlocking on run_mutex_.
+      t_in_worker = true;
+      drain(job, /*is_worker=*/false);
+      t_in_worker = false;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return job.next.load(std::memory_order_acquire) >= job.num_chunks &&
+             job.draining.load(std::memory_order_acquire) == 0;
+    });
+    job_ = nullptr;
+  }
+
+  /// Executes chunks of `job` until none remain (or an error aborts it).
+  static void drain(Job& job, bool is_worker) {
+    const bool telemetry_on = telemetry::enabled();
+    if (telemetry_on && is_worker) {
+      telemetry::observe(
+          "parallel.queue_wait",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        job.submitted)
+              .count());
+    }
+    REPRO_SPAN(is_worker ? "parallel.worker" : "parallel.caller");
+    std::size_t executed = 0;
+    for (;;) {
+      const std::size_t chunk =
+          job.next.fetch_add(1, std::memory_order_acq_rel);
+      if (chunk >= job.num_chunks) break;
+      const std::size_t chunk_begin = job.begin + chunk * job.grain;
+      const std::size_t chunk_end =
+          std::min(chunk_begin + job.grain, job.end);
+      try {
+        (*job.fn)(chunk_begin, chunk_end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_mutex);
+        if (!job.error) job.error = std::current_exception();
+        // Park the cursor past the end so every lane stops pulling.
+        job.next.store(job.num_chunks, std::memory_order_release);
+        break;
+      }
+      ++executed;
+    }
+    if (telemetry_on && executed > 0) {
+      telemetry::count("parallel.tasks", executed);
+    }
+  }
+
+ private:
+  Pool() {
+    std::size_t n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+    spawn_workers(env_size("REPRO_THREADS", n));
+  }
+
+  ~Pool() {
+    std::lock_guard<std::mutex> config_lock(config_mutex_);
+    join_workers();
+  }
+
+  void spawn_workers(std::size_t lanes) {
+    if (lanes == 0) lanes = 1;
+    stop_ = false;
+    lanes_.store(lanes, std::memory_order_relaxed);
+    telemetry::gauge_set("parallel.threads", static_cast<double>(lanes));
+    workers_.reserve(lanes - 1);
+    for (std::size_t i = 0; i + 1 < lanes; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void join_workers() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    workers_.clear();
+  }
+
+  void worker_loop() {
+    t_in_worker = true;
+    std::uint64_t seen_seq = 0;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] {
+          return stop_ || (job_ != nullptr && job_seq_ != seen_seq);
+        });
+        if (stop_) return;
+        seen_seq = job_seq_;
+        job = job_;
+        job->draining.fetch_add(1, std::memory_order_acq_rel);
+      }
+      drain(*job, /*is_worker=*/true);
+      job->draining.fetch_sub(1, std::memory_order_acq_rel);
+      {
+        // Lock-then-notify so the caller cannot miss the wakeup between
+        // its predicate check and its wait.
+        std::lock_guard<std::mutex> lock(mutex_);
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  std::mutex config_mutex_;  // serializes resize/destruction
+  std::mutex run_mutex_;     // serializes top-level jobs
+  std::mutex mutex_;         // guards job_/job_seq_/stop_
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;
+  std::uint64_t job_seq_ = 0;
+  bool stop_ = false;
+  std::atomic<std::size_t> lanes_{1};
+};
+
+}  // namespace
+
+std::size_t thread_count() noexcept { return Pool::instance().lanes(); }
+
+void set_thread_count(std::size_t n) { Pool::instance().resize(n); }
+
+bool in_worker() noexcept { return t_in_worker; }
+
+namespace detail {
+
+void run_chunked(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  Job job;
+  job.begin = begin;
+  job.end = end;
+  job.grain = grain;
+  job.num_chunks = (end - begin + grain - 1) / grain;
+  job.fn = &fn;
+  job.submitted = std::chrono::steady_clock::now();
+  Pool::instance().run(job);
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace detail
+
+}  // namespace repro::parallel

@@ -1,0 +1,40 @@
+// Lazily-initialized global worker pool used by parallel_for (see
+// parallel_for.hpp). The pool owns REPRO_THREADS - 1 background workers
+// (the calling thread is the remaining lane); REPRO_THREADS defaults to
+// std::thread::hardware_concurrency() and REPRO_THREADS=1 forces fully
+// serial execution with zero thread machinery.
+//
+// Determinism contract: the pool never influences *what* is computed,
+// only *where*. Work is split into chunks whose boundaries depend only
+// on the range and grain (never on the thread count), so any per-chunk
+// computation — including floating-point reductions combined in chunk
+// order — is bit-identical at every thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace repro::parallel {
+
+/// Number of lanes (worker threads + the calling thread) the pool is
+/// configured for. Reads REPRO_THREADS on first use; always >= 1.
+std::size_t thread_count() noexcept;
+
+/// Reconfigures the pool to `n` lanes (joins and respawns workers).
+/// Intended for tests; must not be called while a parallel_for is in
+/// flight. n is clamped to >= 1.
+void set_thread_count(std::size_t n);
+
+/// True when the calling thread is a pool worker (used to run nested
+/// parallel_for calls inline instead of deadlocking on the pool).
+bool in_worker() noexcept;
+
+namespace detail {
+/// Runs chunks [begin + k*grain, begin + (k+1)*grain) ∩ [begin, end) of
+/// `fn` across the pool; rethrows the first worker exception on the
+/// caller. `grain` must be >= 1 and begin < end.
+void run_chunked(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn);
+}  // namespace detail
+
+}  // namespace repro::parallel

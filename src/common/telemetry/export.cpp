@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+
+#include "common/env.hpp"
 
 namespace repro::telemetry {
 
@@ -200,6 +203,15 @@ bool write_text_file(const std::string& path, const std::string& content) {
   if (!out) return false;
   out << content;
   return static_cast<bool>(out);
+}
+
+std::string report_path(const std::string& filename) {
+  const std::string dir = env_string("REPRO_BENCH_DIR", "");
+  if (dir.empty()) return filename;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best effort; the
+  // subsequent write reports failure if the directory is unusable
+  return (std::filesystem::path(dir) / filename).string();
 }
 
 }  // namespace repro::telemetry

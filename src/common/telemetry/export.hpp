@@ -61,4 +61,12 @@ std::string telemetry_json();
 /// Writes `content` to `path`, returning false on I/O failure.
 bool write_text_file(const std::string& path, const std::string& content);
 
+/// Resolves a report filename against REPRO_BENCH_DIR: when the
+/// variable is set the directory is created on demand and
+/// "<dir>/<filename>" returned, otherwise `filename` passes through
+/// unchanged. Lets parallel `ctest -j` runs point bench/tool reports at
+/// disjoint directories instead of clobbering the shared working
+/// directory. Re-reads the environment on every call.
+std::string report_path(const std::string& filename);
+
 }  // namespace repro::telemetry

@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "common/logging.hpp"
+#include "common/parallel/parallel_for.hpp"
 #include "common/stats.hpp"
 #include "common/telemetry/trace.hpp"
 #include "nn/loss.hpp"
@@ -359,22 +360,25 @@ namespace {
 void renormalize_batch(nn::Tensor& x, float target_std) {
   const std::size_t n = x.dim(0);
   const std::size_t stride = x.size() / n;
-  for (std::size_t b = 0; b < n; ++b) {
-    float* s = x.data() + b * stride;
-    double sum = 0.0, sq = 0.0;
-    for (std::size_t i = 0; i < stride; ++i) {
-      sum += s[i];
-      sq += static_cast<double>(s[i]) * s[i];
-    }
-    const double mean = sum / static_cast<double>(stride);
-    const double var = sq / static_cast<double>(stride) - mean * mean;
-    if (var <= 1e-12) continue;
-    const float scale = target_std / static_cast<float>(std::sqrt(var));
-    for (std::size_t i = 0; i < stride; ++i) {
-      s[i] = static_cast<float>(mean) +
-             scale * (s[i] - static_cast<float>(mean));
-    }
-  }
+  parallel::parallel_for(
+      0, n, parallel::grain_for(stride), [&](std::size_t bb, std::size_t be) {
+        for (std::size_t b = bb; b < be; ++b) {
+          float* s = x.data() + b * stride;
+          double sum = 0.0, sq = 0.0;
+          for (std::size_t i = 0; i < stride; ++i) {
+            sum += s[i];
+            sq += static_cast<double>(s[i]) * s[i];
+          }
+          const double mean = sum / static_cast<double>(stride);
+          const double var = sq / static_cast<double>(stride) - mean * mean;
+          if (var <= 1e-12) continue;
+          const float scale = target_std / static_cast<float>(std::sqrt(var));
+          for (std::size_t i = 0; i < stride; ++i) {
+            s[i] = static_cast<float>(mean) +
+                   scale * (s[i] - static_cast<float>(mean));
+          }
+        }
+      });
 }
 
 /// Standard deviation of one tensor (about its mean).

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/parallel/parallel_for.hpp"
 #include "common/telemetry/trace.hpp"
 
 namespace repro::diffusion {
@@ -16,6 +17,17 @@ nn::Tensor gaussian_tensor(const std::vector<std::size_t>& shape, Rng& rng) {
   return x;
 }
 
+/// Serially draws `count` standard normals (element order — the RNG
+/// stream is consumed exactly as the pre-parallel per-element loops
+/// did), letting the arithmetic that follows run on the pool.
+std::vector<float> draw_noise(std::size_t count, Rng& rng) {
+  std::vector<float> noise(count);
+  for (float& v : noise) v = static_cast<float>(rng.gaussian());
+  return noise;
+}
+
+constexpr std::size_t kStepGrain = 4096;  // elementwise ops per chunk
+
 /// One DDPM ancestral update from timestep `t`.
 void ddpm_step(nn::Tensor& x, const nn::Tensor& eps,
                const NoiseSchedule& schedule, std::size_t t, Rng& rng) {
@@ -24,13 +36,18 @@ void ddpm_step(nn::Tensor& x, const nn::Tensor& eps,
   const float coef = beta / schedule.sqrt_one_minus_alpha_bar(t);
   const float inv_sqrt_alpha = 1.0f / std::sqrt(alpha);
   const float sigma = std::sqrt(schedule.posterior_variance(t));
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    float mean = inv_sqrt_alpha * (x[i] - coef * eps[i]);
-    if (t > 0) {
-      mean += sigma * static_cast<float>(rng.gaussian());
-    }
-    x[i] = mean;
-  }
+  const std::vector<float> noise =
+      t > 0 ? draw_noise(x.size(), rng) : std::vector<float>{};
+  parallel::parallel_for(
+      0, x.size(), kStepGrain, [&](std::size_t cb, std::size_t ce) {
+        for (std::size_t i = cb; i < ce; ++i) {
+          float mean = inv_sqrt_alpha * (x[i] - coef * eps[i]);
+          if (t > 0) {
+            mean += sigma * noise[i];
+          }
+          x[i] = mean;
+        }
+      });
 }
 
 /// Decreasing timestep subsequence from `t0` to 0 with `steps` entries.
@@ -55,14 +72,20 @@ void ddim_step(nn::Tensor& x, const nn::Tensor& eps, float abar_t,
   const float dir_coef =
       std::sqrt(std::max(1.0f - abar_prev - sigma * sigma, 0.0f));
   const float sqrt_abar_prev = std::sqrt(abar_prev);
-  for (std::size_t j = 0; j < x.size(); ++j) {
-    const float x0 = (x[j] - sqrt_1m_t * eps[j]) / sqrt_abar_t;
-    float next = sqrt_abar_prev * x0 + dir_coef * eps[j];
-    if (!last && sigma > 0.0f) {
-      next += sigma * static_cast<float>(rng.gaussian());
-    }
-    x[j] = next;
-  }
+  const bool noisy = !last && sigma > 0.0f;
+  const std::vector<float> noise =
+      noisy ? draw_noise(x.size(), rng) : std::vector<float>{};
+  parallel::parallel_for(
+      0, x.size(), kStepGrain, [&](std::size_t cb, std::size_t ce) {
+        for (std::size_t j = cb; j < ce; ++j) {
+          const float x0 = (x[j] - sqrt_1m_t * eps[j]) / sqrt_abar_t;
+          float next = sqrt_abar_prev * x0 + dir_coef * eps[j];
+          if (noisy) {
+            next += sigma * noise[j];
+          }
+          x[j] = next;
+        }
+      });
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/parallel/parallel_for.hpp"
 #include "common/telemetry/trace.hpp"
 #include "flowgen/generator.hpp"
 
@@ -57,13 +58,25 @@ Dataset Dataset::sample_per_class(std::size_t per_class, Rng& rng) const {
 Dataset build_dataset(const std::vector<std::size_t>& per_class_counts,
                       Rng& rng) {
   REPRO_SPAN("flowgen.build_dataset");
-  Dataset ds;
+  // Every flow gets its own RNG stream, forked from the master stream in
+  // a fixed (class, index) order; flow synthesis then parallelizes with
+  // identical output at any thread count.
+  struct FlowSeed {
+    App app;
+    Rng rng;
+  };
+  std::vector<FlowSeed> seeds;
   for (std::size_t cls = 0; cls < per_class_counts.size() && cls < kNumApps;
        ++cls) {
     for (std::size_t i = 0; i < per_class_counts[cls]; ++i) {
-      ds.flows.push_back(generate_flow(static_cast<App>(cls), rng));
+      seeds.push_back({static_cast<App>(cls), rng.fork()});
     }
   }
+  Dataset ds;
+  ds.flows.resize(seeds.size());
+  parallel::parallel_for_each(0, seeds.size(), 4, [&](std::size_t i) {
+    ds.flows[i] = generate_flow(seeds[i].app, seeds[i].rng);
+  });
   // Shuffle so class order does not leak into splits.
   const auto perm = rng.permutation(ds.flows.size());
   Dataset shuffled;

@@ -1,8 +1,10 @@
 #include "ml/random_forest.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
+#include "common/parallel/parallel_for.hpp"
 #include "common/telemetry/trace.hpp"
 
 namespace repro::ml {
@@ -22,18 +24,24 @@ void RandomForest::fit(const FeatureMatrix& train) {
   feature_count_ = train.feature_count;
 
   Rng rng(config_.seed);
-  trees_.clear();
-  trees_.reserve(config_.num_trees);
   const auto bootstrap_size = static_cast<std::size_t>(
       config_.bootstrap_fraction * static_cast<double>(train.rows.size()));
+  // Bootstrap samples and per-tree RNG streams are drawn serially in
+  // tree order (consuming the master stream exactly as the serial
+  // implementation did); the trees then fit independently in parallel,
+  // each owning its slot and its forked stream.
+  std::vector<std::vector<std::size_t>> samples(config_.num_trees);
+  std::vector<Rng> tree_rngs;
+  tree_rngs.reserve(config_.num_trees);
   for (std::size_t t = 0; t < config_.num_trees; ++t) {
-    std::vector<std::size_t> sample(std::max<std::size_t>(bootstrap_size, 1));
-    for (auto& s : sample) s = rng.uniform_u64(train.rows.size());
-    DecisionTree tree(config_.tree);
-    Rng tree_rng = rng.fork();
-    tree.fit(train, sample, num_classes_, tree_rng);
-    trees_.push_back(std::move(tree));
+    samples[t].resize(std::max<std::size_t>(bootstrap_size, 1));
+    for (auto& s : samples[t]) s = rng.uniform_u64(train.rows.size());
+    tree_rngs.push_back(rng.fork());
   }
+  trees_.assign(config_.num_trees, DecisionTree(config_.tree));
+  parallel::parallel_for_each(0, config_.num_trees, 1, [&](std::size_t t) {
+    trees_[t].fit(train, samples[t], num_classes_, tree_rngs[t]);
+  });
 }
 
 std::vector<float> RandomForest::predict_proba(
@@ -60,9 +68,12 @@ int RandomForest::predict(const std::vector<float>& row) const {
 std::vector<int> RandomForest::predict(const FeatureMatrix& data) const {
   REPRO_SPAN("ml.rf.predict");
   telemetry::count("ml.rf.rows_predicted", data.rows.size());
-  std::vector<int> out;
-  out.reserve(data.rows.size());
-  for (const auto& row : data.rows) out.push_back(predict(row));
+  std::vector<int> out(data.rows.size());
+  parallel::parallel_for(
+      0, data.rows.size(), parallel::grain_for(trees_.size() * 64),
+      [&](std::size_t rb, std::size_t re) {
+        for (std::size_t i = rb; i < re; ++i) out[i] = predict(data.rows[i]);
+      });
   return out;
 }
 
@@ -70,13 +81,22 @@ double RandomForest::score(const FeatureMatrix& data) const {
   if (data.rows.empty()) return 0.0;
   REPRO_SPAN("ml.rf.score");
   telemetry::count("ml.rf.rows_predicted", data.rows.size());
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < data.rows.size(); ++i) {
-    // Labels outside the trained range can never be predicted; they count
-    // as errors, which is the honest accuracy.
-    if (predict(data.rows[i]) == data.labels[i]) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(data.rows.size());
+  // Integer reduction: the accumulation order cannot affect the result,
+  // so a relaxed atomic count is deterministic at any thread count.
+  std::atomic<std::size_t> correct{0};
+  parallel::parallel_for(
+      0, data.rows.size(), parallel::grain_for(trees_.size() * 64),
+      [&](std::size_t rb, std::size_t re) {
+        std::size_t local = 0;
+        for (std::size_t i = rb; i < re; ++i) {
+          // Labels outside the trained range can never be predicted;
+          // they count as errors, which is the honest accuracy.
+          if (predict(data.rows[i]) == data.labels[i]) ++local;
+        }
+        correct.fetch_add(local, std::memory_order_relaxed);
+      });
+  return static_cast<double>(correct.load()) /
+         static_cast<double>(data.rows.size());
 }
 
 std::vector<double> RandomForest::feature_importance() const {

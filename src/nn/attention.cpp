@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel/parallel_for.hpp"
 #include "common/telemetry/trace.hpp"
 #include "nn/reshape.hpp"
 
@@ -43,42 +44,49 @@ Tensor SelfAttention1d::forward(const Tensor& input) {
   const float scale = 1.0f / std::sqrt(static_cast<float>(channels_));
   attn_ = Tensor({n_, l_, l_});
   Tensor ctx({n_ * l_, channels_});
-  for (std::size_t b = 0; b < n_; ++b) {
-    const float* qb = q_rows_.data() + b * l_ * channels_;
-    const float* kb = k_rows_.data() + b * l_ * channels_;
-    const float* vb = v_rows_.data() + b * l_ * channels_;
-    float* ab = attn_.data() + b * l_ * l_;
-    // scores + softmax row-wise.
-    for (std::size_t i = 0; i < l_; ++i) {
-      float row_max = -1e30f;
-      for (std::size_t j = 0; j < l_; ++j) {
-        double s = 0.0;
-        for (std::size_t c = 0; c < channels_; ++c) {
-          s += static_cast<double>(qb[i * channels_ + c]) * kb[j * channels_ + c];
+  // Each flattened (batch, query-row) pair writes only its own attention
+  // row and context row, so rows parallelize without any shared state.
+  parallel::parallel_for(
+      0, n_ * l_, parallel::grain_for(l_ * channels_),
+      [&](std::size_t rb, std::size_t re) {
+        for (std::size_t r = rb; r < re; ++r) {
+          const std::size_t b = r / l_;
+          const std::size_t i = r % l_;
+          const float* qb = q_rows_.data() + b * l_ * channels_;
+          const float* kb = k_rows_.data() + b * l_ * channels_;
+          const float* vb = v_rows_.data() + b * l_ * channels_;
+          float* ab = attn_.data() + b * l_ * l_;
+          // scores + softmax row-wise.
+          float row_max = -1e30f;
+          for (std::size_t j = 0; j < l_; ++j) {
+            double s = 0.0;
+            for (std::size_t c = 0; c < channels_; ++c) {
+              s += static_cast<double>(qb[i * channels_ + c]) *
+                   kb[j * channels_ + c];
+            }
+            const float sv = static_cast<float>(s) * scale;
+            ab[i * l_ + j] = sv;
+            row_max = std::max(row_max, sv);
+          }
+          double denom = 0.0;
+          for (std::size_t j = 0; j < l_; ++j) {
+            const float e = std::exp(ab[i * l_ + j] - row_max);
+            ab[i * l_ + j] = e;
+            denom += e;
+          }
+          for (std::size_t j = 0; j < l_; ++j) {
+            ab[i * l_ + j] = static_cast<float>(ab[i * l_ + j] / denom);
+          }
+          // context_i = sum_j A_ij v_j
+          float* crow = ctx.data() + (b * l_ + i) * channels_;
+          for (std::size_t j = 0; j < l_; ++j) {
+            const float a = ab[i * l_ + j];
+            if (a == 0.0f) continue;
+            const float* vrow = vb + j * channels_;
+            for (std::size_t c = 0; c < channels_; ++c) crow[c] += a * vrow[c];
+          }
         }
-        const float sv = static_cast<float>(s) * scale;
-        ab[i * l_ + j] = sv;
-        row_max = std::max(row_max, sv);
-      }
-      double denom = 0.0;
-      for (std::size_t j = 0; j < l_; ++j) {
-        const float e = std::exp(ab[i * l_ + j] - row_max);
-        ab[i * l_ + j] = e;
-        denom += e;
-      }
-      for (std::size_t j = 0; j < l_; ++j) {
-        ab[i * l_ + j] = static_cast<float>(ab[i * l_ + j] / denom);
-      }
-      // context_i = sum_j A_ij v_j
-      float* crow = ctx.data() + (b * l_ + i) * channels_;
-      for (std::size_t j = 0; j < l_; ++j) {
-        const float a = ab[i * l_ + j];
-        if (a == 0.0f) continue;
-        const float* vrow = vb + j * channels_;
-        for (std::size_t c = 0; c < channels_; ++c) crow[c] += a * vrow[c];
-      }
-    }
-  }
+      });
   Tensor out_rows = o_->forward(ctx);
   // Residual connection.
   out_rows.add(rows);
@@ -95,49 +103,57 @@ Tensor SelfAttention1d::backward(const Tensor& grad_output) {
   Tensor grad_k(k_rows_.shape());
   Tensor grad_v(v_rows_.shape());
   const float scale = 1.0f / std::sqrt(static_cast<float>(channels_));
-  for (std::size_t b = 0; b < n_; ++b) {
-    const float* qb = q_rows_.data() + b * l_ * channels_;
-    const float* kb = k_rows_.data() + b * l_ * channels_;
-    const float* vb = v_rows_.data() + b * l_ * channels_;
-    const float* ab = attn_.data() + b * l_ * l_;
-    float* gqb = grad_q.data() + b * l_ * channels_;
-    float* gkb = grad_k.data() + b * l_ * channels_;
-    float* gvb = grad_v.data() + b * l_ * channels_;
-    for (std::size_t i = 0; i < l_; ++i) {
-      const float* gc = grad_ctx.data() + (b * l_ + i) * channels_;
-      // dA_ij = gc . v_j ; dv_j += A_ij * gc
-      std::vector<float> dA(l_);
-      for (std::size_t j = 0; j < l_; ++j) {
-        const float a = ab[i * l_ + j];
-        const float* vrow = vb + j * channels_;
-        float* gvrow = gvb + j * channels_;
-        double d = 0.0;
-        for (std::size_t c = 0; c < channels_; ++c) {
-          d += static_cast<double>(gc[c]) * vrow[c];
-          gvrow[c] += a * gc[c];
+  // grad_k/grad_v rows are accumulated across every query row of the
+  // same batch element, so the batch element is the finest race-free
+  // unit here; the serial i-ascending accumulation order is kept.
+  parallel::parallel_for(
+      0, n_, parallel::grain_for(l_ * l_ * channels_),
+      [&](std::size_t bb, std::size_t be) {
+        for (std::size_t b = bb; b < be; ++b) {
+          const float* qb = q_rows_.data() + b * l_ * channels_;
+          const float* kb = k_rows_.data() + b * l_ * channels_;
+          const float* vb = v_rows_.data() + b * l_ * channels_;
+          const float* ab = attn_.data() + b * l_ * l_;
+          float* gqb = grad_q.data() + b * l_ * channels_;
+          float* gkb = grad_k.data() + b * l_ * channels_;
+          float* gvb = grad_v.data() + b * l_ * channels_;
+          for (std::size_t i = 0; i < l_; ++i) {
+            const float* gc = grad_ctx.data() + (b * l_ + i) * channels_;
+            // dA_ij = gc . v_j ; dv_j += A_ij * gc
+            std::vector<float> dA(l_);
+            for (std::size_t j = 0; j < l_; ++j) {
+              const float a = ab[i * l_ + j];
+              const float* vrow = vb + j * channels_;
+              float* gvrow = gvb + j * channels_;
+              double d = 0.0;
+              for (std::size_t c = 0; c < channels_; ++c) {
+                d += static_cast<double>(gc[c]) * vrow[c];
+                gvrow[c] += a * gc[c];
+              }
+              dA[j] = static_cast<float>(d);
+            }
+            // Softmax backward: dS_j = A_j * (dA_j - sum_k dA_k A_k).
+            double dot = 0.0;
+            for (std::size_t j = 0; j < l_; ++j) {
+              dot += static_cast<double>(dA[j]) * ab[i * l_ + j];
+            }
+            for (std::size_t j = 0; j < l_; ++j) {
+              const float dS =
+                  ab[i * l_ + j] * (dA[j] - static_cast<float>(dot));
+              const float g = dS * scale;
+              // S_ij = scale * q_i . k_j
+              const float* krow = kb + j * channels_;
+              const float* qrow = qb + i * channels_;
+              float* gqrow = gqb + i * channels_;
+              float* gkrow = gkb + j * channels_;
+              for (std::size_t c = 0; c < channels_; ++c) {
+                gqrow[c] += g * krow[c];
+                gkrow[c] += g * qrow[c];
+              }
+            }
+          }
         }
-        dA[j] = static_cast<float>(d);
-      }
-      // Softmax backward: dS_j = A_j * (dA_j - sum_k dA_k A_k).
-      double dot = 0.0;
-      for (std::size_t j = 0; j < l_; ++j) {
-        dot += static_cast<double>(dA[j]) * ab[i * l_ + j];
-      }
-      for (std::size_t j = 0; j < l_; ++j) {
-        const float dS = ab[i * l_ + j] * (dA[j] - static_cast<float>(dot));
-        const float g = dS * scale;
-        // S_ij = scale * q_i . k_j
-        const float* krow = kb + j * channels_;
-        const float* qrow = qb + i * channels_;
-        float* gqrow = gqb + i * channels_;
-        float* gkrow = gkb + j * channels_;
-        for (std::size_t c = 0; c < channels_; ++c) {
-          gqrow[c] += g * krow[c];
-          gkrow[c] += g * qrow[c];
-        }
-      }
-    }
-  }
+      });
 
   Tensor grad_normed = q_->backward(grad_q);
   grad_normed.add(k_->backward(grad_k));

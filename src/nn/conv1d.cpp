@@ -1,5 +1,6 @@
 #include "nn/conv1d.hpp"
 
+#include "common/parallel/parallel_for.hpp"
 #include "common/telemetry/trace.hpp"
 #include "nn/init.hpp"
 
@@ -28,29 +29,38 @@ Tensor Conv1d::forward(const Tensor& input) {
   const std::size_t n = input.dim(0), lin = input.dim(2);
   const std::size_t lout = out_length(lin);
   Tensor out({n, cout_, lout});
-  for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t oc = 0; oc < cout_; ++oc) {
-      const float* w = weight_.value.data() + oc * cin_ * kernel_;
-      float* orow = out.data() + (b * cout_ + oc) * lout;
-      for (std::size_t t = 0; t < lout; ++t) {
-        double acc = bias_.value[oc];
-        const std::ptrdiff_t start =
-            static_cast<std::ptrdiff_t>(t * stride_) -
-            static_cast<std::ptrdiff_t>(padding_);
-        for (std::size_t ic = 0; ic < cin_; ++ic) {
-          const float* irow = input.data() + (b * cin_ + ic) * lin;
-          const float* wrow = w + ic * kernel_;
-          for (std::size_t k = 0; k < kernel_; ++k) {
-            const std::ptrdiff_t pos = start + static_cast<std::ptrdiff_t>(k);
-            if (pos < 0 || pos >= static_cast<std::ptrdiff_t>(lin)) continue;
-            acc += static_cast<double>(wrow[k]) *
-                   irow[static_cast<std::size_t>(pos)];
+  // Flattened (batch, out-channel) pairs: every output row is written by
+  // exactly one chunk and computed exactly as in the serial loop.
+  parallel::parallel_for(
+      0, n * cout_, parallel::grain_for(lout * cin_ * kernel_),
+      [&](std::size_t wb, std::size_t we) {
+        for (std::size_t idx = wb; idx < we; ++idx) {
+          const std::size_t b = idx / cout_;
+          const std::size_t oc = idx % cout_;
+          const float* w = weight_.value.data() + oc * cin_ * kernel_;
+          float* orow = out.data() + (b * cout_ + oc) * lout;
+          for (std::size_t t = 0; t < lout; ++t) {
+            double acc = bias_.value[oc];
+            const std::ptrdiff_t start =
+                static_cast<std::ptrdiff_t>(t * stride_) -
+                static_cast<std::ptrdiff_t>(padding_);
+            for (std::size_t ic = 0; ic < cin_; ++ic) {
+              const float* irow = input.data() + (b * cin_ + ic) * lin;
+              const float* wrow = w + ic * kernel_;
+              for (std::size_t k = 0; k < kernel_; ++k) {
+                const std::ptrdiff_t pos =
+                    start + static_cast<std::ptrdiff_t>(k);
+                if (pos < 0 || pos >= static_cast<std::ptrdiff_t>(lin)) {
+                  continue;
+                }
+                acc += static_cast<double>(wrow[k]) *
+                       irow[static_cast<std::size_t>(pos)];
+              }
+            }
+            orow[t] = static_cast<float>(acc);
           }
         }
-        orow[t] = static_cast<float>(acc);
-      }
-    }
-  }
+      });
   return out;
 }
 
@@ -60,36 +70,74 @@ Tensor Conv1d::backward(const Tensor& grad_output) {
   const std::size_t lout = out_length(lin);
   grad_output.require_shape({n, cout_, lout}, "Conv1d::backward");
   Tensor grad_input(input_.shape());
-  for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t oc = 0; oc < cout_; ++oc) {
-      const float* gorow = grad_output.data() + (b * cout_ + oc) * lout;
-      const float* w = weight_.value.data() + oc * cin_ * kernel_;
-      float* gw = weight_.grad.data() + oc * cin_ * kernel_;
-      double gb = 0.0;
-      for (std::size_t t = 0; t < lout; ++t) {
-        const float g = gorow[t];
-        if (g == 0.0f) continue;
-        gb += g;
-        const std::ptrdiff_t start =
-            static_cast<std::ptrdiff_t>(t * stride_) -
-            static_cast<std::ptrdiff_t>(padding_);
-        for (std::size_t ic = 0; ic < cin_; ++ic) {
-          const float* irow = input_.data() + (b * cin_ + ic) * lin;
-          float* girow = grad_input.data() + (b * cin_ + ic) * lin;
-          const float* wrow = w + ic * kernel_;
-          float* gwrow = gw + ic * kernel_;
-          for (std::size_t k = 0; k < kernel_; ++k) {
-            const std::ptrdiff_t pos = start + static_cast<std::ptrdiff_t>(k);
-            if (pos < 0 || pos >= static_cast<std::ptrdiff_t>(lin)) continue;
-            const auto upos = static_cast<std::size_t>(pos);
-            gwrow[k] += g * irow[upos];
-            girow[upos] += g * wrow[k];
+  // Two passes with disjoint write sets. Pass 1: grad_input, one batch
+  // element per chunk item (the serial oc/t/ic/k accumulation order is
+  // preserved within each batch element).
+  const std::size_t pair_ops = lout * cin_ * kernel_;
+  parallel::parallel_for(
+      0, n, parallel::grain_for(cout_ * pair_ops),
+      [&](std::size_t bb, std::size_t be) {
+        for (std::size_t b = bb; b < be; ++b) {
+          for (std::size_t oc = 0; oc < cout_; ++oc) {
+            const float* gorow = grad_output.data() + (b * cout_ + oc) * lout;
+            const float* w = weight_.value.data() + oc * cin_ * kernel_;
+            for (std::size_t t = 0; t < lout; ++t) {
+              const float g = gorow[t];
+              if (g == 0.0f) continue;
+              const std::ptrdiff_t start =
+                  static_cast<std::ptrdiff_t>(t * stride_) -
+                  static_cast<std::ptrdiff_t>(padding_);
+              for (std::size_t ic = 0; ic < cin_; ++ic) {
+                float* girow = grad_input.data() + (b * cin_ + ic) * lin;
+                const float* wrow = w + ic * kernel_;
+                for (std::size_t k = 0; k < kernel_; ++k) {
+                  const std::ptrdiff_t pos =
+                      start + static_cast<std::ptrdiff_t>(k);
+                  if (pos < 0 || pos >= static_cast<std::ptrdiff_t>(lin)) {
+                    continue;
+                  }
+                  girow[static_cast<std::size_t>(pos)] += g * wrow[k];
+                }
+              }
+            }
           }
         }
-      }
-      bias_.grad[oc] += static_cast<float>(gb);
-    }
-  }
+      });
+  // Pass 2: weight and bias gradients, one out-channel per chunk item;
+  // batches accumulate in ascending order exactly as the serial loop
+  // did (b outer), so gradients stay bit-identical.
+  parallel::parallel_for(
+      0, cout_, parallel::grain_for(n * pair_ops),
+      [&](std::size_t ob, std::size_t oe) {
+        for (std::size_t oc = ob; oc < oe; ++oc) {
+          float* gw = weight_.grad.data() + oc * cin_ * kernel_;
+          for (std::size_t b = 0; b < n; ++b) {
+            const float* gorow = grad_output.data() + (b * cout_ + oc) * lout;
+            double gb = 0.0;
+            for (std::size_t t = 0; t < lout; ++t) {
+              const float g = gorow[t];
+              if (g == 0.0f) continue;
+              gb += g;
+              const std::ptrdiff_t start =
+                  static_cast<std::ptrdiff_t>(t * stride_) -
+                  static_cast<std::ptrdiff_t>(padding_);
+              for (std::size_t ic = 0; ic < cin_; ++ic) {
+                const float* irow = input_.data() + (b * cin_ + ic) * lin;
+                float* gwrow = gw + ic * kernel_;
+                for (std::size_t k = 0; k < kernel_; ++k) {
+                  const std::ptrdiff_t pos =
+                      start + static_cast<std::ptrdiff_t>(k);
+                  if (pos < 0 || pos >= static_cast<std::ptrdiff_t>(lin)) {
+                    continue;
+                  }
+                  gwrow[k] += g * irow[static_cast<std::size_t>(pos)];
+                }
+              }
+            }
+            bias_.grad[oc] += static_cast<float>(gb);
+          }
+        }
+      });
   return grad_input;
 }
 

@@ -1,5 +1,6 @@
 #include "nn/linear.hpp"
 
+#include "common/parallel/parallel_for.hpp"
 #include "common/telemetry/trace.hpp"
 #include "nn/init.hpp"
 
@@ -25,10 +26,13 @@ Tensor Linear::forward(const Tensor& input) {
   Tensor out = matmul_bt(input, weight_.value);  // [N, out]
   if (has_bias_) {
     const std::size_t n = out.dim(0);
-    for (std::size_t i = 0; i < n; ++i) {
-      float* row = out.data() + i * out_;
-      for (std::size_t j = 0; j < out_; ++j) row[j] += bias_.value[j];
-    }
+    parallel::parallel_for(
+        0, n, parallel::grain_for(out_), [&](std::size_t rb, std::size_t re) {
+          for (std::size_t i = rb; i < re; ++i) {
+            float* row = out.data() + i * out_;
+            for (std::size_t j = 0; j < out_; ++j) row[j] += bias_.value[j];
+          }
+        });
   }
   return out;
 }
@@ -39,11 +43,16 @@ Tensor Linear::backward(const Tensor& grad_output) {
   // dW += g^T x ; db += sum_n g ; dx = g W
   weight_.grad.add(matmul_at(grad_output, input_));
   if (has_bias_) {
+    // Each chunk owns a disjoint column range of the bias gradient and
+    // accumulates it in the serial i-ascending order.
     const std::size_t n = grad_output.dim(0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const float* row = grad_output.data() + i * out_;
-      for (std::size_t j = 0; j < out_; ++j) bias_.grad[j] += row[j];
-    }
+    parallel::parallel_for(
+        0, out_, parallel::grain_for(n), [&](std::size_t jb, std::size_t je) {
+          for (std::size_t i = 0; i < n; ++i) {
+            const float* row = grad_output.data() + i * out_;
+            for (std::size_t j = jb; j < je; ++j) bias_.grad[j] += row[j];
+          }
+        });
   }
   return matmul(grad_output, weight_.value);
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/bytes.hpp"
+#include "common/parallel/parallel_for.hpp"
 #include "common/telemetry/trace.hpp"
 
 namespace repro::nprint {
@@ -105,11 +106,13 @@ Matrix encode_flow(const net::Flow& flow, std::size_t max_packets,
   telemetry::count("nprint.packets_encoded", active);
   const std::size_t rows = pad_to_max ? max_packets : active;
   Matrix matrix(rows);
-  for (std::size_t i = 0; i < active; ++i) {
+  // Packet rows occupy disjoint slices of the matrix.
+  parallel::parallel_for_each(0, active, 8, [&](std::size_t i) {
     const auto row = encode_packet(flow.packets[i]);
     std::copy(row.begin(), row.end(),
-              matrix.data().begin() + static_cast<std::ptrdiff_t>(i * kBitsPerPacket));
-  }
+              matrix.data().begin() +
+                  static_cast<std::ptrdiff_t>(i * kBitsPerPacket));
+  });
   return matrix;
 }
 
@@ -243,15 +246,22 @@ net::Flow decode_flow(const Matrix& matrix, double inter_packet_gap) {
   REPRO_SPAN("nprint.decode_flow");
   telemetry::count("nprint.flows_decoded");
   net::Flow flow;
+  // Rows decode independently into per-row slots; the serial pass after
+  // preserves row order and assigns timestamps only to occupied rows.
+  std::vector<net::Packet> decoded(matrix.rows());
+  std::vector<std::uint8_t> occupied(matrix.rows(), 0);
+  parallel::parallel_for_each(0, matrix.rows(), 8, [&](std::size_t r) {
+    occupied[r] =
+        decode_packet(matrix.data().data() + r * kBitsPerPacket, decoded[r])
+            ? 1
+            : 0;
+  });
   double t = 0.0;
   for (std::size_t r = 0; r < matrix.rows(); ++r) {
-    net::Packet pkt;
-    if (!decode_packet(matrix.data().data() + r * kBitsPerPacket, pkt)) {
-      continue;
-    }
-    pkt.timestamp = t;
+    if (!occupied[r]) continue;
+    decoded[r].timestamp = t;
     t += inter_packet_gap;
-    flow.packets.push_back(std::move(pkt));
+    flow.packets.push_back(std::move(decoded[r]));
   }
   if (!flow.packets.empty()) {
     flow.key = net::FlowKey::from_packet(flow.packets.front()).canonical();

@@ -1,0 +1,92 @@
+// Regression tests for REPRO_BENCH_DIR: bench reports and telemetry
+// exports must land where the environment points, and default to the
+// working directory when unset.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/telemetry/export.hpp"
+
+namespace repro::telemetry {
+namespace {
+
+/// Restores REPRO_BENCH_DIR on scope exit so tests cannot leak state.
+class ScopedBenchDir {
+ public:
+  explicit ScopedBenchDir(const char* value) {
+    const char* prev = std::getenv("REPRO_BENCH_DIR");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    if (value != nullptr) {
+      ::setenv("REPRO_BENCH_DIR", value, 1);
+    } else {
+      ::unsetenv("REPRO_BENCH_DIR");
+    }
+  }
+  ~ScopedBenchDir() {
+    if (had_prev_) {
+      ::setenv("REPRO_BENCH_DIR", prev_.c_str(), 1);
+    } else {
+      ::unsetenv("REPRO_BENCH_DIR");
+    }
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+TEST(BenchReportPath, UnsetEnvPassesFilenameThrough) {
+  ScopedBenchDir env(nullptr);
+  EXPECT_EQ(report_path("BENCH_foo.json"), "BENCH_foo.json");
+}
+
+TEST(BenchReportPath, EmptyEnvPassesFilenameThrough) {
+  ScopedBenchDir env("");
+  EXPECT_EQ(report_path("BENCH_foo.json"), "BENCH_foo.json");
+}
+
+TEST(BenchReportPath, PrefixesFilenameWithDirectory) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "repro_bench_dir_test";
+  std::filesystem::remove_all(dir);
+  ScopedBenchDir env(dir.c_str());
+  const std::string path = report_path("BENCH_foo.json");
+  EXPECT_EQ(path, (dir / "BENCH_foo.json").string());
+  // The directory is created eagerly so a following fopen(path, "w")
+  // cannot fail on a missing parent.
+  EXPECT_TRUE(std::filesystem::is_directory(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(BenchReportPath, ReReadsEnvironmentOnEveryCall) {
+  const auto dir_a =
+      std::filesystem::temp_directory_path() / "repro_bench_dir_a";
+  const auto dir_b =
+      std::filesystem::temp_directory_path() / "repro_bench_dir_b";
+  ScopedBenchDir env(dir_a.c_str());
+  EXPECT_EQ(report_path("x.json"), (dir_a / "x.json").string());
+  {
+    ScopedBenchDir inner(dir_b.c_str());
+    EXPECT_EQ(report_path("x.json"), (dir_b / "x.json").string());
+  }
+  EXPECT_EQ(report_path("x.json"), (dir_a / "x.json").string());
+  std::filesystem::remove_all(dir_a);
+  std::filesystem::remove_all(dir_b);
+}
+
+TEST(BenchReportPath, WrittenReportLandsInBenchDir) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "repro_bench_dir_write";
+  std::filesystem::remove_all(dir);
+  ScopedBenchDir env(dir.c_str());
+  const std::string path = report_path("BENCH_smoke.json");
+  ASSERT_TRUE(write_text_file(path, "{\"bench\":\"smoke\"}\n"));
+  EXPECT_TRUE(std::filesystem::exists(dir / "BENCH_smoke.json"));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace repro::telemetry

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <functional>
 
+#include "common/parallel/thread_pool.hpp"
 #include "common/rng.hpp"
 #include "diffusion/resblock.hpp"
 #include "diffusion/unet1d.hpp"
@@ -317,6 +318,82 @@ TEST(GradCheck, UNetEndToEnd) {
     const float lm = loss_at(x);
     param->value[i] = saved;
     expect_close(param->grad[i], (lp - lm) / (2 * kEps), param->name);
+  }
+}
+
+// The same analytic-vs-numeric checks with the thread pool engaged
+// (REPRO_THREADS=4): the parallel forward/backward paths of Linear,
+// Conv1d and SelfAttention1d must produce the exact gradients the
+// serial code does — static chunking makes them bit-identical, so the
+// tolerances need no loosening.
+class GradCheckParallel : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_threads_ = parallel::thread_count();
+    parallel::set_thread_count(4);
+  }
+  void TearDown() override { parallel::set_thread_count(saved_threads_); }
+
+ private:
+  std::size_t saved_threads_ = 1;
+};
+
+TEST_F(GradCheckParallel, Linear) {
+  Rng rng(1);
+  Linear layer(5, 4, rng);
+  Tensor x({3, 5});
+  randomize(x, rng);
+  check_input_grad(layer, x, rng);
+  check_param_grads(layer, x, rng);
+}
+
+TEST_F(GradCheckParallel, Conv1d) {
+  Rng rng(3);
+  Conv1d layer(3, 4, 3, rng);
+  Tensor x({2, 3, 8});
+  randomize(x, rng);
+  check_input_grad(layer, x, rng);
+  check_param_grads(layer, x, rng);
+}
+
+TEST_F(GradCheckParallel, SelfAttention) {
+  Rng rng(9);
+  SelfAttention1d layer(6, rng);
+  Tensor x({2, 6, 5});
+  randomize(x, rng);
+  check_input_grad(layer, x, rng);
+  check_param_grads(layer, x, rng, 2);
+}
+
+TEST_F(GradCheckParallel, UNetEndToEnd) {
+  Rng rng(13);
+  diffusion::UNetConfig cfg;
+  cfg.in_channels = 3;
+  cfg.base_channels = 4;
+  cfg.temb_dim = 8;
+  cfg.num_classes = 2;
+  cfg.groups = 2;
+  diffusion::UNet1d unet(cfg, rng);
+  Tensor x({2, 3, 8});
+  randomize(x, rng);
+  const std::vector<float> t = {3.0f, 7.0f};
+  const std::vector<int> cls = {0, 2};
+
+  Tensor out = unet.forward(x, t, cls);
+  Tensor w(out.shape());
+  randomize(w, rng, 1.0f);
+  unet.zero_grad();
+  const Tensor grad_x = unet.backward(w);
+  auto loss_at = [&](const Tensor& xx) {
+    return weighted_loss(unet.forward(xx, t, cls), w);
+  };
+  for (int probe = 0; probe < 4; ++probe) {
+    const std::size_t i = rng.uniform_u64(x.size());
+    Tensor xp = x, xm = x;
+    xp[i] += kEps;
+    xm[i] -= kEps;
+    expect_close(grad_x[i], (loss_at(xp) - loss_at(xm)) / (2 * kEps),
+                 "parallel unet x grad " + std::to_string(i));
   }
 }
 

@@ -1,0 +1,192 @@
+// Pool lifecycle, chunking edge cases, exception propagation, nesting,
+// and the static-chunking determinism contract of parallel_for.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/parallel/parallel_for.hpp"
+
+namespace repro::parallel {
+namespace {
+
+/// Restores the lane count a test changed, even on failure.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(std::size_t n) : saved_(thread_count()) {
+    set_thread_count(n);
+  }
+  ~ScopedThreads() { set_thread_count(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+/// Collects every chunk parallel_for hands out, in sorted order.
+std::vector<std::pair<std::size_t, std::size_t>> collect_chunks(
+    std::size_t begin, std::size_t end, std::size_t grain) {
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  parallel_for(begin, end, grain, [&](std::size_t cb, std::size_t ce) {
+    std::lock_guard<std::mutex> lock(mutex);
+    chunks.emplace_back(cb, ce);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  return chunks;
+}
+
+TEST(ParallelFor, EmptyRangeNeverInvokes) {
+  ScopedThreads threads(4);
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, 2, [&](std::size_t, std::size_t) { ++calls; });
+  parallel_for(7, 3, 2, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, RangeSmallerThanGrainIsOneChunk) {
+  ScopedThreads threads(4);
+  const auto chunks = collect_chunks(10, 13, 100);
+  ASSERT_EQ(chunks.size(), 1u);
+  const std::pair<std::size_t, std::size_t> expected{10, 13};
+  EXPECT_EQ(chunks[0], expected);
+}
+
+TEST(ParallelFor, GrainOneYieldsOneChunkPerItem) {
+  ScopedThreads threads(4);
+  const auto chunks = collect_chunks(0, 17, 1);
+  ASSERT_EQ(chunks.size(), 17u);
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, i);
+    EXPECT_EQ(chunks[i].second, i + 1);
+  }
+}
+
+TEST(ParallelFor, GrainZeroBehavesLikeGrainOne) {
+  ScopedThreads threads(2);
+  EXPECT_EQ(collect_chunks(0, 5, 0).size(), 5u);
+  EXPECT_EQ(chunk_count(5, 0), 5u);
+}
+
+TEST(ParallelFor, ChunksPartitionTheRangeExactly) {
+  ScopedThreads threads(8);
+  for (const std::size_t grain : {1u, 3u, 7u, 64u}) {
+    const auto chunks = collect_chunks(5, 103, grain);
+    EXPECT_EQ(chunks.size(), chunk_count(103 - 5, grain));
+    std::size_t expect_begin = 5;
+    for (const auto& [cb, ce] : chunks) {
+      EXPECT_EQ(cb, expect_begin) << "grain " << grain;
+      EXPECT_LE(ce - cb, grain);
+      expect_begin = ce;
+    }
+    EXPECT_EQ(expect_begin, 103u) << "grain " << grain;
+  }
+}
+
+TEST(ParallelFor, ChunkBoundariesIndependentOfThreadCount) {
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> per_count;
+  for (const std::size_t n : {1u, 2u, 8u}) {
+    ScopedThreads threads(n);
+    per_count.push_back(collect_chunks(3, 200, 9));
+  }
+  EXPECT_EQ(per_count[0], per_count[1]);
+  EXPECT_EQ(per_count[0], per_count[2]);
+}
+
+TEST(ParallelFor, PerChunkPartialSumsAreBitIdenticalAcrossThreadCounts) {
+  // The canonical deterministic-reduction recipe: accumulate into a slot
+  // per chunk, combine in chunk order.
+  std::vector<float> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = 1.0f / static_cast<float>(i + 1);
+  }
+  const std::size_t grain = 37;
+  auto reduce = [&] {
+    std::vector<float> partials(chunk_count(data.size(), grain), 0.0f);
+    parallel_for(0, data.size(), grain, [&](std::size_t cb, std::size_t ce) {
+      float acc = 0.0f;
+      for (std::size_t i = cb; i < ce; ++i) acc += data[i];
+      partials[chunk_index(0, grain, cb)] = acc;
+    });
+    float total = 0.0f;
+    for (const float p : partials) total += p;
+    return total;
+  };
+  float reference = 0.0f;
+  {
+    ScopedThreads threads(1);
+    reference = reduce();
+  }
+  for (const std::size_t n : {2u, 8u}) {
+    ScopedThreads threads(n);
+    EXPECT_EQ(reference, reduce()) << n << " threads";
+  }
+}
+
+TEST(ParallelFor, WorkerExceptionPropagatesToCaller) {
+  ScopedThreads threads(4);
+  EXPECT_THROW(
+      parallel_for(0, 100, 1,
+                   [&](std::size_t cb, std::size_t) {
+                     if (cb == 13) throw std::runtime_error("chunk 13");
+                   }),
+      std::runtime_error);
+  // The pool survives the exception and keeps scheduling.
+  std::atomic<std::size_t> items{0};
+  parallel_for(0, 50, 4, [&](std::size_t cb, std::size_t ce) {
+    items += ce - cb;
+  });
+  EXPECT_EQ(items.load(), 50u);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  ScopedThreads threads(4);
+  std::atomic<std::size_t> inner_items{0};
+  parallel_for(0, 8, 1, [&](std::size_t, std::size_t) {
+    EXPECT_TRUE(in_worker());
+    parallel_for(0, 10, 2, [&](std::size_t cb, std::size_t ce) {
+      inner_items += ce - cb;
+    });
+  });
+  EXPECT_EQ(inner_items.load(), 80u);
+  EXPECT_FALSE(in_worker());
+}
+
+TEST(ParallelFor, SetThreadCountReconfiguresPool) {
+  const std::size_t original = thread_count();
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3u);
+  std::atomic<std::size_t> items{0};
+  parallel_for(0, 100, 5, [&](std::size_t cb, std::size_t ce) {
+    items += ce - cb;
+  });
+  EXPECT_EQ(items.load(), 100u);
+  set_thread_count(0);  // clamps to 1
+  EXPECT_EQ(thread_count(), 1u);
+  std::size_t serial_items = 0;
+  parallel_for(0, 10, 1, [&](std::size_t, std::size_t) { ++serial_items; });
+  EXPECT_EQ(serial_items, 10u);
+  set_thread_count(original);
+  EXPECT_EQ(thread_count(), original);
+}
+
+TEST(ParallelForEach, VisitsEveryIndexOnce) {
+  ScopedThreads threads(4);
+  std::vector<std::atomic<int>> seen(200);
+  parallel_for_each(0, seen.size(), 7, [&](std::size_t i) { ++seen[i]; });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(GrainFor, ScalesInverselyWithItemCost) {
+  EXPECT_EQ(grain_for(1u << 16), 1u);
+  EXPECT_EQ(grain_for(1u << 15), 2u);
+  EXPECT_EQ(grain_for(0), 1u << 16);      // degenerate cost clamps
+  EXPECT_GE(grain_for(1u << 30), 1u);     // never returns 0
+}
+
+}  // namespace
+}  // namespace repro::parallel

@@ -110,8 +110,9 @@ int main(int argc, char** argv) {
               span_count);
 
   const std::string json = telemetry::telemetry_json();
-  const std::string json_path = prefix + ".json";
-  const std::string trace_path = prefix + ".trace.json";
+  const std::string json_path = telemetry::report_path(prefix + ".json");
+  const std::string trace_path =
+      telemetry::report_path(prefix + ".trace.json");
   bool ok = true;
   for (const auto& [path, content] :
        {std::pair{json_path, json},
