@@ -84,7 +84,8 @@ int main() {
       }
     }
     const double compliance =
-        total ? static_cast<double>(compliant) / total : 0.0;
+        total ? static_cast<double>(compliant) / static_cast<double>(total)
+              : 0.0;
 
     const auto transfer = eval::run_cross_scenario(
         "Synthetic/Real", syn.flows, test_flows,

@@ -110,12 +110,14 @@ int main() {
                                  static_cast<double>(features.rows.size()),
                              2);
     }
-    report.note("rank" + std::to_string(rank) + "_recognition",
-                total ? static_cast<double>(recognized) / total : 0.0);
+    const double totald = static_cast<double>(total);
+    const double recognition =
+        total ? static_cast<double>(recognized) / totald : 0.0;
+    report.note("rank" + std::to_string(rank) + "_recognition", recognition);
     rows.push_back(
         {rank == 0 ? "0 (zero-shot, no fine-tune)" : std::to_string(rank),
-         eval::fmt(total ? static_cast<double>(recognized) / total : 0.0, 3),
-         eval::fmt(total ? true_prob / total : 0.0, 3), per_class,
+         eval::fmt(recognition, 3),
+         eval::fmt(total ? true_prob / totald : 0.0, 3), per_class,
          std::to_string(non_empty) + "/" + std::to_string(total)});
   }
 

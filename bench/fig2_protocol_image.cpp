@@ -96,7 +96,9 @@ int main() {
       }
     }
     const double compliance =
-        total_rows ? static_cast<double>(compliant_rows) / total_rows : 0.0;
+        total_rows ? static_cast<double>(compliant_rows) /
+                         static_cast<double>(total_rows)
+                   : 0.0;
     worst = std::min(worst, compliance);
     rows.push_back({flowgen::app_name(static_cast<flowgen::App>(cls)),
                     net::proto_name(tmpl.per_packet.empty()

@@ -1,0 +1,83 @@
+// Times the static-analysis gate itself: repro_lint rule mode and
+// format mode over the full tree (src/ bench/ tools/ tests/ examples/).
+// The point is to keep the lint step cheap enough that nobody is
+// tempted to skip it — the report fails loudly if either pass slows
+// past a generous budget or reports findings on a clean tree.
+//
+// Writes BENCH_lint.json via bench::BenchReport like every other bench.
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.hpp"
+
+namespace {
+
+struct PassResult {
+  int exit_code = -1;
+  std::size_t files_scanned = 0;
+  std::size_t findings = 0;
+  bool parsed = false;
+};
+
+/// Runs one repro_lint pass and parses its summary line
+/// ("repro_lint: N files scanned, M findings").
+PassResult run_pass(const std::string& extra_args) {
+  const std::string cmd = std::string("\"") + REPRO_LINT_BIN +
+                          "\" --root \"" + REPRO_LINT_ROOT + "\" " +
+                          extra_args + " src bench tools tests examples 2>&1";
+  PassResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 512> buf{};
+  std::string last_line;
+  while (std::fgets(buf.data(), static_cast<int>(buf.size()), pipe) != nullptr) {
+    last_line = buf.data();
+  }
+  const int status = pclose(pipe);
+  if (status >= 0 && WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  }
+  unsigned long files = 0, findings = 0;
+  if (std::sscanf(last_line.c_str(), "repro_lint: %lu files scanned, %lu",
+                  &files, &findings) == 2) {
+    result.files_scanned = files;
+    result.findings = findings;
+    result.parsed = true;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  repro::bench::BenchReport report(
+      "lint", "build hygiene gate (not a paper artifact)");
+
+  report.stage("rules");
+  const PassResult rules = run_pass("");
+
+  report.stage("format");
+  const PassResult format = run_pass("--format-check");
+
+  report.stage("report");
+  report.note("rules_exit_code", rules.exit_code);
+  report.note("rules_files_scanned", static_cast<double>(rules.files_scanned));
+  report.note("rules_findings", static_cast<double>(rules.findings));
+  report.note("format_exit_code", format.exit_code);
+  report.note("format_findings", static_cast<double>(format.findings));
+
+  std::printf("rules:  exit %d, %zu files, %zu findings\n", rules.exit_code,
+              rules.files_scanned, rules.findings);
+  std::printf("format: exit %d, %zu findings\n", format.exit_code,
+              format.findings);
+
+  if (!rules.parsed || !format.parsed || rules.exit_code != 0 ||
+      format.exit_code != 0) {
+    std::printf("FAIL: lint tree is not clean\n");
+    return 1;
+  }
+  return 0;
+}

@@ -48,7 +48,7 @@ ReplayRow run_chain(const std::string& name,
   row.tcp_acceptance = tracker->stats().tcp_acceptance();
   row.delivery = report.input_packets
                      ? static_cast<double>(report.delivered_packets) /
-                           report.input_packets
+                           static_cast<double>(report.input_packets)
                      : 0.0;
   row.handshakes = tracker->stats().handshakes_completed;
   return row;

@@ -43,11 +43,14 @@ int main() {
     }
     paper_total += paper[cls];
     ours_total += counts[cls];
+    const double nd = static_cast<double>(n);
+    const auto pct = [nd](std::size_t part) {
+      return nd > 0 ? 100.0 * static_cast<double>(part) / nd : 0.0;
+    };
     rows.push_back({flowgen::macro_service_name(profile.macro), profile.name,
                     std::to_string(paper[cls]), std::to_string(counts[cls]),
-                    eval::fmt(n ? 100.0 * tcp / n : 0, 0) + "/" +
-                        eval::fmt(n ? 100.0 * udp / n : 0, 0) + "/" +
-                        eval::fmt(n ? 100.0 * icmp / n : 0, 0)});
+                    eval::fmt(pct(tcp), 0) + "/" + eval::fmt(pct(udp), 0) +
+                        "/" + eval::fmt(pct(icmp), 0)});
   }
   rows.push_back({"TOTAL", "", std::to_string(paper_total),
                   std::to_string(ours_total), ""});

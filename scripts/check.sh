@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# One-stop pre-merge gate: configure with contracts enforced, build the
+# whole tree warning-free (-Werror is always on), run the lint label
+# first (fast, catches invariant violations before the slow suites),
+# then the full test suite.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-check)
+set -eu
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+BUILD_DIR=${1:-"$ROOT/build-check"}
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+echo "== configure (REPRO_CHECKS=ON) =="
+cmake -B "$BUILD_DIR" -S "$ROOT" -DREPRO_CHECKS=ON
+
+echo "== build (-Wall -Wextra -Wconversion -Wsign-conversion -Wshadow -Werror) =="
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "== lint label =="
+ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure
+
+echo "== full test suite =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+echo "== check.sh: all gates green =="

@@ -10,9 +10,30 @@
 #include <cstddef>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
+#include "common/contracts.hpp"
+
 namespace repro {
+
+/// Checked narrowing conversion: a static_cast whose REPRO_REQUIRE fires
+/// (under -DREPRO_CHECKS=ON) when the value does not round-trip through
+/// the destination type. Use this instead of a bare static_cast wherever
+/// a wider arithmetic value is packed into a narrower wire/bit field.
+template <typename To, typename From>
+constexpr To narrow(From value) {
+  static_assert(std::is_arithmetic_v<To> && std::is_arithmetic_v<From>,
+                "narrow<To>() converts between arithmetic types");
+  const To out = static_cast<To>(value);
+  bool representable = static_cast<From>(out) == value;
+  if constexpr (std::is_integral_v<To> && std::is_integral_v<From> &&
+                std::is_signed_v<To> != std::is_signed_v<From>) {
+    representable = representable && ((out < To{}) == (value < From{}));
+  }
+  REPRO_REQUIRE(representable, "narrow: value not representable in target");
+  return out;
+}
 
 /// Appends big-endian integers to a growing byte vector.
 class ByteWriter {

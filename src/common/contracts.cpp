@@ -1,0 +1,40 @@
+#include "common/contracts.hpp"
+
+namespace repro {
+
+namespace {
+
+std::string format_violation(const char* kind, const char* condition,
+                             const char* file, int line,
+                             const char* message) {
+  std::string out = "contract violation (";
+  out += kind;
+  out += ") at ";
+  out += file;
+  out += ':';
+  out += std::to_string(line);
+  out += ": ";
+  out += condition;
+  out += " — ";
+  out += message;
+  return out;
+}
+
+}  // namespace
+
+ContractViolation::ContractViolation(const char* kind, const char* condition,
+                                     const char* file, int line,
+                                     const char* message)
+    : std::logic_error(format_violation(kind, condition, file, line, message)),
+      kind_(kind) {}
+
+namespace detail {
+
+void contract_fail(const char* kind, const char* condition, const char* file,
+                   int line, const char* message) {
+  throw ContractViolation(kind, condition, file, line, message);
+}
+
+}  // namespace detail
+
+}  // namespace repro

@@ -1,0 +1,117 @@
+// Contract layer: machine-checkable pre/postconditions for the
+// invariants the reproduction depends on (bit-exact determinism, ternary
+// nprint semantics, pool lifecycle).
+//
+// Build modes (selected by the REPRO_CHECKS CMake option):
+//   -DREPRO_CHECKS=1  REPRO_REQUIRE/REPRO_ENSURE evaluate their condition
+//                     and throw repro::ContractViolation on failure;
+//                     REPRO_UNREACHABLE throws unconditionally.
+//   (default)         REPRO_REQUIRE/REPRO_ENSURE compile to non-evaluating
+//                     no-ops (the condition is still type-checked inside a
+//                     dead `if (false)` branch); REPRO_UNREACHABLE becomes
+//                     __builtin_unreachable().
+//
+// Deliberate deviation from [[assume]] semantics: unchecked builds do NOT
+// feed contract conditions to the optimizer. A violated assumption would
+// be silent UB and could change generated bits between build modes, which
+// is exactly what this repo's determinism guarantee forbids. Use
+// REPRO_ASSUME for the rare hot-loop hint where that trade-off is wanted
+// and the condition is locally provable.
+//
+// Contract conditions must be side-effect free: in default builds they
+// are never evaluated.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace repro {
+
+/// Thrown on a failed REPRO_REQUIRE/REPRO_ENSURE/REPRO_UNREACHABLE when
+/// contracts are compiled in. Derives from std::logic_error: a contract
+/// violation is a programming error, not a data error.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* condition, const char* file,
+                    int line, const char* message);
+
+  const char* kind() const noexcept { return kind_; }
+
+ private:
+  const char* kind_;
+};
+
+namespace detail {
+
+/// Formats and throws ContractViolation. Out-of-line so the macro
+/// expansion stays one comparison + one call.
+[[noreturn]] void contract_fail(const char* kind, const char* condition,
+                                const char* file, int line,
+                                const char* message);
+
+}  // namespace detail
+
+/// True when this translation unit was compiled with -DREPRO_CHECKS=1.
+constexpr bool contracts_enabled() noexcept {
+#ifdef REPRO_CHECKS
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace repro
+
+#ifdef REPRO_CHECKS
+
+#define REPRO_REQUIRE(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::repro::detail::contract_fail("precondition", #cond, __FILE__,  \
+                                     __LINE__, msg);                   \
+    }                                                                  \
+  } while (false)
+
+#define REPRO_ENSURE(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::repro::detail::contract_fail("postcondition", #cond, __FILE__, \
+                                     __LINE__, msg);                   \
+    }                                                                  \
+  } while (false)
+
+#define REPRO_UNREACHABLE(msg)                                            \
+  ::repro::detail::contract_fail("unreachable", "REPRO_UNREACHABLE",      \
+                                 __FILE__, __LINE__, msg)
+
+#else  // !REPRO_CHECKS
+
+// Type-check but never evaluate: the branch is dead, so the condition
+// costs nothing and a violated contract cannot become UB.
+#define REPRO_REQUIRE(cond, msg)             \
+  do {                                       \
+    if (false) {                             \
+      static_cast<void>(cond);               \
+      static_cast<void>(msg);                \
+    }                                        \
+  } while (false)
+
+#define REPRO_ENSURE(cond, msg) REPRO_REQUIRE(cond, msg)
+
+#define REPRO_UNREACHABLE(msg) __builtin_unreachable()
+
+#endif  // REPRO_CHECKS
+
+/// Optimizer hint: the author asserts `cond` holds. Unlike REPRO_REQUIRE
+/// this IS undefined behavior when violated in unchecked builds — reserve
+/// it for locally provable facts on measured hot paths.
+#ifdef REPRO_CHECKS
+#define REPRO_ASSUME(cond) REPRO_REQUIRE(cond, "assumption")
+#else
+#define REPRO_ASSUME(cond)            \
+  do {                                \
+    if (!(cond)) {                    \
+      __builtin_unreachable();        \
+    }                                 \
+  } while (false)
+#endif

@@ -1,25 +1,95 @@
 #include "common/env.hpp"
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <set>
+
+#include "common/logging.hpp"
 
 namespace repro {
+namespace {
+
+std::string_view trimmed(std::string_view text) noexcept {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// Logs the fallback warning at most once per variable name, so a knob
+/// read in a loop (or from several subsystems) does not flood stderr.
+void warn_invalid_once(const char* name, const char* raw,
+                       const char* kind) noexcept {
+  try {
+    static std::mutex mutex;
+    static std::set<std::string> warned;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!warned.insert(name).second) return;
+    }
+    REPRO_LOG_WARN() << name << "=\"" << raw << "\" is not a valid " << kind
+                     << "; using the default";
+  } catch (...) {
+    // Logging is best-effort; an allocation failure here must not
+    // surface through the noexcept env readers.
+  }
+}
+
+}  // namespace
+
+std::optional<std::size_t> parse_size(std::string_view text) noexcept {
+  text = trimmed(text);
+  if (!text.empty() && text.front() == '+') text.remove_prefix(1);
+  if (text.empty()) return std::nullopt;
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const auto digit = static_cast<std::size_t>(c - '0');
+    if (value > (kMax - digit) / 10) return std::nullopt;  // would overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view text) noexcept {
+  text = trimmed(text);
+  if (text.empty() || text.size() >= 64) return std::nullopt;
+  char buf[64];
+  text.copy(buf, text.size());
+  buf[text.size()] = '\0';
+  char* end = nullptr;
+  const double value = std::strtod(buf, &end);
+  if (end != buf + text.size()) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
+}
 
 std::size_t env_size(const char* name, std::size_t fallback) noexcept {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(raw, &end, 10);
-  if (end == raw) return fallback;
-  return static_cast<std::size_t>(v);
+  const std::optional<std::size_t> parsed = parse_size(raw);
+  if (!parsed) {
+    warn_invalid_once(name, raw, "non-negative integer");
+    return fallback;
+  }
+  return *parsed;
 }
 
 double env_double(const char* name, double fallback) noexcept {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const double v = std::strtod(raw, &end);
-  if (end == raw) return fallback;
-  return v;
+  const std::optional<double> parsed = parse_double(raw);
+  if (!parsed) {
+    warn_invalid_once(name, raw, "finite number");
+    return fallback;
+  }
+  return *parsed;
 }
 
 std::string env_string(const char* name, const std::string& fallback) {

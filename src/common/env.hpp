@@ -1,17 +1,36 @@
 // Environment-variable overrides used by benches and examples to scale
 // experiments up or down (e.g. REPRO_FLOWS_PER_CLASS, REPRO_EPOCHS)
 // without recompiling.
+//
+// All numeric lookups are total: a set-but-malformed or out-of-range
+// value (e.g. REPRO_THREADS=banana or REPRO_THREADS=-3) falls back to the
+// caller's default and emits one warning log per variable name, instead
+// of silently truncating or throwing.
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace repro {
 
-/// Returns the integer value of `name`, or `fallback` when unset/invalid.
+/// Parses a non-negative decimal integer (optional surrounding
+/// whitespace, optional leading '+'). Returns nullopt on empty input,
+/// any non-digit character, a '-' sign, or overflow of std::size_t.
+std::optional<std::size_t> parse_size(std::string_view text) noexcept;
+
+/// Parses a finite double (strtod grammar, but the full string must be
+/// consumed). Returns nullopt on empty/trailing garbage/inf/nan/range
+/// errors.
+std::optional<double> parse_double(std::string_view text) noexcept;
+
+/// Returns the integer value of `name`; `fallback` when unset. A set but
+/// invalid value also yields `fallback`, with one warning log per name.
 std::size_t env_size(const char* name, std::size_t fallback) noexcept;
 
-/// Returns the double value of `name`, or `fallback` when unset/invalid.
+/// Returns the double value of `name`; `fallback` when unset. A set but
+/// invalid value also yields `fallback`, with one warning log per name.
 double env_double(const char* name, double fallback) noexcept;
 
 /// Returns the string value of `name`, or `fallback` when unset.

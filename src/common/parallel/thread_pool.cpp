@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/env.hpp"
 #include "common/telemetry/metrics.hpp"
 #include "common/telemetry/trace.hpp"
@@ -31,6 +32,7 @@ struct Job {
   std::atomic<int> draining{0};
   std::exception_ptr error;  // guarded by error_mutex
   std::mutex error_mutex;
+  // repro-lint: allow(RL006) -- queue-wait telemetry timestamp, never data
   std::chrono::steady_clock::time_point submitted;
 };
 
@@ -84,6 +86,7 @@ class Pool {
     if (telemetry_on && is_worker) {
       telemetry::observe(
           "parallel.queue_wait",
+          // repro-lint: allow(RL006) -- feeds the queue_wait histogram only
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         job.submitted)
               .count());
@@ -196,12 +199,16 @@ namespace detail {
 
 void run_chunked(std::size_t begin, std::size_t end, std::size_t grain,
                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  REPRO_REQUIRE(grain > 0, "run_chunked: grain must be positive");
+  REPRO_REQUIRE(end > begin, "run_chunked: empty ranges are the caller's "
+                             "fast path, not the pool's");
   Job job;
   job.begin = begin;
   job.end = end;
   job.grain = grain;
   job.num_chunks = (end - begin + grain - 1) / grain;
   job.fn = &fn;
+  // repro-lint: allow(RL006) -- queue-wait telemetry timestamp, never data
   job.submitted = std::chrono::steady_clock::now();
   Pool::instance().run(job);
   if (job.error) std::rethrow_exception(job.error);

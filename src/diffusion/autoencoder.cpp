@@ -92,7 +92,8 @@ float PacketAutoencoder::train(const nn::Tensor& rows, std::size_t epochs,
       epoch_loss += train_step(batch, optimizer);
       ++batches;
     }
-    last_epoch_loss = static_cast<float>(epoch_loss / std::max<std::size_t>(batches, 1));
+    last_epoch_loss = static_cast<float>(
+        epoch_loss / static_cast<double>(std::max<std::size_t>(batches, 1)));
     telemetry::count("diffusion.ae.epochs");
     telemetry::observe("diffusion.ae.epoch_loss", last_epoch_loss);
   }

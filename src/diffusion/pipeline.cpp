@@ -195,7 +195,8 @@ FitStats TraceDiffusion::fit(const flowgen::Dataset& real) {
       }
       count += e.latent.size();
     }
-    const double std_dev = std::sqrt(sq / std::max<std::size_t>(count, 1));
+    const double std_dev = std::sqrt(
+        sq / static_cast<double>(std::max<std::size_t>(count, 1)));
     latent_scale_ = std_dev > 1e-6 ? static_cast<float>(1.0 / std_dev) : 1.0f;
   }
   hints_.clear();  // control hints embed scaled latents; rebuild lazily
@@ -311,8 +312,8 @@ float TraceDiffusion::train_diffusion_epochs(
       epoch_loss += loss;
       ++batches;
     }
-    last_loss =
-        static_cast<float>(epoch_loss / std::max<std::size_t>(batches, 1));
+    last_loss = static_cast<float>(
+        epoch_loss / static_cast<double>(std::max<std::size_t>(batches, 1)));
     telemetry::count("diffusion.train.epochs");
     telemetry::count("diffusion.train.batches", batches);
     telemetry::observe("diffusion.train.epoch_loss", last_loss);

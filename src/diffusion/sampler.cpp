@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "common/parallel/parallel_for.hpp"
 #include "common/telemetry/trace.hpp"
 
@@ -31,6 +32,8 @@ constexpr std::size_t kStepGrain = 4096;  // elementwise ops per chunk
 /// One DDPM ancestral update from timestep `t`.
 void ddpm_step(nn::Tensor& x, const nn::Tensor& eps,
                const NoiseSchedule& schedule, std::size_t t, Rng& rng) {
+  REPRO_REQUIRE(eps.size() == x.size(),
+                "ddpm_step: eps_fn returned a tensor of the wrong size");
   const float beta = schedule.beta(t);
   const float alpha = schedule.alpha(t);
   const float coef = beta / schedule.sqrt_one_minus_alpha_bar(t);
@@ -57,12 +60,18 @@ std::vector<std::size_t> ddim_taus(std::size_t t0, std::size_t steps) {
     taus[i] = t0 * (steps - 1 - i) / std::max<std::size_t>(steps - 1, 1);
   }
   if (steps == 1) taus[0] = t0;
+  REPRO_ENSURE(taus.front() == t0 && (steps == 1 || taus.back() == 0),
+               "ddim_taus: subsequence must start at t0 and end at 0");
   return taus;
 }
 
 /// One DDIM update from abar_t to abar_prev.
 void ddim_step(nn::Tensor& x, const nn::Tensor& eps, float abar_t,
                float abar_prev, float eta, bool last, Rng& rng) {
+  REPRO_REQUIRE(eps.size() == x.size(),
+                "ddim_step: eps_fn returned a tensor of the wrong size");
+  REPRO_REQUIRE(abar_t > 0.0f && abar_prev >= abar_t,
+                "ddim_step: alpha_bar must be positive and non-increasing in t");
   const float sqrt_abar_t = std::sqrt(abar_t);
   const float sqrt_1m_t = std::sqrt(1.0f - abar_t);
   // sigma_t per Song et al. eq. 16.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
+
 namespace repro::diffusion {
 
 NoiseSchedule::NoiseSchedule(std::size_t timesteps, ScheduleKind kind,
@@ -11,6 +13,8 @@ NoiseSchedule::NoiseSchedule(std::size_t timesteps, ScheduleKind kind,
   if (timesteps == 0) {
     throw std::invalid_argument("NoiseSchedule: timesteps must be > 0");
   }
+  REPRO_REQUIRE(beta_start > 0.0f && beta_start <= beta_end && beta_end < 1.0f,
+                "NoiseSchedule: betas must satisfy 0 < start <= end < 1");
   betas_.resize(timesteps);
   if (kind == ScheduleKind::kLinear) {
     for (std::size_t t = 0; t < timesteps; ++t) {
@@ -53,10 +57,16 @@ NoiseSchedule::NoiseSchedule(std::size_t timesteps, ScheduleKind kind,
     posterior_variance_[t] =
         betas_[t] * (1.0f - abar_prev) / (1.0f - alpha_bars_[t]);
   }
+  // The forward process only ever removes signal: alpha_bar must decay
+  // monotonically and stay positive, or q_sample/predict_x0 divide by 0.
+  REPRO_ENSURE(alpha_bars_.front() <= 1.0f && alpha_bars_.back() > 0.0f &&
+                   std::is_sorted(alpha_bars_.rbegin(), alpha_bars_.rend()),
+               "NoiseSchedule: alpha_bar must decay monotonically in (0, 1]");
 }
 
 nn::Tensor NoiseSchedule::q_sample(const nn::Tensor& x0, std::size_t t,
                                    Rng& rng, nn::Tensor& noise) const {
+  REPRO_REQUIRE(t < timesteps(), "q_sample: timestep out of range");
   noise = nn::Tensor(x0.shape());
   for (std::size_t i = 0; i < noise.size(); ++i) {
     noise[i] = static_cast<float>(rng.gaussian());
@@ -74,6 +84,7 @@ nn::Tensor NoiseSchedule::predict_x0(const nn::Tensor& xt,
                                      const nn::Tensor& eps,
                                      std::size_t t) const {
   xt.require_shape(eps.shape(), "predict_x0");
+  REPRO_REQUIRE(t < timesteps(), "predict_x0: timestep out of range");
   nn::Tensor x0 = xt;
   const float sa = sqrt_alpha_bars_[t];
   const float sb = sqrt_one_minus_alpha_bars_[t];

@@ -1,5 +1,6 @@
 #include "eval/scenario.hpp"
 
+#include "common/contracts.hpp"
 #include "ml/features.hpp"
 #include "ml/metrics.hpp"
 #include "ml/split.hpp"
@@ -63,6 +64,8 @@ ScenarioResult run_cross_scenario(const std::string& name,
                                   const std::vector<net::Flow>& test_flows,
                                   Granularity granularity,
                                   const ScenarioConfig& config) {
+  REPRO_REQUIRE(config.nprint_packets > 0,
+                "run_cross_scenario: nprint matrices need >= 1 packet row");
   ScenarioResult result;
   result.name = name;
   result.granularity = granularity;
@@ -75,6 +78,8 @@ ScenarioResult run_cross_scenario(const std::string& name,
 ScenarioResult run_real_real(const flowgen::Dataset& real,
                              Granularity granularity,
                              const ScenarioConfig& config) {
+  REPRO_REQUIRE(config.test_fraction > 0.0 && config.test_fraction < 1.0,
+                "run_real_real: test fraction must leave both sides non-empty");
   ScenarioResult result;
   result.name = "Real/Real";
   result.granularity = granularity;

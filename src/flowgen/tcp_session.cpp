@@ -7,28 +7,31 @@ namespace repro::flowgen {
 namespace {
 
 /// Standard option encodings; always padded to a 4-byte multiple with
-/// NOPs (0x01) / END (0x00) like real stacks emit.
+/// NOPs (0x01) / END (0x00) like real stacks emit. Appends byte-by-byte
+/// (vector::insert of an initializer_list trips a GCC 12 -Wstringop-
+/// overflow false positive when inlined at -O3).
 std::vector<std::uint8_t> syn_options(const TcpBehavior& behavior, Rng& rng) {
   std::vector<std::uint8_t> opts;
+  opts.reserve(40);
+  const auto append = [&opts](std::initializer_list<std::uint8_t> bytes) {
+    for (const std::uint8_t b : bytes) opts.push_back(b);
+  };
   if (behavior.use_mss_option) {
-    opts.insert(opts.end(),
-                {0x02, 0x04, static_cast<std::uint8_t>(behavior.mss >> 8),
-                 static_cast<std::uint8_t>(behavior.mss)});
+    append({0x02, 0x04, static_cast<std::uint8_t>(behavior.mss >> 8),
+            static_cast<std::uint8_t>(behavior.mss)});
   }
   if (behavior.use_sack_option) {
-    opts.insert(opts.end(), {0x01, 0x01, 0x04, 0x02});  // NOP NOP SACK-perm
+    append({0x01, 0x01, 0x04, 0x02});  // NOP NOP SACK-perm
   }
   if (behavior.use_timestamps) {
     const auto tsval = static_cast<std::uint32_t>(rng.next_u64());
-    opts.insert(opts.end(),
-                {0x01, 0x01, 0x08, 0x0A,
-                 static_cast<std::uint8_t>(tsval >> 24),
-                 static_cast<std::uint8_t>(tsval >> 16),
-                 static_cast<std::uint8_t>(tsval >> 8),
-                 static_cast<std::uint8_t>(tsval), 0, 0, 0, 0});
+    append({0x01, 0x01, 0x08, 0x0A, static_cast<std::uint8_t>(tsval >> 24),
+            static_cast<std::uint8_t>(tsval >> 16),
+            static_cast<std::uint8_t>(tsval >> 8),
+            static_cast<std::uint8_t>(tsval), 0, 0, 0, 0});
   }
   if (behavior.use_window_scale) {
-    opts.insert(opts.end(), {0x01, 0x03, 0x03, behavior.window_scale});
+    append({0x01, 0x03, 0x03, behavior.window_scale});
   }
   while (opts.size() % 4 != 0) opts.push_back(0x00);
   if (opts.size() > 40) opts.resize(40);

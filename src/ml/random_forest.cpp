@@ -4,6 +4,7 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "common/contracts.hpp"
 #include "common/parallel/parallel_for.hpp"
 #include "common/telemetry/trace.hpp"
 
@@ -15,6 +16,11 @@ void RandomForest::fit(const FeatureMatrix& train) {
   if (train.rows.empty()) {
     throw std::invalid_argument("RandomForest::fit: empty training set");
   }
+  REPRO_REQUIRE(train.labels.size() == train.rows.size(),
+                "RandomForest::fit: one label per row");
+  REPRO_REQUIRE(config_.num_trees > 0, "RandomForest::fit: need >= 1 tree");
+  REPRO_REQUIRE(config_.bootstrap_fraction > 0.0,
+                "RandomForest::fit: bootstrap fraction must be positive");
   REPRO_SPAN("ml.rf.fit");
   telemetry::count("ml.rf.trees_fit", config_.num_trees);
   telemetry::count("ml.rf.rows_fit", train.rows.size());
@@ -49,6 +55,8 @@ std::vector<float> RandomForest::predict_proba(
   if (trees_.empty()) {
     throw std::logic_error("RandomForest::predict_proba: not fitted");
   }
+  REPRO_REQUIRE(row.size() == feature_count_,
+                "RandomForest::predict_proba: row width != training width");
   std::vector<float> probs(num_classes_, 0.0f);
   for (const auto& tree : trees_) {
     const auto& dist = tree.predict_proba(row);

@@ -93,14 +93,25 @@ std::vector<Flow> assemble_flows(const std::vector<Packet>& packets) {
 }
 
 std::vector<Packet> flatten_flows(const std::vector<Flow>& flows) {
-  std::vector<Packet> packets;
+  // Sort an index permutation, not the packets: Packet is heavy (three
+  // optional headers plus a payload vector), so moving indices is much
+  // cheaper than shuffling whole packets through stable_sort — and it
+  // sidesteps a GCC 12 -Wmaybe-uninitialized false positive in the
+  // inlined stable_sort temporary-buffer path.
+  std::vector<const Packet*> order;
+  std::size_t total = 0;
+  for (const auto& flow : flows) total += flow.packets.size();
+  order.reserve(total);
   for (const auto& flow : flows) {
-    packets.insert(packets.end(), flow.packets.begin(), flow.packets.end());
+    for (const auto& pkt : flow.packets) order.push_back(&pkt);
   }
-  std::stable_sort(packets.begin(), packets.end(),
-                   [](const Packet& a, const Packet& b) {
-                     return a.timestamp < b.timestamp;
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Packet* a, const Packet* b) {
+                     return a->timestamp < b->timestamp;
                    });
+  std::vector<Packet> packets;
+  packets.reserve(total);
+  for (const Packet* pkt : order) packets.push_back(*pkt);
   return packets;
 }
 

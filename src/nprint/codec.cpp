@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/bytes.hpp"
+#include "common/contracts.hpp"
 #include "common/parallel/parallel_for.hpp"
 #include "common/telemetry/trace.hpp"
 
@@ -72,8 +73,10 @@ std::vector<float> encode_packet(const net::Packet& packet) {
   {
     std::vector<std::uint8_t> bytes;
     net::Ipv4Header header = packet.ip;
-    header.total_length = static_cast<std::uint16_t>(packet.datagram_length());
+    header.total_length = repro::narrow<std::uint16_t>(packet.datagram_length());
     header.serialize(bytes);
+    REPRO_REQUIRE(kIpv4Offset + bytes.size() * 8 <= kBitsPerPacket,
+                  "encode_packet: IPv4 header overflows its bit region");
     write_bits(row.data(), kIpv4Offset, bytes);
   }
 
@@ -86,7 +89,7 @@ std::vector<float> encode_packet(const net::Packet& packet) {
     std::vector<std::uint8_t> bytes;
     net::UdpHeader header = *packet.udp;
     header.length =
-        static_cast<std::uint16_t>(net::UdpHeader::kLength + packet.payload.size());
+        repro::narrow<std::uint16_t>(net::UdpHeader::kLength + packet.payload.size());
     header.serialize(bytes, packet.payload, packet.ip.src_addr,
                      packet.ip.dst_addr);
     write_bits(row.data(), kUdpOffset, bytes);
@@ -238,12 +241,16 @@ bool decode_packet(const float* row, net::Packet& out) {
     payload_len = std::min<std::size_t>(out.ip.total_length - header_len, 9000);
   }
   out.payload.assign(payload_len, 0);
-  out.ip.total_length = static_cast<std::uint16_t>(out.datagram_length());
+  out.ip.total_length = repro::narrow<std::uint16_t>(out.datagram_length());
+  REPRO_ENSURE(out.ip.header_length() >= 20,
+               "decode_packet: reconstructed IPv4 header shorter than minimum");
   return true;
 }
 
 net::Flow decode_flow(const Matrix& matrix, double inter_packet_gap) {
   REPRO_SPAN("nprint.decode_flow");
+  REPRO_REQUIRE(inter_packet_gap >= 0.0,
+                "decode_flow: inter-packet gap must be non-negative");
   telemetry::count("nprint.flows_decoded");
   net::Flow flow;
   // Rows decode independently into per-row slots; the serial pass after
@@ -279,6 +286,8 @@ void quantize(Matrix& matrix) noexcept {
       v = 1.0f;
     }
   }
+  REPRO_ENSURE(ternary_fraction(matrix) == 1.0,
+               "quantize: every cell must land exactly on {-1, 0, 1}");
 }
 
 std::string to_csv(const Matrix& matrix, bool include_header) {

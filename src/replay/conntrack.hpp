@@ -55,9 +55,9 @@ struct ConntrackStats {
   std::size_t connections_tracked = 0;
 
   double tcp_acceptance() const noexcept {
-    return tcp_packets == 0
-               ? 1.0
-               : static_cast<double>(tcp_accepted) / tcp_packets;
+    return tcp_packets == 0 ? 1.0
+                            : static_cast<double>(tcp_accepted) /
+                                  static_cast<double>(tcp_packets);
   }
 };
 

@@ -16,6 +16,7 @@ namespace {
 class ScopedBenchDir {
  public:
   explicit ScopedBenchDir(const char* value) {
+    // repro-lint: allow(RL003) -- must see set-vs-unset to restore exactly
     const char* prev = std::getenv("REPRO_BENCH_DIR");
     had_prev_ = prev != nullptr;
     if (had_prev_) prev_ = prev;

@@ -1,0 +1,107 @@
+// Tests for the contract layer (common/contracts.hpp) and the checked
+// narrowing helper built on it (repro::narrow in common/bytes.hpp).
+//
+// The suite is compiled in whichever mode the build selected; the
+// REPRO_CHECKS branches assert enforcing behaviour, the #else branches
+// assert that disabled contracts are free of side effects.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/contracts.hpp"
+
+namespace {
+
+TEST(Contracts, EnabledFlagMatchesBuildMode) {
+#ifdef REPRO_CHECKS
+  EXPECT_TRUE(repro::contracts_enabled());
+#else
+  EXPECT_FALSE(repro::contracts_enabled());
+#endif
+}
+
+TEST(Contracts, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(REPRO_REQUIRE(1 + 1 == 2, "arithmetic holds"));
+  EXPECT_NO_THROW(REPRO_ENSURE(true, "trivially true"));
+}
+
+#ifdef REPRO_CHECKS
+
+TEST(Contracts, RequireThrowsWithDiagnostics) {
+  try {
+    REPRO_REQUIRE(2 < 1, "impossible ordering");
+    FAIL() << "REPRO_REQUIRE did not throw";
+  } catch (const repro::ContractViolation& e) {
+    EXPECT_EQ(std::string(e.kind()), "precondition");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("impossible ordering"), std::string::npos) << what;
+    EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Contracts, EnsureReportsPostconditionKind) {
+  try {
+    REPRO_ENSURE(false, "result out of range");
+    FAIL() << "REPRO_ENSURE did not throw";
+  } catch (const repro::ContractViolation& e) {
+    EXPECT_EQ(std::string(e.kind()), "postcondition");
+  }
+}
+
+TEST(Contracts, UnreachableThrowsWhenChecked) {
+  EXPECT_THROW(REPRO_UNREACHABLE("switch fell through"),
+               repro::ContractViolation);
+}
+
+TEST(Contracts, ViolationIsALogicError) {
+  try {
+    REPRO_REQUIRE(false, "caught as logic_error");
+    FAIL() << "did not throw";
+  } catch (const std::logic_error&) {
+    SUCCEED();
+  }
+}
+
+#else  // !REPRO_CHECKS
+
+TEST(Contracts, DisabledRequireDoesNotEvaluateCondition) {
+  int evaluations = 0;
+  const auto probe = [&evaluations] {
+    ++evaluations;
+    return false;
+  };
+  REPRO_REQUIRE(probe(), "must not run");
+  REPRO_ENSURE(probe(), "must not run");
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // REPRO_CHECKS
+
+TEST(Narrow, RoundTripValuesPass) {
+  EXPECT_EQ(repro::narrow<std::uint8_t>(255), 255);
+  EXPECT_EQ(repro::narrow<std::int16_t>(-32768), -32768);
+  EXPECT_EQ(repro::narrow<std::uint32_t>(std::int64_t{7}), 7u);
+  EXPECT_DOUBLE_EQ(repro::narrow<double>(1.5f), 1.5);
+}
+
+#ifdef REPRO_CHECKS
+
+TEST(Narrow, OutOfRangeThrowsWhenChecked) {
+  EXPECT_THROW(repro::narrow<std::uint8_t>(256), repro::ContractViolation);
+  EXPECT_THROW(repro::narrow<std::int8_t>(200), repro::ContractViolation);
+}
+
+TEST(Narrow, SignFlipThrowsWhenChecked) {
+  EXPECT_THROW(repro::narrow<std::uint32_t>(-1), repro::ContractViolation);
+  const auto big = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_THROW(repro::narrow<std::int64_t>(big), repro::ContractViolation);
+}
+
+#endif  // REPRO_CHECKS
+
+}  // namespace

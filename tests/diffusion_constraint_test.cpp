@@ -113,7 +113,7 @@ net::Flow scrambled_tcp_flow(std::size_t packets, Rng& rng) {
   for (std::size_t i = 0; i < packets; ++i) {
     net::Packet pkt = net::make_tcp_packet(
         0xC0A80005, 0x0D0D0D01, 50123, 443,
-        static_cast<std::size_t>(rng.uniform_int(0, 1200)), i * 0.01);
+        static_cast<std::size_t>(rng.uniform_int(0, 1200)), static_cast<double>(i) * 0.01);
     pkt.tcp->seq = static_cast<std::uint32_t>(rng.next_u64());
     pkt.tcp->ack = static_cast<std::uint32_t>(rng.next_u64());
     pkt.tcp->syn = rng.bernoulli(0.3);
@@ -169,7 +169,7 @@ TEST(StatefulRepair, UdpTemplateHarmonizesEndpoints) {
         static_cast<std::uint32_t>(rng.next_u64()),
         static_cast<std::uint32_t>(rng.next_u64()),
         static_cast<std::uint16_t>(rng.next_u64()),
-        static_cast<std::uint16_t>(rng.next_u64()), 50, i * 0.01));
+        static_cast<std::uint16_t>(rng.next_u64()), 50, static_cast<double>(i) * 0.01));
   }
   const net::Flow fixed = enforce_tcp_state(garbage, tmpl);
   // One canonical 5-tuple across the whole flow now.

@@ -51,8 +51,8 @@ TEST_P(ScheduleKindTest, PosteriorVarianceNonNegativeAndBounded) {
 INSTANTIATE_TEST_SUITE_P(BothKinds, ScheduleKindTest,
                          ::testing::Values(ScheduleKind::kLinear,
                                            ScheduleKind::kCosine),
-                         [](const auto& info) {
-                           return info.param == ScheduleKind::kLinear
+                         [](const auto& param_info) {
+                           return param_info.param == ScheduleKind::kLinear
                                       ? "linear"
                                       : "cosine";
                          });

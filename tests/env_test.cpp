@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <limits>
+#include <optional>
 
 namespace repro {
 namespace {
@@ -28,6 +30,58 @@ TEST(Env, DoubleParsesValue) {
   ::setenv("REPRO_TEST_DOUBLE", "2.5", 1);
   EXPECT_DOUBLE_EQ(env_double("REPRO_TEST_DOUBLE", 0.0), 2.5);
   ::unsetenv("REPRO_TEST_DOUBLE");
+}
+
+TEST(Env, ParseSizeAcceptsCanonicalForms) {
+  EXPECT_EQ(parse_size("0"), 0u);
+  EXPECT_EQ(parse_size("128"), 128u);
+  EXPECT_EQ(parse_size("  64  "), 64u);
+  EXPECT_EQ(parse_size("+7"), 7u);
+}
+
+TEST(Env, ParseSizeRejectsMalformedInput) {
+  EXPECT_EQ(parse_size(""), std::nullopt);
+  EXPECT_EQ(parse_size("   "), std::nullopt);
+  EXPECT_EQ(parse_size("abc"), std::nullopt);
+  EXPECT_EQ(parse_size("12abc"), std::nullopt);
+  EXPECT_EQ(parse_size("-3"), std::nullopt);
+  EXPECT_EQ(parse_size("1.5"), std::nullopt);
+  EXPECT_EQ(parse_size("+"), std::nullopt);
+}
+
+TEST(Env, ParseSizeRejectsOverflow) {
+  // 2^64 = 18446744073709551616 does not fit in std::size_t.
+  EXPECT_EQ(parse_size("18446744073709551616"), std::nullopt);
+  EXPECT_EQ(parse_size("99999999999999999999999"), std::nullopt);
+  EXPECT_EQ(parse_size("18446744073709551615"),
+            std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Env, ParseDoubleAcceptsFiniteValues) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("-0.125").value(), -0.125);
+  EXPECT_DOUBLE_EQ(parse_double("1e3").value(), 1000.0);
+}
+
+TEST(Env, ParseDoubleRejectsGarbageAndNonFinite) {
+  EXPECT_EQ(parse_double(""), std::nullopt);
+  EXPECT_EQ(parse_double("banana"), std::nullopt);
+  EXPECT_EQ(parse_double("1.5x"), std::nullopt);
+  EXPECT_EQ(parse_double("inf"), std::nullopt);
+  EXPECT_EQ(parse_double("nan"), std::nullopt);
+  EXPECT_EQ(parse_double("1e999"), std::nullopt);
+}
+
+TEST(Env, SizeFallbackOnNegative) {
+  ::setenv("REPRO_TEST_SIZE_NEG", "-3", 1);
+  EXPECT_EQ(env_size("REPRO_TEST_SIZE_NEG", 4), 4u);
+  ::unsetenv("REPRO_TEST_SIZE_NEG");
+}
+
+TEST(Env, DoubleFallbackOnGarbage) {
+  ::setenv("REPRO_TEST_DOUBLE_BAD", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(env_double("REPRO_TEST_DOUBLE_BAD", 1.25), 1.25);
+  ::unsetenv("REPRO_TEST_DOUBLE_BAD");
 }
 
 TEST(Env, StringFallback) {

@@ -72,7 +72,7 @@ class PerAppTest : public ::testing::TestWithParam<int> {};
 TEST_P(PerAppTest, FlowsHaveProfilePorts) {
   const App app = static_cast<App>(GetParam());
   const AppProfile& profile = app_profile(app);
-  Rng rng(100 + GetParam());
+  Rng rng(static_cast<std::uint64_t>(100 + GetParam()));
   std::set<std::uint16_t> allowed;
   for (const auto& [port, weight] : profile.server_ports) allowed.insert(port);
   for (int i = 0; i < 10; ++i) {
@@ -88,7 +88,7 @@ TEST_P(PerAppTest, FlowsHaveProfilePorts) {
 
 TEST_P(PerAppTest, FlowsAreLabeled) {
   const App app = static_cast<App>(GetParam());
-  Rng rng(200 + GetParam());
+  Rng rng(static_cast<std::uint64_t>(200 + GetParam()));
   const net::Flow flow = generate_flow(app, rng);
   EXPECT_EQ(flow.label, GetParam());
 }
@@ -97,7 +97,7 @@ TEST_P(PerAppTest, SingleProtocolPerFlow) {
   // The paper's inter-packet constraint: real flows do not mix transport
   // protocols, so neither may generated ones.
   const App app = static_cast<App>(GetParam());
-  Rng rng(300 + GetParam());
+  Rng rng(static_cast<std::uint64_t>(300 + GetParam()));
   for (int i = 0; i < 5; ++i) {
     const net::Flow flow = generate_flow(app, rng);
     EXPECT_DOUBLE_EQ(flow.protocol_fraction(flow.dominant_protocol()), 1.0);
@@ -106,7 +106,7 @@ TEST_P(PerAppTest, SingleProtocolPerFlow) {
 
 TEST_P(PerAppTest, PacketsAreChronological) {
   const App app = static_cast<App>(GetParam());
-  Rng rng(400 + GetParam());
+  Rng rng(static_cast<std::uint64_t>(400 + GetParam()));
   const net::Flow flow = generate_flow(app, 50, rng);
   for (std::size_t i = 1; i < flow.packets.size(); ++i) {
     EXPECT_GE(flow.packets[i].timestamp, flow.packets[i - 1].timestamp);
@@ -115,7 +115,7 @@ TEST_P(PerAppTest, PacketsAreChronological) {
 
 TEST_P(PerAppTest, AllPacketsConsistentAndSerializable) {
   const App app = static_cast<App>(GetParam());
-  Rng rng(500 + GetParam());
+  Rng rng(static_cast<std::uint64_t>(500 + GetParam()));
   const net::Flow flow = generate_flow(app, 30, rng);
   for (const auto& pkt : flow.packets) {
     EXPECT_TRUE(pkt.consistent());
@@ -125,8 +125,8 @@ TEST_P(PerAppTest, AllPacketsConsistentAndSerializable) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllApps, PerAppTest, ::testing::Range(0, 11),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return app_name(static_cast<App>(info.param));
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return app_name(static_cast<App>(param_info.param));
                          });
 
 TEST(ProtocolMix, NetflixIsTcpDominant) {
@@ -358,7 +358,7 @@ TEST(Dataset, Table1ScalingPreservesProportions) {
   const auto scaled = scaled_table1_counts(100);
   EXPECT_EQ(scaled[0], 100u);  // netflix is the largest class
   // youtube/netflix ratio 2702/4104 ~ 0.658.
-  EXPECT_NEAR(static_cast<double>(scaled[1]) / scaled[0], 2702.0 / 4104.0,
+  EXPECT_NEAR(static_cast<double>(scaled[1]) / static_cast<double>(scaled[0]), 2702.0 / 4104.0,
               0.02);
   for (std::size_t c : scaled) EXPECT_GE(c, 1u);
 }

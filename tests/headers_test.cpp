@@ -133,8 +133,8 @@ INSTANTIATE_TEST_SUITE_P(
         TcpFlagCase{"urg", false, false, false, false, false, true, false, false},
         TcpFlagCase{"ecn", false, true, false, false, false, false, true, true},
         TcpFlagCase{"none", false, false, false, false, false, false, false, false}),
-    [](const ::testing::TestParamInfo<TcpFlagCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<TcpFlagCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(TcpHeader, PseudoHeaderChecksumVerifies) {

@@ -1,0 +1,182 @@
+// End-to-end tests for tools/repro_lint against the committed fixture
+// corpus in tests/lint_fixtures/. Each fixture is a minimal file that
+// violates exactly one rule (placed so the rule's path scoping fires),
+// plus clean files proving the lexer ignores comments and strings.
+//
+// The lint binary and fixture directory are injected at configure time:
+//   REPRO_LINT_BIN      — $<TARGET_FILE:repro_lint>
+//   REPRO_LINT_FIXTURES — ${CMAKE_SOURCE_DIR}/tests/lint_fixtures
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+// Runs repro_lint with the fixture dir as --root (so repo-relative path
+// scoping treats fixtures as if they lived at their mirrored location)
+// and returns exit code + combined output.
+LintRun run_lint(const std::vector<std::string>& args) {
+  std::string cmd = "cd \"";
+  cmd += REPRO_LINT_FIXTURES;
+  cmd += "\" && \"";
+  cmd += REPRO_LINT_BIN;
+  cmd += "\" --root .";
+  for (const std::string& a : args) {
+    cmd += " \"";
+    cmd += a;
+    cmd += '"';
+  }
+  cmd += " 2>&1";
+
+  LintRun run;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    return run;
+  }
+  std::array<char, 512> buf{};
+  while (std::fgets(buf.data(), static_cast<int>(buf.size()), pipe) != nullptr) {
+    run.output += buf.data();
+  }
+  const int status = pclose(pipe);
+  if (status >= 0 && WIFEXITED(status)) {
+    run.exit_code = WEXITSTATUS(status);
+  }
+  return run;
+}
+
+// Counts occurrences of `needle` in `haystack`.
+int count_of(const std::string& haystack, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+struct RuleCase {
+  const char* fixture;
+  const char* rule_id;
+};
+
+// One fixture per rule class; each must fire its own rule exactly once
+// and nothing else.
+const RuleCase kRuleCases[] = {
+    {"src/flowgen/rl001_raw_rng.cpp.fixture", "RL001"},
+    {"src/nn/rl002_raw_thread.cpp.fixture", "RL002"},
+    {"src/eval/rl003_raw_getenv.cpp.fixture", "RL003"},
+    {"src/ml/rl004_stdio.cpp.fixture", "RL004"},
+    {"src/nprint/rl005_c_cast.cpp.fixture", "RL005"},
+    {"src/diffusion/rl006_wall_clock.cpp.fixture", "RL006"},
+    {"src/gan/rl007_bad_metric_name.cpp.fixture", "RL007"},
+    {"src/replay/rl008_missing_pragma_once.hpp.fixture", "RL008"},
+    {"src/net/rl009_using_namespace.cpp.fixture", "RL009"},
+};
+
+class LintRuleFires : public ::testing::TestWithParam<RuleCase> {};
+
+TEST_P(LintRuleFires, FiresExactlyItsOwnRule) {
+  const RuleCase& c = GetParam();
+  const LintRun run = run_lint({c.fixture});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(count_of(run.output, std::string("[") + c.rule_id + "/"), 1)
+      << run.output;
+  EXPECT_EQ(count_of(run.output, "error:"), 1) << run.output;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRules, LintRuleFires,
+                         ::testing::ValuesIn(kRuleCases),
+                         [](const ::testing::TestParamInfo<RuleCase>& param_info) {
+                           return param_info.param.rule_id;
+                         });
+
+TEST(LintSuppression, AllowWithoutReasonFiresAndSuppressesNothing) {
+  const LintRun run =
+      run_lint({"src/common/rl010_allow_no_reason.cpp.fixture"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // The bare allow() is itself a finding AND the rule it names still fires.
+  EXPECT_EQ(count_of(run.output, "[RL010/"), 1) << run.output;
+  EXPECT_EQ(count_of(run.output, "[RL006/"), 1) << run.output;
+}
+
+TEST(LintSuppression, JustifiedAllowSilencesTheNamedRule) {
+  const LintRun run = run_lint({"src/diffusion/rl006_suppressed.cpp.fixture"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(count_of(run.output, "error:"), 0) << run.output;
+}
+
+TEST(LintClean, CommentsAndStringsDoNotFire) {
+  const LintRun run = run_lint({"src/common/clean.cpp.fixture"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintClean, HeaderWithPragmaOnceIsClean) {
+  const LintRun run = run_lint({"src/common/clean.hpp.fixture"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintScope, StdioIsExemptOutsideSrc) {
+  const LintRun run = run_lint({"bench/stdio_ok.cpp.fixture"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+struct FormatCase {
+  const char* fixture;
+  const char* rule_id;
+};
+
+const FormatCase kFormatCases[] = {
+    {"format/rf001_trailing_ws.cpp.fixture", "RF001"},
+    {"format/rf002_tab_indent.cpp.fixture", "RF002"},
+    {"format/rf003_crlf.cpp.fixture", "RF003"},
+    {"format/rf004_no_final_newline.cpp.fixture", "RF004"},
+    {"format/rf005_long_line.cpp.fixture", "RF005"},
+};
+
+class LintFormatFires : public ::testing::TestWithParam<FormatCase> {};
+
+TEST_P(LintFormatFires, FiresItsFormatRule) {
+  const FormatCase& c = GetParam();
+  const LintRun run = run_lint({"--format-check", c.fixture});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_GE(count_of(run.output, std::string("[") + c.rule_id + "/"), 1)
+      << run.output;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFormatRules, LintFormatFires, ::testing::ValuesIn(kFormatCases),
+    [](const ::testing::TestParamInfo<FormatCase>& param_info) {
+      return param_info.param.rule_id;
+    });
+
+TEST(LintFormat, CleanFilePasses) {
+  const LintRun run = run_lint({"--format-check", "format/rf_clean.cpp.fixture"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintCli, ListRulesNamesEveryRuleClass) {
+  const LintRun run = run_lint({"--list-rules"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  for (const RuleCase& c : kRuleCases) {
+    EXPECT_NE(run.output.find(c.rule_id), std::string::npos)
+        << "missing " << c.rule_id << " in:\n"
+        << run.output;
+  }
+  EXPECT_NE(run.output.find("RL010"), std::string::npos) << run.output;
+}
+
+TEST(LintCli, UnknownFlagIsUsageError) {
+  const LintRun run = run_lint({"--definitely-not-a-flag"});
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
+}  // namespace

@@ -140,8 +140,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(RoundTripCase{"tcp", IpProto::kTcp},
                       RoundTripCase{"udp", IpProto::kUdp},
                       RoundTripCase{"icmp", IpProto::kIcmp}),
-    [](const ::testing::TestParamInfo<RoundTripCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<RoundTripCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(Codec, DecodeVacantRowReturnsFalse) {

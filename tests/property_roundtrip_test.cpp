@@ -141,9 +141,9 @@ std::vector<SweepCase> sweep_cases() {
 
 INSTANTIATE_TEST_SUITE_P(
     AllAppsSeeds, FlowSweepTest, ::testing::ValuesIn(sweep_cases()),
-    [](const ::testing::TestParamInfo<SweepCase>& info) {
-      return flowgen::app_name(static_cast<flowgen::App>(info.param.app)) +
-             "_s" + std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+      return flowgen::app_name(static_cast<flowgen::App>(param_info.param.app)) +
+             "_s" + std::to_string(param_info.param.seed);
     });
 
 }  // namespace

@@ -45,7 +45,7 @@ TEST(Conntrack, AcceptsEveryGeneratedAppTcpFlow) {
   for (int app = 0; app < 11; ++app) {
     const auto& profile = flowgen::app_profile(static_cast<std::size_t>(app));
     if (profile.p_tcp < 0.05) continue;
-    Rng rng(100 + app);
+    Rng rng(static_cast<std::uint64_t>(100 + app));
     const net::Flow flow = flowgen::generate_tcp_flow(
         profile, flowgen::Endpoints{0x0A000001, 0x0D000001, 44444, 443}, 24,
         rng);
@@ -193,7 +193,7 @@ TEST(Conntrack, AcceptsStatefulRepairedScrambledFlow) {
   for (std::size_t i = 0; i < 20; ++i) {
     net::Packet pkt = net::make_tcp_packet(
         0xC0A80005, 0x0D0D0D01, 50123, 443,
-        static_cast<std::size_t>(rng.uniform_int(0, 900)), i * 0.01);
+        static_cast<std::size_t>(rng.uniform_int(0, 900)), static_cast<double>(i) * 0.01);
     pkt.tcp->seq = static_cast<std::uint32_t>(rng.next_u64());
     pkt.tcp->syn = rng.bernoulli(0.4);
     pkt.tcp->fin = rng.bernoulli(0.4);
