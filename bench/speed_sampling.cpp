@@ -11,43 +11,63 @@
 // plus the decode path (latent -> nprint -> packets) on its own.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <map>
+
 #include "bench_common.hpp"
 
 using namespace repro;
 
 namespace {
 
-/// One shared trained pipeline for all benchmarks (training time is not
-/// what this bench measures).
-diffusion::TraceDiffusion& shared_pipeline() {
-  static diffusion::TraceDiffusion* pipeline = [] {
-    bench::Scale scale;
-    scale.packets = env_size("REPRO_PACKETS", 32);
-    diffusion::PipelineConfig cfg = bench::pipeline_config(scale);
-    // Speed is architecture-dependent, not fit-quality-dependent: train
-    // briefly on a small two-class set.
-    cfg.ae_epochs = 4;
-    cfg.diffusion_epochs = 2;
-    cfg.control_epochs = 1;
-    auto* p = new diffusion::TraceDiffusion(cfg, {"netflix", "teams"});
-    Rng rng(1);
-    flowgen::Dataset ds;
-    for (int i = 0; i < 6; ++i) {
-      net::Flow a = flowgen::generate_flow(flowgen::App::kNetflix, rng);
-      a.label = 0;
-      ds.flows.push_back(std::move(a));
-      net::Flow b = flowgen::generate_flow(flowgen::App::kTeams, rng);
-      b.label = 1;
-      ds.flows.push_back(std::move(b));
-    }
-    p->fit(ds);
-    return p;
-  }();
-  return *pipeline;
+/// Measured flows/second per benchmark, keyed by a sanitized name
+/// (ddim_20, gan_baseline, ...); written into the BenchReport results
+/// after the google-benchmark run so BENCH_speed_sampling.json carries
+/// the headline rates.
+std::map<std::string, double>& flow_rates() {
+  static std::map<std::string, double> rates;
+  return rates;
 }
 
-void run_generation(benchmark::State& state, diffusion::SamplerKind sampler,
-                    std::size_t steps, float guidance) {
+/// One shared trained pipeline for all benchmarks (training time is not
+/// what this bench measures). Function-local static OBJECT (not a
+/// leaked raw `new`): the destructor runs at exit, keeping the bench
+/// clean under LeakSanitizer.
+diffusion::TraceDiffusion& shared_pipeline() {
+  struct Holder {
+    diffusion::TraceDiffusion pipeline;
+    Holder() : pipeline(make_config(), {"netflix", "teams"}) {
+      Rng rng(1);
+      flowgen::Dataset ds;
+      for (int i = 0; i < 6; ++i) {
+        net::Flow a = flowgen::generate_flow(flowgen::App::kNetflix, rng);
+        a.label = 0;
+        ds.flows.push_back(std::move(a));
+        net::Flow b = flowgen::generate_flow(flowgen::App::kTeams, rng);
+        b.label = 1;
+        ds.flows.push_back(std::move(b));
+      }
+      pipeline.fit(ds);
+    }
+    static diffusion::PipelineConfig make_config() {
+      bench::Scale scale;
+      scale.packets = env_size("REPRO_PACKETS", 32);
+      diffusion::PipelineConfig cfg = bench::pipeline_config(scale);
+      // Speed is architecture-dependent, not fit-quality-dependent:
+      // train briefly on a small two-class set.
+      cfg.ae_epochs = 4;
+      cfg.diffusion_epochs = 2;
+      cfg.control_epochs = 1;
+      return cfg;
+    }
+  };
+  static Holder holder;
+  return holder.pipeline;
+}
+
+void run_generation(benchmark::State& state, const std::string& rate_key,
+                    diffusion::SamplerKind sampler, std::size_t steps,
+                    float guidance) {
   auto& pipeline = shared_pipeline();
   diffusion::GenerateOptions opts;
   opts.count = 1;
@@ -58,10 +78,17 @@ void run_generation(benchmark::State& state, diffusion::SamplerKind sampler,
   // guidance shortens the trajectory and would confound the comparison).
   opts.template_strength = 1.0f;
   std::size_t flows = 0;
+  const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) {
     auto out = pipeline.generate(0, opts);
     benchmark::DoNotOptimize(out);
     ++flows;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (flows > 0 && secs > 0.0) {
+    flow_rates()[rate_key] = static_cast<double>(flows) / secs;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(flows));
   state.counters["flows_per_s"] =
@@ -70,39 +97,54 @@ void run_generation(benchmark::State& state, diffusion::SamplerKind sampler,
 }
 
 void BM_DdpmFull(benchmark::State& state) {
-  run_generation(state, diffusion::SamplerKind::kDdpm, 0, 2.0f);
+  run_generation(state, "ddpm_full", diffusion::SamplerKind::kDdpm, 0, 2.0f);
 }
 BENCHMARK(BM_DdpmFull)->Unit(benchmark::kMillisecond);
 
 void BM_Ddim(benchmark::State& state) {
-  run_generation(state, diffusion::SamplerKind::kDdim,
+  run_generation(state, "ddim_" + std::to_string(state.range(0)),
+                 diffusion::SamplerKind::kDdim,
                  static_cast<std::size_t>(state.range(0)), 2.0f);
 }
 BENCHMARK(BM_Ddim)->Arg(50)->Arg(20)->Arg(10)->Arg(5)->Unit(
     benchmark::kMillisecond);
 
 void BM_DdimNoGuidance(benchmark::State& state) {
-  run_generation(state, diffusion::SamplerKind::kDdim,
+  run_generation(state, "ddim_noguid_" + std::to_string(state.range(0)),
+                 diffusion::SamplerKind::kDdim,
                  static_cast<std::size_t>(state.range(0)), 1.0f);
 }
 BENCHMARK(BM_DdimNoGuidance)->Arg(20)->Arg(10)->Unit(benchmark::kMillisecond);
 
 void BM_GanBaselineSampling(benchmark::State& state) {
-  static gan::NetFlowGan* model = [] {
-    bench::Scale scale;
-    gan::GanConfig cfg = bench::gan_config(scale);
-    cfg.epochs = 10;
-    auto* g = new gan::NetFlowGan(cfg);
-    Rng rng(2);
-    const auto ds = flowgen::build_uniform_dataset(5, rng);
-    g->fit(gan::to_netflow(ds.flows));
-    return g;
-  }();
+  // Function-local static object (not a leaked raw `new`).
+  struct Holder {
+    gan::NetFlowGan model;
+    Holder() : model(make_config()) {
+      Rng rng(2);
+      const auto ds = flowgen::build_uniform_dataset(5, rng);
+      model.fit(gan::to_netflow(ds.flows));
+    }
+    static gan::GanConfig make_config() {
+      bench::Scale scale;
+      gan::GanConfig cfg = bench::gan_config(scale);
+      cfg.epochs = 10;
+      return cfg;
+    }
+  };
+  static Holder holder;
   std::size_t flows = 0;
+  const auto t0 = std::chrono::steady_clock::now();
   for (auto _ : state) {
-    auto out = model->sample(64);
+    auto out = holder.model.sample(64);
     benchmark::DoNotOptimize(out);
     flows += 64;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (flows > 0 && secs > 0.0) {
+    flow_rates()["gan_baseline"] = static_cast<double>(flows) / secs;
   }
   state.counters["flows_per_s"] =
       benchmark::Counter(static_cast<double>(flows),
@@ -141,6 +183,11 @@ int main(int argc, char** argv) {
                             "§4 generative-speed challenge (flows/second)");
   report.stage("benchmarks");
   benchmark::RunSpecifiedBenchmarks();
+  // Headline rates into the results block: flows_per_s_<bench> keys,
+  // one per benchmark that ran (filters leave the rest out).
+  for (const auto& [key, rate] : flow_rates()) {
+    report.note("flows_per_s_" + key, rate);
+  }
   benchmark::Shutdown();
   return 0;
 }

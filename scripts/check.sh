@@ -23,4 +23,7 @@ ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure
 echo "== full test suite =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+echo "== bench smoke (label: bench) =="
+ctest --test-dir "$BUILD_DIR" -L bench --output-on-failure
+
 echo "== check.sh: all gates green =="

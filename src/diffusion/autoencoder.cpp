@@ -1,6 +1,7 @@
 #include "diffusion/autoencoder.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/telemetry/trace.hpp"
 #include "nn/loss.hpp"
@@ -130,18 +131,33 @@ nn::Tensor PacketAutoencoder::encode_matrix(const nprint::Matrix& matrix) {
 }
 
 nprint::Matrix PacketAutoencoder::decode_matrix(const nn::Tensor& latent) {
+  return std::move(decode_matrices(latent).front());
+}
+
+std::vector<nprint::Matrix> PacketAutoencoder::decode_matrices(
+    const nn::Tensor& latents) {
   REPRO_SPAN("diffusion.ae.decode_matrix");
-  const std::size_t l = latent.dim(2);
-  nn::Tensor rows({l, config_.latent_dim});
-  for (std::size_t t = 0; t < l; ++t) {
-    for (std::size_t c = 0; c < config_.latent_dim; ++c) {
-      rows.at2(t, c) = latent.at3(0, c, t);
+  const std::size_t n = latents.dim(0);
+  const std::size_t l = latents.dim(2);
+  nn::Tensor rows({n * l, config_.latent_dim});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t t = 0; t < l; ++t) {
+      for (std::size_t c = 0; c < config_.latent_dim; ++c) {
+        rows.at2(b * l + t, c) = latents.at3(b, c, t);
+      }
     }
   }
-  nn::Tensor recon = decode(rows);  // [L, 1088]
-  nprint::Matrix matrix(l);
-  std::copy(recon.vec().begin(), recon.vec().end(), matrix.data().begin());
-  return matrix;
+  nn::Tensor recon = decode(rows);  // [N*L, input_dim]
+  std::vector<nprint::Matrix> out;
+  out.reserve(n);
+  const std::size_t per = l * config_.input_dim;
+  for (std::size_t b = 0; b < n; ++b) {
+    nprint::Matrix matrix(l);
+    std::copy(recon.data() + b * per, recon.data() + (b + 1) * per,
+              matrix.data().begin());
+    out.push_back(std::move(matrix));
+  }
+  return out;
 }
 
 }  // namespace repro::diffusion

@@ -57,6 +57,11 @@ class PacketAutoencoder {
   nn::Tensor encode_matrix(const nprint::Matrix& matrix);
   nprint::Matrix decode_matrix(const nn::Tensor& latent);
 
+  /// Batched decode: [N, latent, L] -> N matrices through ONE decoder
+  /// pass over all N*L packet rows (amortizes the per-call GEMM cost
+  /// that dominates a row-wise decode loop).
+  std::vector<nprint::Matrix> decode_matrices(const nn::Tensor& latents);
+
  private:
   /// Per-column loss weights (mean 1); all-ones when region_weighting is
   /// off or input_dim is not the nprint layout.

@@ -28,6 +28,16 @@ nn::Tensor tile_hint(const nn::Tensor& hint, std::size_t n) {
   return out;
 }
 
+/// Stacks a [N, ...] residual tensor with itself into `out` ([2N, ...]),
+/// reusing out's storage across sampler steps.
+void tile_residual(const nn::Tensor& r, nn::Tensor& out) {
+  std::vector<std::size_t> shape = r.shape();
+  shape[0] *= 2;
+  if (out.shape() != shape) out = nn::Tensor(shape);
+  std::copy(r.data(), r.data() + r.size(), out.data());
+  std::copy(r.data(), r.data() + r.size(), out.data() + r.size());
+}
+
 }  // namespace
 
 TraceDiffusion::TraceDiffusion(PipelineConfig config,
@@ -397,42 +407,70 @@ float tensor_std(const nn::Tensor& x) {
 
 }  // namespace
 
-nn::Tensor TraceDiffusion::sample_latents(int class_id, std::size_t count,
-                                          const GenerateOptions& opts) {
-  REPRO_SPAN("diffusion.sample.latents");
-  const std::size_t c = config_.autoencoder.latent_dim;
-  const std::size_t l = config_.packets;
-  const std::vector<int> cond_ids(count, class_id);
-  const std::vector<int> uncond_ids(count,
-                                    prompts_.null_id());
+EpsFn TraceDiffusion::guided_eps_fn(int class_id, std::size_t count,
+                                    const GenerateOptions& opts) {
+  // Shared closure state: id/timestep vectors built once, plus step
+  // scratch (stacked CFG input, tiled residuals) reused across steps.
+  struct State {
+    std::vector<int> cond_ids, uncond_ids, both_ids;
+    std::vector<float> ts_n, ts_2n;
+    nn::Tensor hint;         // [N, hc, L] tiled control hint
+    bool control = false;
+    float guidance = 1.0f;
+    nn::Tensor xx;           // [2N, C, L] stacked cond|uncond input
+    ControlResiduals tiled;  // [2N] residuals (both halves identical)
+  };
+  auto st = std::make_shared<State>();
+  st->cond_ids.assign(count, class_id);
+  st->uncond_ids.assign(count, prompts_.null_id());
+  st->both_ids = st->cond_ids;
+  st->both_ids.insert(st->both_ids.end(), st->uncond_ids.begin(),
+                      st->uncond_ids.end());
+  st->ts_n.assign(count, 0.0f);
+  st->ts_2n.assign(2 * count, 0.0f);
+  st->control = opts.use_control && template_flows_.count(class_id) != 0;
+  if (st->control) st->hint = tile_hint(class_hint(class_id), count);
+  st->guidance = opts.guidance_scale;
 
-  nn::Tensor hint;
-  const bool control = opts.use_control && template_flows_.count(class_id);
-  if (control) {
-    hint = tile_hint(class_hint(class_id), count);
-  }
-
-  EpsFn eps_fn = [&](const nn::Tensor& x, std::size_t t) {
+  return [this, st](const nn::Tensor& x, std::size_t t) {
     REPRO_SPAN("diffusion.sample.eps_eval");
     telemetry::count("diffusion.sample.eps_evals");
-    const std::vector<float> timesteps(count, static_cast<float>(t));
+    for (float& v : st->ts_n) v = static_cast<float>(t);
+    // Control residuals are computed once on the cond ids and shared by
+    // both guidance branches, exactly as the unbatched path did.
     ControlResiduals residuals;
     const ControlResiduals* res_ptr = nullptr;
-    if (control) {
-      residuals = control_->forward(x, timesteps, cond_ids, hint);
+    if (st->control) {
+      residuals = control_->forward(x, st->ts_n, st->cond_ids, st->hint);
       res_ptr = &residuals;
     }
-    nn::Tensor cond = unet_->forward(x, timesteps, cond_ids, res_ptr);
     nn::Tensor out;
-    if (opts.guidance_scale == 1.0f) {
-      out = std::move(cond);
+    if (st->guidance == 1.0f) {
+      out = unet_->forward(x, st->ts_n, st->cond_ids, res_ptr);
     } else {
-      // Classifier-free guidance in the model's output space:
-      // out = uncond + g * (cond - uncond).
-      nn::Tensor uncond = unet_->forward(x, timesteps, uncond_ids, res_ptr);
-      out = std::move(uncond);
+      // Batched classifier-free guidance: ONE [2N] forward over the
+      // stacked cond|uncond rows, then out = uncond + g (cond - uncond).
+      std::vector<std::size_t> xx_shape = x.shape();
+      xx_shape[0] *= 2;
+      if (st->xx.shape() != xx_shape) st->xx = nn::Tensor(xx_shape);
+      std::copy(x.data(), x.data() + x.size(), st->xx.data());
+      std::copy(x.data(), x.data() + x.size(), st->xx.data() + x.size());
+      for (float& v : st->ts_2n) v = static_cast<float>(t);
+      const ControlResiduals* both_res = nullptr;
+      if (st->control) {
+        tile_residual(residuals.skip1, st->tiled.skip1);
+        tile_residual(residuals.skip2, st->tiled.skip2);
+        tile_residual(residuals.mid, st->tiled.mid);
+        both_res = &st->tiled;
+      }
+      nn::Tensor both =
+          unet_->forward(st->xx, st->ts_2n, st->both_ids, both_res);
+      out = nn::Tensor(x.shape());
+      const float g = st->guidance;
+      const float* cond = both.data();
+      const float* uncond = both.data() + x.size();
       for (std::size_t i = 0; i < out.size(); ++i) {
-        out[i] += opts.guidance_scale * (cond[i] - out[i]);
+        out[i] = uncond[i] + g * (cond[i] - uncond[i]);
       }
     }
     if (config_.parameterization == PipelineConfig::Parameterization::kX0) {
@@ -447,6 +485,15 @@ nn::Tensor TraceDiffusion::sample_latents(int class_id, std::size_t count,
     }
     return out;
   };
+}
+
+nn::Tensor TraceDiffusion::sample_latents(int class_id, std::size_t count,
+                                          const GenerateOptions& opts) {
+  REPRO_SPAN("diffusion.sample.latents");
+  const std::size_t c = config_.autoencoder.latent_dim;
+  const std::size_t l = config_.packets;
+  const bool control = opts.use_control && template_flows_.count(class_id);
+  EpsFn eps_fn = guided_eps_fn(class_id, count, opts);
 
   const std::vector<std::size_t> shape{count, c, l};
   const bool from_template =
@@ -509,19 +556,16 @@ std::vector<net::Flow> TraceDiffusion::generate(int class_id,
   }
   REPRO_SPAN("diffusion.generate");
   telemetry::count("diffusion.generate.flows", opts.count);
-  const std::size_t c = config_.autoencoder.latent_dim;
-  const std::size_t l = config_.packets;
   nn::Tensor latents = sample_latents(class_id, opts.count, opts);
   latents.scale(1.0f / latent_scale_);
 
   REPRO_SPAN("diffusion.generate.decode");
+  // One batched decoder pass over all flows' packet rows.
+  std::vector<nprint::Matrix> matrices = autoencoder_->decode_matrices(latents);
   std::vector<net::Flow> flows;
   flows.reserve(opts.count);
   for (std::size_t i = 0; i < opts.count; ++i) {
-    nn::Tensor one({1, c, l});
-    std::copy(latents.data() + i * c * l, latents.data() + (i + 1) * c * l,
-              one.data());
-    nprint::Matrix matrix = autoencoder_->decode_matrix(one);
+    nprint::Matrix& matrix = matrices[i];
     nprint::quantize(matrix);
     if (opts.constraint == ConstraintMode::kProjected &&
         templates_.count(class_id)) {
@@ -591,36 +635,7 @@ net::Flow TraceDiffusion::deblur(const net::Flow& corrupted,
     }
   }
 
-  const std::vector<int> cond_ids{class_id};
-  const std::vector<int> uncond_ids{prompts_.null_id()};
-  nn::Tensor hint;
-  const bool control = opts.use_control && template_flows_.count(class_id);
-  if (control) hint = class_hint(class_id);
-  EpsFn eps_fn = [&](const nn::Tensor& x, std::size_t t) {
-    const std::vector<float> timesteps{static_cast<float>(t)};
-    ControlResiduals residuals;
-    const ControlResiduals* res_ptr = nullptr;
-    if (control) {
-      residuals = control_->forward(x, timesteps, cond_ids, hint);
-      res_ptr = &residuals;
-    }
-    nn::Tensor out = unet_->forward(x, timesteps, cond_ids, res_ptr);
-    if (opts.guidance_scale != 1.0f) {
-      nn::Tensor uncond = unet_->forward(x, timesteps, uncond_ids, res_ptr);
-      for (std::size_t i = 0; i < out.size(); ++i) {
-        out[i] = uncond[i] + opts.guidance_scale * (out[i] - uncond[i]);
-      }
-    }
-    if (config_.parameterization == PipelineConfig::Parameterization::kX0) {
-      const float sa = schedule_.sqrt_alpha_bar(t);
-      const float sb = schedule_.sqrt_one_minus_alpha_bar(t);
-      for (std::size_t i = 0; i < out.size(); ++i) {
-        const float x0_pred = sa * x[i] + out[i];
-        out[i] = (x[i] - sa * x0_pred) / sb;
-      }
-    }
-    return out;
-  };
+  EpsFn eps_fn = guided_eps_fn(class_id, /*count=*/1, opts);
 
   nn::Tensor restored = ddim_inpaint(eps_fn, schedule_, known, mask,
                                      opts.ddim_steps, opts.eta, rng_);

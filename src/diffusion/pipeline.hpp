@@ -203,6 +203,16 @@ class TraceDiffusion {
   nn::Tensor sample_latents(int class_id, std::size_t count,
                             const GenerateOptions& opts);
 
+  /// Builds the classifier-free-guided noise predictor shared by
+  /// sample_latents and deblur. With guidance enabled, the cond and
+  /// uncond evaluations run as ONE batched [2N] U-Net forward (inputs
+  /// stacked cond-first); control residuals are computed once on the
+  /// cond ids and tiled across both halves. Per-step scratch (the
+  /// stacked input, tiled residuals) lives in state shared by the
+  /// returned closure and is reused across sampler steps.
+  EpsFn guided_eps_fn(int class_id, std::size_t count,
+                      const GenerateOptions& opts);
+
   PipelineConfig config_;
   PromptCodec prompts_;
   Rng rng_;

@@ -6,6 +6,7 @@
 #include "common/contracts.hpp"
 #include "common/parallel/parallel_for.hpp"
 #include "common/telemetry/trace.hpp"
+#include "nn/arena.hpp"
 
 namespace repro::diffusion {
 namespace {
@@ -20,10 +21,15 @@ nn::Tensor gaussian_tensor(const std::vector<std::size_t>& shape, Rng& rng) {
 
 /// Serially draws `count` standard normals (element order — the RNG
 /// stream is consumed exactly as the pre-parallel per-element loops
-/// did), letting the arithmetic that follows run on the pool.
-std::vector<float> draw_noise(std::size_t count, Rng& rng) {
-  std::vector<float> noise(count);
-  for (float& v : noise) v = static_cast<float>(rng.gaussian());
+/// did), letting the arithmetic that follows run on the pool. The
+/// buffer comes from the scratch arena so repeated sampler steps reuse
+/// one allocation.
+nn::TensorArena::Handle draw_noise(std::size_t count, Rng& rng) {
+  nn::TensorArena::Handle noise = nn::TensorArena::scratch().acquire(count);
+  float* p = noise.data();
+  for (std::size_t i = 0; i < count; ++i) {
+    p[i] = static_cast<float>(rng.gaussian());
+  }
   return noise;
 }
 
@@ -39,14 +45,15 @@ void ddpm_step(nn::Tensor& x, const nn::Tensor& eps,
   const float coef = beta / schedule.sqrt_one_minus_alpha_bar(t);
   const float inv_sqrt_alpha = 1.0f / std::sqrt(alpha);
   const float sigma = std::sqrt(schedule.posterior_variance(t));
-  const std::vector<float> noise =
-      t > 0 ? draw_noise(x.size(), rng) : std::vector<float>{};
+  nn::TensorArena::Handle noise;
+  if (t > 0) noise = draw_noise(x.size(), rng);
+  const float* np = noise.data();
   parallel::parallel_for(
       0, x.size(), kStepGrain, [&](std::size_t cb, std::size_t ce) {
         for (std::size_t i = cb; i < ce; ++i) {
           float mean = inv_sqrt_alpha * (x[i] - coef * eps[i]);
           if (t > 0) {
-            mean += sigma * noise[i];
+            mean += sigma * np[i];
           }
           x[i] = mean;
         }
@@ -82,15 +89,16 @@ void ddim_step(nn::Tensor& x, const nn::Tensor& eps, float abar_t,
       std::sqrt(std::max(1.0f - abar_prev - sigma * sigma, 0.0f));
   const float sqrt_abar_prev = std::sqrt(abar_prev);
   const bool noisy = !last && sigma > 0.0f;
-  const std::vector<float> noise =
-      noisy ? draw_noise(x.size(), rng) : std::vector<float>{};
+  nn::TensorArena::Handle noise;
+  if (noisy) noise = draw_noise(x.size(), rng);
+  const float* np = noise.data();
   parallel::parallel_for(
       0, x.size(), kStepGrain, [&](std::size_t cb, std::size_t ce) {
         for (std::size_t j = cb; j < ce; ++j) {
           const float x0 = (x[j] - sqrt_1m_t * eps[j]) / sqrt_abar_t;
           float next = sqrt_abar_prev * x0 + dir_coef * eps[j];
           if (noisy) {
-            next += sigma * noise[j];
+            next += sigma * np[j];
           }
           x[j] = next;
         }

@@ -1,0 +1,75 @@
+#include "nn/arena.hpp"
+
+#include <algorithm>
+
+#include "common/telemetry/metrics.hpp"
+
+namespace repro::nn {
+
+void TensorArena::Handle::release() {
+  if (arena_ != nullptr && buffer_ != nullptr) {
+    arena_->release_buffer(buffer_);
+  }
+  arena_ = nullptr;
+  buffer_ = nullptr;
+  size_ = 0;
+}
+
+TensorArena::Handle TensorArena::acquire(std::size_t size) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Best fit: the smallest free buffer that is large enough. Keeps big
+    // buffers available for big requests instead of burning them on
+    // small ones.
+    std::size_t best = free_.size();
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i]->capacity() < size) continue;
+      if (best == free_.size() ||
+          free_[i]->capacity() < free_[best]->capacity()) {
+        best = i;
+      }
+    }
+    if (best != free_.size()) {
+      std::unique_ptr<std::vector<float>> buffer = std::move(free_[best]);
+      free_.erase(free_.begin() +
+                  static_cast<std::ptrdiff_t>(best));
+      ++reuses_;
+      telemetry::count("nn.arena.reuse");
+      // resize() within capacity never reallocates; new elements are
+      // value-initialized but the contract already says "uninitialized".
+      buffer->resize(size);
+      return Handle(this, buffer.release(), size);
+    }
+    ++allocs_;
+  }
+  telemetry::count("nn.arena.alloc");
+  auto buffer = std::make_unique<std::vector<float>>(size);
+  return Handle(this, buffer.release(), size);
+}
+
+void TensorArena::release_buffer(std::vector<float>* buffer) {
+  std::unique_ptr<std::vector<float>> owned(buffer);
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(owned));
+}
+
+TensorArena::Stats TensorArena::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.allocs = allocs_;
+  s.reuses = reuses_;
+  s.free_buffers = free_.size();
+  return s;
+}
+
+void TensorArena::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.clear();
+}
+
+TensorArena& TensorArena::scratch() {
+  static TensorArena arena;
+  return arena;
+}
+
+}  // namespace repro::nn

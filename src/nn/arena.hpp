@@ -1,0 +1,106 @@
+// TensorArena — reusable float scratch buffers for the nn/diffusion hot
+// paths. The seed allocated a fresh std::vector for every temporary
+// (im2col panels, packed GEMM panels, reshape staging, attention rows),
+// which made the UNet forward allocator-bound. The arena keeps returned
+// buffers on a free list and hands them back to the next request of a
+// compatible size, so a steady-state sampler step performs zero heap
+// allocations for scratch space.
+//
+// Lifetime rules (see DESIGN.md "Inference performance"):
+//   * A Handle owns its buffer for the handle's scope only; the buffer
+//     returns to the arena when the handle is destroyed. Never stash the
+//     raw pointer beyond the handle's lifetime.
+//   * Buffers are recycled without clearing — callers must treat the
+//     contents as uninitialized.
+//   * `scratch()` is a process-wide singleton usable from pool workers;
+//     acquire/release take a mutex but never run inside inner loops
+//     (one acquire per kernel call, not per element).
+//
+// Telemetry: `nn.arena.alloc` counts requests served by a fresh heap
+// allocation, `nn.arena.reuse` counts requests served from the free
+// list. A healthy steady-state trace has reuse >> alloc.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace repro::nn {
+
+class TensorArena {
+ public:
+  /// RAII lease of a float buffer. Movable, not copyable; returns the
+  /// buffer to the owning arena on destruction.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&& other) noexcept { swap(other); }
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        release();
+        swap(other);
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { release(); }
+
+    float* data() { return buffer_ ? buffer_->data() : nullptr; }
+    const float* data() const { return buffer_ ? buffer_->data() : nullptr; }
+    /// Number of usable floats (the requested size, not the capacity of
+    /// the recycled buffer, which may be larger).
+    std::size_t size() const { return size_; }
+    explicit operator bool() const { return buffer_ != nullptr; }
+
+   private:
+    friend class TensorArena;
+    Handle(TensorArena* arena, std::vector<float>* buffer, std::size_t size)
+        : arena_(arena), buffer_(buffer), size_(size) {}
+    void swap(Handle& other) noexcept {
+      std::swap(arena_, other.arena_);
+      std::swap(buffer_, other.buffer_);
+      std::swap(size_, other.size_);
+    }
+    void release();
+
+    TensorArena* arena_ = nullptr;
+    std::vector<float>* buffer_ = nullptr;
+    std::size_t size_ = 0;
+  };
+
+  struct Stats {
+    std::size_t allocs = 0;      ///< requests served by new heap buffers
+    std::size_t reuses = 0;      ///< requests served from the free list
+    std::size_t free_buffers = 0;  ///< buffers currently on the free list
+  };
+
+  TensorArena() = default;
+  TensorArena(const TensorArena&) = delete;
+  TensorArena& operator=(const TensorArena&) = delete;
+
+  /// Leases a buffer of at least `size` floats (contents uninitialized).
+  Handle acquire(std::size_t size);
+
+  Stats stats() const;
+
+  /// Drops every buffer on the free list (leased buffers are unaffected
+  /// and still return normally). Primarily for tests.
+  void trim();
+
+  /// Process-wide scratch arena shared by the kernel layer and modules.
+  static TensorArena& scratch();
+
+ private:
+  void release_buffer(std::vector<float>* buffer);
+
+  mutable std::mutex mutex_;
+  // Best-fit free list. Small (tens of entries) in practice, so a flat
+  // vector scan beats ordered-container overhead.
+  std::vector<std::unique_ptr<std::vector<float>>> free_;
+  std::size_t allocs_ = 0;
+  std::size_t reuses_ = 0;
+};
+
+}  // namespace repro::nn

@@ -4,6 +4,8 @@
 
 #include "common/parallel/parallel_for.hpp"
 #include "common/telemetry/trace.hpp"
+#include "nn/arena.hpp"
+#include "nn/kernels/gemm.hpp"
 #include "nn/reshape.hpp"
 
 namespace repro::nn {
@@ -34,9 +36,10 @@ Tensor SelfAttention1d::forward(const Tensor& input) {
   REPRO_SPAN("nn.attention.forward");
   n_ = input.dim(0);
   l_ = input.dim(2);
-  // Pre-norm over channels, position-major.
-  Tensor rows = ncl_to_nlc(input);           // [N*L, C]
-  Tensor normed = norm_.forward(rows);
+  // Pre-norm over channels, position-major. rows_ is a member so the
+  // staging buffer survives between forward calls.
+  ncl_to_nlc_into(input, rows_);             // [N*L, C]
+  Tensor normed = norm_.forward(rows_);
   q_rows_ = q_->forward(normed);
   k_rows_ = k_->forward(normed);
   v_rows_ = v_->forward(normed);
@@ -44,52 +47,44 @@ Tensor SelfAttention1d::forward(const Tensor& input) {
   const float scale = 1.0f / std::sqrt(static_cast<float>(channels_));
   attn_ = Tensor({n_, l_, l_});
   Tensor ctx({n_ * l_, channels_});
-  // Each flattened (batch, query-row) pair writes only its own attention
-  // row and context row, so rows parallelize without any shared state.
+  // One batch element per work item: scores and context are GEMMs over
+  // that element's [L, C] slices (run inline on the worker with fixed
+  // accumulation order), softmax is a scalar pass between them. No
+  // zero-skip on attention weights: a == 0 must still propagate
+  // 0 * inf = NaN from a poisoned value row.
   parallel::parallel_for(
-      0, n_ * l_, parallel::grain_for(l_ * channels_),
-      [&](std::size_t rb, std::size_t re) {
-        for (std::size_t r = rb; r < re; ++r) {
-          const std::size_t b = r / l_;
-          const std::size_t i = r % l_;
+      0, n_, parallel::grain_for(l_ * l_ * channels_),
+      [&](std::size_t bb, std::size_t be) {
+        for (std::size_t b = bb; b < be; ++b) {
           const float* qb = q_rows_.data() + b * l_ * channels_;
           const float* kb = k_rows_.data() + b * l_ * channels_;
           const float* vb = v_rows_.data() + b * l_ * channels_;
           float* ab = attn_.data() + b * l_ * l_;
-          // scores + softmax row-wise.
-          float row_max = -1e30f;
-          for (std::size_t j = 0; j < l_; ++j) {
-            double s = 0.0;
-            for (std::size_t c = 0; c < channels_; ++c) {
-              s += static_cast<double>(qb[i * channels_ + c]) *
-                   kb[j * channels_ + c];
+          kernels::gemm_nt(l_, channels_, l_, qb, kb, ab);
+          for (std::size_t i = 0; i < l_; ++i) {
+            float* arow = ab + i * l_;
+            float row_max = -1e30f;
+            for (std::size_t j = 0; j < l_; ++j) {
+              arow[j] *= scale;
+              row_max = std::max(row_max, arow[j]);
             }
-            const float sv = static_cast<float>(s) * scale;
-            ab[i * l_ + j] = sv;
-            row_max = std::max(row_max, sv);
+            double denom = 0.0;
+            for (std::size_t j = 0; j < l_; ++j) {
+              const float e = std::exp(arow[j] - row_max);
+              arow[j] = e;
+              denom += e;
+            }
+            for (std::size_t j = 0; j < l_; ++j) {
+              arow[j] = static_cast<float>(arow[j] / denom);
+            }
           }
-          double denom = 0.0;
-          for (std::size_t j = 0; j < l_; ++j) {
-            const float e = std::exp(ab[i * l_ + j] - row_max);
-            ab[i * l_ + j] = e;
-            denom += e;
-          }
-          for (std::size_t j = 0; j < l_; ++j) {
-            ab[i * l_ + j] = static_cast<float>(ab[i * l_ + j] / denom);
-          }
-          // context_i = sum_j A_ij v_j
-          float* crow = ctx.data() + (b * l_ + i) * channels_;
-          for (std::size_t j = 0; j < l_; ++j) {
-            const float a = ab[i * l_ + j];
-            if (a == 0.0f) continue;
-            const float* vrow = vb + j * channels_;
-            for (std::size_t c = 0; c < channels_; ++c) crow[c] += a * vrow[c];
-          }
+          kernels::gemm_nn(l_, l_, channels_, ab, vb,
+                           ctx.data() + b * l_ * channels_);
         }
       });
   Tensor out_rows = o_->forward(ctx);
   // Residual connection.
-  out_rows.add(rows);
+  out_rows.add(rows_);
   return nlc_to_ncl(out_rows, n_, l_);
 }
 
@@ -109,6 +104,10 @@ Tensor SelfAttention1d::backward(const Tensor& grad_output) {
   parallel::parallel_for(
       0, n_, parallel::grain_for(l_ * l_ * channels_),
       [&](std::size_t bb, std::size_t be) {
+        // One scratch row reused across every (batch, query) pair of the
+        // chunk instead of an allocation per query row.
+        TensorArena::Handle dA_buf = TensorArena::scratch().acquire(l_);
+        float* dA = dA_buf.data();
         for (std::size_t b = bb; b < be; ++b) {
           const float* qb = q_rows_.data() + b * l_ * channels_;
           const float* kb = k_rows_.data() + b * l_ * channels_;
@@ -120,7 +119,6 @@ Tensor SelfAttention1d::backward(const Tensor& grad_output) {
           for (std::size_t i = 0; i < l_; ++i) {
             const float* gc = grad_ctx.data() + (b * l_ + i) * channels_;
             // dA_ij = gc . v_j ; dv_j += A_ij * gc
-            std::vector<float> dA(l_);
             for (std::size_t j = 0; j < l_; ++j) {
               const float a = ab[i * l_ + j];
               const float* vrow = vb + j * channels_;

@@ -41,6 +41,7 @@ class SelfAttention1d : public Module {
   std::unique_ptr<Module> q_, k_, v_, o_;
   // Cached forward state.
   std::size_t n_ = 0, l_ = 0;
+  Tensor rows_;                      // [N*L, C] pre-norm input rows
   Tensor q_rows_, k_rows_, v_rows_;  // [N*L, C]
   Tensor attn_;                      // [N, L, L]
 };

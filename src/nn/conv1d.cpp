@@ -1,8 +1,12 @@
 #include "nn/conv1d.hpp"
 
+#include <cstring>
+
 #include "common/parallel/parallel_for.hpp"
 #include "common/telemetry/trace.hpp"
+#include "nn/arena.hpp"
 #include "nn/init.hpp"
+#include "nn/kernels/gemm.hpp"
 
 namespace repro::nn {
 
@@ -28,39 +32,56 @@ Tensor Conv1d::forward(const Tensor& input) {
   input_ = input;
   const std::size_t n = input.dim(0), lin = input.dim(2);
   const std::size_t lout = out_length(lin);
+  const std::size_t kc = cin_ * kernel_;
   Tensor out({n, cout_, lout});
-  // Flattened (batch, out-channel) pairs: every output row is written by
-  // exactly one chunk and computed exactly as in the serial loop.
-  parallel::parallel_for(
-      0, n * cout_, parallel::grain_for(lout * cin_ * kernel_),
-      [&](std::size_t wb, std::size_t we) {
-        for (std::size_t idx = wb; idx < we; ++idx) {
-          const std::size_t b = idx / cout_;
-          const std::size_t oc = idx % cout_;
-          const float* w = weight_.value.data() + oc * cin_ * kernel_;
-          float* orow = out.data() + (b * cout_ + oc) * lout;
-          for (std::size_t t = 0; t < lout; ++t) {
-            double acc = bias_.value[oc];
-            const std::ptrdiff_t start =
-                static_cast<std::ptrdiff_t>(t * stride_) -
-                static_cast<std::ptrdiff_t>(padding_);
-            for (std::size_t ic = 0; ic < cin_; ++ic) {
-              const float* irow = input.data() + (b * cin_ + ic) * lin;
-              const float* wrow = w + ic * kernel_;
-              for (std::size_t k = 0; k < kernel_; ++k) {
-                const std::ptrdiff_t pos =
-                    start + static_cast<std::ptrdiff_t>(k);
-                if (pos < 0 || pos >= static_cast<std::ptrdiff_t>(lin)) {
-                  continue;
-                }
-                acc += static_cast<double>(wrow[k]) *
-                       irow[static_cast<std::size_t>(pos)];
-              }
-            }
-            orow[t] = static_cast<float>(acc);
-          }
+  // im2col + GEMM over the WHOLE batch: every batch element's window
+  // matrix is lowered into one [cin*kernel, n*lout] column panel
+  // (zero-padded at the borders, in arena scratch, one column block per
+  // batch element), then a single GEMM computes all output channels for
+  // all batch elements at once. One kernel call instead of n amortizes
+  // the per-call pack/dispatch cost that dominates the network's small
+  // convolutions, and the boundary branch runs once per panel element
+  // instead of inside the O(cout * cin * kernel * lout) loop. Each
+  // output element is still the same ascending-k accumulation, so the
+  // result is bit-identical to the per-batch form.
+  const std::size_t cols = n * lout;
+  TensorArena::Handle col = TensorArena::scratch().acquire(kc * cols);
+  float* colp = col.data();
+  for (std::size_t b = 0; b < n; ++b) {
+    const float* in_b = input.data() + b * cin_ * lin;
+    for (std::size_t ic = 0; ic < cin_; ++ic) {
+      const float* irow = in_b + ic * lin;
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        float* crow = colp + (ic * kernel_ + k) * cols + b * lout;
+        const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(k) -
+                                   static_cast<std::ptrdiff_t>(padding_);
+        for (std::size_t t = 0; t < lout; ++t) {
+          const std::ptrdiff_t pos =
+              static_cast<std::ptrdiff_t>(t * stride_) + off;
+          crow[t] = (pos >= 0 && pos < static_cast<std::ptrdiff_t>(lin))
+                        ? irow[static_cast<std::size_t>(pos)]
+                        : 0.0f;
         }
-      });
+      }
+    }
+  }
+  // C buffer [cout, n*lout]: rows seeded with the bias, GEMM adds the
+  // products, then rows scatter back to the [n, cout, lout] layout.
+  TensorArena::Handle cbuf = TensorArena::scratch().acquire(cout_ * cols);
+  float* cp = cbuf.data();
+  for (std::size_t oc = 0; oc < cout_; ++oc) {
+    const float bv = bias_.value[oc];
+    float* crow = cp + oc * cols;
+    for (std::size_t t = 0; t < cols; ++t) crow[t] = bv;
+  }
+  kernels::gemm_nn(cout_, kc, cols, weight_.value.data(), colp, cp,
+                   kernels::Accumulate::kAdd);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oc = 0; oc < cout_; ++oc) {
+      std::memcpy(out.data() + (b * cout_ + oc) * lout,
+                  cp + oc * cols + b * lout, lout * sizeof(float));
+    }
+  }
   return out;
 }
 
@@ -82,8 +103,8 @@ Tensor Conv1d::backward(const Tensor& grad_output) {
             const float* gorow = grad_output.data() + (b * cout_ + oc) * lout;
             const float* w = weight_.value.data() + oc * cin_ * kernel_;
             for (std::size_t t = 0; t < lout; ++t) {
+              // No zero-skip: g == 0 must still propagate 0 * inf = NaN.
               const float g = gorow[t];
-              if (g == 0.0f) continue;
               const std::ptrdiff_t start =
                   static_cast<std::ptrdiff_t>(t * stride_) -
                   static_cast<std::ptrdiff_t>(padding_);
@@ -116,7 +137,6 @@ Tensor Conv1d::backward(const Tensor& grad_output) {
             double gb = 0.0;
             for (std::size_t t = 0; t < lout; ++t) {
               const float g = gorow[t];
-              if (g == 0.0f) continue;
               gb += g;
               const std::ptrdiff_t start =
                   static_cast<std::ptrdiff_t>(t * stride_) -

@@ -1,0 +1,185 @@
+#include "nn/kernels/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/parallel/parallel_for.hpp"
+#include "nn/arena.hpp"
+
+namespace repro::nn::kernels {
+namespace {
+
+constexpr std::size_t kW = REPRO_SIMD_WIDTH;
+constexpr std::size_t kLanes = kNr / kW;
+
+#if REPRO_SIMD_WIDTH > 1
+typedef float Vec __attribute__((vector_size(kW * sizeof(float))));
+#else
+using Vec = float;
+#endif
+
+inline Vec load(const float* p) {
+  Vec v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store(float* p, Vec v) { __builtin_memcpy(p, &v, sizeof(v)); }
+
+/// Packs the `ncols`-wide panel of B starting at column j0 into
+/// `panel` ([kc x kNr], k-major, columns beyond ncols zero-filled so the
+/// micro-kernel always runs the full kNr width).
+void pack_panel(std::size_t kc, std::size_t ncols, BView b, std::size_t j0,
+                float* panel) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    float* dst = panel + p * kNr;
+    const float* src = b.data + p * b.k_stride + j0 * b.col_stride;
+    std::size_t j = 0;
+    if (b.col_stride == 1) {
+      std::memcpy(dst, src, ncols * sizeof(float));
+      j = ncols;
+    } else {
+      for (; j < ncols; ++j) dst[j] = src[j * b.col_stride];
+    }
+    for (; j < kNr; ++j) dst[j] = 0.0f;
+  }
+}
+
+/// R x kNr register tile: C[i0..i0+R, j0..j0+ncols) (+)= A-rows * panel.
+/// Every output element accumulates its k products in ascending-k order
+/// from a zero register, independent of R, ncols, and chunking; the
+/// result is combined with the destination in a single store or add.
+template <std::size_t R>
+void micro_kernel(std::size_t kc, const float* a, std::size_t ars,
+                  std::size_t aks, const float* panel, float* c,
+                  std::size_t ldc, std::size_t ncols, Accumulate mode) {
+  Vec acc[R][kLanes]{};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* brow = panel + p * kNr;
+    Vec bv[kLanes];
+    for (std::size_t l = 0; l < kLanes; ++l) bv[l] = load(brow + l * kW);
+    for (std::size_t r = 0; r < R; ++r) {
+      const float av = a[r * ars + p * aks];
+      for (std::size_t l = 0; l < kLanes; ++l) acc[r][l] += av * bv[l];
+    }
+  }
+  if (ncols == kNr) {
+    for (std::size_t r = 0; r < R; ++r) {
+      float* crow = c + r * ldc;
+      if (mode == Accumulate::kAdd) {
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          store(crow + l * kW, load(crow + l * kW) + acc[r][l]);
+        }
+      } else {
+        for (std::size_t l = 0; l < kLanes; ++l) store(crow + l * kW, acc[r][l]);
+      }
+    }
+    return;
+  }
+  // Tail panel: spill the tile and copy only the valid columns.
+  float tile[R][kNr];
+  for (std::size_t r = 0; r < R; ++r) {
+    for (std::size_t l = 0; l < kLanes; ++l) store(&tile[r][l * kW], acc[r][l]);
+  }
+  for (std::size_t r = 0; r < R; ++r) {
+    float* crow = c + r * ldc;
+    if (mode == Accumulate::kAdd) {
+      for (std::size_t j = 0; j < ncols; ++j) crow[j] += tile[r][j];
+    } else {
+      for (std::size_t j = 0; j < ncols; ++j) crow[j] = tile[r][j];
+    }
+  }
+}
+
+/// Computes rows [rb, re) of C against one packed panel.
+void run_panel(std::size_t rb, std::size_t re, std::size_t kc, AView a,
+               const float* panel, float* c, std::size_t ldc,
+               std::size_t ncols, Accumulate mode) {
+  std::size_t i = rb;
+  for (; i + kMr <= re; i += kMr) {
+    micro_kernel<kMr>(kc, a.data + i * a.row_stride, a.row_stride, a.k_stride,
+                      panel, c + i * ldc, ldc, ncols, mode);
+  }
+  const float* arow = a.data + i * a.row_stride;
+  float* crow = c + i * ldc;
+  switch (re - i) {
+    case 3:
+      micro_kernel<3>(kc, arow, a.row_stride, a.k_stride, panel, crow, ldc,
+                      ncols, mode);
+      break;
+    case 2:
+      micro_kernel<2>(kc, arow, a.row_stride, a.k_stride, panel, crow, ldc,
+                      ncols, mode);
+      break;
+    case 1:
+      micro_kernel<1>(kc, arow, a.row_stride, a.k_stride, panel, crow, ldc,
+                      ncols, mode);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+void gemm(std::size_t m, std::size_t n, std::size_t k, AView a, BView b,
+          float* c, std::size_t ldc, Accumulate acc) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (acc == Accumulate::kOverwrite) {
+      for (std::size_t i = 0; i < m; ++i) {
+        std::memset(c + i * ldc, 0, n * sizeof(float));
+      }
+    }
+    return;
+  }
+  const std::size_t panels = (n + kNr - 1) / kNr;
+  TensorArena::Handle pack = TensorArena::scratch().acquire(panels * kNr * k);
+  float* packed = pack.data();
+  // Small problems (or serial contexts) skip parallel_for entirely: the
+  // std::function construction and chunk dispatch cost more than the
+  // math for the network's many tiny GEMMs. The serial path is one
+  // chunk [0, m) with the same per-element accumulation order, so
+  // results stay bit-identical to the chunked path.
+  const bool serial = m * n * k <= (std::size_t{1} << 16) ||
+                      parallel::thread_count() == 1 || parallel::in_worker();
+  if (serial) {
+    for (std::size_t pi = 0; pi < panels; ++pi) {
+      const std::size_t j0 = pi * kNr;
+      pack_panel(k, std::min(kNr, n - j0), b, j0, packed + pi * kNr * k);
+    }
+    for (std::size_t pi = 0; pi < panels; ++pi) {
+      const std::size_t j0 = pi * kNr;
+      run_panel(0, m, k, a, packed + pi * kNr * k, c + j0, ldc,
+                std::min(kNr, n - j0), acc);
+    }
+    return;
+  }
+  // Pack B once per call. Panels are disjoint, so parallel packing is
+  // trivially deterministic.
+  parallel::parallel_for(
+      0, panels, parallel::grain_for(k * kNr),
+      [&](std::size_t pb, std::size_t pe) {
+        for (std::size_t pi = pb; pi < pe; ++pi) {
+          const std::size_t j0 = pi * kNr;
+          pack_panel(k, std::min(kNr, n - j0), b, j0, packed + pi * kNr * k);
+        }
+      });
+  // Parallelize over disjoint row blocks only: each C element is
+  // produced by exactly one chunk with full-k accumulation, so results
+  // are bit-identical at any thread count. Rounding the grain to kMr
+  // additionally pins row-tile grouping to absolute row indices.
+  std::size_t grain = parallel::grain_for(n * k);
+  grain = (grain + kMr - 1) / kMr * kMr;
+  parallel::parallel_for(0, m, grain, [&](std::size_t rb, std::size_t re) {
+    // Outer loop over panels keeps one packed panel hot in cache while
+    // the chunk's A rows stream past it.
+    for (std::size_t pi = 0; pi < panels; ++pi) {
+      const std::size_t j0 = pi * kNr;
+      run_panel(rb, re, k, a, packed + pi * kNr * k, c + j0, ldc,
+                std::min(kNr, n - j0), acc);
+    }
+  });
+}
+
+}  // namespace repro::nn::kernels

@@ -1,8 +1,11 @@
 #include "nn/linear.hpp"
 
+#include <cstring>
+
 #include "common/parallel/parallel_for.hpp"
 #include "common/telemetry/trace.hpp"
 #include "nn/init.hpp"
+#include "nn/kernels/gemm.hpp"
 
 namespace repro::nn {
 
@@ -23,17 +26,20 @@ Tensor Linear::forward(const Tensor& input) {
                                 input.shape_string());
   }
   input_ = input;
-  Tensor out = matmul_bt(input, weight_.value);  // [N, out]
+  const std::size_t n = input.dim(0);
+  Tensor out({n, out_});
   if (has_bias_) {
-    const std::size_t n = out.dim(0);
-    parallel::parallel_for(
-        0, n, parallel::grain_for(out_), [&](std::size_t rb, std::size_t re) {
-          for (std::size_t i = rb; i < re; ++i) {
-            float* row = out.data() + i * out_;
-            for (std::size_t j = 0; j < out_; ++j) row[j] += bias_.value[j];
-          }
-        });
+    // Seed each output row with the bias, then accumulate x W^T on top —
+    // one pass over the output instead of a separate bias sweep.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::memcpy(out.data() + i * out_, bias_.value.data(),
+                  out_ * sizeof(float));
+    }
   }
+  kernels::gemm_nt(n, in_, out_, input.data(), weight_.value.data(),
+                   out.data(),
+                   has_bias_ ? kernels::Accumulate::kAdd
+                             : kernels::Accumulate::kOverwrite);
   return out;
 }
 
@@ -41,11 +47,12 @@ Tensor Linear::backward(const Tensor& grad_output) {
   REPRO_SPAN("nn.linear.backward");
   grad_output.require_shape({input_.dim(0), out_}, "Linear::backward");
   // dW += g^T x ; db += sum_n g ; dx = g W
-  weight_.grad.add(matmul_at(grad_output, input_));
+  const std::size_t n = grad_output.dim(0);
+  kernels::gemm_tn(n, out_, in_, grad_output.data(), input_.data(),
+                   weight_.grad.data(), kernels::Accumulate::kAdd);
   if (has_bias_) {
     // Each chunk owns a disjoint column range of the bias gradient and
     // accumulates it in the serial i-ascending order.
-    const std::size_t n = grad_output.dim(0);
     parallel::parallel_for(
         0, out_, parallel::grain_for(n), [&](std::size_t jb, std::size_t je) {
           for (std::size_t i = 0; i < n; ++i) {

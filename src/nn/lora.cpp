@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "nn/arena.hpp"
 #include "nn/init.hpp"
+#include "nn/kernels/gemm.hpp"
 
 namespace repro::nn {
 
@@ -26,9 +28,20 @@ Tensor LoraLinear::forward(const Tensor& input) {
   input_ = input;
   Tensor out = base_->forward(input);
   if (rank_ > 0) {
-    ax_ = matmul_bt(input, a_.value);        // [N, r]
-    Tensor delta = matmul_bt(ax_, b_.value);  // [N, out]
-    out.add_scaled(delta, scaling_);
+    const std::size_t n = input.dim(0);
+    const std::size_t out_f = base_->out_features();
+    if (ax_.shape() != std::vector<std::size_t>{n, rank_}) {
+      ax_ = Tensor({n, rank_});
+    }
+    kernels::gemm_nt(n, base_->in_features(), rank_, input.data(),
+                     a_.value.data(), ax_.data());
+    // delta = (Ax) B^T into arena scratch, folded into out with scaling.
+    TensorArena::Handle delta = TensorArena::scratch().acquire(n * out_f);
+    kernels::gemm_nt(n, rank_, out_f, ax_.data(), b_.value.data(),
+                     delta.data());
+    float* o = out.data();
+    const float* d = delta.data();
+    for (std::size_t i = 0; i < n * out_f; ++i) o[i] += scaling_ * d[i];
   }
   return out;
 }
@@ -37,12 +50,21 @@ Tensor LoraLinear::backward(const Tensor& grad_output) {
   Tensor grad_input = base_->backward(grad_output);
   if (rank_ > 0) {
     // delta = s * B (A x); dB += s * g^T (Ax); dAx = s * g B; dA += dAx^T x.
-    Tensor g_scaled = grad_output;
-    g_scaled.scale(scaling_);
-    b_.grad.add(matmul_at(g_scaled, ax_));
-    Tensor grad_ax = matmul(g_scaled, b_.value);  // [N, r]
-    a_.grad.add(matmul_at(grad_ax, input_));
-    grad_input.add(matmul(grad_ax, a_.value));
+    const std::size_t n = grad_output.dim(0);
+    const std::size_t in_f = base_->in_features();
+    const std::size_t out_f = base_->out_features();
+    TensorArena& arena = TensorArena::scratch();
+    TensorArena::Handle gs = arena.acquire(n * out_f);
+    const float* g = grad_output.data();
+    for (std::size_t i = 0; i < n * out_f; ++i) gs.data()[i] = scaling_ * g[i];
+    kernels::gemm_tn(n, out_f, rank_, gs.data(), ax_.data(), b_.grad.data(),
+                     kernels::Accumulate::kAdd);
+    TensorArena::Handle gax = arena.acquire(n * rank_);
+    kernels::gemm_nn(n, out_f, rank_, gs.data(), b_.value.data(), gax.data());
+    kernels::gemm_tn(n, rank_, in_f, gax.data(), input_.data(), a_.grad.data(),
+                     kernels::Accumulate::kAdd);
+    kernels::gemm_nn(n, rank_, in_f, gax.data(), a_.value.data(),
+                     grad_input.data(), kernels::Accumulate::kAdd);
   }
   return grad_input;
 }

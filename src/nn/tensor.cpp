@@ -3,8 +3,9 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 
-#include "common/parallel/parallel_for.hpp"
+#include "nn/kernels/gemm.hpp"
 
 namespace repro::nn {
 namespace {
@@ -23,7 +24,7 @@ Tensor::Tensor(std::vector<std::size_t> shape)
 Tensor::Tensor(std::vector<std::size_t> shape, float fill)
     : shape_(std::move(shape)), data_(element_count(shape_), fill) {}
 
-Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
+Tensor Tensor::reshaped(std::vector<std::size_t> shape) const& {
   if (element_count(shape) != data_.size()) {
     throw std::invalid_argument("Tensor::reshaped: element count mismatch");
   }
@@ -31,6 +32,19 @@ Tensor Tensor::reshaped(std::vector<std::size_t> shape) const {
   out.shape_ = std::move(shape);
   out.data_ = data_;
   return out;
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> shape) && {
+  reshape_inplace(std::move(shape));
+  return std::move(*this);
+}
+
+void Tensor::reshape_inplace(std::vector<std::size_t> shape) {
+  if (element_count(shape) != data_.size()) {
+    throw std::invalid_argument(
+        "Tensor::reshape_inplace: element count mismatch");
+  }
+  shape_ = std::move(shape);
 }
 
 void Tensor::fill(float value) noexcept {
@@ -117,21 +131,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   }
   const std::size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
   Tensor c({n, m});
-  // Row-blocked: each output row accumulates exactly as in the serial
-  // loop, so results are bit-identical at any thread count.
-  parallel::parallel_for(
-      0, n, parallel::grain_for(k * m), [&](std::size_t rb, std::size_t re) {
-        for (std::size_t i = rb; i < re; ++i) {
-          const float* arow = a.data() + i * k;
-          float* crow = c.data() + i * m;
-          for (std::size_t p = 0; p < k; ++p) {
-            const float av = arow[p];
-            if (av == 0.0f) continue;
-            const float* brow = b.data() + p * m;
-            for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-          }
-        }
-      });
+  kernels::gemm_nn(n, k, m, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -142,21 +142,7 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b) {
   }
   const std::size_t n = a.dim(0), m = a.dim(1), k = b.dim(0);
   Tensor c({n, k});
-  parallel::parallel_for(
-      0, n, parallel::grain_for(k * m), [&](std::size_t rb, std::size_t re) {
-        for (std::size_t i = rb; i < re; ++i) {
-          const float* arow = a.data() + i * m;
-          float* crow = c.data() + i * k;
-          for (std::size_t j = 0; j < k; ++j) {
-            const float* brow = b.data() + j * m;
-            double acc = 0.0;
-            for (std::size_t p = 0; p < m; ++p) {
-              acc += static_cast<double>(arow[p]) * brow[p];
-            }
-            crow[j] = static_cast<float>(acc);
-          }
-        }
-      });
+  kernels::gemm_nt(n, m, k, a.data(), b.data(), c.data());
   return c;
 }
 
@@ -167,22 +153,7 @@ Tensor matmul_at(const Tensor& a, const Tensor& b) {
   }
   const std::size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
   Tensor c({k, m});
-  // Output rows of c are indexed by p; give each chunk a disjoint p
-  // range and keep the i-ascending accumulation order of the serial
-  // loop so every c[p][j] sums in the identical order.
-  parallel::parallel_for(
-      0, k, parallel::grain_for(n * m), [&](std::size_t pb, std::size_t pe) {
-        for (std::size_t i = 0; i < n; ++i) {
-          const float* arow = a.data() + i * k;
-          const float* brow = b.data() + i * m;
-          for (std::size_t p = pb; p < pe; ++p) {
-            const float av = arow[p];
-            if (av == 0.0f) continue;
-            float* crow = c.data() + p * m;
-            for (std::size_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-          }
-        }
-      });
+  kernels::gemm_tn(n, k, m, a.data(), b.data(), c.data());
   return c;
 }
 

@@ -57,7 +57,13 @@ class Tensor {
   }
 
   /// Returns a copy with a new shape of equal element count.
-  Tensor reshaped(std::vector<std::size_t> shape) const;
+  Tensor reshaped(std::vector<std::size_t> shape) const&;
+  /// Rvalue overload: steals the data vector instead of deep-copying it,
+  /// so `std::move(t).reshaped(...)` and reshapes of temporaries are
+  /// allocation-free.
+  Tensor reshaped(std::vector<std::size_t> shape) &&;
+  /// Rebinds this tensor's shape in place (no data copy or move).
+  void reshape_inplace(std::vector<std::size_t> shape);
 
   /// In-place element-wise helpers.
   void fill(float value) noexcept;

@@ -157,6 +157,34 @@ TEST(Determinism, NnTrainingStepGradients) {
   });
 }
 
+TEST(Determinism, GemmKernelOutputs) {
+  // The GEMM layer chunks rows across threads (and takes a serial fast
+  // path for small problems); every shape adapter must hash identically
+  // at 1, 2 and 8 lanes. Sizes are big enough (m*n*k > 2^16) to force
+  // the parallel path when lanes > 1, with odd dims to cover the
+  // kMr / kNr tails.
+  expect_thread_invariant("gemm kernels", [] {
+    Rng rng(83);
+    const std::size_t m = 97, k = 41, n = 83;
+    nn::Tensor a({m, k});
+    nn::Tensor b({k, n});
+    nn::Tensor bt({n, k});
+    nn::Tensor a2({m, n});
+    for (auto* t : {&a, &b, &bt, &a2}) {
+      for (std::size_t i = 0; i < t->size(); ++i) {
+        (*t)[i] = static_cast<float>(rng.gaussian());
+      }
+    }
+    std::uint64_t h = hash_tensor(nn::matmul(a, b));
+    hash_bytes(h, &kFnvPrime, 1);  // separator
+    const nn::Tensor c_bt = nn::matmul_bt(a, bt);  // [m, n]
+    hash_bytes(h, c_bt.data(), c_bt.size() * sizeof(float));
+    const nn::Tensor c_at = nn::matmul_at(a, a2);  // [k, n]
+    hash_bytes(h, c_at.data(), c_at.size() * sizeof(float));
+    return h;
+  });
+}
+
 TEST(Determinism, FlowgenDatasetBuild) {
   expect_thread_invariant("flowgen dataset", [] {
     Rng rng(47);

@@ -356,6 +356,23 @@ TEST_F(GradCheckParallel, Conv1d) {
   check_param_grads(layer, x, rng);
 }
 
+TEST_F(GradCheckParallel, LoraLinear) {
+  // The LoRA forward/backward route through the arena-backed GEMM
+  // kernels (ax cache + delta scratch); gradients must stay exact.
+  Rng rng(10);
+  auto base = std::make_unique<Linear>(5, 4, rng);
+  LoraLinear layer(std::move(base), /*rank=*/2, /*alpha=*/4.0f, rng);
+  for (Parameter* p : layer.parameters()) {
+    if (p->name.rfind(".B") != std::string::npos) {
+      randomize(p->value, rng, 0.3f);
+    }
+  }
+  Tensor x({3, 5});
+  randomize(x, rng);
+  check_input_grad(layer, x, rng);
+  check_param_grads(layer, x, rng);
+}
+
 TEST_F(GradCheckParallel, SelfAttention) {
   Rng rng(9);
   SelfAttention1d layer(6, rng);

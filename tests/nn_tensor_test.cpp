@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 
 #include "nn/reshape.hpp"
 
@@ -40,6 +41,28 @@ TEST(Tensor, ReshapePreservesData) {
   EXPECT_EQ(r.dim(0), 3u);
   EXPECT_EQ(r[5], 5.0f);
   EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, RvalueReshapedStealsStorage) {
+  Tensor t({2, 3});
+  for (std::size_t i = 0; i < 6; ++i) t[i] = static_cast<float>(i);
+  const float* before = t.data();
+  const Tensor r = std::move(t).reshaped({6});
+  // The rvalue overload must move the buffer, not deep-copy it.
+  EXPECT_EQ(r.data(), before);
+  EXPECT_EQ(r.rank(), 1u);
+  EXPECT_EQ(r[5], 5.0f);
+}
+
+TEST(Tensor, ReshapeInplace) {
+  Tensor t({2, 3});
+  for (std::size_t i = 0; i < 6; ++i) t[i] = static_cast<float>(i);
+  const float* before = t.data();
+  t.reshape_inplace({3, 2});
+  EXPECT_EQ(t.data(), before);
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t.at2(2, 1), 5.0f);
+  EXPECT_THROW(t.reshape_inplace({7}), std::invalid_argument);
 }
 
 TEST(Tensor, ArithmeticHelpers) {
