@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/contracts.hpp"
 #include "common/env.hpp"
 #include "common/parallel/thread_pool.hpp"
 #include "common/telemetry/export.hpp"
@@ -168,6 +169,10 @@ class BenchReport {
     json.value(telemetry::enabled());
     json.key("threads");
     json.value(static_cast<std::uint64_t>(parallel::thread_count()));
+    json.key("simd_width");
+    json.value(static_cast<std::uint64_t>(REPRO_SIMD_WIDTH));
+    json.key("checks");
+    json.value(contracts_enabled());
     json.key("total_seconds");
     json.value(total);
     json.key("scale");

@@ -7,6 +7,8 @@
 // and measures protocol compliance of many generated flows per class —
 // the §3.2 Controllability result ("all generated packets ... adhere to
 // the TCP protocol type", "Teams using UDP").
+#include <filesystem>
+
 #include "bench_common.hpp"
 
 #include "diffusion/constraint.hpp"
@@ -55,7 +57,13 @@ int main() {
   diffusion::ProtocolTemplate used;
   const nprint::Matrix matrix = pipeline.generate_matrix(
       amazon, bench::generate_options(scale), &used);
-  const std::string ppm_path = "fig2_amazon_synthetic.ppm";
+  // Artifacts never land in the working directory: honor
+  // REPRO_BENCH_DIR like every report, else collect under reports/.
+  std::string ppm_path = telemetry::report_path("fig2_amazon_synthetic.ppm");
+  if (ppm_path == "fig2_amazon_synthetic.ppm") {
+    std::filesystem::create_directories("reports");
+    ppm_path = "reports/fig2_amazon_synthetic.ppm";
+  }
   nprint::write_ppm(ppm_path, nprint::render(matrix));
   std::printf("wrote %s (%zux%zu, red=1 green=0 grey=-1)\n", ppm_path.c_str(),
               matrix.cols(), matrix.rows());

@@ -20,6 +20,9 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== lint label =="
 ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure
 
+echo "== serving layer (label: serve) =="
+ctest --test-dir "$BUILD_DIR" -L serve --output-on-failure
+
 echo "== full test suite =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 

@@ -40,6 +40,17 @@ void tile_residual(const nn::Tensor& r, nn::Tensor& out) {
 
 }  // namespace
 
+std::uint64_t fork_flow_seed(std::uint64_t seed,
+                             std::size_t flow_index) noexcept {
+  // splitmix64 finalizer over (seed, index): nearby indices give
+  // unrelated streams, and index 0 does not collapse to the raw seed.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL *
+                               (static_cast<std::uint64_t>(flow_index) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 TraceDiffusion::TraceDiffusion(PipelineConfig config,
                                std::vector<std::string> class_names)
     : config_(std::move(config)),
@@ -86,13 +97,14 @@ const TraceDiffusion::TimingModel& TraceDiffusion::class_timing(
   return it == timing_.end() ? kDefault : it->second;
 }
 
-void TraceDiffusion::assign_timestamps(net::Flow& flow, int class_id) {
+void TraceDiffusion::assign_timestamps(net::Flow& flow, int class_id,
+                                       Rng& rng) {
   const TimingModel& model = class_timing(class_id);
   double t = 0.0;
   for (auto& pkt : flow.packets) {
     pkt.timestamp = t;
     const double gap =
-        std::min(rng_.log_normal(model.log_mu, model.log_sigma), 10.0);
+        std::min(rng.log_normal(model.log_mu, model.log_sigma), 10.0);
     t += gap;
   }
 }
@@ -545,6 +557,65 @@ nn::Tensor TraceDiffusion::sample_latents(int class_id, std::size_t count,
   return out;
 }
 
+nn::Tensor TraceDiffusion::sample_latents_multi(int class_id,
+                                                const GenerateOptions& opts,
+                                                std::vector<Rng>& rngs) {
+  REPRO_SPAN("diffusion.sample.latents");
+  const std::size_t count = rngs.size();
+  const std::size_t c = config_.autoencoder.latent_dim;
+  const std::size_t l = config_.packets;
+  const bool control = opts.use_control && template_flows_.count(class_id);
+  EpsFn eps_fn = guided_eps_fn(class_id, count, opts);
+
+  const std::vector<std::size_t> shape{count, c, l};
+  const bool from_template =
+      control && opts.template_strength < 1.0f && opts.template_strength > 0.0f;
+  nn::Tensor out;
+  float target_std = 1.0f;  // training latents are scaled to unit std
+  if (!from_template) {
+    out = opts.sampler == SamplerKind::kDdpm
+              ? ddpm_sample(eps_fn, schedule_, shape, rngs)
+              : ddim_sample(eps_fn, schedule_, shape, opts.ddim_steps,
+                            opts.eta, rngs);
+  } else {
+    // Same SDEdit-style start as sample_latents, except sample b's
+    // template noising draws from rngs[b] — the per-flow stream order
+    // (template noise, then per-step sampler noise, then timestamps)
+    // is therefore independent of batch composition.
+    const auto t0 = static_cast<std::size_t>(
+        opts.template_strength *
+        static_cast<float>(schedule_.timesteps() - 1));
+    const nn::Tensor& hint_full = class_hint(class_id);
+    const float* tmpl = hint_full.data() + kHintChannels * l;
+    {
+      nn::Tensor one({c, l});
+      std::copy(tmpl, tmpl + c * l, one.data());
+      target_std = tensor_std(one);  // class-specific latent scale
+    }
+    const float sa = schedule_.sqrt_alpha_bar(t0);
+    const float sb = schedule_.sqrt_one_minus_alpha_bar(t0);
+    nn::Tensor xt({count, c, l});
+    for (std::size_t b = 0; b < count; ++b) {
+      float* dst = xt.data() + b * c * l;
+      Rng& rng = rngs[b];
+      for (std::size_t i = 0; i < c * l; ++i) {
+        dst[i] = sa * tmpl[i] + sb * static_cast<float>(rng.gaussian());
+      }
+    }
+    if (opts.sampler == SamplerKind::kDdpm) {
+      out = ddpm_sample_from(eps_fn, schedule_, std::move(xt), t0, rngs);
+    } else {
+      const std::size_t steps = std::min(opts.ddim_steps, t0 + 1);
+      out = ddim_sample_from(eps_fn, schedule_, std::move(xt), t0, steps,
+                             opts.eta, rngs);
+    }
+  }
+  if (opts.renormalize_latents && target_std > 1e-6f) {
+    renormalize_batch(out, target_std);
+  }
+  return out;
+}
+
 std::vector<net::Flow> TraceDiffusion::generate(int class_id,
                                                 const GenerateOptions& opts) {
   if (!fitted_) {
@@ -557,14 +628,23 @@ std::vector<net::Flow> TraceDiffusion::generate(int class_id,
   REPRO_SPAN("diffusion.generate");
   telemetry::count("diffusion.generate.flows", opts.count);
   nn::Tensor latents = sample_latents(class_id, opts.count, opts);
-  latents.scale(1.0f / latent_scale_);
+  return decode_flows(std::move(latents), class_id, opts, nullptr);
+}
 
+std::vector<net::Flow> TraceDiffusion::decode_flows(
+    nn::Tensor latents, int class_id, const GenerateOptions& opts,
+    std::vector<Rng>* flow_rngs) {
   REPRO_SPAN("diffusion.generate.decode");
+  const std::size_t n = latents.dim(0);
+  if (flow_rngs != nullptr && flow_rngs->size() != n) {
+    throw std::invalid_argument("decode_flows: one RNG per flow required");
+  }
+  latents.scale(1.0f / latent_scale_);
   // One batched decoder pass over all flows' packet rows.
   std::vector<nprint::Matrix> matrices = autoencoder_->decode_matrices(latents);
   std::vector<net::Flow> flows;
-  flows.reserve(opts.count);
-  for (std::size_t i = 0; i < opts.count; ++i) {
+  flows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     nprint::Matrix& matrix = matrices[i];
     nprint::quantize(matrix);
     if (opts.constraint == ConstraintMode::kProjected &&
@@ -576,10 +656,42 @@ std::vector<net::Flow> TraceDiffusion::generate(int class_id,
       flow = enforce_tcp_state(flow, template_flows_.at(class_id));
     }
     flow.label = class_id;
-    assign_timestamps(flow, class_id);
+    assign_timestamps(flow, class_id,
+                      flow_rngs != nullptr ? (*flow_rngs)[i] : rng_);
     flows.push_back(std::move(flow));
   }
   return flows;
+}
+
+std::vector<net::Flow> TraceDiffusion::generate_seeded(
+    int class_id, const GenerateOptions& opts, std::uint64_t seed) {
+  std::vector<std::uint64_t> flow_seeds(opts.count);
+  for (std::size_t i = 0; i < opts.count; ++i) {
+    flow_seeds[i] = fork_flow_seed(seed, i);
+  }
+  return generate_with_flow_seeds(class_id, opts, flow_seeds);
+}
+
+std::vector<net::Flow> TraceDiffusion::generate_with_flow_seeds(
+    int class_id, const GenerateOptions& opts,
+    const std::vector<std::uint64_t>& flow_seeds) {
+  if (!fitted_) {
+    throw std::logic_error(
+        "TraceDiffusion::generate_with_flow_seeds: call fit() first");
+  }
+  if (class_id < 0 ||
+      static_cast<std::size_t>(class_id) >= prompts_.num_classes()) {
+    throw std::invalid_argument(
+        "TraceDiffusion::generate_with_flow_seeds: bad class id");
+  }
+  if (flow_seeds.empty()) return {};
+  REPRO_SPAN("diffusion.generate");
+  telemetry::count("diffusion.generate.flows", flow_seeds.size());
+  std::vector<Rng> rngs;
+  rngs.reserve(flow_seeds.size());
+  for (const std::uint64_t s : flow_seeds) rngs.emplace_back(s);
+  nn::Tensor latents = sample_latents_multi(class_id, opts, rngs);
+  return decode_flows(std::move(latents), class_id, opts, &rngs);
 }
 
 std::vector<net::Flow> TraceDiffusion::generate_from_prompt(
@@ -664,7 +776,7 @@ net::Flow TraceDiffusion::deblur(const net::Flow& corrupted,
     }
     flow.packets.push_back(std::move(pkt));
   }
-  assign_timestamps(flow, class_id);
+  assign_timestamps(flow, class_id, rng_);
   if (!flow.packets.empty()) {
     flow.key = net::FlowKey::from_packet(flow.packets.front()).canonical();
   }

@@ -68,6 +68,15 @@ struct PipelineConfig {
 
 enum class SamplerKind { kDdpm, kDdim };
 
+/// Derives the per-flow RNG seed for flow `flow_index` of a seeded
+/// generation request (splitmix64-style mixing). The serving layer uses
+/// the same derivation when it concatenates several requests into one
+/// batched model call, so a flow's noise streams do not depend on how
+/// requests were coalesced — the root of the served-response determinism
+/// contract.
+std::uint64_t fork_flow_seed(std::uint64_t seed,
+                             std::size_t flow_index) noexcept;
+
 struct GenerateOptions {
   std::size_t count = 1;
   SamplerKind sampler = SamplerKind::kDdim;
@@ -136,6 +145,27 @@ class TraceDiffusion {
   std::vector<net::Flow> generate_from_prompt(const std::string& prompt,
                                               const GenerateOptions& opts);
 
+  /// Deterministic seeded generation: flow i of the `opts.count` flows
+  /// draws ALL of its randomness (initial noise, per-step sampler noise,
+  /// timestamp gaps) from an independent stream seeded with
+  /// fork_flow_seed(seed, i). Unlike generate(), this neither reads nor
+  /// advances the pipeline's internal RNG, so the same (class, seed,
+  /// opts) always yields bit-identical flows — the library-side half of
+  /// the serving determinism contract.
+  std::vector<net::Flow> generate_seeded(int class_id,
+                                         const GenerateOptions& opts,
+                                         std::uint64_t seed);
+
+  /// Batch-friendly seeded entry point: one flow per entry of
+  /// `flow_seeds`, all sampled in ONE batched model call
+  /// (opts.count is ignored). Because every per-flow noise stream is
+  /// keyed by its own seed, concatenating the flow-seed lists of several
+  /// requests produces bit-identical flows to issuing those requests
+  /// separately — this is what the serving layer's micro-batcher calls.
+  std::vector<net::Flow> generate_with_flow_seeds(
+      int class_id, const GenerateOptions& opts,
+      const std::vector<std::uint64_t>& flow_seeds);
+
   /// One raw generated matrix (already quantized/projected per
   /// opts.constraint) plus the template used — the Figure 2 artifact.
   nprint::Matrix generate_matrix(int class_id, const GenerateOptions& opts,
@@ -203,6 +233,18 @@ class TraceDiffusion {
   nn::Tensor sample_latents(int class_id, std::size_t count,
                             const GenerateOptions& opts);
 
+  /// sample_latents with one noise stream per sample (count =
+  /// rngs.size()); see generate_with_flow_seeds.
+  nn::Tensor sample_latents_multi(int class_id, const GenerateOptions& opts,
+                                  std::vector<Rng>& rngs);
+
+  /// Shared decode tail: latent batch -> quantize -> project -> packets
+  /// -> timestamps. `flow_rngs`, when non-null (one per flow), supplies
+  /// the per-flow timestamp streams; otherwise the pipeline RNG is used.
+  std::vector<net::Flow> decode_flows(nn::Tensor latents, int class_id,
+                                      const GenerateOptions& opts,
+                                      std::vector<Rng>* flow_rngs);
+
   /// Builds the classifier-free-guided noise predictor shared by
   /// sample_latents and deblur. With guidance enabled, the cond and
   /// uncond evaluations run as ONE batched [2N] U-Net forward (inputs
@@ -225,8 +267,9 @@ class TraceDiffusion {
   /// Fits/updates per-class timing models from labeled flows.
   void fit_timing(const flowgen::Dataset& data);
 
-  /// Assigns model-sampled timestamps to a generated flow.
-  void assign_timestamps(net::Flow& flow, int class_id);
+  /// Assigns model-sampled timestamps to a generated flow, drawing the
+  /// inter-arrival gaps from `rng`.
+  void assign_timestamps(net::Flow& flow, int class_id, Rng& rng);
 
   std::map<int, net::Flow> template_flows_;   // one-shot control sources
   std::map<int, ProtocolTemplate> templates_;

@@ -11,33 +11,67 @@
 namespace repro::diffusion {
 namespace {
 
-nn::Tensor gaussian_tensor(const std::vector<std::size_t>& shape, Rng& rng) {
-  nn::Tensor x(shape);
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    x[i] = static_cast<float>(rng.gaussian());
+/// Where sampler noise comes from: either ONE shared stream consumed in
+/// element order (the legacy path — bit-identical to the pre-refactor
+/// per-element loops), or one stream PER SAMPLE, each consumed in that
+/// sample's element order. The per-sample mode is what makes a sample's
+/// bits independent of how requests were coalesced into a batch.
+class NoiseSource {
+ public:
+  explicit NoiseSource(Rng& rng) : single_(&rng) {}
+  NoiseSource(std::vector<Rng>& rngs, std::size_t stride)
+      : multi_(&rngs), stride_(stride) {}
+
+  /// Serially draws `count` standard normals (drawing stays serial so
+  /// the stream order never depends on the thread count; the arithmetic
+  /// that follows runs on the pool). The buffer comes from the scratch
+  /// arena so repeated sampler steps reuse one allocation.
+  nn::TensorArena::Handle draw(std::size_t count) {
+    nn::TensorArena::Handle noise = nn::TensorArena::scratch().acquire(count);
+    float* p = noise.data();
+    if (single_ != nullptr) {
+      for (std::size_t i = 0; i < count; ++i) {
+        p[i] = static_cast<float>(single_->gaussian());
+      }
+    } else {
+      REPRO_REQUIRE(stride_ > 0 && count == multi_->size() * stride_,
+                    "NoiseSource: draw size must be samples * stride");
+      for (std::size_t b = 0; b < multi_->size(); ++b) {
+        Rng& rng = (*multi_)[b];
+        for (std::size_t i = 0; i < stride_; ++i) {
+          p[b * stride_ + i] = static_cast<float>(rng.gaussian());
+        }
+      }
+    }
+    return noise;
   }
-  return x;
+
+ private:
+  Rng* single_ = nullptr;
+  std::vector<Rng>* multi_ = nullptr;
+  std::size_t stride_ = 0;
+};
+
+std::size_t sample_stride(const std::vector<std::size_t>& shape) {
+  std::size_t stride = 1;
+  for (std::size_t i = 1; i < shape.size(); ++i) stride *= shape[i];
+  return stride;
 }
 
-/// Serially draws `count` standard normals (element order — the RNG
-/// stream is consumed exactly as the pre-parallel per-element loops
-/// did), letting the arithmetic that follows run on the pool. The
-/// buffer comes from the scratch arena so repeated sampler steps reuse
-/// one allocation.
-nn::TensorArena::Handle draw_noise(std::size_t count, Rng& rng) {
-  nn::TensorArena::Handle noise = nn::TensorArena::scratch().acquire(count);
-  float* p = noise.data();
-  for (std::size_t i = 0; i < count; ++i) {
-    p[i] = static_cast<float>(rng.gaussian());
-  }
-  return noise;
+nn::Tensor gaussian_tensor(const std::vector<std::size_t>& shape,
+                           NoiseSource& noise) {
+  nn::Tensor x(shape);
+  nn::TensorArena::Handle buf = noise.draw(x.size());
+  std::copy(buf.data(), buf.data() + x.size(), x.data());
+  return x;
 }
 
 constexpr std::size_t kStepGrain = 4096;  // elementwise ops per chunk
 
 /// One DDPM ancestral update from timestep `t`.
 void ddpm_step(nn::Tensor& x, const nn::Tensor& eps,
-               const NoiseSchedule& schedule, std::size_t t, Rng& rng) {
+               const NoiseSchedule& schedule, std::size_t t,
+               NoiseSource& source) {
   REPRO_REQUIRE(eps.size() == x.size(),
                 "ddpm_step: eps_fn returned a tensor of the wrong size");
   const float beta = schedule.beta(t);
@@ -46,7 +80,7 @@ void ddpm_step(nn::Tensor& x, const nn::Tensor& eps,
   const float inv_sqrt_alpha = 1.0f / std::sqrt(alpha);
   const float sigma = std::sqrt(schedule.posterior_variance(t));
   nn::TensorArena::Handle noise;
-  if (t > 0) noise = draw_noise(x.size(), rng);
+  if (t > 0) noise = source.draw(x.size());
   const float* np = noise.data();
   parallel::parallel_for(
       0, x.size(), kStepGrain, [&](std::size_t cb, std::size_t ce) {
@@ -74,7 +108,7 @@ std::vector<std::size_t> ddim_taus(std::size_t t0, std::size_t steps) {
 
 /// One DDIM update from abar_t to abar_prev.
 void ddim_step(nn::Tensor& x, const nn::Tensor& eps, float abar_t,
-               float abar_prev, float eta, bool last, Rng& rng) {
+               float abar_prev, float eta, bool last, NoiseSource& source) {
   REPRO_REQUIRE(eps.size() == x.size(),
                 "ddim_step: eps_fn returned a tensor of the wrong size");
   REPRO_REQUIRE(abar_t > 0.0f && abar_prev >= abar_t,
@@ -90,7 +124,7 @@ void ddim_step(nn::Tensor& x, const nn::Tensor& eps, float abar_t,
   const float sqrt_abar_prev = std::sqrt(abar_prev);
   const bool noisy = !last && sigma > 0.0f;
   nn::TensorArena::Handle noise;
-  if (noisy) noise = draw_noise(x.size(), rng);
+  if (noisy) noise = source.draw(x.size());
   const float* np = noise.data();
   parallel::parallel_for(
       0, x.size(), kStepGrain, [&](std::size_t cb, std::size_t ce) {
@@ -105,30 +139,26 @@ void ddim_step(nn::Tensor& x, const nn::Tensor& eps, float abar_t,
       });
 }
 
-}  // namespace
-
-nn::Tensor ddpm_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
-                            nn::Tensor x_t0, std::size_t t0, Rng& rng) {
+nn::Tensor ddpm_sample_from_source(const EpsFn& eps_fn,
+                                   const NoiseSchedule& schedule,
+                                   nn::Tensor x_t0, std::size_t t0,
+                                   NoiseSource& source) {
   if (t0 >= schedule.timesteps()) {
     throw std::invalid_argument("ddpm_sample_from: t0 out of range");
   }
   for (std::size_t step = t0 + 1; step-- > 0;) {
     REPRO_SPAN("diffusion.sample.ddpm_step");
     const nn::Tensor eps = eps_fn(x_t0, step);
-    ddpm_step(x_t0, eps, schedule, step, rng);
+    ddpm_step(x_t0, eps, schedule, step, source);
   }
   return x_t0;
 }
 
-nn::Tensor ddpm_sample(const EpsFn& eps_fn, const NoiseSchedule& schedule,
-                       const std::vector<std::size_t>& shape, Rng& rng) {
-  return ddpm_sample_from(eps_fn, schedule, gaussian_tensor(shape, rng),
-                          schedule.timesteps() - 1, rng);
-}
-
-nn::Tensor ddim_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
-                            nn::Tensor x_t0, std::size_t t0,
-                            std::size_t steps, float eta, Rng& rng) {
+nn::Tensor ddim_sample_from_source(const EpsFn& eps_fn,
+                                   const NoiseSchedule& schedule,
+                                   nn::Tensor x_t0, std::size_t t0,
+                                   std::size_t steps, float eta,
+                                   NoiseSource& source) {
   if (t0 >= schedule.timesteps()) {
     throw std::invalid_argument("ddim_sample_from: t0 out of range");
   }
@@ -143,9 +173,71 @@ nn::Tensor ddim_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
     const float abar_t = schedule.alpha_bar(t);
     const float abar_prev = last ? 1.0f : schedule.alpha_bar(taus[i + 1]);
     const nn::Tensor eps = eps_fn(x_t0, t);
-    ddim_step(x_t0, eps, abar_t, abar_prev, eta, last, rng);
+    ddim_step(x_t0, eps, abar_t, abar_prev, eta, last, source);
   }
   return x_t0;
+}
+
+void check_multi_rngs(const std::vector<Rng>& rngs, std::size_t samples,
+                      const char* what) {
+  if (rngs.size() != samples) {
+    throw std::invalid_argument(std::string(what) +
+                                ": need one Rng stream per sample");
+  }
+}
+
+}  // namespace
+
+nn::Tensor ddpm_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                            nn::Tensor x_t0, std::size_t t0, Rng& rng) {
+  NoiseSource source(rng);
+  return ddpm_sample_from_source(eps_fn, schedule, std::move(x_t0), t0,
+                                 source);
+}
+
+nn::Tensor ddpm_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                            nn::Tensor x_t0, std::size_t t0,
+                            std::vector<Rng>& rngs) {
+  check_multi_rngs(rngs, x_t0.dim(0), "ddpm_sample_from");
+  NoiseSource source(rngs, sample_stride(x_t0.shape()));
+  return ddpm_sample_from_source(eps_fn, schedule, std::move(x_t0), t0,
+                                 source);
+}
+
+nn::Tensor ddpm_sample(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                       const std::vector<std::size_t>& shape, Rng& rng) {
+  NoiseSource source(rng);
+  return ddpm_sample_from_source(eps_fn, schedule,
+                                 gaussian_tensor(shape, source),
+                                 schedule.timesteps() - 1, source);
+}
+
+nn::Tensor ddpm_sample(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                       const std::vector<std::size_t>& shape,
+                       std::vector<Rng>& rngs) {
+  check_multi_rngs(rngs, shape.at(0), "ddpm_sample");
+  NoiseSource source(rngs, sample_stride(shape));
+  return ddpm_sample_from_source(eps_fn, schedule,
+                                 gaussian_tensor(shape, source),
+                                 schedule.timesteps() - 1, source);
+}
+
+nn::Tensor ddim_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                            nn::Tensor x_t0, std::size_t t0,
+                            std::size_t steps, float eta, Rng& rng) {
+  NoiseSource source(rng);
+  return ddim_sample_from_source(eps_fn, schedule, std::move(x_t0), t0, steps,
+                                 eta, source);
+}
+
+nn::Tensor ddim_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                            nn::Tensor x_t0, std::size_t t0,
+                            std::size_t steps, float eta,
+                            std::vector<Rng>& rngs) {
+  check_multi_rngs(rngs, x_t0.dim(0), "ddim_sample_from");
+  NoiseSource source(rngs, sample_stride(x_t0.shape()));
+  return ddim_sample_from_source(eps_fn, schedule, std::move(x_t0), t0, steps,
+                                 eta, source);
 }
 
 nn::Tensor ddim_sample(const EpsFn& eps_fn, const NoiseSchedule& schedule,
@@ -154,8 +246,23 @@ nn::Tensor ddim_sample(const EpsFn& eps_fn, const NoiseSchedule& schedule,
   if (steps == 0 || steps > schedule.timesteps()) {
     throw std::invalid_argument("ddim_sample: bad step count");
   }
-  return ddim_sample_from(eps_fn, schedule, gaussian_tensor(shape, rng),
-                          schedule.timesteps() - 1, steps, eta, rng);
+  NoiseSource source(rng);
+  return ddim_sample_from_source(eps_fn, schedule,
+                                 gaussian_tensor(shape, source),
+                                 schedule.timesteps() - 1, steps, eta, source);
+}
+
+nn::Tensor ddim_sample(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                       const std::vector<std::size_t>& shape,
+                       std::size_t steps, float eta, std::vector<Rng>& rngs) {
+  if (steps == 0 || steps > schedule.timesteps()) {
+    throw std::invalid_argument("ddim_sample: bad step count");
+  }
+  check_multi_rngs(rngs, shape.at(0), "ddim_sample");
+  NoiseSource source(rngs, sample_stride(shape));
+  return ddim_sample_from_source(eps_fn, schedule,
+                                 gaussian_tensor(shape, source),
+                                 schedule.timesteps() - 1, steps, eta, source);
 }
 
 nn::Tensor ddim_inpaint(const EpsFn& eps_fn, const NoiseSchedule& schedule,
@@ -180,7 +287,8 @@ nn::Tensor ddim_inpaint(const EpsFn& eps_fn, const NoiseSchedule& schedule,
     }
   };
 
-  nn::Tensor x = gaussian_tensor(known_x0.shape(), rng);
+  NoiseSource source(rng);
+  nn::Tensor x = gaussian_tensor(known_x0.shape(), source);
   clamp_known(x, t0, /*final=*/false);
   const std::vector<std::size_t> taus = ddim_taus(t0, steps);
   for (std::size_t i = 0; i < steps; ++i) {
@@ -190,7 +298,7 @@ nn::Tensor ddim_inpaint(const EpsFn& eps_fn, const NoiseSchedule& schedule,
     const float abar_t = schedule.alpha_bar(t);
     const float abar_prev = last ? 1.0f : schedule.alpha_bar(taus[i + 1]);
     const nn::Tensor eps = eps_fn(x, t);
-    ddim_step(x, eps, abar_t, abar_prev, eta, last, rng);
+    ddim_step(x, eps, abar_t, abar_prev, eta, last, source);
     if (last) {
       clamp_known(x, 0, /*final=*/true);
     } else {

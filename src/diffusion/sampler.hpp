@@ -29,6 +29,21 @@ nn::Tensor ddim_sample(const EpsFn& eps_fn, const NoiseSchedule& schedule,
                        const std::vector<std::size_t>& shape,
                        std::size_t steps, float eta, Rng& rng);
 
+/// Per-sample-stream variants backing the serving layer's determinism
+/// contract: sample b of the batch draws ALL of its noise (initial x_T
+/// and any per-step noise) from `rngs[b]`, in the exact order a
+/// single-sample call would consume it. Consequently regrouping flows
+/// across batched calls — one [4] call vs four [1] calls with the same
+/// four streams — yields bit-identical samples, which is what lets the
+/// batch scheduler coalesce independently seeded requests into one model
+/// call. Requires rngs.size() == shape[0].
+nn::Tensor ddpm_sample(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                       const std::vector<std::size_t>& shape,
+                       std::vector<Rng>& rngs);
+nn::Tensor ddim_sample(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                       const std::vector<std::size_t>& shape,
+                       std::size_t steps, float eta, std::vector<Rng>& rngs);
+
 /// Partial-trajectory variants (SDEdit-style image guidance): start from
 /// a given x_{t0} — typically q_sample(guide, t0) — and denoise from
 /// timestep `t0` down to 0. `steps` counts the DDIM evaluations spent on
@@ -38,6 +53,15 @@ nn::Tensor ddpm_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
 nn::Tensor ddim_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
                             nn::Tensor x_t0, std::size_t t0,
                             std::size_t steps, float eta, Rng& rng);
+
+/// Per-sample-stream partial-trajectory variants (see above).
+nn::Tensor ddpm_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                            nn::Tensor x_t0, std::size_t t0,
+                            std::vector<Rng>& rngs);
+nn::Tensor ddim_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                            nn::Tensor x_t0, std::size_t t0,
+                            std::size_t steps, float eta,
+                            std::vector<Rng>& rngs);
 
 /// Diffusion inpainting (RePaint-style, without resampling): elements
 /// where `known_mask` is nonzero are clamped to the appropriately noised

@@ -1,0 +1,14 @@
+#include "serve/clock.hpp"
+
+#include <chrono>
+
+namespace repro::serve {
+
+ClockFn steady_clock_fn() {
+  return [] {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    return std::chrono::duration<double>(now).count();
+  };
+}
+
+}  // namespace repro::serve

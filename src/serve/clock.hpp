@@ -1,0 +1,19 @@
+// Service clock: a monotonic seconds source injected into the serving
+// layer. All deadline/wait logic takes time as a plain double from a
+// ClockFn, so tests drive a fake clock and the daemon installs the real
+// one. This file (clock.{hpp,cpp}) is the ONLY serve/ translation unit
+// allowed to read a real clock (repro_lint RL006 exemption): generated
+// trace bits must never depend on wall time, only scheduling does.
+#pragma once
+
+#include <functional>
+
+namespace repro::serve {
+
+/// Monotonic time in seconds from an arbitrary epoch.
+using ClockFn = std::function<double()>;
+
+/// The real service clock (std::chrono::steady_clock).
+ClockFn steady_clock_fn();
+
+}  // namespace repro::serve

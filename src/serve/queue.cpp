@@ -1,0 +1,75 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+
+namespace repro::serve {
+
+const char* to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kDeadlineExpired: return "deadline_expired";
+    case RejectReason::kUnknownModel: return "unknown_model";
+    case RejectReason::kUnknownClass: return "unknown_class";
+    case RejectReason::kBadRequest: return "bad_request";
+    case RejectReason::kShuttingDown: return "shutting_down";
+  }
+  return "unknown";
+}
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+std::optional<RejectReason> RequestQueue::try_push(Pending&& p) {
+  const auto lane = static_cast<std::size_t>(p.request.priority);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& q : lanes_) total += q.size();
+  if (total >= capacity_) return RejectReason::kQueueFull;
+  lanes_[std::min(lane, kPriorityLanes - 1)].push_back(std::move(p));
+  return std::nullopt;
+}
+
+std::optional<Pending> RequestQueue::pop_head() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& q : lanes_) {
+    if (q.empty()) continue;
+    Pending p = std::move(q.front());
+    q.pop_front();
+    return p;
+  }
+  return std::nullopt;
+}
+
+std::vector<Pending> RequestQueue::extract_matching(
+    const std::function<bool(const Pending&)>& pred, std::size_t max) {
+  std::vector<Pending> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& q : lanes_) {
+    for (auto it = q.begin(); it != q.end() && out.size() < max;) {
+      if (pred(*it)) {
+        out.push_back(std::move(*it));
+        it = q.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& q : lanes_) total += q.size();
+  return total;
+}
+
+double RequestQueue::oldest_enqueue_time() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double oldest = kNoDeadline;
+  for (const auto& q : lanes_) {
+    for (const auto& p : q) oldest = std::min(oldest, p.enqueue_time);
+  }
+  return oldest;
+}
+
+}  // namespace repro::serve

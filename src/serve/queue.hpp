@@ -1,0 +1,60 @@
+// Bounded MPMC request queue with priority lanes and non-blocking
+// admission control.
+//
+// Producers (any thread) call try_push; when the queue is at capacity
+// the push is refused with a typed reason instead of blocking — the
+// backpressure half of the serving contract: accepted work is never
+// dropped, and excess work is never silently queued without bound.
+// The batch scheduler consumes via pop_head / extract_matching.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace repro::serve {
+
+/// A queued request plus its delivery channel and bookkeeping.
+struct Pending {
+  GenerateRequest request;
+  std::uint64_t id = 0;
+  double enqueue_time = 0.0;  ///< service-clock seconds at admission
+  std::promise<Response> promise;
+};
+
+class RequestQueue {
+ public:
+  /// `capacity` bounds the TOTAL queued requests across all lanes.
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Non-blocking admission: nullopt on success; kQueueFull (and `p`
+  /// untouched) when at capacity.
+  std::optional<RejectReason> try_push(Pending&& p);
+
+  /// Oldest request of the highest-priority non-empty lane.
+  std::optional<Pending> pop_head();
+
+  /// Removes up to `max` requests for which `pred` returns true,
+  /// scanning lanes high-to-low priority, FIFO within a lane. `pred`
+  /// may be stateful (e.g. a closing flow budget).
+  std::vector<Pending> extract_matching(
+      const std::function<bool(const Pending&)>& pred, std::size_t max);
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Earliest enqueue_time across all queued requests; +inf when empty.
+  double oldest_enqueue_time() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::deque<Pending> lanes_[kPriorityLanes];
+};
+
+}  // namespace repro::serve

@@ -1,0 +1,81 @@
+#include "serve/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "nn/serialize.hpp"
+
+namespace repro::serve {
+
+void ModelRegistry::install(
+    const std::string& name,
+    std::shared_ptr<diffusion::TraceDiffusion> pipeline,
+    std::string version) {
+  if (!pipeline) {
+    throw std::invalid_argument("ModelRegistry::install: null pipeline");
+  }
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->num_classes = pipeline->prompts().num_classes();
+  snap->pipeline = std::move(pipeline);
+  snap->version = std::move(version);
+  std::lock_guard<std::mutex> lock(mutex_);
+  models_[name] = std::move(snap);
+}
+
+void ModelRegistry::load_checkpoint(
+    const std::string& name, const diffusion::PipelineConfig& config,
+    const std::vector<std::string>& class_names, const std::string& prefix,
+    std::string version, const std::string& lora_path) {
+  auto pipeline =
+      std::make_shared<diffusion::TraceDiffusion>(config, class_names);
+  pipeline->load(prefix);
+  if (!lora_path.empty()) load_lora_adapter(*pipeline, lora_path);
+  install(name, std::move(pipeline), std::move(version));
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::snapshot(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+bool ModelRegistry::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.erase(name) > 0;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [name, snap] : models_) out.push_back(name);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.size();
+}
+
+std::vector<nn::Parameter*> lora_adapter_parameters(
+    diffusion::TraceDiffusion& pipeline) {
+  if (pipeline.config().unet.lora_rank == 0) {
+    throw std::logic_error("lora_adapter_parameters: model has no LoRA rank");
+  }
+  std::vector<nn::Parameter*> params = pipeline.unet().lora_parameters();
+  params.push_back(&pipeline.unet().class_embedding_table());
+  return params;
+}
+
+void save_lora_adapter(diffusion::TraceDiffusion& pipeline,
+                       const std::string& path) {
+  nn::save_parameters(path, lora_adapter_parameters(pipeline));
+}
+
+void load_lora_adapter(diffusion::TraceDiffusion& pipeline,
+                       const std::string& path) {
+  nn::load_parameters(path, lora_adapter_parameters(pipeline));
+}
+
+}  // namespace repro::serve

@@ -1,0 +1,83 @@
+// Model registry: named, versioned TraceDiffusion snapshots with atomic
+// hot-swap.
+//
+// A snapshot is an immutable (pipeline, version) pair held by
+// shared_ptr. install() atomically replaces the entry for a name;
+// readers that already resolved a snapshot (a batch in flight) keep the
+// old pipeline alive until they drop it — generation in flight always
+// finishes on the checkpoint it started with. The version string is
+// part of every result-cache key, so a hot-swap can never serve stale
+// cached flows from a previous checkpoint.
+//
+// LoRA adapter selection: a registered model may layer an adapter-only
+// checkpoint (the UNet's LoRA matrices + class embedding table, the
+// exact parameter set fit_lora trains) over a shared base checkpoint —
+// so "netflix-tuned" and "base" can coexist as registry entries that
+// differ only in a few small adapter tensors.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "diffusion/pipeline.hpp"
+
+namespace repro::serve {
+
+struct ModelSnapshot {
+  std::shared_ptr<diffusion::TraceDiffusion> pipeline;
+  std::string version;
+  std::size_t num_classes = 0;
+};
+
+class ModelRegistry {
+ public:
+  /// Atomically publishes `pipeline` (must be fitted or loaded) as
+  /// `name`@`version`, replacing any previous entry for the name.
+  void install(const std::string& name,
+               std::shared_ptr<diffusion::TraceDiffusion> pipeline,
+               std::string version);
+
+  /// Constructs a pipeline from `config`/`class_names`, loads the
+  /// TraceDiffusion checkpoint at `prefix` (see TraceDiffusion::save),
+  /// optionally layers the LoRA adapter checkpoint at `lora_path`, and
+  /// installs the result. Throws on checkpoint mismatch or I/O failure
+  /// (the previous entry, if any, stays installed).
+  void load_checkpoint(const std::string& name,
+                       const diffusion::PipelineConfig& config,
+                       const std::vector<std::string>& class_names,
+                       const std::string& prefix, std::string version,
+                       const std::string& lora_path = {});
+
+  /// Current snapshot for `name`; nullptr when unknown. The returned
+  /// snapshot stays valid (and its pipeline alive) for as long as the
+  /// caller holds it, independent of later install() calls.
+  std::shared_ptr<const ModelSnapshot> snapshot(
+      const std::string& name) const;
+
+  /// Removes `name`; in-flight holders keep their snapshot.
+  bool remove(const std::string& name);
+
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const ModelSnapshot>> models_;
+};
+
+/// The adapter parameter set of `pipeline` (UNet LoRA matrices + class
+/// embedding table — what fit_lora trains). Requires lora_rank > 0.
+std::vector<nn::Parameter*> lora_adapter_parameters(
+    diffusion::TraceDiffusion& pipeline);
+
+/// Saves/loads ONLY the adapter parameter set, for layering fine-tuned
+/// variants over a shared base checkpoint.
+void save_lora_adapter(diffusion::TraceDiffusion& pipeline,
+                       const std::string& path);
+void load_lora_adapter(diffusion::TraceDiffusion& pipeline,
+                       const std::string& path);
+
+}  // namespace repro::serve

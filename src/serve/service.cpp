@@ -1,0 +1,213 @@
+#include "serve/service.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "common/contracts.hpp"
+
+namespace repro::serve {
+
+TraceService::TraceService(ModelRegistry& registry, ServiceConfig config)
+    : registry_(registry),
+      config_(std::move(config)),
+      clock_(config_.clock ? config_.clock : steady_clock_fn()),
+      queue_(config_.queue_capacity),
+      scheduler_(config_.batch),
+      cache_(config_.cache_capacity) {}
+
+TraceService::~TraceService() { stop(); }
+
+SubmitResult TraceService::submit(const GenerateRequest& request) {
+  SubmitResult result;
+  stats_.submitted.add();
+  if (closed_.load(std::memory_order_relaxed)) {
+    result.reject = RejectReason::kShuttingDown;
+    stats_.rejected_invalid.add();
+    return result;
+  }
+  if (request.count == 0) {
+    result.reject = RejectReason::kBadRequest;
+    stats_.rejected_invalid.add();
+    return result;
+  }
+  const auto snap = registry_.snapshot(request.model);
+  if (!snap) {
+    result.reject = RejectReason::kUnknownModel;
+    stats_.rejected_invalid.add();
+    return result;
+  }
+  if (request.class_id < 0 ||
+      static_cast<std::size_t>(request.class_id) >= snap->num_classes) {
+    result.reject = RejectReason::kUnknownClass;
+    stats_.rejected_invalid.add();
+    return result;
+  }
+
+  const double now = clock_();
+  result.request_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+
+  // Cache probe: a hit responds immediately without touching the queue.
+  if (auto hit = cache_.get(cache_key_of(request, snap->version))) {
+    stats_.cache_hits.add();
+    stats_.completed.add();
+    stats_.flows_served.add(hit->size());
+    Response response;
+    response.request_id = result.request_id;
+    response.flows = std::move(*hit);
+    response.model_version = snap->version;
+    response.cache_hit = true;
+    std::promise<Response> promise;
+    result.response = promise.get_future().share();
+    promise.set_value(std::move(response));
+    result.accepted = true;
+    return result;
+  }
+  stats_.cache_misses.add();
+
+  Pending pending;
+  pending.request = request;
+  pending.id = result.request_id;
+  pending.enqueue_time = now;
+  result.response = pending.promise.get_future().share();
+  if (auto reject = queue_.try_push(std::move(pending))) {
+    result.reject = *reject;
+    stats_.rejected_full.add();
+    return result;
+  }
+  stats_.accepted.add();
+  stats_.queue_depth.set(static_cast<double>(queue_.size()));
+  if (worker_) worker_->notify();
+  result.accepted = true;
+  return result;
+}
+
+void TraceService::cancel(Pending&& p, RejectReason reason, double now) {
+  stats_.cancelled_deadline.add();
+  Response response;
+  response.status = ResponseStatus::kCancelled;
+  response.cancel_reason = reason;
+  response.request_id = p.id;
+  response.queue_wait = now - p.enqueue_time;
+  response.total_latency = response.queue_wait;
+  p.promise.set_value(std::move(response));
+}
+
+std::size_t TraceService::pump() {
+  const double now = clock_();
+  if (!scheduler_.should_dispatch(queue_, now)) {
+    // Even while batching waits, expired requests must not linger.
+    std::size_t cancelled = 0;
+    for (Pending& p : queue_.extract_matching(
+             [now](const Pending& q) { return q.request.deadline < now; },
+             config_.queue_capacity)) {
+      cancel(std::move(p), RejectReason::kDeadlineExpired, now);
+      ++cancelled;
+    }
+    stats_.queue_depth.set(static_cast<double>(queue_.size()));
+    return cancelled;
+  }
+  FormedBatch formed = scheduler_.form(queue_, now);
+  const std::size_t done = execute(std::move(formed), now);
+  stats_.queue_depth.set(static_cast<double>(queue_.size()));
+  return done;
+}
+
+std::size_t TraceService::drain() {
+  std::size_t total = 0;
+  while (!queue_.empty()) {
+    const double now = clock_();
+    total += execute(scheduler_.form(queue_, now), now);
+  }
+  stats_.queue_depth.set(0.0);
+  return total;
+}
+
+std::size_t TraceService::execute(FormedBatch&& formed, double now) {
+  std::size_t done = 0;
+  for (Pending& p : formed.expired) {
+    cancel(std::move(p), RejectReason::kDeadlineExpired, now);
+    ++done;
+  }
+  if (formed.batch.empty()) return done;
+
+  const auto snap = registry_.snapshot(formed.key.model);
+  if (!snap) {
+    // Model was removed after admission: typed cancellation, not a drop.
+    for (Pending& p : formed.batch) {
+      cancel(std::move(p), RejectReason::kUnknownModel, now);
+      ++done;
+    }
+    return done;
+  }
+
+  // ONE batched model call over the concatenated per-flow seed streams.
+  // Flow j of request r uses fork_flow_seed(r.seed, j), so the result
+  // is bit-identical to serving each request alone.
+  std::vector<std::uint64_t> flow_seeds;
+  flow_seeds.reserve(formed.flows);
+  for (const Pending& p : formed.batch) {
+    for (std::size_t i = 0; i < p.request.count; ++i) {
+      flow_seeds.push_back(diffusion::fork_flow_seed(p.request.seed, i));
+    }
+  }
+  diffusion::GenerateOptions opts = config_.base_options;
+  opts.sampler = formed.key.sampler;
+  opts.ddim_steps = formed.key.steps;
+  opts.count = formed.flows;
+
+  stats_.batches.add();
+  stats_.batch_size.observe(static_cast<double>(formed.flows));
+
+  std::vector<net::Flow> flows;
+  try {
+    flows = snap->pipeline->generate_with_flow_seeds(formed.key.class_id,
+                                                     opts, flow_seeds);
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    for (Pending& p : formed.batch) {
+      p.promise.set_exception(error);
+      ++done;
+    }
+    return done;
+  }
+  REPRO_ENSURE(flows.size() == formed.flows,
+               "serve: batched generation returned wrong flow count");
+
+  const double finish = clock_();
+  std::size_t offset = 0;
+  for (Pending& p : formed.batch) {
+    Response response;
+    response.request_id = p.id;
+    response.model_version = snap->version;
+    response.flows.assign(
+        std::make_move_iterator(flows.begin() + static_cast<long>(offset)),
+        std::make_move_iterator(flows.begin() +
+                                static_cast<long>(offset + p.request.count)));
+    offset += p.request.count;
+    response.queue_wait = now - p.enqueue_time;
+    response.total_latency = finish - p.enqueue_time;
+    response.batch_flows = formed.flows;
+    stats_.queue_wait.observe(response.queue_wait);
+    stats_.latency.observe(response.total_latency);
+    stats_.completed.add();
+    stats_.flows_served.add(p.request.count);
+    cache_.put(cache_key_of(p.request, snap->version), response.flows);
+    p.promise.set_value(std::move(response));
+    ++done;
+  }
+  return done;
+}
+
+void TraceService::start() {
+  if (worker_) return;
+  worker_ = std::make_unique<BackgroundWorker>([this] { return pump(); },
+                                               config_.worker_idle_wait);
+}
+
+void TraceService::stop() {
+  if (!worker_) return;
+  worker_->stop();
+  worker_.reset();
+}
+
+}  // namespace repro::serve

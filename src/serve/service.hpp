@@ -1,0 +1,102 @@
+// TraceService: the in-process trace-generation service.
+//
+//   submit() [any thread] -> admission control -> ResultCache probe
+//     -> RequestQueue (priority lanes, bounded)
+//   pump()   [ONE consumer] -> BatchScheduler::form -> cancel expired
+//     -> ModelRegistry snapshot -> generate_with_flow_seeds (ONE batched
+//        model call) -> split per request -> fulfill futures + cache
+//
+// Threading model: submit() is safe from any number of threads and
+// never blocks on model work (full queue => typed reject). pump() must
+// be driven by exactly one consumer — either cooperatively (tests,
+// closed-loop benches) or by the built-in BackgroundWorker
+// (start()/stop(), used by the daemon). All model math inside pump()
+// still runs under the deterministic parallel lane model.
+//
+// Determinism: per-flow noise streams are forked from (request.seed,
+// flow_index) exactly as TraceDiffusion::generate_seeded does, so a
+// served response is bit-identical to the direct library call, no
+// matter how requests were batched, at any REPRO_THREADS setting.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "serve/batcher.hpp"
+#include "serve/cache.hpp"
+#include "serve/clock.hpp"
+#include "serve/queue.hpp"
+#include "serve/registry.hpp"
+#include "serve/stats.hpp"
+#include "serve/worker.hpp"
+
+namespace repro::serve {
+
+struct ServiceConfig {
+  std::size_t queue_capacity = 64;
+  BatchPolicy batch;
+  std::size_t cache_capacity = 256;  ///< 0 disables the result cache
+  double worker_idle_wait = 0.005;   ///< seconds; background mode only
+  /// Service-wide generation options (guidance, constraints, ...).
+  /// sampler/ddim_steps/count/seed come from each request.
+  diffusion::GenerateOptions base_options;
+  ClockFn clock;  ///< defaults to steady_clock_fn() when empty
+};
+
+struct SubmitResult {
+  bool accepted = false;
+  /// Valid when !accepted: why admission refused the request.
+  RejectReason reject = RejectReason::kBadRequest;
+  std::uint64_t request_id = 0;
+  /// Valid when accepted; already ready on a cache hit.
+  std::shared_future<Response> response;
+};
+
+class TraceService {
+ public:
+  TraceService(ModelRegistry& registry, ServiceConfig config);
+  ~TraceService();
+
+  TraceService(const TraceService&) = delete;
+  TraceService& operator=(const TraceService&) = delete;
+
+  /// Non-blocking request admission (see SubmitResult).
+  SubmitResult submit(const GenerateRequest& request);
+
+  /// Cooperative drive: cancels expired requests and dispatches at most
+  /// one batch. Returns the number of requests completed (served +
+  /// cancelled); 0 when idle or when the batch policy prefers to wait.
+  std::size_t pump();
+
+  /// pump() until the queue is empty (ignores the max-wait policy).
+  std::size_t drain();
+
+  /// Starts/stops the background pump thread (idempotent).
+  void start();
+  void stop();
+
+  /// Refuse all future submissions with kShuttingDown.
+  void close() noexcept { closed_.store(true, std::memory_order_relaxed); }
+
+  std::size_t pending() const { return queue_.size(); }
+  ServiceStats& stats() noexcept { return stats_; }
+  const ServiceConfig& config() const noexcept { return config_; }
+  ModelRegistry& registry() noexcept { return registry_; }
+
+ private:
+  std::size_t execute(FormedBatch&& formed, double now);
+  void cancel(Pending&& p, RejectReason reason, double now);
+
+  ModelRegistry& registry_;
+  ServiceConfig config_;
+  ClockFn clock_;
+  RequestQueue queue_;
+  BatchScheduler scheduler_;
+  ResultCache cache_;
+  ServiceStats stats_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<bool> closed_{false};
+  std::unique_ptr<BackgroundWorker> worker_;
+};
+
+}  // namespace repro::serve

@@ -1,0 +1,43 @@
+#include "serve/stats.hpp"
+
+namespace repro::serve {
+namespace {
+
+std::vector<double> batch_size_bounds() {
+  // 1, 2, 4, ... 256 flows per model call.
+  std::vector<double> bounds;
+  for (double b = 1.0; b <= 256.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+}  // namespace
+
+ServiceStats::ServiceStats()
+    : submitted(telemetry::Registry::instance().counter(
+          "serve.requests.submitted")),
+      accepted(telemetry::Registry::instance().counter(
+          "serve.requests.accepted")),
+      rejected_full(telemetry::Registry::instance().counter(
+          "serve.requests.rejected_queue_full")),
+      rejected_invalid(telemetry::Registry::instance().counter(
+          "serve.requests.rejected_invalid")),
+      cancelled_deadline(telemetry::Registry::instance().counter(
+          "serve.requests.cancelled_deadline")),
+      completed(telemetry::Registry::instance().counter(
+          "serve.requests.completed")),
+      flows_served(
+          telemetry::Registry::instance().counter("serve.flows.served")),
+      cache_hits(telemetry::Registry::instance().counter("serve.cache.hits")),
+      cache_misses(
+          telemetry::Registry::instance().counter("serve.cache.misses")),
+      batches(
+          telemetry::Registry::instance().counter("serve.batch.dispatched")),
+      queue_depth(telemetry::Registry::instance().gauge("serve.queue.depth")),
+      batch_size(telemetry::Registry::instance().histogram(
+          "serve.batch.size", batch_size_bounds())),
+      queue_wait(telemetry::Registry::instance().histogram(
+          "serve.latency.queue_wait_seconds")),
+      latency(telemetry::Registry::instance().histogram(
+          "serve.latency.total_seconds")) {}
+
+}  // namespace repro::serve

@@ -1,0 +1,37 @@
+// Service metrics: queue depth, batch-size histogram, admission rejects,
+// deadline cancellations, cache hits, and end-to-end latency
+// percentiles.
+//
+// Unlike the REPRO_TELEMETRY-gated convenience recorders, ServiceStats
+// holds direct references into the telemetry Registry (cached once at
+// construction; registry metric objects live for the process), so the
+// serving counters the acceptance tests assert on are recorded
+// unconditionally — a production service's observability is not an
+// opt-in debug feature. Export still goes through the ordinary registry
+// snapshot (telemetry_json / BenchReport).
+#pragma once
+
+#include "common/telemetry/metrics.hpp"
+
+namespace repro::serve {
+
+struct ServiceStats {
+  ServiceStats();
+
+  telemetry::Counter& submitted;          ///< serve.requests.submitted
+  telemetry::Counter& accepted;           ///< serve.requests.accepted
+  telemetry::Counter& rejected_full;      ///< serve.requests.rejected_queue_full
+  telemetry::Counter& rejected_invalid;   ///< serve.requests.rejected_invalid
+  telemetry::Counter& cancelled_deadline; ///< serve.requests.cancelled_deadline
+  telemetry::Counter& completed;          ///< serve.requests.completed
+  telemetry::Counter& flows_served;       ///< serve.flows.served
+  telemetry::Counter& cache_hits;         ///< serve.cache.hits
+  telemetry::Counter& cache_misses;       ///< serve.cache.misses
+  telemetry::Counter& batches;            ///< serve.batch.dispatched
+  telemetry::Gauge& queue_depth;          ///< serve.queue.depth
+  telemetry::Histogram& batch_size;       ///< serve.batch.size (flows/call)
+  telemetry::Histogram& queue_wait;       ///< serve.latency.queue_wait_seconds
+  telemetry::Histogram& latency;          ///< serve.latency.total_seconds
+};
+
+}  // namespace repro::serve

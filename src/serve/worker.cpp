@@ -1,0 +1,48 @@
+#include "serve/worker.hpp"
+
+#include <chrono>
+
+namespace repro::serve {
+
+BackgroundWorker::BackgroundWorker(std::function<std::size_t()> step,
+                                   double idle_wait_seconds)
+    : step_(std::move(step)),
+      idle_wait_seconds_(idle_wait_seconds),
+      thread_([this] { loop(); }) {}
+
+BackgroundWorker::~BackgroundWorker() { stop(); }
+
+void BackgroundWorker::notify() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    work_hint_ = true;
+  }
+  cv_.notify_one();
+}
+
+void BackgroundWorker::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) thread_.join();
+}
+
+void BackgroundWorker::loop() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stop_) return;
+    }
+    const std::size_t done = step_();
+    if (done > 0) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, std::chrono::duration<double>(idle_wait_seconds_),
+                 [this] { return stop_ || work_hint_; });
+    work_hint_ = false;
+  }
+}
+
+}  // namespace repro::serve

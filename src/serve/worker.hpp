@@ -1,0 +1,50 @@
+// Background pump thread for daemon/bench mode.
+//
+// The service itself is cooperatively driven (TraceService::pump());
+// BackgroundWorker runs pump() on a dedicated thread, sleeping on a
+// condition variable while idle and woken by submit(). This file
+// (worker.{hpp,cpp}) is the ONLY serve/ translation unit allowed to
+// create a raw std::thread (repro_lint RL002 exemption): the worker is
+// a scheduler, not a data-path lane — all model math still runs under
+// the deterministic parallel::thread_pool lane model, so generated bits
+// are unaffected by this thread's scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace repro::serve {
+
+class BackgroundWorker {
+ public:
+  /// `step` performs one unit of work, returning how many items it
+  /// completed; the worker waits (up to `idle_wait_seconds`, or until
+  /// notify()) whenever a step reports 0.
+  BackgroundWorker(std::function<std::size_t()> step,
+                   double idle_wait_seconds);
+  ~BackgroundWorker();
+
+  BackgroundWorker(const BackgroundWorker&) = delete;
+  BackgroundWorker& operator=(const BackgroundWorker&) = delete;
+
+  /// Wakes the worker (new work arrived).
+  void notify();
+
+  /// Stops the loop and joins the thread (idempotent).
+  void stop();
+
+ private:
+  void loop();
+
+  std::function<std::size_t()> step_;
+  double idle_wait_seconds_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool work_hint_ = false;
+  std::thread thread_;
+};
+
+}  // namespace repro::serve

@@ -5,8 +5,11 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
+#include "../bench/bench_common.hpp"
 #include "common/telemetry/export.hpp"
 
 namespace repro::telemetry {
@@ -76,6 +79,33 @@ TEST(BenchReportPath, ReReadsEnvironmentOnEveryCall) {
   EXPECT_EQ(report_path("x.json"), (dir_a / "x.json").string());
   std::filesystem::remove_all(dir_a);
   std::filesystem::remove_all(dir_b);
+}
+
+// Every bench report must carry the run's determinism provenance —
+// thread count, compiled SIMD width, and whether runtime contracts were
+// active — so two BENCH_*.json files can be compared apples-to-apples.
+TEST(BenchReport, RecordsRuntimeProvenance) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "repro_bench_provenance";
+  std::filesystem::remove_all(dir);
+  ScopedBenchDir env(dir.c_str());
+  {
+    bench::BenchReport report("provenance_probe", "provenance regression");
+    report.finish();
+  }
+  std::ifstream in(dir / "BENCH_provenance_probe.json");
+  ASSERT_TRUE(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"threads\""), std::string::npos);
+  EXPECT_NE(json.find("\"simd_width\":" +
+                      std::to_string(REPRO_SIMD_WIDTH)),
+            std::string::npos);
+  const std::string checks =
+      std::string("\"checks\":") + (contracts_enabled() ? "true" : "false");
+  EXPECT_NE(json.find(checks), std::string::npos);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(BenchReportPath, WrittenReportLandsInBenchDir) {

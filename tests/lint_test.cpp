@@ -129,6 +129,31 @@ TEST(LintScope, StdioIsExemptOutsideSrc) {
   EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+// src/serve/ is covered by the lane-model and wall-clock rules; only
+// the two dedicated translation units (worker = the background pump's
+// thread, clock = the ClockFn wrapper) carry path exemptions.
+TEST(LintScope, ServeRawThreadFiresOutsideWorker) {
+  const LintRun run = run_lint({"src/serve/rl002_raw_thread.cpp.fixture"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(count_of(run.output, "[RL002/"), 1) << run.output;
+}
+
+TEST(LintScope, ServeWorkerIsExemptFromRawThread) {
+  const LintRun run = run_lint({"src/serve/worker.cpp.fixture"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintScope, ServeWallClockFiresOutsideClock) {
+  const LintRun run = run_lint({"src/serve/rl006_wall_clock.cpp.fixture"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(count_of(run.output, "[RL006/"), 1) << run.output;
+}
+
+TEST(LintScope, ServeClockIsExemptFromWallClock) {
+  const LintRun run = run_lint({"src/serve/clock.cpp.fixture"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 struct FormatCase {
   const char* fixture;
   const char* rule_id;

@@ -1,0 +1,457 @@
+// Serving-layer tests: admission control, deadlines, priority lanes,
+// micro-batching, the result cache, registry hot-swap, and the
+// served-response determinism contract (service output bit-identical to
+// the direct library call, at 1 and 4 parallel lanes).
+//
+// All scheduling here is driven cooperatively (TraceService::pump) on a
+// fake clock, so deadline and max-wait behavior is tested without any
+// real sleeping.
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+
+#include "common/parallel/thread_pool.hpp"
+#include "flowgen/generator.hpp"
+
+namespace repro::serve {
+namespace {
+
+diffusion::PipelineConfig tiny_config() {
+  diffusion::PipelineConfig cfg;
+  cfg.packets = 8;
+  cfg.autoencoder.hidden_dim = 48;
+  cfg.autoencoder.latent_dim = 8;
+  cfg.unet.base_channels = 8;
+  cfg.unet.temb_dim = 16;
+  cfg.unet.groups = 4;
+  cfg.timesteps = 20;
+  cfg.ae_epochs = 15;
+  cfg.diffusion_epochs = 3;
+  cfg.diffusion_batch = 4;
+  cfg.control_epochs = 2;
+  cfg.seed = 5;
+  return cfg;
+}
+
+flowgen::Dataset tiny_dataset(std::size_t per_class) {
+  Rng rng(77);
+  flowgen::Dataset ds;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    net::Flow a = flowgen::generate_flow(flowgen::App::kNetflix, 8, rng);
+    a.label = 0;
+    ds.flows.push_back(std::move(a));
+    net::Flow b = flowgen::generate_flow(flowgen::App::kTeams, 8, rng);
+    b.label = 1;
+    ds.flows.push_back(std::move(b));
+  }
+  return ds;
+}
+
+std::uint64_t hash_flows(const std::vector<net::Flow>& flows) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& flow : flows) {
+    mix(&flow.label, sizeof(flow.label));
+    for (const auto& pkt : flow.packets) {
+      mix(&pkt.timestamp, sizeof(pkt.timestamp));
+      const auto wire = pkt.serialize();
+      mix(wire.data(), wire.size());
+    }
+  }
+  return h;
+}
+
+/// Shared fitted pipeline: training is the expensive part, so it runs
+/// once for the whole suite; every test builds its own service/registry
+/// around the shared model.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pipeline_ = std::make_shared<diffusion::TraceDiffusion>(
+        tiny_config(), std::vector<std::string>{"netflix", "teams"});
+    pipeline_->fit(tiny_dataset(6));
+  }
+  static void TearDownTestSuite() { pipeline_.reset(); }
+
+  void SetUp() override {
+    registry_.install("default", pipeline_, "v1");
+    now_ = std::make_shared<double>(0.0);
+  }
+
+  ServiceConfig fast_config() {
+    ServiceConfig cfg;
+    cfg.batch.max_wait = 0.0;  // dispatch on first pump
+    cfg.base_options.ddim_steps = 4;
+    cfg.clock = [now = now_] { return *now; };
+    return cfg;
+  }
+
+  static GenerateRequest request(int class_id, std::uint64_t seed,
+                                 std::size_t count = 1) {
+    GenerateRequest r;
+    r.class_id = class_id;
+    r.seed = seed;
+    r.count = count;
+    r.ddim_steps = 4;
+    return r;
+  }
+
+  static std::shared_ptr<diffusion::TraceDiffusion> pipeline_;
+  ModelRegistry registry_;
+  std::shared_ptr<double> now_;
+};
+
+std::shared_ptr<diffusion::TraceDiffusion> ServeTest::pipeline_;
+
+TEST_F(ServeTest, ServedResponseMatchesLibraryBitExact) {
+  // The acceptance contract: queue -> batcher -> cache-miss path yields
+  // bits identical to TraceDiffusion::generate_seeded, at 1 and 4
+  // parallel lanes, and regardless of what else shared the batch.
+  diffusion::GenerateOptions lib_opts;
+  lib_opts.count = 2;
+  lib_opts.ddim_steps = 4;
+
+  const std::size_t original_lanes = parallel::thread_count();
+  std::uint64_t reference = 0;
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{4}}) {
+    parallel::set_thread_count(lanes);
+    const std::uint64_t lib_hash =
+        hash_flows(pipeline_->generate_seeded(0, lib_opts, 42));
+
+    ServiceConfig cfg = fast_config();
+    cfg.cache_capacity = 0;  // force the full generation path
+    TraceService service(registry_, cfg);
+    auto target = service.submit(request(0, 42, 2));
+    // Batch-mates with different seeds and a different class must not
+    // perturb the target request's bits.
+    auto mate = service.submit(request(0, 7, 1));
+    auto other = service.submit(request(1, 9, 1));
+    ASSERT_TRUE(target.accepted && mate.accepted && other.accepted);
+    service.drain();
+
+    const Response response = target.response.get();
+    ASSERT_EQ(response.status, ResponseStatus::kOk);
+    EXPECT_FALSE(response.cache_hit);
+    EXPECT_EQ(response.model_version, "v1");
+    EXPECT_GE(response.batch_flows, 3u);  // target coalesced with mate
+    EXPECT_EQ(hash_flows(response.flows), lib_hash)
+        << "served flows diverged from library at " << lanes << " lanes";
+    if (lanes == 1) {
+      reference = lib_hash;
+    } else {
+      EXPECT_EQ(lib_hash, reference) << "lane count changed the bits";
+    }
+  }
+  parallel::set_thread_count(original_lanes);
+}
+
+TEST_F(ServeTest, RepeatedRequestIsCacheHitWithIdenticalPayload) {
+  TraceService service(registry_, fast_config());
+  auto first = service.submit(request(0, 123, 2));
+  ASSERT_TRUE(first.accepted);
+  service.drain();
+  const Response miss = first.response.get();
+  ASSERT_EQ(miss.status, ResponseStatus::kOk);
+  EXPECT_FALSE(miss.cache_hit);
+
+  const std::uint64_t hits_before = service.stats().cache_hits.value();
+  auto second = service.submit(request(0, 123, 2));
+  ASSERT_TRUE(second.accepted);
+  // A hit is ready immediately — no pump needed.
+  const Response hit = second.response.get();
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hash_flows(hit.flows), hash_flows(miss.flows));
+  EXPECT_EQ(service.stats().cache_hits.value(), hits_before + 1);
+  EXPECT_EQ(service.pending(), 0u);
+
+  // Different seed (or count) is a distinct key — not a hit.
+  auto third = service.submit(request(0, 124, 2));
+  ASSERT_TRUE(third.accepted);
+  EXPECT_EQ(service.stats().cache_hits.value(), hits_before + 1);
+  service.drain();
+  EXPECT_FALSE(third.response.get().cache_hit);
+}
+
+TEST_F(ServeTest, FullQueueRejectsTypedWithoutDroppingAcceptedWork) {
+  ServiceConfig cfg = fast_config();
+  cfg.queue_capacity = 3;
+  cfg.cache_capacity = 0;
+  TraceService service(registry_, cfg);
+
+  std::vector<SubmitResult> accepted;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    auto r = service.submit(request(0, 1000 + s));
+    ASSERT_TRUE(r.accepted);
+    accepted.push_back(std::move(r));
+  }
+  const std::uint64_t rejects_before =
+      service.stats().rejected_full.value();
+  auto overflow = service.submit(request(0, 2000));
+  EXPECT_FALSE(overflow.accepted);
+  EXPECT_EQ(overflow.reject, RejectReason::kQueueFull);
+  EXPECT_STREQ(to_string(overflow.reject), "queue_full");
+  EXPECT_EQ(service.stats().rejected_full.value(), rejects_before + 1);
+
+  // Every accepted request completes; nothing was dropped.
+  service.drain();
+  for (auto& r : accepted) {
+    EXPECT_EQ(r.response.get().status, ResponseStatus::kOk);
+  }
+  EXPECT_EQ(service.pending(), 0u);
+
+  // Capacity freed: admission works again.
+  EXPECT_TRUE(service.submit(request(0, 3000)).accepted);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineCancelsBeforeModelWork) {
+  ServiceConfig cfg = fast_config();
+  cfg.cache_capacity = 0;
+  TraceService service(registry_, cfg);
+
+  GenerateRequest doomed = request(0, 55);
+  doomed.deadline = 1.0;
+  auto d = service.submit(doomed);
+  auto alive = service.submit(request(0, 56));
+  ASSERT_TRUE(d.accepted && alive.accepted);
+
+  const std::uint64_t batches_before = service.stats().batches.value();
+  const std::uint64_t cancelled_before =
+      service.stats().cancelled_deadline.value();
+  *now_ = 2.0;  // deadline passes while queued
+  service.drain();
+
+  const Response cancelled = d.response.get();
+  EXPECT_EQ(cancelled.status, ResponseStatus::kCancelled);
+  EXPECT_EQ(cancelled.cancel_reason, RejectReason::kDeadlineExpired);
+  EXPECT_TRUE(cancelled.flows.empty());
+  EXPECT_EQ(service.stats().cancelled_deadline.value(),
+            cancelled_before + 1);
+  // The surviving request got its own batch; the cancelled one consumed
+  // no model work (exactly one dispatch happened).
+  EXPECT_EQ(alive.response.get().status, ResponseStatus::kOk);
+  EXPECT_EQ(service.stats().batches.value(), batches_before + 1);
+}
+
+TEST_F(ServeTest, MaxWaitDefersThenDispatches) {
+  ServiceConfig cfg = fast_config();
+  cfg.batch.max_wait = 0.5;
+  cfg.batch.max_batch_flows = 8;
+  cfg.cache_capacity = 0;
+  TraceService service(registry_, cfg);
+
+  auto r = service.submit(request(0, 1));
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(service.pump(), 0u);  // young head, shallow queue: wait
+  EXPECT_EQ(service.pending(), 1u);
+  *now_ = 0.6;  // head has now waited past max_wait
+  EXPECT_EQ(service.pump(), 1u);
+  EXPECT_EQ(r.response.get().status, ResponseStatus::kOk);
+
+  // A backlog at/above the flow budget dispatches without waiting.
+  std::vector<SubmitResult> burst;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    burst.push_back(service.submit(request(0, 100 + s)));
+  }
+  EXPECT_GT(service.pump(), 0u);
+}
+
+TEST_F(ServeTest, CompatibleRequestsCoalesceIntoOneBatch) {
+  ServiceConfig cfg = fast_config();
+  cfg.batch.max_batch_flows = 16;
+  cfg.cache_capacity = 0;
+  TraceService service(registry_, cfg);
+
+  std::vector<SubmitResult> results;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    results.push_back(service.submit(request(1, 500 + s, 2)));
+  }
+  const std::uint64_t batches_before = service.stats().batches.value();
+  EXPECT_EQ(service.pump(), 4u);  // one pump serves all four
+  EXPECT_EQ(service.stats().batches.value(), batches_before + 1);
+  for (auto& r : results) {
+    const Response resp = r.response.get();
+    EXPECT_EQ(resp.status, ResponseStatus::kOk);
+    EXPECT_EQ(resp.batch_flows, 8u);  // 4 requests x 2 flows
+    EXPECT_EQ(resp.flows.size(), 2u);
+  }
+}
+
+TEST_F(ServeTest, IncompatibleRequestsAreNotCoalesced) {
+  ServiceConfig cfg = fast_config();
+  cfg.cache_capacity = 0;
+  TraceService service(registry_, cfg);
+  auto a = service.submit(request(0, 1));
+  GenerateRequest b_req = request(0, 2);
+  b_req.ddim_steps = 6;  // different steps => different batch key
+  auto b = service.submit(b_req);
+  ASSERT_TRUE(a.accepted && b.accepted);
+  EXPECT_EQ(service.pump(), 1u);  // only the head's key dispatches
+  EXPECT_EQ(service.pending(), 1u);
+  EXPECT_EQ(service.pump(), 1u);
+  EXPECT_EQ(a.response.get().batch_flows, 1u);
+  EXPECT_EQ(b.response.get().batch_flows, 1u);
+}
+
+TEST_F(ServeTest, PriorityLanesDrainHighFirst) {
+  ServiceConfig cfg = fast_config();
+  cfg.cache_capacity = 0;
+  TraceService service(registry_, cfg);
+
+  GenerateRequest low = request(0, 1);
+  low.priority = Priority::kLow;
+  low.ddim_steps = 3;  // distinct keys keep the batches separate
+  GenerateRequest high = request(0, 2);
+  high.priority = Priority::kHigh;
+  high.ddim_steps = 5;
+  auto l = service.submit(low);
+  auto h = service.submit(high);
+  ASSERT_TRUE(l.accepted && h.accepted);
+
+  EXPECT_EQ(service.pump(), 1u);
+  // The high lane dispatched first even though low was submitted first.
+  EXPECT_EQ(h.response.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_NE(l.response.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  service.drain();
+  EXPECT_EQ(l.response.get().status, ResponseStatus::kOk);
+}
+
+TEST_F(ServeTest, AdmissionValidatesModelClassAndCount) {
+  TraceService service(registry_, fast_config());
+  GenerateRequest bad_model = request(0, 1);
+  bad_model.model = "nope";
+  EXPECT_EQ(service.submit(bad_model).reject, RejectReason::kUnknownModel);
+  GenerateRequest bad_class = request(7, 1);
+  EXPECT_EQ(service.submit(bad_class).reject, RejectReason::kUnknownClass);
+  GenerateRequest empty = request(0, 1);
+  empty.count = 0;
+  EXPECT_EQ(service.submit(empty).reject, RejectReason::kBadRequest);
+  service.close();
+  EXPECT_EQ(service.submit(request(0, 1)).reject,
+            RejectReason::kShuttingDown);
+}
+
+TEST_F(ServeTest, HotSwapUsesNewVersionAndKeepsOldSnapshotAlive) {
+  ServiceConfig cfg = fast_config();
+  TraceService service(registry_, cfg);
+  auto v1 = service.submit(request(0, 77));
+  ASSERT_TRUE(v1.accepted);
+  service.drain();
+  EXPECT_EQ(v1.response.get().model_version, "v1");
+
+  // An in-flight holder of the old snapshot survives the swap.
+  const auto old_snap = registry_.snapshot("default");
+  registry_.install("default", pipeline_, "v2");
+  ASSERT_NE(old_snap, nullptr);
+  EXPECT_EQ(old_snap->version, "v1");
+  EXPECT_NE(registry_.snapshot("default"), old_snap);
+
+  // The v1 cache entry must not satisfy a v2 request (version is part
+  // of the key), but the flows themselves are identical here because
+  // both versions share the same weights.
+  auto v2 = service.submit(request(0, 77));
+  ASSERT_TRUE(v2.accepted);
+  const Response hit_check = [&] {
+    if (v2.response.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      return v2.response.get();  // would be a (wrong) cache hit
+    }
+    service.drain();
+    return v2.response.get();
+  }();
+  EXPECT_FALSE(hit_check.cache_hit);
+  EXPECT_EQ(hit_check.model_version, "v2");
+}
+
+TEST_F(ServeTest, RemovedModelCancelsQueuedWorkTyped) {
+  ServiceConfig cfg = fast_config();
+  cfg.cache_capacity = 0;
+  TraceService service(registry_, cfg);
+  auto r = service.submit(request(0, 5));
+  ASSERT_TRUE(r.accepted);
+  registry_.remove("default");
+  service.drain();
+  const Response resp = r.response.get();
+  EXPECT_EQ(resp.status, ResponseStatus::kCancelled);
+  EXPECT_EQ(resp.cancel_reason, RejectReason::kUnknownModel);
+}
+
+TEST_F(ServeTest, BackgroundWorkerServesSubmissions) {
+  ServiceConfig cfg = fast_config();
+  cfg.clock = ClockFn{};  // real clock in background mode
+  cfg.worker_idle_wait = 0.001;
+  TraceService service(registry_, cfg);
+  service.start();
+  auto r = service.submit(request(0, 31337));
+  ASSERT_TRUE(r.accepted);
+  const Response resp = r.response.get();  // blocks on the worker
+  EXPECT_EQ(resp.status, ResponseStatus::kOk);
+  EXPECT_EQ(resp.flows.size(), 1u);
+  service.stop();
+  // Bit-identical to the library even through the background thread.
+  diffusion::GenerateOptions lib_opts;
+  lib_opts.count = 1;
+  lib_opts.ddim_steps = 4;
+  EXPECT_EQ(hash_flows(resp.flows),
+            hash_flows(pipeline_->generate_seeded(0, lib_opts, 31337)));
+}
+
+TEST(ResultCacheTest, LruEvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  net::Flow f;
+  f.label = 7;
+  CacheKey a{"v1", 0, 1, diffusion::SamplerKind::kDdim, 4, 1};
+  CacheKey b = a;
+  b.seed = 2;
+  CacheKey c = a;
+  c.seed = 3;
+  cache.put(a, {f});
+  cache.put(b, {f});
+  EXPECT_TRUE(cache.get(a).has_value());  // touch a => b is now LRU
+  cache.put(c, {f});                      // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.get(a).has_value());
+  EXPECT_FALSE(cache.get(b).has_value());
+  EXPECT_TRUE(cache.get(c).has_value());
+  // Capacity 0 disables caching entirely.
+  ResultCache off(0);
+  off.put(a, {f});
+  EXPECT_FALSE(off.get(a).has_value());
+  EXPECT_EQ(off.size(), 0u);
+}
+
+TEST(RequestQueueTest, BoundedAdmissionAndPriorityOrder) {
+  RequestQueue queue(2);
+  Pending a;
+  a.request.priority = Priority::kLow;
+  a.id = 1;
+  Pending b;
+  b.request.priority = Priority::kHigh;
+  b.id = 2;
+  EXPECT_FALSE(queue.try_push(std::move(a)).has_value());
+  EXPECT_FALSE(queue.try_push(std::move(b)).has_value());
+  Pending c;
+  const auto reject = queue.try_push(std::move(c));
+  ASSERT_TRUE(reject.has_value());
+  EXPECT_EQ(*reject, RejectReason::kQueueFull);
+
+  auto head = queue.pop_head();
+  ASSERT_TRUE(head.has_value());
+  EXPECT_EQ(head->id, 2u);  // high priority first
+  EXPECT_EQ(queue.pop_head()->id, 1u);
+  EXPECT_FALSE(queue.pop_head().has_value());
+}
+
+}  // namespace
+}  // namespace repro::serve

@@ -237,7 +237,7 @@ std::vector<Rule> build_rules() {
       "lane counts"});
   rules.push_back(Rule{
       "RL002", "raw-thread", {},
-      {"src/common/parallel/"},
+      {"src/common/parallel/", "src/serve/worker."},
       R"(\bstd::(thread|jthread|async)\b)",
       re(R"(\bstd::(thread|jthread|async)\b)"),
       "raw thread creation; use parallel::parallel_for / the shared pool "
@@ -273,7 +273,7 @@ std::vector<Rule> build_rules() {
       "the paper's Figure 2 depends on"});
   rules.push_back(Rule{
       "RL006", "wall-clock", {"src/"},
-      {"src/common/telemetry/"},
+      {"src/common/telemetry/", "src/serve/clock."},
       kClockPattern,
       re(kClockPattern),
       "wall-clock read outside telemetry; generated artifacts must not "
