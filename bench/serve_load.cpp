@@ -9,6 +9,9 @@
 //   closed_loop_batched same request stream, max_batch=REPRO_SERVE_BATCH
 //                      — same-key requests coalesce into one batched
 //                      sample_latents + decode_matrices call
+//   closed_loop_traced same as batched but with telemetry spans on and
+//                      the flight recorder armed — measures tracing
+//                      overhead and proves 100% timeline coverage
 //   open_loop_overload burst submissions into a tiny queue: typed
 //                      queue-full rejects, no blocking, accepted work
 //                      still completes
@@ -37,6 +40,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "serve/observe/inspect.hpp"
 #include "serve/service.hpp"
 
 using namespace repro;
@@ -73,6 +77,8 @@ std::shared_ptr<diffusion::TraceDiffusion> train_pipeline() {
 struct LoadResult {
   double flows_per_s = 0.0;
   std::size_t flows = 0;
+  std::size_t timelines = 0;           ///< traced runs: requests in dump
+  std::size_t timelines_complete = 0;  ///< traced runs: full timelines
 };
 
 /// Closed-loop driver: submits `requests` single-flow requests in waves
@@ -82,11 +88,13 @@ struct LoadResult {
 /// pure serving throughput, no consumer/producer scheduling noise.
 LoadResult run_closed_loop(serve::ModelRegistry& registry,
                            std::size_t requests, std::size_t max_batch,
-                           std::size_t steps, std::uint64_t seed_base) {
+                           std::size_t steps, std::uint64_t seed_base,
+                           bool traced = false) {
   serve::ServiceConfig cfg;
   cfg.queue_capacity = requests + 1;  // admission is not under test here
   cfg.batch.max_batch_flows = max_batch;
   cfg.cache_capacity = 0;  // unique seeds: a cache would only add probes
+  cfg.flightrec_force = traced;
   serve::TraceService service(registry, cfg);
 
   std::vector<std::shared_future<serve::Response>> responses;
@@ -116,6 +124,18 @@ LoadResult run_closed_loop(serve::ModelRegistry& registry,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   if (secs > 0.0) out.flows_per_s = static_cast<double>(out.flows) / secs;
+  if (traced) {
+    // Reconstruction runs after the clock stops — dump/parse cost is
+    // not part of the measured serving rate.
+    const auto dump = serve::observe::parse_flight_dump(
+        service.flight_recorder().dump_json());
+    if (dump.has_value()) {
+      const serve::observe::InspectReport report =
+          serve::observe::reconstruct(dump->events);
+      out.timelines = report.requests.size();
+      out.timelines_complete = report.complete;
+    }
+  }
   return out;
 }
 
@@ -189,6 +209,22 @@ int main() {
   std::printf("batched (max_batch=%zu): %zu flows, %.2f flows/s\n",
               max_batch, served.flows, served.flows_per_s);
 
+  report.stage("closed_loop_traced");
+  const bool telemetry_was_on = telemetry::enabled();
+  telemetry::set_enabled(true);
+  const LoadResult traced = run_closed_loop(registry, requests, max_batch,
+                                            steps, 30'000, /*traced=*/true);
+  telemetry::set_enabled(telemetry_was_on);
+  const double trace_overhead_pct =
+      served.flows_per_s > 0.0
+          ? (served.flows_per_s - traced.flows_per_s) / served.flows_per_s *
+                100.0
+          : 0.0;
+  std::printf("traced (spans + flight recorder): %zu flows, %.2f flows/s "
+              "(%.1f%% overhead), %zu/%zu timelines complete\n",
+              traced.flows, traced.flows_per_s, trace_overhead_pct,
+              traced.timelines_complete, traced.timelines);
+
   report.stage("open_loop_overload");
   const OverloadResult overload = run_open_loop_overload(
       registry, /*burst=*/4 * max_batch, /*capacity=*/max_batch / 2 + 1,
@@ -213,6 +249,11 @@ int main() {
   report.note("batch_flows", static_cast<double>(max_batch));
   report.note("flows_per_s_single", single.flows_per_s);
   report.note("flows_per_s_served", served.flows_per_s);
+  report.note("flows_per_s_traced", traced.flows_per_s);
+  report.note("trace_overhead_pct", trace_overhead_pct);
+  report.note("trace_timelines", static_cast<double>(traced.timelines));
+  report.note("trace_timelines_complete",
+              static_cast<double>(traced.timelines_complete));
   report.note("speedup", speedup);
   report.note("overload_accepted", static_cast<double>(overload.accepted));
   report.note("overload_rejected_queue_full",
@@ -224,9 +265,18 @@ int main() {
 
   const bool overload_ok =
       overload.rejected_full > 0 && overload.completed == overload.accepted;
+  const bool coverage_ok = traced.timelines == requests &&
+                           traced.timelines_complete == requests;
   if (single.flows == 0 || served.flows == 0 || !overload_ok) {
     std::fprintf(stderr, "serve_load: FAILED (served nothing or dropped "
                          "accepted work)\n");
+    return 1;
+  }
+  if (!coverage_ok) {
+    std::fprintf(stderr,
+                 "serve_load: FAILED (flight recorder covered %zu/%zu "
+                 "timelines, %zu complete)\n",
+                 traced.timelines, requests, traced.timelines_complete);
     return 1;
   }
   return 0;

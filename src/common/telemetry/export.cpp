@@ -113,6 +113,11 @@ void JsonWriter::value(bool v) {
   out_ += v ? "true" : "false";
 }
 
+void JsonWriter::raw(const std::string& fragment) {
+  element_prefix();
+  out_ += fragment;
+}
+
 void append_metrics(JsonWriter& json, const MetricsSnapshot& snapshot) {
   json.begin_object();
   json.key("counters");

@@ -31,6 +31,9 @@ class JsonWriter {
   void value(double v);
   void value(std::uint64_t v);
   void value(bool v);
+  /// Splices `fragment` verbatim as the next element — the caller
+  /// guarantees it is well-formed JSON (used for pre-built span args).
+  void raw(const std::string& fragment);
 
   const std::string& str() const& { return out_; }
   std::string str() && { return std::move(out_); }

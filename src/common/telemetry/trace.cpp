@@ -23,8 +23,9 @@ struct ProfileNode {
 /// One completed span occurrence, for the Chrome trace timeline.
 struct TraceEvent {
   const char* name;
-  double ts_us;   ///< start, microseconds since the profile epoch
-  double dur_us;  ///< duration, microseconds
+  double ts_us;      ///< start, microseconds since the profile epoch
+  double dur_us;     ///< duration, microseconds
+  std::string args;  ///< accumulated `"k":v` members; empty for none
 };
 
 struct ThreadProfile {
@@ -33,6 +34,7 @@ struct ThreadProfile {
   std::vector<TraceEvent> events;
   std::uint64_t dropped_events = 0;
   std::uint32_t tid = 0;
+  std::string name;  ///< set_thread_name(); empty = anonymous
 
   ThreadProfile() {
     root.name = "<root>";
@@ -88,7 +90,8 @@ ProfileNode* span_enter(ThreadProfile& tp, const char* name) {
 }
 
 void span_exit(ThreadProfile& tp, ProfileNode* node,
-               std::chrono::steady_clock::time_point start) noexcept {
+               std::chrono::steady_clock::time_point start,
+               std::string&& args) noexcept {
   const auto end = std::chrono::steady_clock::now();
   const double seconds =
       std::chrono::duration<double>(end - start).count();
@@ -100,7 +103,8 @@ void span_exit(ThreadProfile& tp, ProfileNode* node,
   if (tp.events.size() < g.max_events_per_thread) {
     const double ts_us =
         std::chrono::duration<double, std::micro>(start - g.epoch).count();
-    tp.events.push_back(TraceEvent{node->name, ts_us, seconds * 1e6});
+    tp.events.push_back(
+        TraceEvent{node->name, ts_us, seconds * 1e6, std::move(args)});
   } else {
     tp.dropped_events += 1;
     // Cached reference: Registry metrics are never destroyed, and the
@@ -112,6 +116,46 @@ void span_exit(ThreadProfile& tp, ProfileNode* node,
 }
 
 }  // namespace detail
+
+void set_thread_name(const char* name) {
+  // Registers the thread even while telemetry is disabled: naming
+  // happens once at thread startup, and a later set_enabled(true) must
+  // still attribute the thread's slices.
+  detail::ThreadProfile& tp = detail::thread_profile();
+  detail::GlobalState& g = detail::global();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  tp.name = name;
+}
+
+void SpanTimer::arg_key(const char* key) {
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += key;
+  args_ += "\":";
+}
+
+SpanTimer& SpanTimer::arg(const char* key, std::uint64_t v) {
+  if (tp_ == nullptr) return *this;
+  arg_key(key);
+  args_ += std::to_string(v);
+  return *this;
+}
+
+SpanTimer& SpanTimer::arg(const char* key, double v) {
+  if (tp_ == nullptr) return *this;
+  arg_key(key);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  args_ += buf;
+  return *this;
+}
+
+SpanTimer& SpanTimer::arg(const char* key, const std::string& v) {
+  if (tp_ == nullptr) return *this;
+  arg_key(key);
+  args_ += json_escape(v);
+  return *this;
+}
 
 namespace {
 
@@ -208,6 +252,27 @@ std::string chrome_trace_json() {
   json.begin_array();
   detail::GlobalState& g = detail::global();
   std::lock_guard<std::mutex> lock(g.mutex);
+  // thread_name metadata first, so viewers label every tid before the
+  // first slice: named threads (BackgroundWorker, pool lanes) show as
+  // their role, everything else stays tid-N.
+  for (const auto& tp : g.threads) {
+    if (tp->name.empty()) continue;
+    json.begin_object();
+    json.key("name");
+    json.value("thread_name");
+    json.key("ph");
+    json.value("M");
+    json.key("pid");
+    json.value(std::uint64_t{1});
+    json.key("tid");
+    json.value(static_cast<std::uint64_t>(tp->tid));
+    json.key("args");
+    json.begin_object();
+    json.key("name");
+    json.value(tp->name);
+    json.end_object();
+    json.end_object();
+  }
   for (const auto& tp : g.threads) {
     for (const auto& event : tp->events) {
       json.begin_object();
@@ -225,6 +290,10 @@ std::string chrome_trace_json() {
       json.value(std::uint64_t{1});
       json.key("tid");
       json.value(static_cast<std::uint64_t>(tp->tid));
+      if (!event.args.empty()) {
+        json.key("args");
+        json.raw("{" + event.args + "}");
+      }
       json.end_object();
     }
   }

@@ -34,8 +34,16 @@ struct ThreadProfile;
 ThreadProfile& thread_profile();
 ProfileNode* span_enter(ThreadProfile& tp, const char* name);
 void span_exit(ThreadProfile& tp, ProfileNode* node,
-               std::chrono::steady_clock::time_point start) noexcept;
+               std::chrono::steady_clock::time_point start,
+               std::string&& args) noexcept;
 }  // namespace detail
+
+/// Names the calling thread in Chrome-trace exports (emitted as a
+/// thread_name metadata event). Dedicated scheduler threads (e.g. the
+/// serve BackgroundWorker) call this once at startup so their slices are
+/// attributable in chrome://tracing instead of appearing as an
+/// anonymous colliding tid. Safe to call with telemetry disabled.
+void set_thread_name(const char* name);
 
 /// Aggregated view of one span node (merged across threads).
 struct SpanReport {
@@ -50,7 +58,10 @@ struct SpanReport {
   std::size_t node_count() const noexcept;
 };
 
-/// RAII span timer; use via REPRO_SPAN.
+/// RAII span timer; use via REPRO_SPAN, or declare one explicitly to
+/// attach args (key/value pairs shown in the Chrome-trace slice, e.g.
+/// request id / batch size / model version for serve spans). arg() is a
+/// no-op while telemetry is disabled — no allocation.
 class SpanTimer {
  public:
   explicit SpanTimer(const char* name) noexcept {
@@ -60,15 +71,24 @@ class SpanTimer {
     start_ = std::chrono::steady_clock::now();
   }
   ~SpanTimer() {
-    if (tp_ != nullptr) detail::span_exit(*tp_, node_, start_);
+    if (tp_ != nullptr) {
+      detail::span_exit(*tp_, node_, start_, std::move(args_));
+    }
   }
   SpanTimer(const SpanTimer&) = delete;
   SpanTimer& operator=(const SpanTimer&) = delete;
 
+  SpanTimer& arg(const char* key, std::uint64_t v);
+  SpanTimer& arg(const char* key, double v);
+  SpanTimer& arg(const char* key, const std::string& v);
+
  private:
+  void arg_key(const char* key);
+
   detail::ThreadProfile* tp_ = nullptr;
   detail::ProfileNode* node_ = nullptr;
   std::chrono::steady_clock::time_point start_{};
+  std::string args_;  ///< accumulated `"k":v` JSON members
 };
 
 /// Merged profile tree; the returned root is synthetic ("<root>") with

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "common/telemetry/trace.hpp"
+
 namespace repro::serve {
 
 BatchKey batch_key_of(const GenerateRequest& request) {
@@ -18,6 +20,7 @@ bool BatchScheduler::should_dispatch(const RequestQueue& queue,
 }
 
 FormedBatch BatchScheduler::form(RequestQueue& queue, double now) const {
+  REPRO_SPAN("serve.batch.form");
   FormedBatch formed;
   // Cancel-before-work: every expired request leaves the queue here,
   // before any model work is considered, regardless of batch key.

@@ -1,5 +1,7 @@
 #include "serve/cache.hpp"
 
+#include "common/telemetry/trace.hpp"
+
 namespace repro::serve {
 namespace {
 
@@ -33,6 +35,7 @@ ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {}
 
 std::optional<std::vector<net::Flow>> ResultCache::get(const CacheKey& key) {
   if (capacity_ == 0) return std::nullopt;
+  REPRO_SPAN("serve.cache.get");
   const std::string k = encode(key);
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(k);
@@ -43,6 +46,7 @@ std::optional<std::vector<net::Flow>> ResultCache::get(const CacheKey& key) {
 
 void ResultCache::put(const CacheKey& key, std::vector<net::Flow> flows) {
   if (capacity_ == 0) return;
+  REPRO_SPAN("serve.cache.put");
   const std::string k = encode(key);
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(k);

@@ -1,0 +1,67 @@
+// Request-scoped trace events.
+//
+// Every request admitted to the TraceService is assigned a trace id (the
+// request id minted at admission) and leaves a breadcrumb trail of typed
+// FlightEvents as it moves through the serving stages:
+//
+//   submitted -> rejected                      (admission refused, typed)
+//             -> cache_hit                     (terminal; no queue/model)
+//             -> admitted (lane) -> deadline_swept -> cancelled
+//                                -> coalesced (batch B)
+//                                   ... model_start/model_end (batch B)
+//                                -> completed (batch B)
+//
+// Events are fixed-size PODs (no strings, no heap) so the flight
+// recorder can store them in a lock-free ring and the hot path stays at
+// a single atomic reservation per event. Timestamps come from the
+// service's injectable ClockFn, so tests record deterministic timelines.
+#pragma once
+
+#include <cstdint>
+
+#include "serve/request.hpp"
+
+namespace repro::serve::observe {
+
+/// What happened to a request (or to a batch) at one instant.
+enum class EventKind : std::uint8_t {
+  kSubmitted = 0,   ///< submit() called; trace id minted
+  kRejected,        ///< admission refused (detail = RejectReason)
+  kCacheHit,        ///< served from the result cache (terminal)
+  kAdmitted,        ///< enqueued into a priority lane
+  kDeadlineSwept,   ///< pulled from the queue because its deadline passed
+  kCoalesced,       ///< placed into batch `batch_id`
+  kModelStart,      ///< batch-scoped: batched model call began
+  kModelEnd,        ///< batch-scoped: batched model call returned
+  kCompleted,       ///< response fulfilled (terminal)
+  kCancelled,       ///< response cancelled (terminal; detail = reason)
+};
+
+inline constexpr std::size_t kEventKinds = 10;
+
+const char* to_string(EventKind kind) noexcept;
+
+/// True for the event kinds that end a request's timeline.
+constexpr bool is_terminal(EventKind kind) noexcept {
+  return kind == EventKind::kRejected || kind == EventKind::kCacheHit ||
+         kind == EventKind::kCompleted || kind == EventKind::kCancelled;
+}
+
+/// One timeline entry. `request_id` is 0 for batch-scoped events
+/// (model_start / model_end); `batch_id` is 0 until the request joins a
+/// batch. `detail` carries the RejectReason for rejected / cancelled.
+struct FlightEvent {
+  double time = 0.0;             ///< service-clock seconds
+  std::uint64_t request_id = 0;  ///< trace id (0 = batch-scoped event)
+  std::uint64_t batch_id = 0;    ///< 0 when not (yet) batched
+  std::uint32_t flows = 0;       ///< flows this event accounts for
+  EventKind kind = EventKind::kSubmitted;
+  std::uint8_t lane = 0;         ///< priority lane index
+  std::uint16_t detail = 0;      ///< RejectReason for rejected/cancelled
+};
+
+static_assert(sizeof(FlightEvent) <= 32,
+              "FlightEvent must stay small: the recorder copies it by "
+              "value on every serving-stage transition");
+
+}  // namespace repro::serve::observe

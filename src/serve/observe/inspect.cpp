@@ -1,0 +1,407 @@
+#include "serve/observe/inspect.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/telemetry/export.hpp"
+
+namespace repro::serve::observe {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+// --- Recursive-descent JSON reader ----------------------------------------
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  char peek() {
+    skip_ws();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos;
+    return true;
+  }
+  bool consume_word(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text.compare(pos, len, word) != 0) return false;
+    pos += len;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    JsonValue out;
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"':
+        out.type = JsonValue::Type::kString;
+        out.string = parse_string();
+        return out;
+      case 't':
+        if (consume_word("true")) {
+          out.type = JsonValue::Type::kBool;
+          out.boolean = true;
+          return out;
+        }
+        break;
+      case 'f':
+        if (consume_word("false")) {
+          out.type = JsonValue::Type::kBool;
+          return out;
+        }
+        break;
+      case 'n':
+        if (consume_word("null")) return out;
+        break;
+      default: return parse_number();
+    }
+    failed = true;
+    return out;
+  }
+
+  std::string parse_string() {
+    std::string out;
+    if (!consume('"')) {
+      failed = true;
+      return out;
+    }
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\' && pos < text.size()) {
+        const char esc = text[pos++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            // Decode \uXXXX; non-ASCII code points are passed through as
+            // '?' — metric/event names in our dumps are ASCII.
+            if (pos + 4 <= text.size()) {
+              const unsigned long cp =
+                  std::strtoul(text.substr(pos, 4).c_str(), nullptr, 16);
+              out += cp < 0x80 ? static_cast<char>(cp) : '?';
+              pos += 4;
+            } else {
+              failed = true;
+              return out;
+            }
+            break;
+          }
+          default: out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    failed = true;  // unterminated
+    return out;
+  }
+
+  JsonValue parse_number() {
+    JsonValue out;
+    skip_ws();
+    const char* start = text.c_str() + pos;
+    char* end = nullptr;
+    out.number = std::strtod(start, &end);
+    if (end == start) {
+      failed = true;
+      return out;
+    }
+    out.type = JsonValue::Type::kNumber;
+    pos += static_cast<std::size_t>(end - start);
+    return out;
+  }
+
+  JsonValue parse_object() {
+    JsonValue out;
+    out.type = JsonValue::Type::kObject;
+    consume('{');
+    if (consume('}')) return out;
+    do {
+      if (peek() != '"') {
+        failed = true;
+        return out;
+      }
+      std::string key = parse_string();
+      if (!consume(':')) {
+        failed = true;
+        return out;
+      }
+      out.object.emplace(std::move(key), parse_value());
+      if (failed) return out;
+    } while (consume(','));
+    if (!consume('}')) failed = true;
+    return out;
+  }
+
+  JsonValue parse_array() {
+    JsonValue out;
+    out.type = JsonValue::Type::kArray;
+    consume('[');
+    if (consume(']')) return out;
+    do {
+      out.array.push_back(parse_value());
+      if (failed) return out;
+    } while (consume(','));
+    if (!consume(']')) failed = true;
+    return out;
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(const std::string& text) {
+  Parser parser{text};
+  JsonValue value = parser.parse_value();
+  parser.skip_ws();
+  if (parser.failed || parser.pos != text.size()) return std::nullopt;
+  return value;
+}
+
+// --- Flight-dump decoding -------------------------------------------------
+
+std::optional<EventKind> event_kind_from(const std::string& name) {
+  for (std::size_t i = 0; i < kEventKinds; ++i) {
+    const auto kind = static_cast<EventKind>(i);
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<RejectReason> reject_reason_from(const std::string& name) {
+  for (const RejectReason reason :
+       {RejectReason::kQueueFull, RejectReason::kDeadlineExpired,
+        RejectReason::kUnknownModel, RejectReason::kUnknownClass,
+        RejectReason::kBadRequest, RejectReason::kShuttingDown}) {
+    if (name == to_string(reason)) return reason;
+  }
+  return std::nullopt;
+}
+
+std::optional<FlightDump> parse_flight_dump(const std::string& text) {
+  const std::optional<JsonValue> doc = parse_json(text);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const JsonValue* events = doc->find("events");
+  if (events == nullptr || !events->is_array()) return std::nullopt;
+
+  FlightDump dump;
+  if (const JsonValue* v = doc->find("capacity")) {
+    dump.capacity = static_cast<std::size_t>(v->num_or(0.0));
+  }
+  if (const JsonValue* v = doc->find("recorded")) {
+    dump.recorded = static_cast<std::uint64_t>(v->num_or(0.0));
+  }
+  if (const JsonValue* v = doc->find("overwritten")) {
+    dump.overwritten = static_cast<std::uint64_t>(v->num_or(0.0));
+  }
+  dump.events.reserve(events->array.size());
+  for (const JsonValue& entry : events->array) {
+    if (!entry.is_object()) return std::nullopt;
+    FlightEvent event;
+    const JsonValue* kind = entry.find("kind");
+    if (kind == nullptr) return std::nullopt;
+    const std::optional<EventKind> decoded =
+        event_kind_from(kind->str_or(""));
+    if (!decoded) return std::nullopt;
+    event.kind = *decoded;
+    if (const JsonValue* v = entry.find("t")) event.time = v->num_or(0.0);
+    if (const JsonValue* v = entry.find("request")) {
+      event.request_id = static_cast<std::uint64_t>(v->num_or(0.0));
+    }
+    if (const JsonValue* v = entry.find("batch")) {
+      event.batch_id = static_cast<std::uint64_t>(v->num_or(0.0));
+    }
+    if (const JsonValue* v = entry.find("lane")) {
+      event.lane = static_cast<std::uint8_t>(v->num_or(0.0));
+    }
+    if (const JsonValue* v = entry.find("flows")) {
+      event.flows = static_cast<std::uint32_t>(v->num_or(0.0));
+    }
+    if (const JsonValue* v = entry.find("reason")) {
+      if (const auto reason = reject_reason_from(v->str_or(""))) {
+        event.detail = static_cast<std::uint16_t>(*reason);
+      }
+    }
+    dump.events.push_back(event);
+  }
+  return dump;
+}
+
+// --- Reconstruction -------------------------------------------------------
+
+InspectReport reconstruct(const std::vector<FlightEvent>& events) {
+  std::map<std::uint64_t, RequestTimeline> requests;
+  std::map<std::uint64_t, BatchComposition> batches;
+  for (const FlightEvent& event : events) {
+    if (event.batch_id != 0) {
+      BatchComposition& batch = batches[event.batch_id];
+      batch.batch_id = event.batch_id;
+      if (event.kind == EventKind::kModelStart) {
+        batch.model_start = event.time;
+        batch.flows = event.flows;
+      } else if (event.kind == EventKind::kModelEnd) {
+        batch.model_end = event.time;
+      } else if (event.kind == EventKind::kCoalesced) {
+        batch.request_ids.push_back(event.request_id);
+      }
+    }
+    if (event.request_id == 0) continue;  // batch-scoped
+    RequestTimeline& timeline = requests[event.request_id];
+    timeline.request_id = event.request_id;
+    if (timeline.events.empty()) timeline.start = event.time;
+    timeline.end = event.time;
+    timeline.lane = event.lane;
+    if (event.batch_id != 0) timeline.batch_id = event.batch_id;
+    if (is_terminal(event.kind)) timeline.terminal = event.kind;
+    timeline.events.push_back(event);
+  }
+  InspectReport report;
+  report.requests.reserve(requests.size());
+  for (auto& [id, timeline] : requests) {
+    const bool has_submit = std::any_of(
+        timeline.events.begin(), timeline.events.end(),
+        [](const FlightEvent& e) { return e.kind == EventKind::kSubmitted; });
+    const bool has_terminal = std::any_of(
+        timeline.events.begin(), timeline.events.end(),
+        [](const FlightEvent& e) { return is_terminal(e.kind); });
+    timeline.complete = has_submit && has_terminal;
+    if (timeline.complete) ++report.complete;
+    report.requests.push_back(std::move(timeline));
+  }
+  report.batches.reserve(batches.size());
+  for (auto& [id, batch] : batches) {
+    report.batches.push_back(std::move(batch));
+  }
+  return report;
+}
+
+std::string report_text(const InspectReport& report) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%zu requests (%zu complete), %zu batches\n\n",
+                report.requests.size(), report.complete,
+                report.batches.size());
+  out += buf;
+  for (const RequestTimeline& timeline : report.requests) {
+    std::snprintf(buf, sizeof buf,
+                  "request %llu lane=%u %s span=%.3fms%s\n",
+                  static_cast<unsigned long long>(timeline.request_id),
+                  static_cast<unsigned>(timeline.lane),
+                  timeline.complete ? "complete" : "INCOMPLETE",
+                  (timeline.end - timeline.start) * 1e3,
+                  timeline.batch_id != 0 ? "" : " (unbatched)");
+    out += buf;
+    for (const FlightEvent& event : timeline.events) {
+      std::snprintf(buf, sizeof buf, "  %10.3fms  %-14s", event.time * 1e3,
+                    to_string(event.kind));
+      out += buf;
+      if (event.batch_id != 0) {
+        std::snprintf(buf, sizeof buf, " batch=%llu",
+                      static_cast<unsigned long long>(event.batch_id));
+        out += buf;
+      }
+      if (event.flows != 0) {
+        std::snprintf(buf, sizeof buf, " flows=%u", event.flows);
+        out += buf;
+      }
+      if (event.kind == EventKind::kRejected ||
+          event.kind == EventKind::kCancelled) {
+        std::snprintf(buf, sizeof buf, " reason=%s",
+                      to_string(static_cast<RejectReason>(event.detail)));
+        out += buf;
+      }
+      out += '\n';
+    }
+  }
+  if (!report.batches.empty()) out += "\nbatches:\n";
+  for (const BatchComposition& batch : report.batches) {
+    std::snprintf(buf, sizeof buf,
+                  "  batch %llu: %zu requests, %u flows, model %.3fms\n",
+                  static_cast<unsigned long long>(batch.batch_id),
+                  batch.request_ids.size(), batch.flows,
+                  (batch.model_end - batch.model_start) * 1e3);
+    out += buf;
+  }
+  return out;
+}
+
+std::string report_json(const InspectReport& report) {
+  telemetry::JsonWriter json;
+  json.begin_object();
+  json.key("requests");
+  json.value(static_cast<std::uint64_t>(report.requests.size()));
+  json.key("complete");
+  json.value(static_cast<std::uint64_t>(report.complete));
+  json.key("timelines");
+  json.begin_array();
+  for (const RequestTimeline& timeline : report.requests) {
+    json.begin_object();
+    json.key("request");
+    json.value(timeline.request_id);
+    json.key("lane");
+    json.value(static_cast<std::uint64_t>(timeline.lane));
+    json.key("complete");
+    json.value(timeline.complete);
+    json.key("batch");
+    json.value(timeline.batch_id);
+    json.key("start");
+    json.value(timeline.start);
+    json.key("end");
+    json.value(timeline.end);
+    if (timeline.complete) {
+      json.key("terminal");
+      json.value(to_string(timeline.terminal));
+    }
+    json.key("events");
+    json.begin_array();
+    for (const FlightEvent& event : timeline.events) {
+      json.value(to_string(event.kind));
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.key("batches");
+  json.begin_array();
+  for (const BatchComposition& batch : report.batches) {
+    json.begin_object();
+    json.key("batch");
+    json.value(batch.batch_id);
+    json.key("flows");
+    json.value(static_cast<std::uint64_t>(batch.flows));
+    json.key("model_ms");
+    json.value((batch.model_end - batch.model_start) * 1e3);
+    json.key("requests");
+    json.begin_array();
+    for (const std::uint64_t id : batch.request_ids) json.value(id);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return std::move(json).str();
+}
+
+}  // namespace repro::serve::observe

@@ -1,0 +1,106 @@
+// Timeline reconstruction from flight-recorder dumps and Chrome traces.
+//
+// The flight recorder emits flat JSON; this layer parses it back (a
+// minimal dependency-free JSON reader — the repo has a writer in
+// common/telemetry but deliberately had no reader until now) and
+// reconstructs:
+//   * per-request timelines — ordered events from admission to the
+//     terminal event, flagged complete/incomplete,
+//   * per-batch composition — which requests each batched model call
+//     served and how many flows it carried.
+//
+// tools/repro_trace_inspect is a thin CLI over these functions; the
+// repro_served selftest and the check.sh flight-recorder gate call them
+// directly to verify that a dump covers every request end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/observe/events.hpp"
+
+namespace repro::serve::observe {
+
+// --- Minimal JSON value + reader ------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const noexcept { return type == Type::kObject; }
+  bool is_array() const noexcept { return type == Type::kArray; }
+  /// Object member or nullptr (also nullptr when not an object).
+  const JsonValue* find(const std::string& key) const;
+  double num_or(double fallback) const noexcept {
+    return type == Type::kNumber ? number : fallback;
+  }
+  const std::string& str_or(const std::string& fallback) const {
+    return type == Type::kString ? string : fallback;
+  }
+};
+
+/// Parses one JSON document; nullopt on malformed input (trailing
+/// garbage after the document is also malformed).
+std::optional<JsonValue> parse_json(const std::string& text);
+
+// --- Flight-dump decoding -------------------------------------------------
+
+std::optional<EventKind> event_kind_from(const std::string& name);
+std::optional<RejectReason> reject_reason_from(const std::string& name);
+
+struct FlightDump {
+  std::size_t capacity = 0;
+  std::uint64_t recorded = 0;
+  std::uint64_t overwritten = 0;
+  std::vector<FlightEvent> events;
+};
+
+/// Decodes a dump produced by FlightRecorder::dump_json(); nullopt when
+/// the document is not a flight dump.
+std::optional<FlightDump> parse_flight_dump(const std::string& text);
+
+// --- Reconstruction -------------------------------------------------------
+
+struct RequestTimeline {
+  std::uint64_t request_id = 0;
+  std::vector<FlightEvent> events;  ///< in recorded order
+  std::uint64_t batch_id = 0;       ///< 0 = never batched
+  std::uint8_t lane = 0;
+  bool complete = false;  ///< has both a submitted and a terminal event
+  double start = 0.0;     ///< first event time
+  double end = 0.0;       ///< last event time
+  EventKind terminal = EventKind::kSubmitted;  ///< valid when complete
+};
+
+struct BatchComposition {
+  std::uint64_t batch_id = 0;
+  std::vector<std::uint64_t> request_ids;
+  std::uint32_t flows = 0;      ///< from the model_start event
+  double model_start = 0.0;
+  double model_end = 0.0;
+};
+
+struct InspectReport {
+  std::vector<RequestTimeline> requests;  ///< ascending request id
+  std::vector<BatchComposition> batches;  ///< ascending batch id
+  std::size_t complete = 0;               ///< requests with full timelines
+};
+
+InspectReport reconstruct(const std::vector<FlightEvent>& events);
+
+/// Human-readable rendering of the report (one line per event, grouped
+/// by request, then the batch table).
+std::string report_text(const InspectReport& report);
+
+/// Report as JSON, for scripted assertions.
+std::string report_json(const InspectReport& report);
+
+}  // namespace repro::serve::observe

@@ -1,0 +1,113 @@
+#include "serve/observe/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+
+#include "common/contracts.hpp"
+
+namespace repro::serve::observe {
+
+SloTracker::SloTracker(SloPolicy policy) : policy_(policy) {
+  if (policy_.buckets == 0) policy_.buckets = 1;
+  if (policy_.window <= 0.0) policy_.window = 60.0;
+  bucket_width_ = policy_.window / static_cast<double>(policy_.buckets);
+  for (Lane& lane : lanes_) {
+    lane.wheel.assign(policy_.buckets, Bucket{});
+  }
+}
+
+SloTracker::Bucket& SloTracker::advance(Lane& lane, double now) {
+  const auto slot = static_cast<std::int64_t>(std::floor(now / bucket_width_));
+  if (lane.newest_slot < 0) {
+    lane.newest_slot = slot;
+  } else if (slot > lane.newest_slot) {
+    // Zero every bucket the clock skipped; cap at a full wheel wipe.
+    const std::int64_t skipped =
+        std::min(slot - lane.newest_slot,
+                 static_cast<std::int64_t>(policy_.buckets));
+    for (std::int64_t i = 1; i <= skipped; ++i) {
+      const auto idx = static_cast<std::size_t>(
+          (lane.newest_slot + i) % static_cast<std::int64_t>(policy_.buckets));
+      lane.wheel[idx] = Bucket{};
+    }
+    lane.newest_slot = slot;
+  }
+  // A stale `now` (clock raced backwards across pump calls) lands in the
+  // newest bucket rather than resurrecting an expired one.
+  const auto idx = static_cast<std::size_t>(
+      lane.newest_slot % static_cast<std::int64_t>(policy_.buckets));
+  return lane.wheel[idx];
+}
+
+void SloTracker::count(std::size_t lane_index, bool violation, double now) {
+  REPRO_REQUIRE(lane_index < kPriorityLanes, "slo: lane out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  Bucket& bucket = advance(lanes_[lane_index], now);
+  bucket.total += 1;
+  if (violation) bucket.violations += 1;
+}
+
+void SloTracker::on_completed(std::size_t lane, double latency, double now) {
+  count(lane, latency > policy_.latency_objective[lane], now);
+}
+
+void SloTracker::on_cancelled(std::size_t lane, double now) {
+  count(lane, true, now);
+}
+
+LaneBudget SloTracker::windowed(const Lane& lane, double now) const {
+  LaneBudget out;
+  if (lane.newest_slot < 0) return out;
+  const auto slot = static_cast<std::int64_t>(std::floor(now / bucket_width_));
+  const std::int64_t head = std::max(slot, lane.newest_slot);
+  for (std::size_t i = 0; i < policy_.buckets; ++i) {
+    const std::int64_t abs_slot = head - static_cast<std::int64_t>(i);
+    if (abs_slot < 0 || abs_slot > lane.newest_slot ||
+        lane.newest_slot - abs_slot >=
+            static_cast<std::int64_t>(policy_.buckets)) {
+      continue;  // bucket is in the future or already rotated out
+    }
+    const auto idx = static_cast<std::size_t>(
+        abs_slot % static_cast<std::int64_t>(policy_.buckets));
+    out.total += lane.wheel[idx].total;
+    out.violations += lane.wheel[idx].violations;
+  }
+  const double allowed =
+      policy_.error_budget * static_cast<double>(out.total);
+  if (out.total == 0) {
+    out.budget_remaining = 1.0;
+  } else if (allowed <= 0.0) {
+    out.budget_remaining = out.violations == 0 ? 1.0 : 0.0;
+  } else {
+    out.budget_remaining =
+        1.0 - static_cast<double>(out.violations) / allowed;
+  }
+  if (out.budget_remaining <= 0.0) {
+    out.status = "breached";
+  } else if (out.budget_remaining < 0.25) {
+    out.status = "at_risk";
+  } else {
+    out.status = "ok";
+  }
+  return out;
+}
+
+LaneBudget SloTracker::lane_budget(std::size_t lane, double now) const {
+  REPRO_REQUIRE(lane < kPriorityLanes, "slo: lane out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return windowed(lanes_[lane], now);
+}
+
+const char* SloTracker::overall_status(double now) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const char* worst = "ok";
+  for (const Lane& lane : lanes_) {
+    const LaneBudget b = windowed(lane, now);
+    if (std::string_view(b.status) == "breached") return "breached";
+    if (std::string_view(b.status) == "at_risk") worst = "at_risk";
+  }
+  return worst;
+}
+
+}  // namespace repro::serve::observe

@@ -1,0 +1,94 @@
+// Per-priority-lane latency objectives with rolling error-budget
+// windows.
+//
+// Each lane declares a latency objective (seconds). A completion whose
+// end-to-end latency exceeds the lane's objective — and every deadline
+// cancellation — burns error budget. The tracker keeps a bucketed time
+// wheel per lane covering the trailing `window` seconds of service-clock
+// time, so budget status reflects recent behavior, not process lifetime
+// averages: a latency regression surfaces in the serving path within one
+// window instead of being diluted by hours of healthy history.
+//
+// Budget semantics: within a window of `total` requests, up to
+// `error_budget * total` may violate their objective. budget_remaining
+// is the unconsumed fraction of that allowance (1 = untouched, 0 =
+// exhausted, negative = overdrawn). Status derives from it:
+//   ok        remaining >= 0.25
+//   at_risk   0 < remaining < 0.25
+//   breached  remaining <= 0
+//
+// Time comes from the service's injectable ClockFn, so tests drive the
+// wheel deterministically. Updates happen on the pump (single consumer);
+// snapshots may race from other threads, hence the internal mutex.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace repro::serve::observe {
+
+struct SloPolicy {
+  /// Per-lane end-to-end latency objectives, seconds (high, normal,
+  /// low). A completion above its lane's objective is a violation.
+  std::array<double, kPriorityLanes> latency_objective = {0.1, 0.5, 2.0};
+  /// Trailing window the error budget is evaluated over, seconds.
+  double window = 60.0;
+  /// Wheel granularity; window/buckets seconds per bucket.
+  std::size_t buckets = 12;
+  /// Fraction of windowed requests allowed to violate their objective.
+  double error_budget = 0.1;
+};
+
+/// Point-in-time view of one lane's rolling window.
+struct LaneBudget {
+  std::uint64_t total = 0;       ///< requests finished in the window
+  std::uint64_t violations = 0;  ///< objective misses + cancellations
+  double budget_remaining = 1.0;
+  const char* status = "ok";     ///< "ok" | "at_risk" | "breached"
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(SloPolicy policy);
+
+  const SloPolicy& policy() const noexcept { return policy_; }
+
+  /// A request on `lane` completed with end-to-end `latency` seconds.
+  void on_completed(std::size_t lane, double latency, double now);
+
+  /// A request on `lane` was cancelled (deadline swept / model gone):
+  /// always a violation — the objective was unmet by definition.
+  void on_cancelled(std::size_t lane, double now);
+
+  LaneBudget lane_budget(std::size_t lane, double now) const;
+
+  /// Worst lane status: "ok" unless any lane is at_risk / breached.
+  const char* overall_status(double now) const;
+
+ private:
+  struct Bucket {
+    std::uint64_t total = 0;
+    std::uint64_t violations = 0;
+  };
+  struct Lane {
+    std::vector<Bucket> wheel;
+    std::int64_t newest_slot = -1;  ///< absolute bucket index of head
+  };
+
+  /// Rotates `lane`'s wheel forward to the bucket containing `now`,
+  /// zeroing skipped buckets. Caller holds the mutex.
+  Bucket& advance(Lane& lane, double now);
+  void count(std::size_t lane, bool violation, double now);
+  LaneBudget windowed(const Lane& lane, double now) const;
+
+  SloPolicy policy_;
+  double bucket_width_;
+  mutable std::mutex mutex_;
+  std::array<Lane, kPriorityLanes> lanes_;
+};
+
+}  // namespace repro::serve::observe

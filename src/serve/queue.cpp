@@ -56,6 +56,15 @@ std::vector<Pending> RequestQueue::extract_matching(
   return out;
 }
 
+std::array<std::size_t, kPriorityLanes> RequestQueue::lane_sizes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::array<std::size_t, kPriorityLanes> sizes{};
+  for (std::size_t i = 0; i < kPriorityLanes; ++i) {
+    sizes[i] = lanes_[i].size();
+  }
+  return sizes;
+}
+
 std::size_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;

@@ -8,6 +8,7 @@
 // The batch scheduler consumes via pop_head / extract_matching.
 #pragma once
 
+#include <array>
 #include <deque>
 #include <functional>
 #include <future>
@@ -47,6 +48,9 @@ class RequestQueue {
 
   std::size_t size() const;
   bool empty() const { return size() == 0; }
+
+  /// Queued requests per priority lane (for the lane-depth gauges).
+  std::array<std::size_t, kPriorityLanes> lane_sizes() const;
 
   /// Earliest enqueue_time across all queued requests; +inf when empty.
   double oldest_enqueue_time() const;

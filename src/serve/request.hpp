@@ -71,6 +71,9 @@ struct Response {
   double queue_wait = 0.0;     ///< seconds from submit to batch formation
   double total_latency = 0.0;  ///< seconds from submit to completion
   std::size_t batch_flows = 0;  ///< size of the model call that served it
+  /// Trace id of the model call that served it (0 for cache hits and
+  /// cancellations); joins the response to the flight-recorder timeline.
+  std::uint64_t batch_id = 0;
 };
 
 }  // namespace repro::serve

@@ -13,6 +13,18 @@
 // (start()/stop(), used by the daemon). All model math inside pump()
 // still runs under the deterministic parallel lane model.
 //
+// Observability: every request is traced end to end. submit() mints a
+// trace id (the request id) and each stage transition appends a typed
+// FlightEvent — admitted / rejected / cache-hit / deadline-swept /
+// coalesced-into-batch / completed — to the service's flight recorder
+// (lock-free ring, one relaxed atomic load when REPRO_TELEMETRY is
+// off). The SLO tracker burns per-lane error budget on objective
+// misses, and health_json() exports lane percentiles, budget status,
+// and recorder accounting as one machine-readable snapshot. Tracing is
+// scheduling-metadata only: it never touches RNG streams or model
+// state, so served bits are identical with tracing on or off (locked
+// in by tests/serve_test.cpp).
+//
 // Determinism: per-flow noise streams are forked from (request.seed,
 // flow_index) exactly as TraceDiffusion::generate_seeded does, so a
 // served response is bit-identical to the direct library call, no
@@ -21,10 +33,13 @@
 
 #include <atomic>
 #include <memory>
+#include <string>
 
 #include "serve/batcher.hpp"
 #include "serve/cache.hpp"
 #include "serve/clock.hpp"
+#include "serve/observe/flight_recorder.hpp"
+#include "serve/observe/slo.hpp"
 #include "serve/queue.hpp"
 #include "serve/registry.hpp"
 #include "serve/stats.hpp"
@@ -37,6 +52,13 @@ struct ServiceConfig {
   BatchPolicy batch;
   std::size_t cache_capacity = 256;  ///< 0 disables the result cache
   double worker_idle_wait = 0.005;   ///< seconds; background mode only
+  /// Flight-recorder ring size (events); 0 disables recording entirely.
+  std::size_t flightrec_capacity = 4096;
+  /// Arms the recorder even when REPRO_TELEMETRY is off (tools/tests
+  /// that need a dump without enabling span collection process-wide).
+  bool flightrec_force = false;
+  /// Per-lane latency objectives and error-budget window.
+  observe::SloPolicy slo;
   /// Service-wide generation options (guidance, constraints, ...).
   /// sampler/ddim_steps/count/seed come from each request.
   diffusion::GenerateOptions base_options;
@@ -71,7 +93,11 @@ class TraceService {
   /// pump() until the queue is empty (ignores the max-wait policy).
   std::size_t drain();
 
-  /// Starts/stops the background pump thread (idempotent).
+  /// Starts/stops the background pump thread (idempotent). If pump()
+  /// throws on the worker (a serving-path bug, not a model error —
+  /// those are delivered through the response future), the worker logs
+  /// the flight-recorder dump for post-mortem debugging and the
+  /// service closes (new submissions get kShuttingDown).
   void start();
   void stop();
 
@@ -83,9 +109,22 @@ class TraceService {
   const ServiceConfig& config() const noexcept { return config_; }
   ModelRegistry& registry() noexcept { return registry_; }
 
+  /// Recent per-request events (see serve/observe/flight_recorder.hpp).
+  observe::FlightRecorder& flight_recorder() noexcept { return flightrec_; }
+  const observe::SloTracker& slo() const noexcept { return slo_; }
+
+  /// Machine-readable health snapshot: overall SLO status, per-lane
+  /// p50/p95/p99 + error-budget windows, queue/cache/batch counters,
+  /// and flight-recorder accounting. Safe to call from any thread.
+  std::string health_json() const;
+
  private:
   std::size_t execute(FormedBatch&& formed, double now);
   void cancel(Pending&& p, RejectReason reason, double now);
+  void update_queue_gauges();
+  void note_event(observe::EventKind kind, std::uint64_t request_id,
+                  std::uint64_t batch_id, std::uint32_t flows,
+                  std::uint8_t lane, std::uint16_t detail, double time);
 
   ModelRegistry& registry_;
   ServiceConfig config_;
@@ -94,7 +133,11 @@ class TraceService {
   BatchScheduler scheduler_;
   ResultCache cache_;
   ServiceStats stats_;
+  observe::FlightRecorder flightrec_;
+  observe::SloTracker slo_;
+  double start_time_;
   std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::uint64_t> next_batch_id_{1};
   std::atomic<bool> closed_{false};
   std::unique_ptr<BackgroundWorker> worker_;
 };

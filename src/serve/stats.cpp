@@ -1,5 +1,7 @@
 #include "serve/stats.hpp"
 
+#include "common/contracts.hpp"
+
 namespace repro::serve {
 namespace {
 
@@ -10,34 +12,66 @@ std::vector<double> batch_size_bounds() {
   return bounds;
 }
 
+telemetry::Registry& reg() { return telemetry::Registry::instance(); }
+
+// Lane metric names are spelled out as literals (rather than assembled
+// at runtime) so the repro_lint serve-prefix rule can see every name
+// this translation unit registers.
+LaneStats make_lane(std::size_t index) {
+  switch (index) {
+    case 0:
+      return LaneStats{reg().counter("serve.lane0.admitted"),
+                       reg().counter("serve.lane0.completed"),
+                       reg().counter("serve.lane0.cancelled"),
+                       reg().gauge("serve.lane0.queue_depth"),
+                       reg().histogram("serve.lane0.queue_wait_seconds"),
+                       reg().histogram("serve.lane0.latency_seconds")};
+    case 1:
+      return LaneStats{reg().counter("serve.lane1.admitted"),
+                       reg().counter("serve.lane1.completed"),
+                       reg().counter("serve.lane1.cancelled"),
+                       reg().gauge("serve.lane1.queue_depth"),
+                       reg().histogram("serve.lane1.queue_wait_seconds"),
+                       reg().histogram("serve.lane1.latency_seconds")};
+    default:
+      return LaneStats{reg().counter("serve.lane2.admitted"),
+                       reg().counter("serve.lane2.completed"),
+                       reg().counter("serve.lane2.cancelled"),
+                       reg().gauge("serve.lane2.queue_depth"),
+                       reg().histogram("serve.lane2.queue_wait_seconds"),
+                       reg().histogram("serve.lane2.latency_seconds")};
+  }
+}
+
 }  // namespace
 
 ServiceStats::ServiceStats()
-    : submitted(telemetry::Registry::instance().counter(
-          "serve.requests.submitted")),
-      accepted(telemetry::Registry::instance().counter(
-          "serve.requests.accepted")),
-      rejected_full(telemetry::Registry::instance().counter(
-          "serve.requests.rejected_queue_full")),
-      rejected_invalid(telemetry::Registry::instance().counter(
-          "serve.requests.rejected_invalid")),
-      cancelled_deadline(telemetry::Registry::instance().counter(
-          "serve.requests.cancelled_deadline")),
-      completed(telemetry::Registry::instance().counter(
-          "serve.requests.completed")),
-      flows_served(
-          telemetry::Registry::instance().counter("serve.flows.served")),
-      cache_hits(telemetry::Registry::instance().counter("serve.cache.hits")),
-      cache_misses(
-          telemetry::Registry::instance().counter("serve.cache.misses")),
-      batches(
-          telemetry::Registry::instance().counter("serve.batch.dispatched")),
-      queue_depth(telemetry::Registry::instance().gauge("serve.queue.depth")),
-      batch_size(telemetry::Registry::instance().histogram(
-          "serve.batch.size", batch_size_bounds())),
-      queue_wait(telemetry::Registry::instance().histogram(
-          "serve.latency.queue_wait_seconds")),
-      latency(telemetry::Registry::instance().histogram(
-          "serve.latency.total_seconds")) {}
+    : submitted(reg().counter("serve.requests.submitted")),
+      accepted(reg().counter("serve.requests.accepted")),
+      rejected_full(reg().counter("serve.requests.rejected_queue_full")),
+      rejected_invalid(reg().counter("serve.requests.rejected_invalid")),
+      cancelled_deadline(reg().counter("serve.requests.cancelled_deadline")),
+      completed(reg().counter("serve.requests.completed")),
+      flows_served(reg().counter("serve.flows.served")),
+      cache_hits(reg().counter("serve.cache.hits")),
+      cache_misses(reg().counter("serve.cache.misses")),
+      batches(reg().counter("serve.batch.dispatched")),
+      queue_depth(reg().gauge("serve.queue.depth")),
+      batch_size(reg().histogram("serve.batch.size", batch_size_bounds())),
+      queue_wait(reg().histogram("serve.latency.queue_wait_seconds")),
+      latency(reg().histogram("serve.latency.total_seconds")),
+      lane{make_lane(0), make_lane(1), make_lane(2)},
+      rejects_{&reg().counter("serve.rejects.queue_full"),
+               &reg().counter("serve.rejects.deadline_expired"),
+               &reg().counter("serve.rejects.unknown_model"),
+               &reg().counter("serve.rejects.unknown_class"),
+               &reg().counter("serve.rejects.bad_request"),
+               &reg().counter("serve.rejects.shutting_down")} {}
+
+telemetry::Counter& ServiceStats::reject_reason(RejectReason reason) {
+  const auto index = static_cast<std::size_t>(reason);
+  REPRO_REQUIRE(index < rejects_.size(), "serve: unknown reject reason");
+  return *rejects_[index];
+}
 
 }  // namespace repro::serve

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/telemetry/trace.hpp"
+
 namespace repro::serve {
 
 BackgroundWorker::BackgroundWorker(std::function<std::size_t()> step,
@@ -31,6 +33,9 @@ void BackgroundWorker::stop() {
 }
 
 void BackgroundWorker::loop() {
+  // Name the worker for Chrome-trace exports: its spans otherwise show
+  // up under an anonymous tid that collides with pool lanes.
+  telemetry::set_thread_name("serve.worker");
   for (;;) {
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -80,6 +80,7 @@ const RuleCase kRuleCases[] = {
     {"src/gan/rl007_bad_metric_name.cpp.fixture", "RL007"},
     {"src/replay/rl008_missing_pragma_once.hpp.fixture", "RL008"},
     {"src/net/rl009_using_namespace.cpp.fixture", "RL009"},
+    {"src/serve/rl011_bad_serve_prefix.cpp.fixture", "RL011"},
 };
 
 class LintRuleFires : public ::testing::TestWithParam<RuleCase> {};
@@ -152,6 +153,19 @@ TEST(LintScope, ServeWallClockFiresOutsideClock) {
 TEST(LintScope, ServeClockIsExemptFromWallClock) {
   const LintRun run = run_lint({"src/serve/clock.cpp.fixture"});
   EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// RL011 is scoped to src/serve/: a serve.-prefixed name is clean there,
+// and non-serve subsystems may use their own prefixes freely (the gan
+// fixture's bad grammar fires RL007 but never RL011).
+TEST(LintScope, ServePrefixedTelemetryIsClean) {
+  const LintRun run = run_lint({"src/serve/rl011_good_prefix.cpp.fixture"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintScope, ServePrefixRuleDoesNotApplyOutsideServe) {
+  const LintRun run = run_lint({"src/gan/rl007_bad_metric_name.cpp.fixture"});
+  EXPECT_EQ(count_of(run.output, "[RL011/"), 0) << run.output;
 }
 
 struct FormatCase {

@@ -15,7 +15,9 @@
 #include <memory>
 
 #include "common/parallel/thread_pool.hpp"
+#include "common/telemetry/metrics.hpp"
 #include "flowgen/generator.hpp"
+#include "serve/observe/inspect.hpp"
 
 namespace repro::serve {
 namespace {
@@ -405,6 +407,164 @@ TEST_F(ServeTest, BackgroundWorkerServesSubmissions) {
   lib_opts.ddim_steps = 4;
   EXPECT_EQ(hash_flows(resp.flows),
             hash_flows(pipeline_->generate_seeded(0, lib_opts, 31337)));
+}
+
+TEST_F(ServeTest, TracingOnOrOffNeverChangesServedBits) {
+  // The observability contract: arming the flight recorder and span
+  // tracing must be bit-transparent — the generated flows are identical
+  // whether telemetry is on or off, at 1 and 4 parallel lanes.
+  const bool telemetry_was_on = telemetry::enabled();
+  const std::size_t original_lanes = parallel::thread_count();
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{4}}) {
+    parallel::set_thread_count(lanes);
+    std::uint64_t hashes[2] = {0, 0};
+    for (const bool traced : {false, true}) {
+      telemetry::set_enabled(traced);
+      ServiceConfig cfg = fast_config();
+      cfg.cache_capacity = 0;
+      cfg.flightrec_force = traced;
+      TraceService service(registry_, cfg);
+      auto a = service.submit(request(0, 42, 2));
+      auto b = service.submit(request(1, 9, 1));
+      ASSERT_TRUE(a.accepted && b.accepted);
+      service.drain();
+      const Response ra = a.response.get();
+      const Response rb = b.response.get();
+      ASSERT_EQ(ra.status, ResponseStatus::kOk);
+      ASSERT_EQ(rb.status, ResponseStatus::kOk);
+      std::uint64_t h = hash_flows(ra.flows);
+      h ^= hash_flows(rb.flows) * 1099511628211ULL;
+      hashes[traced ? 1 : 0] = h;
+      // Traced run actually recorded a timeline; untraced recorded none.
+      EXPECT_EQ(service.flight_recorder().recorded() > 0, traced);
+    }
+    EXPECT_EQ(hashes[0], hashes[1])
+        << "tracing changed the served bits at " << lanes << " lanes";
+  }
+  parallel::set_thread_count(original_lanes);
+  telemetry::set_enabled(telemetry_was_on);
+}
+
+TEST_F(ServeTest, PerLaneStatsAndTypedRejectCountersTrack) {
+  ServiceConfig cfg = fast_config();
+  cfg.cache_capacity = 0;
+  cfg.queue_capacity = 2;
+  TraceService service(registry_, cfg);
+
+  // Registry counters are process-global; assert on deltas.
+  ServiceStats& stats = service.stats();
+  LaneStats& high = stats.lane_of(Priority::kHigh);
+  LaneStats& low = stats.lane_of(Priority::kLow);
+  const std::uint64_t high_admitted = high.admitted.value();
+  const std::uint64_t high_completed = high.completed.value();
+  const std::uint64_t low_admitted = low.admitted.value();
+  const std::uint64_t full_rejects =
+      stats.reject_reason(RejectReason::kQueueFull).value();
+  const std::uint64_t class_rejects =
+      stats.reject_reason(RejectReason::kUnknownClass).value();
+
+  GenerateRequest urgent = request(0, 1);
+  urgent.priority = Priority::kHigh;
+  GenerateRequest lazy = request(0, 2);
+  lazy.priority = Priority::kLow;
+  lazy.ddim_steps = 3;  // separate batch key from the high request
+  ASSERT_TRUE(service.submit(urgent).accepted);
+  ASSERT_TRUE(service.submit(lazy).accepted);
+  EXPECT_EQ(high.admitted.value(), high_admitted + 1);
+  EXPECT_EQ(low.admitted.value(), low_admitted + 1);
+  EXPECT_EQ(high.queue_depth.value(), 1.0);
+  EXPECT_EQ(low.queue_depth.value(), 1.0);
+
+  // Queue is full now: the typed overload counter ticks...
+  EXPECT_FALSE(service.submit(request(0, 3)).accepted);
+  EXPECT_EQ(stats.reject_reason(RejectReason::kQueueFull).value(),
+            full_rejects + 1);
+  // ...and invalid input ticks its own reason, not the overload one.
+  EXPECT_EQ(service.submit(request(9, 4)).reject,
+            RejectReason::kUnknownClass);
+  EXPECT_EQ(stats.reject_reason(RejectReason::kUnknownClass).value(),
+            class_rejects + 1);
+  EXPECT_EQ(stats.reject_reason(RejectReason::kQueueFull).value(),
+            full_rejects + 1);
+
+  service.drain();
+  EXPECT_EQ(high.completed.value(), high_completed + 1);
+  EXPECT_EQ(high.queue_depth.value(), 0.0);
+  EXPECT_EQ(low.queue_depth.value(), 0.0);
+}
+
+TEST_F(ServeTest, FlightRecorderCoversDrainedWorkload) {
+  ServiceConfig cfg = fast_config();
+  cfg.cache_capacity = 0;
+  cfg.flightrec_force = true;  // record even with REPRO_TELEMETRY off
+  TraceService service(registry_, cfg);
+  *now_ = 1.0;  // nonzero timestamps distinguish "recorded" from default
+
+  constexpr std::uint64_t kRequests = 6;
+  std::vector<SubmitResult> results;
+  for (std::uint64_t s = 0; s < kRequests; ++s) {
+    results.push_back(service.submit(request(s % 2 ? 1 : 0, 700 + s)));
+    ASSERT_TRUE(results.back().accepted);
+  }
+  service.drain();
+
+  const auto dump =
+      observe::parse_flight_dump(service.flight_recorder().dump_json());
+  ASSERT_TRUE(dump.has_value());
+  EXPECT_EQ(dump->overwritten, 0u);
+  const observe::InspectReport report = observe::reconstruct(dump->events);
+  ASSERT_EQ(report.requests.size(), kRequests);
+  EXPECT_EQ(report.complete, kRequests);
+  for (const observe::RequestTimeline& timeline : report.requests) {
+    EXPECT_TRUE(timeline.complete);
+    EXPECT_EQ(timeline.terminal, observe::EventKind::kCompleted);
+    EXPECT_NE(timeline.batch_id, 0u);
+  }
+  // Every response joins its flight-recorder batch via Response.batch_id.
+  for (auto& r : results) {
+    const Response resp = r.response.get();
+    ASSERT_EQ(resp.status, ResponseStatus::kOk);
+    bool found = false;
+    for (const observe::BatchComposition& batch : report.batches) {
+      if (batch.batch_id != resp.batch_id) continue;
+      found = true;
+      EXPECT_GT(batch.model_end, 0.0);
+    }
+    EXPECT_TRUE(found) << "response batch " << resp.batch_id
+                       << " missing from the flight dump";
+  }
+}
+
+TEST_F(ServeTest, HealthJsonReportsLanesBudgetsAndRecorderState) {
+  ServiceConfig cfg = fast_config();
+  cfg.cache_capacity = 0;
+  cfg.flightrec_force = true;
+  TraceService service(registry_, cfg);
+  auto r = service.submit(request(0, 4242));
+  ASSERT_TRUE(r.accepted);
+  service.drain();
+  ASSERT_EQ(r.response.get().status, ResponseStatus::kOk);
+
+  const auto doc = observe::parse_json(service.health_json());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  // Instant completions on the fake clock cannot violate any objective.
+  EXPECT_EQ(doc->find("status")->str_or(""), "ok");
+  const observe::JsonValue* requests = doc->find("requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_GE(requests->find("completed")->num_or(0), 1.0);
+  const observe::JsonValue* lanes = doc->find("lanes");
+  ASSERT_NE(lanes, nullptr);
+  ASSERT_EQ(lanes->array.size(), static_cast<std::size_t>(kPriorityLanes));
+  const observe::JsonValue& normal = lanes->array[1];  // Priority::kNormal
+  EXPECT_GE(normal.find("admitted")->num_or(0), 1.0);
+  EXPECT_DOUBLE_EQ(normal.find("budget_remaining")->num_or(-1), 1.0);
+  EXPECT_EQ(normal.find("budget_status")->str_or(""), "ok");
+  ASSERT_NE(normal.find("latency_p95"), nullptr);
+  const observe::JsonValue* recorder = doc->find("flight_recorder");
+  ASSERT_NE(recorder, nullptr);
+  EXPECT_TRUE(recorder->find("armed")->boolean);
+  EXPECT_GE(recorder->find("recorded")->num_or(0), 1.0);
 }
 
 TEST(ResultCacheTest, LruEvictsLeastRecentlyUsed) {

@@ -310,6 +310,16 @@ std::vector<Rule> build_rules() {
       "repro-lint: allow(...) without a `-- <reason>` tail",
       "a suppression is a waiver of a project invariant; the reviewer "
       "needs the justification inline"});
+  rules.push_back(Rule{
+      "RL011", "serve-telemetry-prefix", {"src/serve/"}, {},
+      "(telemetry literals registered from src/serve/ must start with "
+      "`serve.`)",
+      re(R"(\bREPRO_SPAN\s*\(|\btelemetry::(count|gauge_set|observe)\s*\(|)"
+         R"(\bSpanTimer\b|\.\s*(counter|gauge|histogram)\s*\()"),
+      "telemetry name registered from src/serve/ must use the `serve.` "
+      "prefix",
+      "the health exporter and dashboards aggregate the serving metric "
+      "tree by prefix; a stray name drops out of every serve view"});
   return rules;
 }
 
@@ -487,6 +497,27 @@ void lint_file(const SourceFile& file, const std::vector<Rule>& rules,
           // lexical pass.
           if (!name.has_value()) continue;
           if (!valid_telemetry_name(*name) && !sup.allows(i + 1, rule.id)) {
+            findings.push_back(Finding{file.rel_path, i + 1, rule.id,
+                                       rule.name,
+                                       std::string(rule.message) + " (got \"" +
+                                           *name + "\")"});
+          }
+        }
+        continue;
+      }
+      if (id == "RL011") {
+        // Same literal-extraction approach as RL007: only names the
+        // lexer can see are checked; runtime-built names are out of
+        // scope for a lexical pass.
+        auto begin = std::sregex_iterator(code.begin(), code.end(),
+                                          rule.pattern);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+          const auto call_end =
+              static_cast<std::size_t>(it->position() + it->length());
+          const std::optional<std::string> name =
+              first_string_literal(file.raw[i], call_end);
+          if (!name.has_value()) continue;
+          if (name->rfind("serve.", 0) != 0 && !sup.allows(i + 1, rule.id)) {
             findings.push_back(Finding{file.rel_path, i + 1, rule.id,
                                        rule.name,
                                        std::string(rule.message) + " (got \"" +

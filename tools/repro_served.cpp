@@ -15,6 +15,19 @@
 //       TraceDiffusion checkpoint (see TraceDiffusion::save) and writes
 //       SERVED_report.json (respecting REPRO_BENCH_DIR).
 //
+// Observability options (any mode):
+//   --health                 print the service health snapshot
+//                            (SLO budget status, lane percentiles) as
+//                            JSON after the run
+//   --dump-flightrec [PATH]  write the flight-recorder dump (default
+//                            FLIGHTREC_dump.json, respecting
+//                            REPRO_BENCH_DIR); arms the recorder even
+//                            with REPRO_TELEMETRY off
+//
+// The selftest additionally requires the flight recorder to hold a
+// complete admission-to-terminal timeline for every submitted request
+// (validated through the same JSON round-trip repro_trace_inspect uses).
+//
 // Options: --requests N (default 32), --count N flows/request (2),
 //          --steps N DDIM steps (8), --batch N max flows/model call (8),
 //          --queue N capacity (64), --lora PATH adapter overlay.
@@ -30,6 +43,7 @@
 #include "common/telemetry/metrics.hpp"
 #include "flowgen/dataset.hpp"
 #include "flowgen/generator.hpp"
+#include "serve/observe/inspect.hpp"
 #include "serve/service.hpp"
 
 using namespace repro;
@@ -117,8 +131,9 @@ void print_stats(serve::TraceService& service) {
 }
 
 int run(int argc, char** argv) {
-  bool selftest = false;
+  bool selftest = false, health = false, dump_flightrec = false;
   std::string checkpoint, lora_path, classes_csv;
+  std::string flightrec_path;
   std::size_t requests = 32, count = 2, steps = 8, max_batch = 8, queue = 64;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -126,6 +141,11 @@ int run(int argc, char** argv) {
       return i + 1 < argc ? std::string(argv[++i]) : std::string();
     };
     if (arg == "--selftest") selftest = true;
+    else if (arg == "--health") health = true;
+    else if (arg == "--dump-flightrec") {
+      dump_flightrec = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') flightrec_path = next();
+    }
     else if (arg == "--checkpoint") checkpoint = next();
     else if (arg == "--lora") lora_path = next();
     else if (arg == "--classes") classes_csv = next();
@@ -168,6 +188,9 @@ int run(int argc, char** argv) {
   cfg.batch.max_wait = 0.001;
   cfg.worker_idle_wait = 0.002;
   cfg.base_options.ddim_steps = steps;
+  // The selftest asserts full timeline coverage; --dump-flightrec must
+  // produce a dump regardless of REPRO_TELEMETRY. Both arm the recorder.
+  cfg.flightrec_force = selftest || dump_flightrec || health;
   serve::TraceService service(registry, cfg);
   service.start();
 
@@ -226,6 +249,23 @@ int run(int argc, char** argv) {
               submitted, served_flows);
   print_stats(service);
 
+  if (health) {
+    std::printf("%s\n", service.health_json().c_str());
+  }
+  if (dump_flightrec) {
+    const std::string dump_path =
+        flightrec_path.empty() ? telemetry::report_path("FLIGHTREC_dump.json")
+                               : flightrec_path;
+    if (!telemetry::write_text_file(dump_path,
+                                    service.flight_recorder().dump_json())) {
+      std::fprintf(stderr, "repro_served: cannot write %s\n",
+                   dump_path.c_str());
+      return 1;
+    }
+    std::printf("serve: flight recorder dump written to %s\n",
+                dump_path.c_str());
+  }
+
   const std::string report = telemetry::metrics_json(
       telemetry::Registry::instance().snapshot());
   const std::string path = telemetry::report_path("SERVED_report.json");
@@ -236,6 +276,28 @@ int run(int argc, char** argv) {
   std::printf("serve: report written to %s\n", path.c_str());
 
   if (selftest) {
+    // Flight-recorder coverage gate: the dump must reconstruct, through
+    // the same JSON round-trip repro_trace_inspect uses, a complete
+    // admission-to-terminal timeline for every submitted request.
+    const auto dump = serve::observe::parse_flight_dump(
+        service.flight_recorder().dump_json());
+    if (!dump) {
+      std::fprintf(stderr,
+                   "repro_served: SELFTEST FAILED — flight dump unparsable\n");
+      return 1;
+    }
+    const auto inspect = serve::observe::reconstruct(dump->events);
+    if (inspect.requests.size() != submitted ||
+        inspect.complete != submitted) {
+      std::fprintf(stderr,
+                   "repro_served: SELFTEST FAILED — flight recorder covers "
+                   "%zu/%zu requests (%zu complete)\n",
+                   inspect.requests.size(), submitted, inspect.complete);
+      return 1;
+    }
+    std::printf("serve: flight recorder covered %zu/%zu request timelines\n",
+                inspect.complete, submitted);
+    std::printf("serve: health %s\n", service.health_json().c_str());
     if (mismatches > 0) {
       std::fprintf(stderr,
                    "repro_served: SELFTEST FAILED — %zu served responses "

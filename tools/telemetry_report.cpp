@@ -9,10 +9,18 @@
 // fails loudly if instrumentation stops producing metrics or spans, or
 // if the JSON exporter emits nothing.
 //
-// Usage: repro_telemetry_report [output_prefix]   (default: telemetry_report)
+// Usage: repro_telemetry_report [--json] [--top N] [output_prefix]
+//   output_prefix defaults to telemetry_report
+//   --top N   also list the N slowest spans (by inclusive wall time)
+//   --json    print the full telemetry JSON document to stdout instead
+//             of the progress/profile text (files are still written)
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
+
+#include "common/env.hpp"
 
 #include "common/rng.hpp"
 #include "common/telemetry/export.hpp"
@@ -30,8 +38,39 @@
 
 using namespace repro;
 
+namespace {
+
+/// Depth-first flatten of the profile tree (excluding the synthetic
+/// root), for the --top slowest-span listing.
+void flatten_spans(const telemetry::SpanReport& node,
+                   std::vector<const telemetry::SpanReport*>& out) {
+  for (const auto& child : node.children) {
+    out.push_back(&child);
+    flatten_spans(child, out);
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::string prefix = argc > 1 ? argv[1] : "telemetry_report";
+  std::string prefix = "telemetry_report";
+  bool json_mode = false;
+  std::size_t top = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") json_mode = true;
+    else if (arg == "--top" && i + 1 < argc)
+      top = parse_size(argv[++i]).value_or(top);
+    else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "telemetry_report: unknown option '%s'\n",
+                   arg.c_str());
+      return 2;
+    } else {
+      prefix = arg;
+    }
+  }
+  // Progress prints would corrupt the machine-readable stdout.
+  const bool quiet = json_mode;
   // The whole point of this tool is to exercise the exporters, so force
   // telemetry on regardless of REPRO_TELEMETRY.
   telemetry::set_enabled(true);
@@ -52,7 +91,7 @@ int main(int argc, char** argv) {
       b.label = 1;
       real.flows.push_back(std::move(b));
     }
-    std::printf("dataset: %zu labeled flows\n", real.size());
+    if (!quiet) std::printf("dataset: %zu labeled flows\n", real.size());
 
     // diffusion (+ nn underneath): smallest viable pipeline.
     diffusion::PipelineConfig cfg;
@@ -72,7 +111,9 @@ int main(int argc, char** argv) {
     opts.sampler = diffusion::SamplerKind::kDdim;
     opts.ddim_steps = 4;
     const auto synthetic = pipeline.generate(0, opts);
-    std::printf("diffusion: generated %zu flows\n", synthetic.size());
+    if (!quiet) {
+      std::printf("diffusion: generated %zu flows\n", synthetic.size());
+    }
 
     // gan baseline.
     gan::GanConfig gan_cfg;
@@ -88,26 +129,52 @@ int main(int argc, char** argv) {
     ml::RandomForest forest(forest_cfg);
     const auto features = ml::netflow_features(real.flows);
     forest.fit(features);
-    std::printf("ml: forest train accuracy %.2f\n", forest.score(features));
+    if (!quiet) {
+      std::printf("ml: forest train accuracy %.2f\n",
+                  forest.score(features));
+    }
 
     // replay: drive the conntrack function with the real packets.
     replay::ReplayEngine engine;
     engine.add_function(std::make_unique<replay::ConntrackFunction>());
     const auto report = engine.replay(net::flatten_flows(real.flows));
-    std::printf("replay: %zu/%zu packets delivered\n",
-                report.delivered_packets, report.input_packets);
+    if (!quiet) {
+      std::printf("replay: %zu/%zu packets delivered\n",
+                  report.delivered_packets, report.input_packets);
+    }
   }
 
   // Export everything the layer can produce.
-  std::printf("\n%s", telemetry::profile_text_report().c_str());
+  if (!quiet) std::printf("\n%s", telemetry::profile_text_report().c_str());
 
   const auto snapshot = telemetry::Registry::instance().snapshot();
   const std::size_t metric_count = snapshot.counters.size() +
                                    snapshot.gauges.size() +
                                    snapshot.histograms.size();
-  const std::size_t span_count = telemetry::profile_snapshot().node_count();
-  std::printf("\n%zu metrics, %zu span nodes recorded\n", metric_count,
-              span_count);
+  const telemetry::SpanReport profile = telemetry::profile_snapshot();
+  const std::size_t span_count = profile.node_count();
+  if (!quiet) {
+    std::printf("\n%zu metrics, %zu span nodes recorded\n", metric_count,
+                span_count);
+  }
+
+  if (top > 0 && !quiet) {
+    std::vector<const telemetry::SpanReport*> nodes;
+    flatten_spans(profile, nodes);
+    std::sort(nodes.begin(), nodes.end(),
+              [](const telemetry::SpanReport* a,
+                 const telemetry::SpanReport* b) {
+                return a->total_seconds > b->total_seconds;
+              });
+    if (nodes.size() > top) nodes.resize(top);
+    std::printf("\ntop %zu spans by inclusive wall time:\n", nodes.size());
+    for (const telemetry::SpanReport* node : nodes) {
+      std::printf("  %-40s calls=%-8llu total=%.3fms self=%.3fms\n",
+                  node->name.c_str(),
+                  static_cast<unsigned long long>(node->calls),
+                  node->total_seconds * 1e3, node->self_seconds * 1e3);
+    }
+  }
 
   const std::string json = telemetry::telemetry_json();
   const std::string json_path = telemetry::report_path(prefix + ".json");
@@ -118,12 +185,16 @@ int main(int argc, char** argv) {
        {std::pair{json_path, json},
         std::pair{trace_path, telemetry::chrome_trace_json()}}) {
     if (telemetry::write_text_file(path, content)) {
-      std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+      if (!quiet) {
+        std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+      }
     } else {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       ok = false;
     }
   }
+
+  if (json_mode) std::printf("%s\n", json.c_str());
 
   // Smoke-test contract: instrumentation and exporters must produce.
   if (!ok || metric_count < 5 || span_count < 5 || json.size() < 64) {
@@ -133,6 +204,6 @@ int main(int argc, char** argv) {
                  ok ? 1 : 0, metric_count, span_count, json.size());
     return 1;
   }
-  std::printf("telemetry smoke OK\n");
+  if (!quiet) std::printf("telemetry smoke OK\n");
   return 0;
 }
