@@ -15,6 +15,11 @@
 //   open_loop_overload burst submissions into a tiny queue: typed
 //                      queue-full rejects, no blocking, accepted work
 //                      still completes
+//   open_loop_socket   the same open-loop burst through the TCP
+//                      front-end (src/serve/net) at 1, 2, and 8 client
+//                      connections over REPRO_SERVE_LANES sharded
+//                      worker lanes — client-side p50/p95/p99, flows/s,
+//                      and the wire-visible reject rate per conn count
 //
 // Results: flows_per_s_single, flows_per_s_served, speedup (the
 // acceptance headline), open-loop accept/reject counts, and latency
@@ -34,14 +39,18 @@
 // Knobs: REPRO_SERVE_REQUESTS (48) single-flow requests per measured
 // stage, REPRO_SERVE_BATCH (16) max flows per model call,
 // REPRO_DDIM_STEPS / REPRO_PACKETS as everywhere else.
+#include <algorithm>
 #include <chrono>
 #include <future>
 #include <memory>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "serve/net/client.hpp"
+#include "serve/net/server.hpp"
 #include "serve/observe/inspect.hpp"
 #include "serve/service.hpp"
+#include "serve/shard.hpp"
 
 using namespace repro;
 
@@ -182,6 +191,122 @@ OverloadResult run_open_loop_overload(serve::ModelRegistry& registry,
   return out;
 }
 
+struct Percentiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Linear-interpolated quantiles over client-side latencies, in ms.
+Percentiles percentiles_ms(std::vector<double>& seconds) {
+  Percentiles out;
+  if (seconds.empty()) return out;
+  std::sort(seconds.begin(), seconds.end());
+  const auto at = [&seconds](double q) {
+    const double pos = q * static_cast<double>(seconds.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, seconds.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return (seconds[lo] * (1.0 - frac) + seconds[hi] * frac) * 1e3;
+  };
+  out.p50 = at(0.5);
+  out.p95 = at(0.95);
+  out.p99 = at(0.99);
+  return out;
+}
+
+struct SocketResult {
+  std::size_t ok = 0;
+  std::size_t rejected = 0;  ///< error frames (queue_full) + cancels
+  std::size_t flows = 0;
+  double flows_per_s = 0.0;
+  Percentiles latency;
+};
+
+/// Open-loop burst through the socket front-end: `conns` pipelined
+/// client connections fire `requests` frames without waiting, then the
+/// replies are collected round-robin. Latency is the CLIENT's view —
+/// burst start to reply arrival, wire decode included — which is what
+/// a user of `repro_served --listen` actually experiences.
+SocketResult run_open_loop_socket(serve::ModelRegistry& registry,
+                                  std::size_t conns, std::size_t requests,
+                                  std::size_t max_batch, std::size_t steps,
+                                  std::size_t lanes,
+                                  std::uint64_t seed_base) {
+  serve::ShardedConfig cfg;
+  cfg.lanes = lanes;
+  // Sized so a full burst into one shard can overflow: the wire-level
+  // queue_full reject path is part of what this stage measures.
+  cfg.service.queue_capacity = requests / 2 + 1;
+  cfg.service.batch.max_batch_flows = max_batch;
+  cfg.service.cache_capacity = 0;
+  serve::ShardedService sharded(registry, cfg);
+  serve::wire::SocketServer server(sharded, serve::wire::ServerConfig{});
+  sharded.start();
+  server.start();
+
+  SocketResult out;
+  {
+    std::vector<std::unique_ptr<serve::wire::BlockingClient>> clients;
+    std::vector<std::size_t> outstanding(conns, 0);
+    clients.reserve(conns);
+    for (std::size_t c = 0; c < conns; ++c) {
+      clients.push_back(
+          std::make_unique<serve::wire::BlockingClient>(server.port()));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto since_start = [&t0] {
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+          .count();
+    };
+    for (std::size_t i = 0; i < requests; ++i) {
+      serve::GenerateRequest req;
+      req.class_id = static_cast<int>(i % 2);
+      req.seed = seed_base + i;
+      req.count = 1;
+      req.ddim_steps = steps;
+      clients[i % conns]->send(req);
+      ++outstanding[i % conns];
+    }
+
+    std::vector<double> arrivals;
+    arrivals.reserve(requests);
+    std::size_t remaining = requests;
+    double last = 0.0;
+    while (remaining > 0 && since_start() < 120.0) {
+      for (std::size_t c = 0; c < conns; ++c) {
+        if (outstanding[c] == 0) continue;
+        if (clients[c]->eof()) {  // server gone: stop waiting on it
+          remaining -= outstanding[c];
+          outstanding[c] = 0;
+          continue;
+        }
+        const auto reply = clients[c]->read_reply(0.005);
+        if (!reply) continue;
+        --outstanding[c];
+        --remaining;
+        const double t = since_start();
+        if (reply->ok() && reply->response->status == "ok") {
+          ++out.ok;
+          out.flows += reply->response->flows.size();
+          arrivals.push_back(t);
+          last = t;
+        } else {
+          ++out.rejected;
+        }
+      }
+    }
+    if (last > 0.0) {
+      out.flows_per_s = static_cast<double>(out.flows) / last;
+    }
+    out.latency = percentiles_ms(arrivals);
+  }
+  server.stop();
+  sharded.stop();
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -233,6 +358,39 @@ int main() {
               "%zu completed\n",
               overload.accepted, overload.rejected_full, overload.completed);
 
+  report.stage("open_loop_socket");
+  const std::size_t lanes = env_size(kEnvServeLanes, 2);
+  bool socket_ok = true;
+  for (const std::size_t conns :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    const SocketResult sock =
+        run_open_loop_socket(registry, conns, requests, max_batch, steps,
+                             lanes, 40'000 + conns * 1'000);
+    const double reject_rate =
+        requests > 0
+            ? static_cast<double>(sock.rejected) /
+                  static_cast<double>(requests)
+            : 0.0;
+    std::printf("socket open-loop (%zu conns, %zu lanes): %zu ok, %zu "
+                "rejected, %.2f flows/s, p50=%.1fms p95=%.1fms "
+                "p99=%.1fms\n",
+                conns, lanes, sock.ok, sock.rejected, sock.flows_per_s,
+                sock.latency.p50, sock.latency.p95, sock.latency.p99);
+    char prefix[32];
+    std::snprintf(prefix, sizeof prefix, "socket_c%zu_", conns);
+    report.note(std::string(prefix) + "flows_per_s", sock.flows_per_s);
+    report.note(std::string(prefix) + "reject_rate", reject_rate);
+    report.note(std::string(prefix) + "p50_ms", sock.latency.p50);
+    report.note(std::string(prefix) + "p95_ms", sock.latency.p95);
+    report.note(std::string(prefix) + "p99_ms", sock.latency.p99);
+    // Conservation over the wire: every frame answered, typed ok or
+    // typed reject — nothing dropped, nothing hung.
+    if (sock.ok == 0 || sock.ok + sock.rejected != requests) {
+      socket_ok = false;
+    }
+  }
+  report.note("socket_lanes", static_cast<double>(lanes));
+
   const double speedup = single.flows_per_s > 0.0
                              ? served.flows_per_s / single.flows_per_s
                              : 0.0;
@@ -277,6 +435,11 @@ int main() {
                  "serve_load: FAILED (flight recorder covered %zu/%zu "
                  "timelines, %zu complete)\n",
                  traced.timelines, requests, traced.timelines_complete);
+    return 1;
+  }
+  if (!socket_ok) {
+    std::fprintf(stderr, "serve_load: FAILED (socket stage dropped or "
+                         "hung wire requests)\n");
     return 1;
   }
   return 0;

@@ -23,11 +23,20 @@ ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure
 echo "== serving layer (label: serve) =="
 ctest --test-dir "$BUILD_DIR" -L serve --output-on-failure
 
+echo "== socket front-end (label: serve_net) =="
+ctest --test-dir "$BUILD_DIR" -L serve_net --output-on-failure
+
 echo "== flight recorder gate (selftest -> dump -> inspect) =="
 FLIGHTREC_DUMP="$BUILD_DIR/check_flightrec.json"
 "$BUILD_DIR/tools/repro_served" --selftest --requests 12 --steps 4 \
   --dump-flightrec "$FLIGHTREC_DUMP"
 "$BUILD_DIR/tools/repro_trace_inspect" --expect-complete "$FLIGHTREC_DUMP"
+
+echo "== socket flight recorder gate (2 lanes, over TCP) =="
+SOCKET_DUMP="$BUILD_DIR/check_socket_flightrec.json"
+"$BUILD_DIR/tools/repro_served" --socket-selftest --requests 10 --steps 4 \
+  --lanes 2 --dump-flightrec "$SOCKET_DUMP"
+"$BUILD_DIR/tools/repro_trace_inspect" --expect-complete "$SOCKET_DUMP"
 
 echo "== full test suite =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

@@ -36,4 +36,11 @@ double env_double(const char* name, double fallback) noexcept;
 /// Returns the string value of `name`, or `fallback` when unset.
 std::string env_string(const char* name, const std::string& fallback);
 
+/// Serving-layer knobs (tools/benches read them through env_size so a
+/// malformed value falls back with a warning, like every other knob):
+/// worker-lane count of the sharded service, and the TCP port of the
+/// socket front-end (`repro_served --listen`).
+inline constexpr const char* kEnvServeLanes = "REPRO_SERVE_LANES";
+inline constexpr const char* kEnvServePort = "REPRO_SERVE_PORT";
+
 }  // namespace repro

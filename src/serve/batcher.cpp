@@ -23,10 +23,11 @@ FormedBatch BatchScheduler::form(RequestQueue& queue, double now) const {
   REPRO_SPAN("serve.batch.form");
   FormedBatch formed;
   // Cancel-before-work: every expired request leaves the queue here,
-  // before any model work is considered, regardless of batch key.
-  formed.expired = queue.extract_matching(
-      [now](const Pending& p) { return p.request.deadline < now; },
-      std::numeric_limits<std::size_t>::max());
+  // before any model work is considered, regardless of batch key. The
+  // caller's single `now` governs the whole sweep (see
+  // RequestQueue::sweep_expired).
+  formed.expired =
+      queue.sweep_expired(now, std::numeric_limits<std::size_t>::max());
 
   std::optional<Pending> head = queue.pop_head();
   if (!head) return formed;

@@ -1,0 +1,133 @@
+#include "serve/net/client.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "serve/clock.hpp"
+
+namespace repro::serve::wire {
+
+BlockingClient::BlockingClient(std::uint16_t port, std::size_t max_payload)
+    : decoder_(max_payload) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket(): ") +
+                             std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("connect(127.0.0.1:" + std::to_string(port) +
+                             "): " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+BlockingClient::~BlockingClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void BlockingClient::send(const GenerateRequest& request,
+                          double deadline_ms) {
+  std::vector<std::uint8_t> out;
+  append_request_frame(out, request, deadline_ms);
+  send_raw(out.data(), out.size());
+}
+
+void BlockingClient::send_raw(const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd_, bytes + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<std::size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    throw std::runtime_error(std::string("send(): ") +
+                             std::strerror(errno));
+  }
+}
+
+std::optional<Reply> BlockingClient::read_reply(double timeout_seconds) {
+  const ClockFn now = steady_clock_fn();
+  const double give_up = now() + timeout_seconds;
+  for (;;) {
+    Frame frame;
+    const DecodeStatus status = decoder_.next(frame);
+    if (status == DecodeStatus::kFrame) {
+      Reply reply;
+      if (frame.type == FrameType::kResponse) {
+        reply.response = parse_response_payload(frame.payload);
+        if (!reply.response) {
+          throw std::runtime_error("malformed response payload");
+        }
+      } else if (frame.type == FrameType::kError) {
+        reply.error = parse_error_payload(frame.payload);
+        if (!reply.error) {
+          throw std::runtime_error("malformed error payload");
+        }
+      } else {
+        throw std::runtime_error("unexpected request frame from server");
+      }
+      return reply;
+    }
+    if (status != DecodeStatus::kNeedMore) {
+      throw std::runtime_error(std::string("reply framing error: ") +
+                               to_string(status));
+    }
+    if (eof_) return std::nullopt;
+
+    const double remaining = give_up - now();
+    if (remaining <= 0) return std::nullopt;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(remaining * 1000.0) + 1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("poll(): ") +
+                               std::strerror(errno));
+    }
+    if (ready == 0) return std::nullopt;  // timeout
+
+    std::uint8_t buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;  // drain whatever is already buffered
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    throw std::runtime_error(std::string("recv(): ") +
+                             std::strerror(errno));
+  }
+}
+
+std::optional<Reply> BlockingClient::call(const GenerateRequest& request,
+                                          double deadline_ms,
+                                          double timeout_seconds) {
+  send(request, deadline_ms);
+  return read_reply(timeout_seconds);
+}
+
+void BlockingClient::shutdown_writes() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+}  // namespace repro::serve::wire

@@ -11,6 +11,13 @@
 //                                   ... model_start/model_end (batch B)
 //                                -> completed (batch B)
 //
+// The socket front-end (src/serve/net) adds connection-scoped events:
+// conn_opened / conn_closed bracket a connection's lifetime, and every
+// request that arrives over the wire is wrapped in frame_decoded (where
+// its trace id is minted, before submit()) and frame_sent (response or
+// error frame written back). For these kinds the batch_id field carries
+// the CONNECTION id instead — is_conn_scoped() tells the two apart.
+//
 // Events are fixed-size PODs (no strings, no heap) so the flight
 // recorder can store them in a lock-free ring and the hot path stays at
 // a single atomic reservation per event. Timestamps come from the
@@ -35,9 +42,13 @@ enum class EventKind : std::uint8_t {
   kModelEnd,        ///< batch-scoped: batched model call returned
   kCompleted,       ///< response fulfilled (terminal)
   kCancelled,       ///< response cancelled (terminal; detail = reason)
+  kFrameDecoded,    ///< conn-scoped: request frame decoded, trace id minted
+  kFrameSent,       ///< conn-scoped: response/error frame written back
+  kConnOpened,      ///< conn-scoped: connection accepted
+  kConnClosed,      ///< conn-scoped: connection closed
 };
 
-inline constexpr std::size_t kEventKinds = 10;
+inline constexpr std::size_t kEventKinds = 14;
 
 const char* to_string(EventKind kind) noexcept;
 
@@ -45,6 +56,13 @@ const char* to_string(EventKind kind) noexcept;
 constexpr bool is_terminal(EventKind kind) noexcept {
   return kind == EventKind::kRejected || kind == EventKind::kCacheHit ||
          kind == EventKind::kCompleted || kind == EventKind::kCancelled;
+}
+
+/// True for the socket front-end kinds whose batch_id field carries a
+/// connection id, not a batch id (see the header comment).
+constexpr bool is_conn_scoped(EventKind kind) noexcept {
+  return kind == EventKind::kFrameDecoded || kind == EventKind::kFrameSent ||
+         kind == EventKind::kConnOpened || kind == EventKind::kConnClosed;
 }
 
 /// One timeline entry. `request_id` is 0 for batch-scoped events

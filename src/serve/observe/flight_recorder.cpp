@@ -26,6 +26,10 @@ const char* to_string(EventKind kind) noexcept {
     case EventKind::kModelEnd: return "model_end";
     case EventKind::kCompleted: return "completed";
     case EventKind::kCancelled: return "cancelled";
+    case EventKind::kFrameDecoded: return "frame_decoded";
+    case EventKind::kFrameSent: return "frame_sent";
+    case EventKind::kConnOpened: return "conn_opened";
+    case EventKind::kConnClosed: return "conn_closed";
   }
   return "unknown";
 }
@@ -107,7 +111,10 @@ std::string flight_dump_json(const std::vector<FlightEvent>& events,
     json.value(to_string(event.kind));
     json.key("request");
     json.value(event.request_id);
-    json.key("batch");
+    // Connection-scoped kinds reuse the batch_id field for the
+    // connection id; the dump names the key accordingly so inspect (and
+    // humans) never mistake one for the other.
+    json.key(is_conn_scoped(event.kind) ? "conn" : "batch");
     json.value(event.batch_id);
     json.key("lane");
     json.value(static_cast<std::uint64_t>(event.lane));

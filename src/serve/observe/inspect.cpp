@@ -232,6 +232,11 @@ std::optional<FlightDump> parse_flight_dump(const std::string& text) {
     if (const JsonValue* v = entry.find("batch")) {
       event.batch_id = static_cast<std::uint64_t>(v->num_or(0.0));
     }
+    // Conn-scoped events store the connection id under "conn"; it rides
+    // in the same POD field (see events.hpp).
+    if (const JsonValue* v = entry.find("conn")) {
+      event.batch_id = static_cast<std::uint64_t>(v->num_or(0.0));
+    }
     if (const JsonValue* v = entry.find("lane")) {
       event.lane = static_cast<std::uint8_t>(v->num_or(0.0));
     }
@@ -253,8 +258,28 @@ std::optional<FlightDump> parse_flight_dump(const std::string& text) {
 InspectReport reconstruct(const std::vector<FlightEvent>& events) {
   std::map<std::uint64_t, RequestTimeline> requests;
   std::map<std::uint64_t, BatchComposition> batches;
+  std::map<std::uint64_t, ConnectionSummary> connections;
   for (const FlightEvent& event : events) {
-    if (event.batch_id != 0) {
+    if (is_conn_scoped(event.kind)) {
+      // batch_id carries the connection id for these kinds; they must
+      // never enter the batch table.
+      if (event.batch_id != 0) {
+        ConnectionSummary& conn = connections[event.batch_id];
+        conn.conn_id = event.batch_id;
+        switch (event.kind) {
+          case EventKind::kConnOpened: conn.opened = true; break;
+          case EventKind::kConnClosed: conn.closed = true; break;
+          case EventKind::kFrameDecoded:
+            ++conn.frames_decoded;
+            if (event.request_id != 0) {
+              conn.request_ids.push_back(event.request_id);
+            }
+            break;
+          case EventKind::kFrameSent: ++conn.frames_sent; break;
+          default: break;
+        }
+      }
+    } else if (event.batch_id != 0) {
       BatchComposition& batch = batches[event.batch_id];
       batch.batch_id = event.batch_id;
       if (event.kind == EventKind::kModelStart) {
@@ -266,32 +291,49 @@ InspectReport reconstruct(const std::vector<FlightEvent>& events) {
         batch.request_ids.push_back(event.request_id);
       }
     }
-    if (event.request_id == 0) continue;  // batch-scoped
+    if (event.request_id == 0) continue;  // batch-/connection-scoped
     RequestTimeline& timeline = requests[event.request_id];
     timeline.request_id = event.request_id;
     if (timeline.events.empty()) timeline.start = event.time;
     timeline.end = event.time;
-    timeline.lane = event.lane;
-    if (event.batch_id != 0) timeline.batch_id = event.batch_id;
+    if (event.batch_id != 0) {
+      if (is_conn_scoped(event.kind)) {
+        timeline.conn_id = event.batch_id;
+      } else {
+        timeline.batch_id = event.batch_id;
+      }
+    }
+    if (!is_conn_scoped(event.kind)) timeline.lane = event.lane;
     if (is_terminal(event.kind)) timeline.terminal = event.kind;
     timeline.events.push_back(event);
   }
   InspectReport report;
   report.requests.reserve(requests.size());
   for (auto& [id, timeline] : requests) {
-    const bool has_submit = std::any_of(
-        timeline.events.begin(), timeline.events.end(),
-        [](const FlightEvent& e) { return e.kind == EventKind::kSubmitted; });
-    const bool has_terminal = std::any_of(
-        timeline.events.begin(), timeline.events.end(),
-        [](const FlightEvent& e) { return is_terminal(e.kind); });
-    timeline.complete = has_submit && has_terminal;
+    bool has_submit = false, has_terminal = false;
+    bool has_decoded = false, has_sent = false;
+    for (const FlightEvent& e : timeline.events) {
+      if (e.kind == EventKind::kSubmitted) has_submit = true;
+      if (is_terminal(e.kind)) has_terminal = true;
+      if (e.kind == EventKind::kFrameDecoded) has_decoded = true;
+      if (e.kind == EventKind::kFrameSent) has_sent = true;
+    }
+    // In-process requests must run admission to terminal; wire requests
+    // count as complete once their response frame left the connection
+    // (protocol-layer rejects are answered without ever reaching
+    // submit(), so frame_decoded -> frame_sent is their full story).
+    timeline.complete = (has_submit && has_terminal) ||
+                        (has_decoded && has_sent);
     if (timeline.complete) ++report.complete;
     report.requests.push_back(std::move(timeline));
   }
   report.batches.reserve(batches.size());
   for (auto& [id, batch] : batches) {
     report.batches.push_back(std::move(batch));
+  }
+  report.connections.reserve(connections.size());
+  for (auto& [id, conn] : connections) {
+    report.connections.push_back(std::move(conn));
   }
   return report;
 }
@@ -318,7 +360,8 @@ std::string report_text(const InspectReport& report) {
                     to_string(event.kind));
       out += buf;
       if (event.batch_id != 0) {
-        std::snprintf(buf, sizeof buf, " batch=%llu",
+        std::snprintf(buf, sizeof buf, " %s=%llu",
+                      is_conn_scoped(event.kind) ? "conn" : "batch",
                       static_cast<unsigned long long>(event.batch_id));
         out += buf;
       }
@@ -342,6 +385,17 @@ std::string report_text(const InspectReport& report) {
                   static_cast<unsigned long long>(batch.batch_id),
                   batch.request_ids.size(), batch.flows,
                   (batch.model_end - batch.model_start) * 1e3);
+    out += buf;
+  }
+  if (!report.connections.empty()) out += "\nconnections:\n";
+  for (const ConnectionSummary& conn : report.connections) {
+    std::snprintf(buf, sizeof buf,
+                  "  conn %llu: %zu frames in, %zu frames out, "
+                  "%zu requests%s%s\n",
+                  static_cast<unsigned long long>(conn.conn_id),
+                  conn.frames_decoded, conn.frames_sent,
+                  conn.request_ids.size(), conn.opened ? "" : " (no open)",
+                  conn.closed ? "" : " (still open)");
     out += buf;
   }
   return out;
@@ -396,6 +450,27 @@ std::string report_json(const InspectReport& report) {
     json.key("requests");
     json.begin_array();
     for (const std::uint64_t id : batch.request_ids) json.value(id);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.key("connections");
+  json.begin_array();
+  for (const ConnectionSummary& conn : report.connections) {
+    json.begin_object();
+    json.key("conn");
+    json.value(conn.conn_id);
+    json.key("frames_decoded");
+    json.value(static_cast<std::uint64_t>(conn.frames_decoded));
+    json.key("frames_sent");
+    json.value(static_cast<std::uint64_t>(conn.frames_sent));
+    json.key("opened");
+    json.value(conn.opened);
+    json.key("closed");
+    json.value(conn.closed);
+    json.key("requests");
+    json.begin_array();
+    for (const std::uint64_t id : conn.request_ids) json.value(id);
     json.end_array();
     json.end_object();
   }

@@ -73,10 +73,15 @@ struct RequestTimeline {
   std::uint64_t request_id = 0;
   std::vector<FlightEvent> events;  ///< in recorded order
   std::uint64_t batch_id = 0;       ///< 0 = never batched
+  std::uint64_t conn_id = 0;        ///< 0 = not served over a socket
   std::uint8_t lane = 0;
-  bool complete = false;  ///< has both a submitted and a terminal event
-  double start = 0.0;     ///< first event time
-  double end = 0.0;       ///< last event time
+  /// A timeline is complete when it spans admission to a terminal event
+  /// — or, for wire requests, when it runs frame_decoded to frame_sent
+  /// (a request rejected at the protocol layer never reaches submit()
+  /// but was still answered on the connection).
+  bool complete = false;
+  double start = 0.0;  ///< first event time
+  double end = 0.0;    ///< last event time
   EventKind terminal = EventKind::kSubmitted;  ///< valid when complete
 };
 
@@ -88,9 +93,22 @@ struct BatchComposition {
   double model_end = 0.0;
 };
 
+/// Per-connection summary rebuilt from the conn-scoped events the
+/// socket front-end records (frame_decoded / frame_sent bracket each
+/// wire request; conn_opened / conn_closed bracket the connection).
+struct ConnectionSummary {
+  std::uint64_t conn_id = 0;
+  std::size_t frames_decoded = 0;
+  std::size_t frames_sent = 0;
+  bool opened = false;
+  bool closed = false;
+  std::vector<std::uint64_t> request_ids;  ///< trace ids decoded on it
+};
+
 struct InspectReport {
   std::vector<RequestTimeline> requests;  ///< ascending request id
   std::vector<BatchComposition> batches;  ///< ascending batch id
+  std::vector<ConnectionSummary> connections;  ///< ascending conn id
   std::size_t complete = 0;               ///< requests with full timelines
 };
 

@@ -56,6 +56,12 @@ std::vector<Pending> RequestQueue::extract_matching(
   return out;
 }
 
+std::vector<Pending> RequestQueue::sweep_expired(double now,
+                                                 std::size_t max) {
+  return extract_matching(
+      [now](const Pending& p) { return p.request.deadline < now; }, max);
+}
+
 std::array<std::size_t, kPriorityLanes> RequestQueue::lane_sizes() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::array<std::size_t, kPriorityLanes> sizes{};

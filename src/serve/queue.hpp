@@ -46,6 +46,14 @@ class RequestQueue {
   std::vector<Pending> extract_matching(
       const std::function<bool(const Pending&)>& pred, std::size_t max);
 
+  /// Deadline sweep: removes up to `max` requests whose deadline
+  /// precedes `now`. The caller reads the clock ONCE per sweep and
+  /// injects it — under an N-lane fan-out a slow sweep must not compare
+  /// later requests against a fresher timestamp than earlier ones, or a
+  /// stalled lane cancels work that was inside its deadline when the
+  /// sweep began.
+  std::vector<Pending> sweep_expired(double now, std::size_t max);
+
   std::size_t size() const;
   bool empty() const { return size() == 0; }
 

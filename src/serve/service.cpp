@@ -51,12 +51,19 @@ void TraceService::note_event(observe::EventKind kind,
 }
 
 SubmitResult TraceService::submit(const GenerateRequest& request) {
+  return submit_traced(request, 0);
+}
+
+SubmitResult TraceService::submit_traced(const GenerateRequest& request,
+                                         std::uint64_t trace_id) {
   REPRO_SPAN("serve.submit");
   SubmitResult result;
   stats_.submitted.add();
+  own_submitted_.fetch_add(1, std::memory_order_relaxed);
   // The trace id is minted at admission — before any validation — so
-  // even rejected requests have a timeline in the flight recorder.
-  result.request_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  // even rejected requests have a timeline in the flight recorder. The
+  // socket front-end mints earlier (at frame decode) and passes it in.
+  result.request_id = trace_id != 0 ? trace_id : mint_trace_id();
   const double now = clock_();
   const std::uint8_t lane = lane_index(request.priority);
   const auto flows = static_cast<std::uint32_t>(request.count);
@@ -65,6 +72,7 @@ SubmitResult TraceService::submit(const GenerateRequest& request) {
 
   const auto reject = [&](RejectReason reason) {
     result.reject = reason;
+    own_rejected_.fetch_add(1, std::memory_order_relaxed);
     if (reason == RejectReason::kQueueFull) {
       stats_.rejected_full.add();
     } else {
@@ -98,6 +106,8 @@ SubmitResult TraceService::submit(const GenerateRequest& request) {
   if (auto hit = cache_.get(cache_key_of(request, snap->version))) {
     stats_.cache_hits.add();
     stats_.completed.add();
+    own_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    own_completed_.fetch_add(1, std::memory_order_relaxed);
     stats_.flows_served.add(hit->size());
     note_event(observe::EventKind::kCacheHit, result.request_id, 0, flows,
                lane, 0, now);
@@ -135,6 +145,7 @@ SubmitResult TraceService::submit(const GenerateRequest& request) {
 
 void TraceService::cancel(Pending&& p, RejectReason reason, double now) {
   stats_.cancelled_deadline.add();
+  own_cancelled_.fetch_add(1, std::memory_order_relaxed);
   stats_.lane_of(p.request.priority).cancelled.add();
   const std::uint8_t lane = lane_index(p.request.priority);
   const auto flows = static_cast<std::uint32_t>(p.request.count);
@@ -154,14 +165,17 @@ void TraceService::cancel(Pending&& p, RejectReason reason, double now) {
   p.promise.set_value(std::move(response));
 }
 
-std::size_t TraceService::pump() {
-  const double now = clock_();
+std::size_t TraceService::pump() { return pump_at(clock_()); }
+
+std::size_t TraceService::pump_at(double now) {
+  // `now` is sampled once per iteration and injected everywhere a
+  // deadline is compared — a sweep that re-read the clock per request
+  // would cancel later requests against a fresher timestamp whenever
+  // the lane stalls mid-sweep (regression-locked in serve_test.cpp).
   if (!scheduler_.should_dispatch(queue_, now)) {
     // Even while batching waits, expired requests must not linger.
     std::size_t cancelled = 0;
-    for (Pending& p : queue_.extract_matching(
-             [now](const Pending& q) { return q.request.deadline < now; },
-             config_.queue_capacity)) {
+    for (Pending& p : queue_.sweep_expired(now, config_.queue_capacity)) {
       cancel(std::move(p), RejectReason::kDeadlineExpired, now);
       ++cancelled;
     }
@@ -193,7 +207,7 @@ std::size_t TraceService::execute(FormedBatch&& formed, double now) {
   if (formed.batch.empty()) return done;
 
   const std::uint64_t batch_id =
-      next_batch_id_.fetch_add(1, std::memory_order_relaxed);
+      next_batch_id().fetch_add(1, std::memory_order_relaxed);
   telemetry::SpanTimer span("serve.batch.execute");
   span.arg("batch_id", batch_id)
       .arg("requests", static_cast<std::uint64_t>(formed.batch.size()))
@@ -274,6 +288,7 @@ std::size_t TraceService::execute(FormedBatch&& formed, double now) {
     stats_.queue_wait.observe(response.queue_wait);
     stats_.latency.observe(response.total_latency);
     stats_.completed.add();
+    own_completed_.fetch_add(1, std::memory_order_relaxed);
     stats_.flows_served.add(p.request.count);
     LaneStats& lane = stats_.lane_of(p.request.priority);
     lane.queue_wait.observe(response.queue_wait);

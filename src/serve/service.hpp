@@ -63,6 +63,12 @@ struct ServiceConfig {
   /// sampler/ddim_steps/count/seed come from each request.
   diffusion::GenerateOptions base_options;
   ClockFn clock;  ///< defaults to steady_clock_fn() when empty
+  /// Shared trace-id / batch-id allocators. A ShardedService injects
+  /// one pair across all its shards so ids stay unique in a merged
+  /// flight dump; when null the service allocates from private
+  /// counters (the single-service behavior is unchanged).
+  std::shared_ptr<std::atomic<std::uint64_t>> id_source;
+  std::shared_ptr<std::atomic<std::uint64_t>> batch_id_source;
 };
 
 struct SubmitResult {
@@ -85,10 +91,27 @@ class TraceService {
   /// Non-blocking request admission (see SubmitResult).
   SubmitResult submit(const GenerateRequest& request);
 
+  /// submit() with a pre-minted trace id (the socket front-end mints at
+  /// frame decode, before admission); trace_id == 0 mints one here.
+  SubmitResult submit_traced(const GenerateRequest& request,
+                             std::uint64_t trace_id);
+
   /// Cooperative drive: cancels expired requests and dispatches at most
   /// one batch. Returns the number of requests completed (served +
   /// cancelled); 0 when idle or when the batch policy prefers to wait.
+  /// Reads the clock exactly once; the whole iteration — dispatch
+  /// decision, deadline sweep, batch formation — sees that one `now`.
   std::size_t pump();
+
+  /// pump() against an injected timestamp (tests; fake clocks).
+  std::size_t pump_at(double now);
+
+  /// Mints a trace id without submitting (socket front-end: the id is
+  /// minted when the request frame is decoded, so protocol-level
+  /// rejects have timelines too).
+  std::uint64_t mint_trace_id() noexcept {
+    return next_id().fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// pump() until the queue is empty (ignores the max-wait policy).
   std::size_t drain();
@@ -109,8 +132,32 @@ class TraceService {
   const ServiceConfig& config() const noexcept { return config_; }
   ModelRegistry& registry() noexcept { return registry_; }
 
+  /// Per-instance admission/completion tallies. ServiceStats counters
+  /// are process-wide registry objects shared by every service in the
+  /// process; a ShardedService needs per-shard numbers for its health
+  /// report, so each instance also keeps its own.
+  struct InstanceCounters {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t cache_hits = 0;
+  };
+  InstanceCounters counters() const noexcept {
+    InstanceCounters out;
+    out.submitted = own_submitted_.load(std::memory_order_relaxed);
+    out.completed = own_completed_.load(std::memory_order_relaxed);
+    out.cancelled = own_cancelled_.load(std::memory_order_relaxed);
+    out.rejected = own_rejected_.load(std::memory_order_relaxed);
+    out.cache_hits = own_cache_hits_.load(std::memory_order_relaxed);
+    return out;
+  }
+
   /// Recent per-request events (see serve/observe/flight_recorder.hpp).
   observe::FlightRecorder& flight_recorder() noexcept { return flightrec_; }
+  const observe::FlightRecorder& flight_recorder() const noexcept {
+    return flightrec_;
+  }
   const observe::SloTracker& slo() const noexcept { return slo_; }
 
   /// Machine-readable health snapshot: overall SLO status, per-lane
@@ -125,6 +172,13 @@ class TraceService {
   void note_event(observe::EventKind kind, std::uint64_t request_id,
                   std::uint64_t batch_id, std::uint32_t flows,
                   std::uint8_t lane, std::uint16_t detail, double time);
+  std::atomic<std::uint64_t>& next_id() noexcept {
+    return config_.id_source ? *config_.id_source : next_id_;
+  }
+  std::atomic<std::uint64_t>& next_batch_id() noexcept {
+    return config_.batch_id_source ? *config_.batch_id_source
+                                   : next_batch_id_;
+  }
 
   ModelRegistry& registry_;
   ServiceConfig config_;
@@ -138,6 +192,11 @@ class TraceService {
   double start_time_;
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<std::uint64_t> next_batch_id_{1};
+  std::atomic<std::uint64_t> own_submitted_{0};
+  std::atomic<std::uint64_t> own_completed_{0};
+  std::atomic<std::uint64_t> own_cancelled_{0};
+  std::atomic<std::uint64_t> own_rejected_{0};
+  std::atomic<std::uint64_t> own_cache_hits_{0};
   std::atomic<bool> closed_{false};
   std::unique_ptr<BackgroundWorker> worker_;
 };

@@ -81,6 +81,7 @@ const RuleCase kRuleCases[] = {
     {"src/replay/rl008_missing_pragma_once.hpp.fixture", "RL008"},
     {"src/net/rl009_using_namespace.cpp.fixture", "RL009"},
     {"src/serve/rl011_bad_serve_prefix.cpp.fixture", "RL011"},
+    {"src/replay/rl012_raw_socket.cpp.fixture", "RL012"},
 };
 
 class LintRuleFires : public ::testing::TestWithParam<RuleCase> {};
@@ -166,6 +167,15 @@ TEST(LintScope, ServePrefixedTelemetryIsClean) {
 TEST(LintScope, ServePrefixRuleDoesNotApplyOutsideServe) {
   const LintRun run = run_lint({"src/gan/rl007_bad_metric_name.cpp.fixture"});
   EXPECT_EQ(count_of(run.output, "[RL011/"), 0) << run.output;
+}
+
+// RL012 confines the socket/poll system headers to the socket
+// front-end: the same includes that fire in src/replay are clean under
+// src/serve/net/.
+TEST(LintScope, SocketHeadersAllowedInServeNet) {
+  const LintRun run = run_lint({"src/serve/net/rl012_socket_ok.cpp.fixture"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(count_of(run.output, "[RL012/"), 0) << run.output;
 }
 
 struct FormatCase {

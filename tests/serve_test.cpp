@@ -567,6 +567,66 @@ TEST_F(ServeTest, HealthJsonReportsLanesBudgetsAndRecorderState) {
   EXPECT_GE(recorder->find("recorded")->num_or(0), 1.0);
 }
 
+TEST_F(ServeTest, DeadlineSweepSeesOneClockReadPerPump) {
+  // Regression: pump() samples the clock exactly ONCE per iteration and
+  // injects that `now` into the deadline sweep. Under a clock that
+  // advances on every read (each tick = 1s here), a sweep that re-read
+  // time per queued request would compare later queue positions against
+  // fresher timestamps and cancel work that was inside its deadline
+  // when the iteration began.
+  ServiceConfig cfg = fast_config();
+  cfg.cache_capacity = 0;
+  cfg.batch.max_wait = 10.0;  // hold dispatch: pump takes the sweep path
+  cfg.clock = [t = now_] { *t += 1.0; return *t; };
+  TraceService service(registry_, cfg);  // ctor read: t = 1
+
+  // Each submit reads the clock once (enqueue times 2, 3, 4). The next
+  // read — the one pump() performs — sees t = 5; a deadline of 5.5
+  // outlives that single read but not a second (6) or third (7).
+  std::vector<SubmitResult> results;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    GenerateRequest r = request(0, 9100 + s);
+    r.deadline = 5.5;
+    results.push_back(service.submit(r));
+    ASSERT_TRUE(results.back().accepted);
+  }
+  ASSERT_DOUBLE_EQ(*now_, 4.0);
+  EXPECT_EQ(service.pump(), 0u);  // t = 5: nothing expired, none swept
+  EXPECT_DOUBLE_EQ(*now_, 5.0);
+  EXPECT_EQ(service.pending(), 3u);
+
+  // Once the single per-pump read does pass the deadline, one iteration
+  // sweeps all three against that same timestamp.
+  EXPECT_EQ(service.pump(), 3u);  // t = 6 > 5.5
+  for (auto& r : results) {
+    const Response resp = r.response.get();
+    EXPECT_EQ(resp.status, ResponseStatus::kCancelled);
+    EXPECT_EQ(resp.cancel_reason, RejectReason::kDeadlineExpired);
+  }
+}
+
+TEST(RequestQueueTest, SweepExpiredUsesOneInjectedTimestamp) {
+  RequestQueue queue(8);
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    Pending p;
+    p.id = id;
+    p.request.deadline = static_cast<double>(id);  // deadlines 1..4
+    ASSERT_FALSE(queue.try_push(std::move(p)).has_value());
+  }
+  // One injected `now` governs the whole sweep: deadlines 1 and 2
+  // precede 2.5, deadlines 3 and 4 do not.
+  auto expired = queue.sweep_expired(2.5, 16);
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0].id, 1u);
+  EXPECT_EQ(expired[1].id, 2u);
+  EXPECT_EQ(queue.size(), 2u);
+  // `max` caps the sweep; survivors stay queued in FIFO order.
+  expired = queue.sweep_expired(10.0, 1);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].id, 3u);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
 TEST(ResultCacheTest, LruEvictsLeastRecentlyUsed) {
   ResultCache cache(2);
   net::Flow f;

@@ -1,0 +1,143 @@
+// repro_client — command-line client for the repro_served socket
+// front-end (see src/serve/net/protocol.hpp for the frame format).
+//
+// Sends `--requests N` generation requests (pipelined on one
+// connection), reads the replies, and prints one line per reply:
+// request id, status, flow/packet counts, and the FNV-1a content hash
+// of the decoded bytes — the same hash the conformance tests compare
+// against direct library calls, so two invocations against servers with
+// different --lanes settings must print identical hashes.
+//
+// Usage:
+//   repro_client --port P [--model NAME] [--class N] [--count N]
+//                [--seed N] [--steps N] [--sampler ddim|ddpm]
+//                [--priority high|normal|low] [--deadline-ms D]
+//                [--requests N]
+//
+// The port defaults to REPRO_SERVE_PORT. With --requests N > 1, request
+// k uses seed `--seed + k`. Exit code: 0 when every reply was an ok
+// response, 1 on any error frame or transport failure, 2 on usage.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.hpp"
+#include "serve/net/client.hpp"
+
+using namespace repro;
+
+namespace {
+
+int run(int argc, char** argv) {
+  std::size_t port = env_size(kEnvServePort, 0);
+  std::size_t requests = 1;
+  double deadline_ms = -1.0;
+  serve::GenerateRequest base;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? std::string(argv[++i]) : std::string();
+    };
+    if (arg == "--port") port = parse_size(next()).value_or(port);
+    else if (arg == "--model") base.model = next();
+    else if (arg == "--class") {
+      base.class_id = static_cast<int>(parse_size(next()).value_or(0));
+    }
+    else if (arg == "--count") base.count = parse_size(next()).value_or(1);
+    else if (arg == "--seed") base.seed = parse_size(next()).value_or(0);
+    else if (arg == "--steps") {
+      base.ddim_steps = parse_size(next()).value_or(base.ddim_steps);
+    }
+    else if (arg == "--sampler") {
+      const std::string name = next();
+      if (name == "ddim") base.sampler = diffusion::SamplerKind::kDdim;
+      else if (name == "ddpm") base.sampler = diffusion::SamplerKind::kDdpm;
+      else {
+        std::fprintf(stderr, "repro_client: bad --sampler '%s'\n",
+                     name.c_str());
+        return 2;
+      }
+    }
+    else if (arg == "--priority") {
+      const std::string name = next();
+      if (name == "high") base.priority = serve::Priority::kHigh;
+      else if (name == "normal") base.priority = serve::Priority::kNormal;
+      else if (name == "low") base.priority = serve::Priority::kLow;
+      else {
+        std::fprintf(stderr, "repro_client: bad --priority '%s'\n",
+                     name.c_str());
+        return 2;
+      }
+    }
+    else if (arg == "--deadline-ms") {
+      deadline_ms = parse_double(next()).value_or(-1.0);
+    }
+    else if (arg == "--requests") {
+      requests = parse_size(next()).value_or(1);
+    }
+    else {
+      std::fprintf(stderr, "repro_client: unknown argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr,
+                 "repro_client: --port (or REPRO_SERVE_PORT) required\n");
+    return 2;
+  }
+
+  try {
+    serve::wire::BlockingClient client(
+        static_cast<std::uint16_t>(port));
+    for (std::size_t k = 0; k < requests; ++k) {
+      serve::GenerateRequest req = base;
+      req.seed = base.seed + k;
+      client.send(req, deadline_ms);
+    }
+
+    int failures = 0;
+    for (std::size_t k = 0; k < requests; ++k) {
+      const auto reply = client.read_reply(120.0);
+      if (!reply) {
+        std::fprintf(stderr, "repro_client: no reply (timeout or EOF)\n");
+        return 1;
+      }
+      if (!reply->ok()) {
+        std::printf("reply: request=%llu ERROR %s: %s\n",
+                    static_cast<unsigned long long>(
+                        reply->error->request_id),
+                    reply->error->error.c_str(),
+                    reply->error->message.c_str());
+        ++failures;
+        continue;
+      }
+      const auto& resp = *reply->response;
+      if (resp.status == "cancelled") {
+        std::printf("reply: request=%llu CANCELLED %s\n",
+                    static_cast<unsigned long long>(resp.request_id),
+                    resp.reason.c_str());
+        ++failures;
+        continue;
+      }
+      std::size_t packets = 0;
+      for (const auto& flow : resp.flows) packets += flow.packets.size();
+      std::printf("reply: request=%llu ok model=%s cache_hit=%d flows=%zu "
+                  "packets=%zu batch_flows=%llu hash=%016llx\n",
+                  static_cast<unsigned long long>(resp.request_id),
+                  resp.model_version.c_str(), resp.cache_hit ? 1 : 0,
+                  resp.flows.size(), packets,
+                  static_cast<unsigned long long>(resp.batch_flows),
+                  static_cast<unsigned long long>(
+                      serve::wire::hash_wire_flows(resp.flows)));
+    }
+    return failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "repro_client: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

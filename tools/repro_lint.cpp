@@ -225,6 +225,13 @@ std::vector<Rule> build_rules() {
   static constexpr const char* kClockPattern =
       R"(\b(steady_clock|system_clock|high_resolution_clock)\b)"
       R"(|\b(std::)?(time|clock)\s*\(|\b(gettimeofday|clock_gettime)\s*\()";
+  // Matches the system headers, not bare syscall names: identifiers
+  // like accept()/bind() are ordinary C++ (src/replay's conntrack has
+  // an accept()), but no translation unit can reach the socket/poll
+  // syscalls without including one of these.
+  static constexpr const char* kSocketPattern =
+      R"(#\s*include\s*<(sys/socket\.h|sys/epoll\.h|(sys/)?poll\.h)"
+      R"(|netinet/[a-z0-9_]+\.h|arpa/inet\.h)>)";
   std::vector<Rule> rules;
   rules.push_back(Rule{
       "RL001", "raw-rng", {},
@@ -320,6 +327,17 @@ std::vector<Rule> build_rules() {
       "prefix",
       "the health exporter and dashboards aggregate the serving metric "
       "tree by prefix; a stray name drops out of every serve view"});
+  rules.push_back(Rule{
+      "RL012", "raw-socket", {"src/"},
+      {"src/serve/net/"},
+      kSocketPattern,
+      re(kSocketPattern),
+      "socket/poll system header outside src/serve/net/; all transport "
+      "I/O goes through the socket front-end (SocketServer / "
+      "BlockingClient)",
+      "transport code outside the front-end bypasses the framed "
+      "protocol, connection accounting, and conn-scoped flight events "
+      "the serving contract guarantees"});
   return rules;
 }
 

@@ -198,9 +198,26 @@ int run(int argc, char** argv) {
                      report.requests.size());
         return 1;
       }
+      // Socket dumps additionally carry connection summaries; a
+      // complete dump has every connection closed and frame-balanced
+      // (each decoded request frame answered by exactly one reply).
+      for (const auto& conn : report.connections) {
+        if (!conn.opened || !conn.closed ||
+            conn.frames_decoded != conn.frames_sent) {
+          std::fprintf(stderr,
+                       "repro_trace_inspect: FAIL — conn %llu unbalanced "
+                       "(%llu frames in / %llu out, opened=%d closed=%d)\n",
+                       static_cast<unsigned long long>(conn.conn_id),
+                       static_cast<unsigned long long>(conn.frames_decoded),
+                       static_cast<unsigned long long>(conn.frames_sent),
+                       conn.opened ? 1 : 0, conn.closed ? 1 : 0);
+          return 1;
+        }
+      }
       std::fprintf(stderr, "repro_trace_inspect: OK — %zu/%zu timelines "
-                   "complete\n",
-                   report.complete, report.requests.size());
+                   "complete, %zu connections balanced\n",
+                   report.complete, report.requests.size(),
+                   report.connections.size());
     }
     return 0;
   }
