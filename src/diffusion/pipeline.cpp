@@ -6,6 +6,7 @@
 
 #include <fstream>
 
+#include "common/bytes.hpp"
 #include "common/logging.hpp"
 #include "common/parallel/parallel_for.hpp"
 #include "common/stats.hpp"
@@ -819,14 +820,15 @@ std::vector<nn::Parameter*> all_parameters(PacketAutoencoder& ae,
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+  repro::write_pod(out, value);
 }
 
 template <typename T>
 T read_pod(std::istream& in) {
   T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw std::runtime_error("pipeline meta: truncated file");
+  if (!repro::read_pod(in, value)) {
+    throw std::runtime_error("pipeline meta: truncated file");
+  }
   return value;
 }
 
@@ -853,8 +855,7 @@ void TraceDiffusion::save(const std::string& prefix) const {
       write_pod(out, pkt.timestamp);
       const auto wire = pkt.serialize();
       write_pod(out, static_cast<std::uint32_t>(wire.size()));
-      out.write(reinterpret_cast<const char*>(wire.data()),
-                static_cast<std::streamsize>(wire.size()));
+      repro::write_bytes(out, wire.data(), wire.size());
     }
   }
   write_pod(out, static_cast<std::uint32_t>(timing_.size()));
@@ -891,8 +892,9 @@ void TraceDiffusion::load(const std::string& prefix) {
       const double timestamp = read_pod<double>(in);
       const auto wire_len = read_pod<std::uint32_t>(in);
       std::vector<std::uint8_t> wire(wire_len);
-      in.read(reinterpret_cast<char*>(wire.data()), wire_len);
-      if (!in) throw std::runtime_error("TraceDiffusion::load: truncated");
+      if (!repro::read_bytes(in, wire.data(), wire.size())) {
+        throw std::runtime_error("TraceDiffusion::load: truncated");
+      }
       flow.packets.push_back(net::Packet::parse(wire, timestamp));
     }
     if (!flow.packets.empty()) {

@@ -1,5 +1,6 @@
 #include "ml/features.hpp"
 
+#include "flowgen/catalog.hpp"
 #include "gan/netflow.hpp"
 #include "nprint/codec.hpp"
 

@@ -11,7 +11,6 @@
 #include <cstddef>
 #include <vector>
 
-#include "flowgen/dataset.hpp"
 #include "net/flow.hpp"
 
 namespace repro::ml {

@@ -24,8 +24,7 @@ std::uint32_t swap32(std::uint32_t v) noexcept {
 }
 
 bool read_exact(std::istream& in, std::uint8_t* out, std::size_t n) {
-  in.read(reinterpret_cast<char*>(out), static_cast<std::streamsize>(n));
-  return static_cast<std::size_t>(in.gcount()) == n;
+  return read_bytes(in, out, n);
 }
 
 }  // namespace
@@ -41,8 +40,7 @@ PcapWriter::PcapWriter(std::ostream& out, std::uint32_t snaplen)
   w.u32_le(0);   // sigfigs
   w.u32_le(snaplen_);
   w.u32_le(kLinkTypeRaw);
-  out_.write(reinterpret_cast<const char*>(header.data()),
-             static_cast<std::streamsize>(header.size()));
+  write_bytes(out_, header.data(), header.size());
 }
 
 void PcapWriter::write_record(const PcapRecord& record) {
@@ -58,9 +56,8 @@ void PcapWriter::write_record(const PcapRecord& record) {
   w.u32_le(usecs);
   w.u32_le(caplen);
   w.u32_le(static_cast<std::uint32_t>(record.data.size()));
-  out_.write(reinterpret_cast<const char*>(header.data()),
-             static_cast<std::streamsize>(header.size()));
-  out_.write(reinterpret_cast<const char*>(record.data.data()), caplen);
+  write_bytes(out_, header.data(), header.size());
+  write_bytes(out_, record.data.data(), caplen);
   ++count_;
 }
 

@@ -4,19 +4,22 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "common/bytes.hpp"
+
 namespace repro::nn {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x5052574E;  // "NWRP"
 
 void write_u32(std::ostream& out, std::uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+  repro::write_pod(out, v);
 }
 
 std::uint32_t read_u32(std::istream& in) {
   std::uint32_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof v);
-  if (!in) throw std::runtime_error("checkpoint: truncated file");
+  if (!repro::read_pod(in, v)) {
+    throw std::runtime_error("checkpoint: truncated file");
+  }
   return v;
 }
 
@@ -35,8 +38,7 @@ void save_parameters(const std::string& path,
     for (std::size_t d : p->value.shape()) {
       write_u32(out, static_cast<std::uint32_t>(d));
     }
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    repro::write_bytes(out, p->value.data(), p->value.size());
   }
   if (!out) throw std::runtime_error("save_parameters: write failed");
 }
@@ -66,9 +68,9 @@ void load_parameters(const std::string& path,
     if (shape != p->value.shape()) {
       throw std::runtime_error("load_parameters: shape mismatch for " + name);
     }
-    in.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
-    if (!in) throw std::runtime_error("load_parameters: truncated data");
+    if (!repro::read_bytes(in, p->value.data(), p->value.size())) {
+      throw std::runtime_error("load_parameters: truncated data");
+    }
   }
 }
 

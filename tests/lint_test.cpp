@@ -21,13 +21,25 @@ struct LintRun {
   std::string output;
 };
 
-// Runs repro_lint with the fixture dir as --root (so repo-relative path
+// Runs repro_lint with a fixture dir as --root (so repo-relative path
 // scoping treats fixtures as if they lived at their mirrored location)
-// and returns exit code + combined output.
-LintRun run_lint(const std::vector<std::string>& args) {
+// and returns exit code + combined output. `subdir` selects one of the
+// self-contained fixture trees (arch_cycle, ...); `env` is an optional
+// VAR=value prefix (REPRO_THREADS for the determinism tests).
+LintRun run_lint_in(const std::string& subdir, const std::string& env,
+                    const std::vector<std::string>& args) {
   std::string cmd = "cd \"";
   cmd += REPRO_LINT_FIXTURES;
-  cmd += "\" && \"";
+  if (!subdir.empty()) {
+    cmd += '/';
+    cmd += subdir;
+  }
+  cmd += "\" && ";
+  if (!env.empty()) {
+    cmd += env;
+    cmd += ' ';
+  }
+  cmd += '"';
   cmd += REPRO_LINT_BIN;
   cmd += "\" --root .";
   for (const std::string& a : args) {
@@ -51,6 +63,10 @@ LintRun run_lint(const std::vector<std::string>& args) {
     run.exit_code = WEXITSTATUS(status);
   }
   return run;
+}
+
+LintRun run_lint(const std::vector<std::string>& args) {
+  return run_lint_in("", "", args);
 }
 
 // Counts occurrences of `needle` in `haystack`.
@@ -82,6 +98,11 @@ const RuleCase kRuleCases[] = {
     {"src/net/rl009_using_namespace.cpp.fixture", "RL009"},
     {"src/serve/rl011_bad_serve_prefix.cpp.fixture", "RL011"},
     {"src/replay/rl012_raw_socket.cpp.fixture", "RL012"},
+    {"src/flowgen/rl013_unordered_to_sink.cpp.fixture", "RL013"},
+    {"src/replay/rl014_pointer_order.cpp.fixture", "RL014"},
+    {"src/diffusion/rl015_thread_id.cpp.fixture", "RL015"},
+    {"src/nn/rl016_atomic_float.cpp.fixture", "RL016"},
+    {"src/net/rl017_reinterpret.cpp.fixture", "RL017"},
 };
 
 class LintRuleFires : public ::testing::TestWithParam<RuleCase> {};
@@ -178,6 +199,103 @@ TEST(LintScope, SocketHeadersAllowedInServeNet) {
   EXPECT_EQ(count_of(run.output, "[RL012/"), 0) << run.output;
 }
 
+// RL013 only fires when the iteration can reach a sink: an
+// order-insensitive reduction over the same container type is clean.
+TEST(LintDeterminism, UnorderedIterationWithoutSinkIsClean) {
+  const LintRun run =
+      run_lint({"src/flowgen/rl013_unordered_no_sink.cpp.fixture"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+// ---------------------------------------------------------------------------
+// Architecture pass (RL020-RL022) over the self-contained fixture
+// trees. Each tree mirrors a src/ layout and violates exactly one rule.
+
+struct ArchCase {
+  const char* tree;        // subdirectory under tests/lint_fixtures/
+  const char* layers;      // manifest inside the tree, or nullptr
+  const char* rule_id;     // expected rule, or nullptr for clean
+  const char* name;        // test-case label
+};
+
+const ArchCase kArchCases[] = {
+    {"arch_cycle", nullptr, "RL020", "Cycle"},
+    {"arch_layers", "layers.txt", "RL021", "UpwardInclude"},
+    {"arch_confine", "layers.txt", "RL021", "ConfinedHeader"},
+    {"arch_selfcontained", nullptr, "RL022", "CompanionNotFirst"},
+    {"arch_dangling", nullptr, "RL022", "DanglingInclude"},
+    {"arch_clean", "layers.txt", nullptr, "CleanWithAllowEdge"},
+};
+
+class LintArchitecture : public ::testing::TestWithParam<ArchCase> {};
+
+TEST_P(LintArchitecture, TreeFiresExactlyItsRule) {
+  const ArchCase& c = GetParam();
+  std::vector<std::string> args;
+  if (c.layers != nullptr) {
+    args.push_back("--layers");
+    args.push_back(c.layers);
+  }
+  args.push_back("--include-fixtures");
+  args.push_back("src");
+  const LintRun run = run_lint_in(c.tree, "", args);
+  if (c.rule_id == nullptr) {
+    EXPECT_EQ(run.exit_code, 0) << run.output;
+    EXPECT_EQ(count_of(run.output, "error:"), 0) << run.output;
+  } else {
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    EXPECT_EQ(count_of(run.output, std::string("[") + c.rule_id + "/"), 1)
+        << run.output;
+    EXPECT_EQ(count_of(run.output, "error:"), 1) << run.output;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTrees, LintArchitecture,
+                         ::testing::ValuesIn(kArchCases),
+                         [](const ::testing::TestParamInfo<ArchCase>& param_info) {
+                           return std::string(param_info.param.name);
+                         });
+
+// ---------------------------------------------------------------------------
+// Engine determinism: the --json stream over the whole fixture corpus
+// must be byte-identical at every lane count (per-chunk buffers merged
+// in path order; timings are deliberately not part of the stream).
+
+TEST(LintEngine, JsonOutputIsByteIdenticalAcrossLaneCounts) {
+  const std::vector<std::string> args = {"--json", "--include-fixtures",
+                                         "src"};
+  const LintRun one = run_lint_in("", "REPRO_THREADS=1", args);
+  const LintRun two = run_lint_in("", "REPRO_THREADS=2", args);
+  const LintRun eight = run_lint_in("", "REPRO_THREADS=8", args);
+  ASSERT_EQ(one.exit_code, 1) << one.output;  // rule fixtures do fire
+  EXPECT_NE(one.output.find("\"findings\""), std::string::npos) << one.output;
+  EXPECT_EQ(one.output, two.output);
+  EXPECT_EQ(one.output, eight.output);
+  EXPECT_EQ(two.exit_code, 1);
+  EXPECT_EQ(eight.exit_code, 1);
+}
+
+TEST(LintEngine, GraphDotEmitsModuleEdges) {
+  const LintRun run = run_lint_in(
+      "arch_clean", "",
+      {"--layers", "layers.txt", "--graph-dot", "-", "--include-fixtures",
+       "src"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("digraph include_graph"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"mid\" -> \"peer\""), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"mid\" -> \"base\""), std::string::npos)
+      << run.output;
+}
+
+TEST(LintCli, BadManifestIsUsageError) {
+  const LintRun run = run_lint_in(
+      "arch_clean", "",
+      {"--layers", "does_not_exist.txt", "--include-fixtures", "src"});
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+}
+
 struct FormatCase {
   const char* fixture;
   const char* rule_id;
@@ -221,6 +339,13 @@ TEST(LintCli, ListRulesNamesEveryRuleClass) {
         << run.output;
   }
   EXPECT_NE(run.output.find("RL010"), std::string::npos) << run.output;
+  // Whole-corpus rules have no single-file fixture row above; the rule
+  // table must still document them.
+  for (const char* id : {"RL020", "RL021", "RL022"}) {
+    EXPECT_NE(run.output.find(id), std::string::npos)
+        << "missing " << id << " in:\n"
+        << run.output;
+  }
 }
 
 TEST(LintCli, UnknownFlagIsUsageError) {

@@ -1,0 +1,64 @@
+// Pass factories and the layering-manifest model for tools/repro_lint.
+//
+// Three rule passes plus the format pass:
+//   tokens        RL001-RL012 — the original per-file lexer rules;
+//   determinism   RL013-RL017 — nondeterminism taint (unordered
+//                 iteration into sinks, pointer ordering, thread
+//                 identity, atomic float accumulation, byte-buffer
+//                 reinterpret_cast);
+//   architecture  RL020-RL022 — whole-repo include-graph analysis
+//                 against the layering manifest (tools/lint/layers.txt);
+//   format        RF001-RF005 — whitespace/line hygiene (--format-check).
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/engine.hpp"
+
+namespace repro::lint {
+
+std::unique_ptr<Pass> make_token_pass();
+std::unique_ptr<Pass> make_format_pass();
+std::unique_ptr<Pass> make_determinism_pass();
+
+// ---------------------------------------------------------------------------
+// Layering manifest (tools/lint/layers.txt).
+//
+// Grammar, one directive per line ('#' starts a comment):
+//   layer <module> [<module>...]   declares one layer, bottom first; a
+//                                  module may include itself and any
+//                                  module in a strictly lower layer
+//   allow <from> -> <to>           sanctions one same-layer edge
+//   confine <target-prefix> <includer-prefix>
+//                                  headers whose src/-relative path
+//                                  starts with <target-prefix> may only
+//                                  be included from files whose
+//                                  repo-relative path starts with
+//                                  <includer-prefix>
+
+struct LayerManifest {
+  std::map<std::string, int> layer_of;  // module -> layer index (bottom = 0)
+  std::set<std::pair<std::string, std::string>> allowed;  // same-layer edges
+  std::vector<std::pair<std::string, std::string>> confined;
+  bool loaded = false;
+};
+
+/// Parses the manifest; throws std::runtime_error with a line-numbered
+/// message on grammar errors.
+LayerManifest parse_layer_manifest(const std::filesystem::path& path);
+
+std::unique_ptr<Pass> make_architecture_pass(LayerManifest manifest);
+
+/// Module-level include graph of the corpus's src/ files as Graphviz
+/// DOT, modules grouped by manifest layer, edges labeled with include
+/// counts. Deterministic (sorted) output.
+std::string include_graph_dot(const Corpus& corpus,
+                              const LayerManifest& manifest);
+
+}  // namespace repro::lint

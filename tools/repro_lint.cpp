@@ -1,668 +1,94 @@
-// repro_lint: project-invariant static analyzer for this repository.
+// repro_lint — driver for the multi-pass analysis engine in tools/lint/.
 //
-// A self-contained pass (no compiler dependency) that lexes every C++
-// source file — stripping comments and string literals so rules match
-// code only — and enforces the project invariants that keep the
-// reproduction's claims true at build time:
+// The engine (tools/lint/engine.{hpp,cpp}) owns lexing, suppression
+// filtering, the parallel per-file sweep, and deterministic merging;
+// the rules live in tools/lint/passes/. This file only parses flags,
+// assembles the pass list, and renders results.
 //
-//   determinism   all randomness flows through src/common/rng, all
-//                 threading through src/common/parallel, all wall-clock
-//                 reads through src/common/telemetry;
-//   configuration all environment access goes through src/common/env;
-//   fidelity      the nprint/pcap bit paths use checked conversions, not
-//                 C casts;
-//   observability library code logs through common/logging, and every
-//                 telemetry span/metric name is lowercase dotted.
-//
-// Usage:
-//   repro_lint [--root <dir>] [--format-check] [--list-rules] <paths...>
-//
-// Paths are files or directories (recursed; *.cpp *.cc *.cxx *.hpp *.h
-// *.hh). Explicitly named files are always linted regardless of
-// extension, which is how the fixture tests feed it *.fixture files.
-//
-// Suppressions: `// repro-lint: allow(RL006) -- <reason>` on the
-// offending line, or alone on the line above. The reason is mandatory;
-// an allow() without one is itself a finding (RL010).
+// Modes:
+//   (default)        RL001-RL022 rule passes (tokens, determinism,
+//                    architecture against tools/lint/layers.txt)
+//   --format-check   RF001-RF005 whitespace/line hygiene only
+//   --json           machine-readable findings on stdout (byte-identical
+//                    at any REPRO_THREADS — no timings in the stream)
+//   --timings-json F per-pass wall times, written to F for the bench
+//   --graph-dot F|-  module-level include graph as Graphviz DOT
+//   --layers F       layering manifest (default: <root>/tools/lint/layers.txt)
+//   --include-fixtures  also collect *.cpp.fixture etc. from directories
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 
-#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
-#include <optional>
-#include <regex>
-#include <set>
-#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "lint/engine.hpp"
+#include "lint/passes.hpp"
+
 namespace {
 
 namespace fs = std::filesystem;
+using namespace repro::lint;
 
-// ---------------------------------------------------------------------------
-// Lexed view of one source file.
-
-struct SourceFile {
-  std::string rel_path;               // repo-relative, forward slashes
-  std::vector<std::string> raw;       // original lines (no trailing \n)
-  std::vector<std::string> code;      // comments/string contents blanked
-  std::vector<std::string> comments;  // per-line comment text
-  bool ends_with_newline = true;
-};
-
-/// Strips comments and string/char literal contents, preserving line
-/// structure and column positions (stripped spans become spaces; the
-/// quote characters themselves are kept). Comment text is collected per
-/// line for the suppression scanner.
-SourceFile lex_file(std::string rel_path, const std::string& content) {
-  SourceFile out;
-  out.rel_path = std::move(rel_path);
-  out.ends_with_newline = !content.empty() && content.back() == '\n';
-
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
-                     kRawString };
-  State state = State::kCode;
-  std::string raw_line, code_line, comment_line;
-  std::string raw_delim;  // raw-string closing delimiter: )delim"
-  bool escaped = false;
-
-  auto flush_line = [&] {
-    out.raw.push_back(raw_line);
-    out.code.push_back(code_line);
-    out.comments.push_back(comment_line);
-    raw_line.clear();
-    code_line.clear();
-    comment_line.clear();
-  };
-
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      // Unterminated ordinary string/char at end of line: reset (line
-      // splices are not worth modeling here).
-      if (state == State::kString || state == State::kChar) {
-        state = State::kCode;
-      }
-      flush_line();
-      escaped = false;
-      continue;
-    }
-    if (c != '\r') raw_line.push_back(c);
-    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '"') {
-          // Raw string? The opener is R" possibly behind an encoding
-          // prefix (u8R", LR", ...).
-          const bool raw_string =
-              !raw_line.empty() && raw_line.size() >= 2 &&
-              raw_line[raw_line.size() - 2] == 'R' &&
-              (raw_line.size() == 2 ||
-               !(std::isalnum(static_cast<unsigned char>(
-                     raw_line[raw_line.size() - 3])) ||
-                 raw_line[raw_line.size() - 3] == '_'));
-          if (raw_string) {
-            state = State::kRawString;
-            raw_delim = ")";
-            for (std::size_t j = i + 1;
-                 j < content.size() && content[j] != '('; ++j) {
-              raw_delim += content[j];
-            }
-            raw_delim += '"';
-          } else {
-            state = State::kString;
-          }
-          code_line.push_back('"');
-          escaped = false;
-        } else if (c == '\'') {
-          state = State::kChar;
-          code_line.push_back('\'');
-          escaped = false;
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
         } else {
-          code_line.push_back(c);
+          out.push_back(c);
         }
-        break;
-      case State::kLineComment:
-        if (c != '\r') comment_line.push_back(c);
-        code_line.push_back(' ');
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          code_line += "  ";
-          ++i;
-        } else {
-          comment_line.push_back(c);
-          code_line.push_back(' ');
-        }
-        break;
-      case State::kString:
-        if (escaped) {
-          escaped = false;
-          code_line.push_back(' ');
-        } else if (c == '\\') {
-          escaped = true;
-          code_line.push_back(' ');
-        } else if (c == '"') {
-          state = State::kCode;
-          code_line.push_back('"');
-        } else {
-          code_line.push_back(' ');
-        }
-        break;
-      case State::kChar:
-        if (escaped) {
-          escaped = false;
-          code_line.push_back(' ');
-        } else if (c == '\\') {
-          escaped = true;
-          code_line.push_back(' ');
-        } else if (c == '\'') {
-          state = State::kCode;
-          code_line.push_back('\'');
-        } else {
-          code_line.push_back(' ');
-        }
-        break;
-      case State::kRawString: {
-        code_line.push_back(' ');
-        // Close when the tail of what we've consumed equals )delim".
-        if (c == '"' && raw_line.size() >= raw_delim.size() &&
-            raw_line.compare(raw_line.size() - raw_delim.size(),
-                             raw_delim.size(), raw_delim) == 0) {
-          state = State::kCode;
-          code_line.back() = '"';
-        }
-        break;
-      }
     }
-  }
-  if (!raw_line.empty() || out.raw.empty()) flush_line();
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Rule table.
-
-struct Rule {
-  const char* id;
-  const char* name;
-  std::vector<std::string> include;  // path prefixes; empty = everywhere
-  std::vector<std::string> allow;    // exempt path prefixes
-  const char* pattern_text;          // for --list-rules
-  std::regex pattern;                // matched against stripped code
-  const char* message;
-  const char* rationale;
-};
-
-std::vector<Rule> build_rules() {
-  const auto re = [](const char* p) {
-    return std::regex(p, std::regex::ECMAScript | std::regex::optimize);
-  };
-  static constexpr const char* kRngPattern =
-      R"(\b(std::)?(mt19937(_64)?|minstd_rand0?|ranlux\w+|random_device)\b)"
-      R"(|\b(rand|srand|rand_r|drand48)\s*\()";
-  static constexpr const char* kCastPattern =
-      R"(\(\s*(float|double|(unsigned\s+)?(char|short|int|long))"
-      R"(|(std::)?u?int(8|16|32|64)_t|(std::)?(size_t|ptrdiff_t))\s*\))"
-      R"(\s*[\w(~!-])";
-  static constexpr const char* kClockPattern =
-      R"(\b(steady_clock|system_clock|high_resolution_clock)\b)"
-      R"(|\b(std::)?(time|clock)\s*\(|\b(gettimeofday|clock_gettime)\s*\()";
-  // Matches the system headers, not bare syscall names: identifiers
-  // like accept()/bind() are ordinary C++ (src/replay's conntrack has
-  // an accept()), but no translation unit can reach the socket/poll
-  // syscalls without including one of these.
-  static constexpr const char* kSocketPattern =
-      R"(#\s*include\s*<(sys/socket\.h|sys/epoll\.h|(sys/)?poll\.h)"
-      R"(|netinet/[a-z0-9_]+\.h|arpa/inet\.h)>)";
-  std::vector<Rule> rules;
-  rules.push_back(Rule{
-      "RL001", "raw-rng", {},
-      {"src/common/rng."},
-      kRngPattern,
-      re(kRngPattern),
-      "raw RNG construction; all randomness must flow through repro::Rng "
-      "(src/common/rng) so streams fork deterministically",
-      "an untracked RNG breaks bit-exact reproducibility across runs and "
-      "lane counts"});
-  rules.push_back(Rule{
-      "RL002", "raw-thread", {},
-      {"src/common/parallel/", "src/serve/worker."},
-      R"(\bstd::(thread|jthread|async)\b)",
-      re(R"(\bstd::(thread|jthread|async)\b)"),
-      "raw thread creation; use parallel::parallel_for / the shared pool "
-      "(src/common/parallel) which chunks deterministically",
-      "ad-hoc threads bypass the REPRO_THREADS lane model and make results "
-      "depend on scheduling"});
-  rules.push_back(Rule{
-      "RL003", "raw-getenv", {},
-      {"src/common/env.cpp"},
-      R"(\b(std::)?getenv\s*\()",
-      re(R"(\b(std::)?getenv\s*\()"),
-      "raw getenv; read configuration through repro::env_size/env_double/"
-      "env_string (src/common/env) which validate and fall back",
-      "unvalidated environment reads turn typos into silent UB or throws"});
-  rules.push_back(Rule{
-      "RL004", "stdio-logging", {"src/"},
-      {"src/common/logging."},
-      R"(\b(printf|fprintf|puts|fputs|fwrite)\s*\(|\bstd::(cout|cerr|clog)\b)",
-      re(R"(\b(printf|fprintf|puts|fputs|fwrite)\s*\(|\bstd::(cout|cerr|clog)\b)"),
-      "direct stdio in library code; log through REPRO_LOG_* "
-      "(common/logging) — benches/tools/tests/examples are exempt",
-      "embedding applications must be able to silence or redirect library "
-      "output"});
-  rules.push_back(Rule{
-      "RL005", "numeric-c-cast",
-      {"src/nprint/", "src/net/pcap."},
-      {},
-      kCastPattern,
-      re(kCastPattern),
-      "C-style numeric cast in a bit-codec path; use static_cast or the "
-      "checked repro::narrow<T>() (common/bytes.hpp)",
-      "silent narrowing here corrupts the {1,0,-1} nprint bit semantics "
-      "the paper's Figure 2 depends on"});
-  rules.push_back(Rule{
-      "RL006", "wall-clock", {"src/"},
-      {"src/common/telemetry/", "src/serve/clock."},
-      kClockPattern,
-      re(kClockPattern),
-      "wall-clock read outside telemetry; generated artifacts must not "
-      "depend on real time",
-      "time-dependent values in the data path make two identical runs "
-      "produce different bits"});
-  rules.push_back(Rule{
-      "RL007", "telemetry-name", {}, {},
-      "(name grammar check on REPRO_SPAN / telemetry::count|gauge_set|"
-      "observe literals)",
-      re(R"(\bREPRO_SPAN\s*\(|\btelemetry::(count|gauge_set|observe)\s*\()"),
-      "telemetry name must be lowercase dotted `component.detail` "
-      "([a-z0-9_]+(.[a-z0-9_]+)+)",
-      "exporters aggregate by prefix; one off-grammar name splinters the "
-      "metric tree"});
-  rules.push_back(Rule{
-      "RL008", "pragma-once", {}, {},
-      "(header files must contain #pragma once)",
-      re(R"(^\s*#\s*pragma\s+once\b)"),
-      "header is missing #pragma once",
-      "double inclusion produces ODR violations that surface as baffling "
-      "link errors"});
-  rules.push_back(Rule{
-      "RL009", "using-namespace-std", {}, {},
-      R"(\busing\s+namespace\s+std\s*;)",
-      re(R"(\busing\s+namespace\s+std\s*;)"),
-      "`using namespace std` pollutes every includer's lookup",
-      "unqualified std names shadow project helpers (min/max/size) and "
-      "break builds at a distance"});
-  rules.push_back(Rule{
-      "RL010", "allow-without-reason", {}, {},
-      "(suppression comments must carry `-- <reason>`)",
-      re(""),  // driven by the comment scanner, not a code pattern
-      "repro-lint: allow(...) without a `-- <reason>` tail",
-      "a suppression is a waiver of a project invariant; the reviewer "
-      "needs the justification inline"});
-  rules.push_back(Rule{
-      "RL011", "serve-telemetry-prefix", {"src/serve/"}, {},
-      "(telemetry literals registered from src/serve/ must start with "
-      "`serve.`)",
-      re(R"(\bREPRO_SPAN\s*\(|\btelemetry::(count|gauge_set|observe)\s*\(|)"
-         R"(\bSpanTimer\b|\.\s*(counter|gauge|histogram)\s*\()"),
-      "telemetry name registered from src/serve/ must use the `serve.` "
-      "prefix",
-      "the health exporter and dashboards aggregate the serving metric "
-      "tree by prefix; a stray name drops out of every serve view"});
-  rules.push_back(Rule{
-      "RL012", "raw-socket", {"src/"},
-      {"src/serve/net/"},
-      kSocketPattern,
-      re(kSocketPattern),
-      "socket/poll system header outside src/serve/net/; all transport "
-      "I/O goes through the socket front-end (SocketServer / "
-      "BlockingClient)",
-      "transport code outside the front-end bypasses the framed "
-      "protocol, connection accounting, and conn-scoped flight events "
-      "the serving contract guarantees"});
-  return rules;
-}
-
-// Format-mode rules (checked on raw lines; IDs share the table and docs).
-struct FormatRuleDoc {
-  const char* id;
-  const char* name;
-  const char* message;
-};
-constexpr FormatRuleDoc kFormatRules[] = {
-    {"RF001", "trailing-whitespace", "trailing whitespace"},
-    {"RF002", "tab-indent", "tab character (indent with spaces)"},
-    {"RF003", "crlf", "CRLF line ending (use LF)"},
-    {"RF004", "no-final-newline", "file does not end with a newline"},
-    {"RF005", "line-too-long", "line exceeds 100 columns"},
-};
-constexpr std::size_t kMaxLineLength = 100;
-
-// ---------------------------------------------------------------------------
-// Findings and suppressions.
-
-struct Finding {
-  std::string file;
-  std::size_t line = 0;  // 1-based
-  std::string rule_id;
-  std::string rule_name;
-  std::string message;
-};
-
-/// Parsed `repro-lint: allow(...)` directives: line -> rule ids allowed
-/// there. A directive on a comment-only line covers the next line too.
-struct Suppressions {
-  std::map<std::size_t, std::set<std::string>> by_line;  // 1-based
-  std::vector<std::size_t> missing_reason;               // RL010 sites
-
-  bool allows(std::size_t line, const std::string& rule_id) const {
-    const auto it = by_line.find(line);
-    return it != by_line.end() && it->second.count(rule_id) > 0;
-  }
-};
-
-Suppressions scan_suppressions(const SourceFile& file) {
-  Suppressions out;
-  static const std::regex directive(
-      R"(repro-lint:\s*allow\(\s*([A-Za-z0-9_,\s]+)\s*\))",
-      std::regex::ECMAScript);
-  static const std::regex reason_tail(
-      R"(repro-lint:\s*allow\([^)]*\)\s*--\s*\S)", std::regex::ECMAScript);
-  for (std::size_t i = 0; i < file.comments.size(); ++i) {
-    const std::string& comment = file.comments[i];
-    if (comment.find("repro-lint:") == std::string::npos) continue;
-    std::smatch m;
-    if (!std::regex_search(comment, m, directive)) continue;
-    const std::size_t line = i + 1;
-    if (!std::regex_search(comment, reason_tail)) {
-      out.missing_reason.push_back(line);
-      continue;  // an unjustified allow() suppresses nothing
-    }
-    std::set<std::string> ids;
-    std::stringstream list(m[1].str());
-    std::string id;
-    while (std::getline(list, id, ',')) {
-      id.erase(std::remove_if(id.begin(), id.end(),
-                              [](unsigned char c) { return std::isspace(c); }),
-               id.end());
-      if (!id.empty()) ids.insert(id);
-    }
-    out.by_line[line].insert(ids.begin(), ids.end());
-    // Comment-only line: the directive governs the following line.
-    const std::string& code = file.code[i];
-    const bool code_empty =
-        std::all_of(code.begin(), code.end(),
-                    [](unsigned char c) { return std::isspace(c) || c == 0; });
-    if (code_empty) out.by_line[line + 1].insert(ids.begin(), ids.end());
   }
   return out;
 }
 
-// ---------------------------------------------------------------------------
-// Rule application.
-
-bool path_has_prefix(const std::string& path,
-                     const std::vector<std::string>& prefixes) {
-  return std::any_of(prefixes.begin(), prefixes.end(),
-                     [&](const std::string& p) {
-                       return path.compare(0, p.size(), p) == 0;
-                     });
-}
-
-bool rule_applies_to(const Rule& rule, const std::string& path) {
-  if (!rule.include.empty() && !path_has_prefix(path, rule.include)) {
-    return false;
+void print_findings_json(std::ostream& out, const EngineResult& result,
+                         bool format_mode) {
+  out << "{\n  \"mode\": \"" << (format_mode ? "format" : "rules")
+      << "\",\n  \"files_scanned\": " << result.files_scanned
+      << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    out << (i ? "," : "") << "\n    {\"file\": \"" << json_escape(f.file)
+        << "\", \"line\": " << f.line << ", \"rule\": \"" << f.rule_id
+        << "\", \"name\": \"" << f.rule_name << "\", \"message\": \""
+        << json_escape(f.message) << "\"}";
   }
-  return !path_has_prefix(path, rule.allow);
+  out << (result.findings.empty() ? "" : "\n  ") << "]\n}\n";
 }
 
-bool is_header(const std::string& path) {
-  return path.ends_with(".hpp") || path.ends_with(".h") ||
-         path.ends_with(".hh") || path.ends_with(".hpp.fixture") ||
-         path.ends_with(".h.fixture");
-}
-
-/// Extracts the first "..." literal in `raw` at or after `from`.
-std::optional<std::string> first_string_literal(const std::string& raw,
-                                                std::size_t from) {
-  const std::size_t open = raw.find('"', from);
-  if (open == std::string::npos) return std::nullopt;
-  std::string value;
-  for (std::size_t i = open + 1; i < raw.size(); ++i) {
-    if (raw[i] == '\\') {
-      ++i;
-      if (i < raw.size()) value.push_back(raw[i]);
-    } else if (raw[i] == '"') {
-      return value;
-    } else {
-      value.push_back(raw[i]);
-    }
+void print_timings_json(std::ostream& out, const EngineResult& result) {
+  out << "{\n  \"passes\": [";
+  for (std::size_t i = 0; i < result.timings.size(); ++i) {
+    const PassTiming& t = result.timings[i];
+    out << (i ? "," : "") << "\n    {\"pass\": \"" << t.pass
+        << "\", \"seconds\": " << t.seconds
+        << ", \"findings\": " << t.findings << "}";
   }
-  return std::nullopt;
+  out << (result.timings.empty() ? "" : "\n  ") << "]\n}\n";
 }
 
-bool valid_telemetry_name(const std::string& name) {
-  static const std::regex grammar(R"(^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$)");
-  return std::regex_match(name, grammar);
-}
-
-void lint_file(const SourceFile& file, const std::vector<Rule>& rules,
-               std::vector<Finding>& findings) {
-  const Suppressions sup = scan_suppressions(file);
-  const Rule* rl010 = nullptr;
-  for (const Rule& rule : rules) {
-    if (std::string_view(rule.id) == "RL010") rl010 = &rule;
-  }
-  for (const std::size_t line : sup.missing_reason) {
-    if (rl010 != nullptr && rule_applies_to(*rl010, file.rel_path)) {
-      findings.push_back(Finding{file.rel_path, line, rl010->id, rl010->name,
-                                 rl010->message});
-    }
-  }
-
-  for (const Rule& rule : rules) {
-    const std::string_view id(rule.id);
-    if (id == "RL010") continue;  // handled above
-    if (!rule_applies_to(rule, file.rel_path)) continue;
-
-    if (id == "RL008") {
-      if (!is_header(file.rel_path)) continue;
-      bool found = false;
-      for (const std::string& code : file.code) {
-        if (std::regex_search(code, rule.pattern)) {
-          found = true;
-          break;
-        }
-      }
-      if (!found && !sup.allows(1, rule.id)) {
-        findings.push_back(
-            Finding{file.rel_path, 1, rule.id, rule.name, rule.message});
-      }
-      continue;
-    }
-
-    for (std::size_t i = 0; i < file.code.size(); ++i) {
-      const std::string& code = file.code[i];
-      if (code.empty()) continue;
-      if (id == "RL007") {
-        // Validate the literal argument of each telemetry call site.
-        auto begin = std::sregex_iterator(code.begin(), code.end(),
-                                          rule.pattern);
-        for (auto it = begin; it != std::sregex_iterator(); ++it) {
-          const auto call_end =
-              static_cast<std::size_t>(it->position() + it->length());
-          const std::optional<std::string> name =
-              first_string_literal(file.raw[i], call_end);
-          // Name built at runtime or on a later line: out of scope for a
-          // lexical pass.
-          if (!name.has_value()) continue;
-          if (!valid_telemetry_name(*name) && !sup.allows(i + 1, rule.id)) {
-            findings.push_back(Finding{file.rel_path, i + 1, rule.id,
-                                       rule.name,
-                                       std::string(rule.message) + " (got \"" +
-                                           *name + "\")"});
-          }
-        }
-        continue;
-      }
-      if (id == "RL011") {
-        // Same literal-extraction approach as RL007: only names the
-        // lexer can see are checked; runtime-built names are out of
-        // scope for a lexical pass.
-        auto begin = std::sregex_iterator(code.begin(), code.end(),
-                                          rule.pattern);
-        for (auto it = begin; it != std::sregex_iterator(); ++it) {
-          const auto call_end =
-              static_cast<std::size_t>(it->position() + it->length());
-          const std::optional<std::string> name =
-              first_string_literal(file.raw[i], call_end);
-          if (!name.has_value()) continue;
-          if (name->rfind("serve.", 0) != 0 && !sup.allows(i + 1, rule.id)) {
-            findings.push_back(Finding{file.rel_path, i + 1, rule.id,
-                                       rule.name,
-                                       std::string(rule.message) + " (got \"" +
-                                           *name + "\")"});
-          }
-        }
-        continue;
-      }
-      if (std::regex_search(code, rule.pattern) &&
-          !sup.allows(i + 1, rule.id)) {
-        findings.push_back(
-            Finding{file.rel_path, i + 1, rule.id, rule.name, rule.message});
-      }
-    }
-  }
-}
-
-void format_check_file(const SourceFile& file, std::vector<Finding>& findings) {
-  const Suppressions sup = scan_suppressions(file);
-  for (std::size_t i = 0; i < file.raw.size(); ++i) {
-    const std::string& line = file.raw[i];
-    if (!line.empty() &&
-        (line.back() == ' ' || line.back() == '\t') &&
-        !sup.allows(i + 1, "RF001")) {
-      findings.push_back(Finding{file.rel_path, i + 1, "RF001",
-                                 "trailing-whitespace",
-                                 kFormatRules[0].message});
-    }
-    if (line.find('\t') != std::string::npos && !sup.allows(i + 1, "RF002")) {
-      findings.push_back(Finding{file.rel_path, i + 1, "RF002", "tab-indent",
-                                 kFormatRules[1].message});
-    }
-    if (line.size() > kMaxLineLength && !sup.allows(i + 1, "RF005")) {
-      findings.push_back(Finding{file.rel_path, i + 1, "RF005",
-                                 "line-too-long", kFormatRules[4].message});
-    }
-  }
-  if (!file.ends_with_newline) {
-    findings.push_back(Finding{file.rel_path, file.raw.size(), "RF004",
-                               "no-final-newline", kFormatRules[3].message});
-  }
-}
-
-// CRLF detection needs the raw bytes (lex_file strips \r).
-void crlf_check(const std::string& content, const std::string& rel_path,
-                std::vector<Finding>& findings) {
-  std::size_t line = 1;
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    if (content[i] == '\r' && i + 1 < content.size() &&
-        content[i + 1] == '\n') {
-      findings.push_back(Finding{rel_path, line, "RF003", "crlf",
-                                 kFormatRules[2].message});
-      return;  // one finding per file is enough
-    }
-    if (content[i] == '\n') ++line;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Driver.
-
-bool has_source_extension(const fs::path& path) {
-  const std::string ext = path.extension().string();
-  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
-         ext == ".h" || ext == ".hh";
-}
-
-std::vector<fs::path> collect_files(const std::vector<std::string>& inputs,
-                                    const fs::path& root, bool& io_error) {
-  std::vector<fs::path> files;
-  for (const std::string& input : inputs) {
-    fs::path p(input);
-    if (p.is_relative()) p = root / p;
-    std::error_code ec;
-    if (fs::is_directory(p, ec)) {
-      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
-           it.increment(ec)) {
-        if (ec) break;
-        if (it->is_regular_file() && has_source_extension(it->path())) {
-          files.push_back(it->path());
-        }
-      }
-    } else if (fs::is_regular_file(p, ec)) {
-      files.push_back(p);  // explicit files are always linted
-    } else {
-      std::cerr << "repro_lint: no such file or directory: " << input << "\n";
-      io_error = true;
-    }
-  }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
-  return files;
-}
-
-std::string relative_to(const fs::path& file, const fs::path& root) {
-  std::error_code ec;
-  const fs::path rel = fs::relative(file, root, ec);
-  if (ec || rel.empty() || *rel.begin() == "..") {
-    return file.generic_string();
-  }
-  return rel.generic_string();
-}
-
-void print_rules(const std::vector<Rule>& rules) {
+void print_rules(const Engine& engine, const Pass& format_pass) {
   std::cout << "repro_lint rule table\n\n";
-  for (const Rule& rule : rules) {
-    std::cout << rule.id << "  " << rule.name << "\n    scope: ";
-    if (rule.include.empty()) {
-      std::cout << "all sources";
-    } else {
-      for (std::size_t i = 0; i < rule.include.size(); ++i) {
-        std::cout << (i ? ", " : "") << rule.include[i];
-      }
-    }
-    if (!rule.allow.empty()) {
-      std::cout << "  (exempt: ";
-      for (std::size_t i = 0; i < rule.allow.size(); ++i) {
-        std::cout << (i ? ", " : "") << rule.allow[i];
-      }
-      std::cout << ")";
-    }
-    std::cout << "\n    why:   " << rule.rationale << "\n";
-  }
+  for (const auto& pass : engine.passes()) pass->describe(std::cout);
   std::cout << "\nformat rules (--format-check)\n\n";
-  for (const FormatRuleDoc& rule : kFormatRules) {
-    std::cout << rule.id << "  " << rule.name << ": " << rule.message << "\n";
-  }
+  format_pass.describe(std::cout);
 }
 
 }  // namespace
@@ -670,24 +96,46 @@ void print_rules(const std::vector<Rule>& rules) {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   bool format_mode = false;
+  bool json_mode = false;
+  bool list_rules = false;
+  bool include_fixtures = false;
+  std::string timings_path;
+  std::string graph_dot;   // output path, "-" = stdout
+  std::string layers_path; // empty = default manifest
   std::vector<std::string> inputs;
 
+  const auto need_value = [&](int& i, const std::string_view arg) {
+    if (i + 1 >= argc) {
+      std::cerr << "repro_lint: " << arg << " needs a value\n";
+      std::exit(2);
+    }
+    return std::string(argv[++i]);
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg == "--root") {
-      if (i + 1 >= argc) {
-        std::cerr << "repro_lint: --root needs a directory\n";
-        return 2;
-      }
-      root = fs::path(argv[++i]);
+      root = fs::path(need_value(i, arg));
     } else if (arg == "--format-check") {
       format_mode = true;
+    } else if (arg == "--json") {
+      json_mode = true;
+    } else if (arg == "--timings-json") {
+      timings_path = need_value(i, arg);
+    } else if (arg == "--graph-dot") {
+      graph_dot = need_value(i, arg);
+    } else if (arg == "--layers") {
+      layers_path = need_value(i, arg);
+    } else if (arg == "--include-fixtures") {
+      include_fixtures = true;
     } else if (arg == "--list-rules") {
-      print_rules(build_rules());
-      return 0;
+      list_rules = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: repro_lint [--root <dir>] [--format-check] "
-                   "[--list-rules] <paths...>\n";
+      std::cout
+          << "usage: repro_lint [--root <dir>] [--format-check] [--json]\n"
+             "                  [--timings-json <file>] [--graph-dot "
+             "<file|->]\n"
+             "                  [--layers <manifest>] [--include-fixtures]\n"
+             "                  [--list-rules] <paths...>\n";
       return 0;
     } else if (!arg.empty() && arg.front() == '-') {
       std::cerr << "repro_lint: unknown option " << arg << "\n";
@@ -696,48 +144,96 @@ int main(int argc, char** argv) {
       inputs.emplace_back(arg);
     }
   }
+
+  // Layering manifest: explicit --layers must parse; the default one is
+  // optional so the tool still works on a bare tree.
+  LayerManifest manifest;
+  try {
+    if (!layers_path.empty()) {
+      fs::path p(layers_path);
+      if (p.is_relative()) p = root / p;
+      manifest = parse_layer_manifest(p);
+    } else {
+      const fs::path fallback = root / "tools" / "lint" / "layers.txt";
+      std::error_code ec;
+      if (fs::is_regular_file(fallback, ec)) {
+        manifest = parse_layer_manifest(fallback);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "repro_lint: " << e.what() << "\n";
+    return 2;
+  }
+
+  Engine engine;
+  if (format_mode) {
+    engine.add_pass(make_format_pass());
+  } else {
+    engine.add_pass(make_token_pass());
+    engine.add_pass(make_determinism_pass());
+    engine.add_pass(make_architecture_pass(manifest));
+  }
+
+  if (list_rules) {
+    if (format_mode) {
+      // Keep --list-rules output identical in both modes.
+      Engine rules;
+      rules.add_pass(make_token_pass());
+      rules.add_pass(make_determinism_pass());
+      rules.add_pass(make_architecture_pass(manifest));
+      print_rules(rules, *make_format_pass());
+    } else {
+      print_rules(engine, *make_format_pass());
+    }
+    return 0;
+  }
   if (inputs.empty()) {
     std::cerr << "repro_lint: no input paths (try --help)\n";
     return 2;
   }
 
-  const std::vector<Rule> rules = build_rules();
   bool io_error = false;
-  const std::vector<fs::path> files = collect_files(inputs, root, io_error);
-  std::vector<Finding> findings;
+  const std::vector<fs::path> files =
+      collect_files(inputs, root, include_fixtures, io_error);
+  const Corpus corpus = load_corpus(files, root, io_error);
+  const EngineResult result = engine.run(corpus, /*emit_rl010=*/!format_mode);
 
-  for (const fs::path& path : files) {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-      std::cerr << "repro_lint: cannot read " << path << "\n";
-      io_error = true;
-      continue;
+  if (!timings_path.empty()) {
+    std::ofstream out(timings_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "repro_lint: cannot write " << timings_path << "\n";
+      return 2;
     }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    const std::string content = buffer.str();
-    const std::string rel = relative_to(path, root);
-    const SourceFile file = lex_file(rel, content);
-    if (format_mode) {
-      format_check_file(file, findings);
-      crlf_check(content, rel, findings);
-    } else {
-      lint_file(file, rules, findings);
-    }
+    print_timings_json(out, result);
   }
 
-  std::stable_sort(findings.begin(), findings.end(),
-                   [](const Finding& a, const Finding& b) {
-                     if (a.file != b.file) return a.file < b.file;
-                     return a.line < b.line;
-                   });
-  for (const Finding& f : findings) {
-    std::cout << f.file << ":" << f.line << ": error: [" << f.rule_id << "/"
-              << f.rule_name << "] " << f.message << "\n";
+  if (!graph_dot.empty()) {
+    const std::string dot = include_graph_dot(corpus, manifest);
+    if (graph_dot == "-") {
+      // DOT owns stdout; findings still drive the exit code.
+      std::cout << dot;
+      if (io_error) return 2;
+      return result.findings.empty() ? 0 : 1;
+    }
+    std::ofstream out(graph_dot, std::ios::binary);
+    if (!out) {
+      std::cerr << "repro_lint: cannot write " << graph_dot << "\n";
+      return 2;
+    }
+    out << dot;
   }
-  std::cout << "repro_lint: " << files.size() << " files scanned, "
-            << findings.size()
-            << (format_mode ? " format findings\n" : " findings\n");
+
+  if (json_mode) {
+    print_findings_json(std::cout, result, format_mode);
+  } else {
+    for (const Finding& f : result.findings) {
+      std::cout << f.file << ":" << f.line << ": error: [" << f.rule_id
+                << "/" << f.rule_name << "] " << f.message << "\n";
+    }
+    std::cout << "repro_lint: " << result.files_scanned
+              << " files scanned, " << result.findings.size()
+              << (format_mode ? " format findings\n" : " findings\n");
+  }
   if (io_error) return 2;
-  return findings.empty() ? 0 : 1;
+  return result.findings.empty() ? 0 : 1;
 }
