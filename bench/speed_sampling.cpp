@@ -8,13 +8,20 @@
 //   * DDIM at 50 / 20 / 10 / 5 steps,
 //   * classifier-free guidance on/off (2x evaluations per step),
 //   * the GAN baseline (single forward pass — the speed bar to meet),
-// plus the decode path (latent -> nprint -> packets) on its own.
+//   * the fast inference path (int8 GEMM route x distilled few-step
+//     sampler) in all four combinations — flows_per_s_{fp32,int8}_
+//     {ddim20,distilled} are the headline keys the fidelity gate and
+//     README speedup table read,
+// plus the decode path (latent -> nprint -> packets) on its own and a
+// per-step U-Net latency histogram (fp32 vs int8).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <map>
 
 #include "bench_common.hpp"
+#include "common/telemetry/metrics.hpp"
+#include "diffusion/distill.hpp"
 
 using namespace repro;
 
@@ -27,6 +34,13 @@ namespace {
 std::map<std::string, double>& flow_rates() {
   static std::map<std::string, double> rates;
   return rates;
+}
+
+/// Per-step U-Net latency snapshots (fp32 / int8), published into the
+/// report as step_ms_<route>_{mean,p50,p90,p99,max} after the run.
+std::map<std::string, telemetry::HistogramSnapshot>& step_histograms() {
+  static std::map<std::string, telemetry::HistogramSnapshot> hists;
+  return hists;
 }
 
 /// One shared trained pipeline for all benchmarks (training time is not
@@ -48,6 +62,19 @@ diffusion::TraceDiffusion& shared_pipeline() {
         ds.flows.push_back(std::move(b));
       }
       pipeline.fit(ds);
+      // Fast-path setup: distill few-step stages (40 -> 20 -> 10 -> 5,
+      // the recommended recipe — a finer teacher costs nothing at
+      // sample time) on the pure-noise trajectory the speed benches
+      // measure.
+      diffusion::DistillConfig dcfg;
+      dcfg.teacher_steps = 40;
+      dcfg.rounds = 3;
+      dcfg.calibration_count = 4;
+      dcfg.options.template_strength = 1.0f;
+      pipeline.distill(dcfg);
+      // Quantize the weight caches eagerly so the first int8 benchmark
+      // iteration doesn't pay calibration inside the timed region.
+      pipeline.prepare_quantized();
     }
     static diffusion::PipelineConfig make_config() {
       bench::Scale scale;
@@ -67,13 +94,15 @@ diffusion::TraceDiffusion& shared_pipeline() {
 
 void run_generation(benchmark::State& state, const std::string& rate_key,
                     diffusion::SamplerKind sampler, std::size_t steps,
-                    float guidance) {
+                    float guidance,
+                    nn::Precision precision = nn::Precision::kFp32) {
   auto& pipeline = shared_pipeline();
   diffusion::GenerateOptions opts;
   opts.count = 1;
   opts.sampler = sampler;
   opts.ddim_steps = steps;
   opts.guidance_scale = guidance;
+  opts.precision = precision;
   // Measure the pure samplers over the full schedule (one-shot template
   // guidance shortens the trajectory and would confound the comparison).
   opts.template_strength = 1.0f;
@@ -115,6 +144,70 @@ void BM_DdimNoGuidance(benchmark::State& state) {
                  static_cast<std::size_t>(state.range(0)), 1.0f);
 }
 BENCHMARK(BM_DdimNoGuidance)->Arg(20)->Arg(10)->Unit(benchmark::kMillisecond);
+
+// --- Fast inference path (ISSUE 9): int8 GEMM route x distilled
+// few-step sampler, benchmarked in all four combinations with guidance
+// on (the guided DDIM-20 fp32 rate is the PR-4 baseline the acceptance
+// criterion compares against).
+void BM_FastPath(benchmark::State& state) {
+  const bool int8 = state.range(0) != 0;
+  const bool distilled = state.range(1) != 0;
+  const std::string key = std::string(int8 ? "int8" : "fp32") + "_" +
+                          (distilled ? "distilled" : "ddim20");
+  run_generation(
+      state, key,
+      distilled ? diffusion::SamplerKind::kDistilled
+                : diffusion::SamplerKind::kDdim,
+      distilled ? 5 : 20, 2.0f,
+      int8 ? nn::Precision::kInt8 : nn::Precision::kFp32);
+}
+BENCHMARK(BM_FastPath)
+    ->ArgsProduct({{0, 1}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Per-step U-Net latency on the bare eps evaluation: every forward in
+/// a DDIM-20 trajectory is timed individually into a log-bucket
+/// histogram, fp32 vs int8, so the report shows the step-latency
+/// distribution (not just throughput means).
+void run_step_latency(benchmark::State& state, const std::string& key,
+                      nn::Precision precision) {
+  auto& pipeline = shared_pipeline();
+  auto& unet = pipeline.unet();
+  const auto& cfg = pipeline.config();
+  const diffusion::NoiseSchedule schedule(cfg.timesteps, cfg.schedule);
+  const std::vector<int> class_ids(1, 0);
+  telemetry::Histogram hist(
+      telemetry::Histogram::exponential_bounds(1e-2, 1e4, 28));  // ms
+  unet.set_precision(precision);
+  diffusion::EpsFn eps_fn = [&](const nn::Tensor& x, std::size_t t) {
+    const std::vector<float> timesteps(x.dim(0), static_cast<float>(t));
+    const auto start = std::chrono::steady_clock::now();
+    nn::Tensor eps = unet.forward(x, timesteps, class_ids);
+    hist.observe(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count());
+    return eps;
+  };
+  Rng rng(17);
+  const std::vector<std::size_t> shape{1, cfg.autoencoder.latent_dim,
+                                       cfg.packets};
+  for (auto _ : state) {
+    auto out = diffusion::ddim_sample(eps_fn, schedule, shape, 20, 0.0f, rng);
+    benchmark::DoNotOptimize(out);
+  }
+  unet.set_precision(nn::Precision::kFp32);
+  const telemetry::HistogramSnapshot snap = hist.snapshot();
+  step_histograms()[key] = snap;
+  state.counters["step_ms_p50"] = snap.quantile(0.5);
+  state.counters["step_ms_p99"] = snap.quantile(0.99);
+}
+
+void BM_StepLatency(benchmark::State& state) {
+  const bool int8 = state.range(0) != 0;
+  run_step_latency(state, int8 ? "int8" : "fp32",
+                   int8 ? nn::Precision::kInt8 : nn::Precision::kFp32);
+}
+BENCHMARK(BM_StepLatency)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_GanBaselineSampling(benchmark::State& state) {
   // Function-local static object (not a leaked raw `new`).
@@ -187,6 +280,15 @@ int main(int argc, char** argv) {
   // one per benchmark that ran (filters leave the rest out).
   for (const auto& [key, rate] : flow_rates()) {
     report.note("flows_per_s_" + key, rate);
+  }
+  for (const auto& [key, snap] : step_histograms()) {
+    report.note("step_ms_" + key + "_mean", snap.mean());
+    report.note("step_ms_" + key + "_p50", snap.quantile(0.5));
+    report.note("step_ms_" + key + "_p90", snap.quantile(0.9));
+    report.note("step_ms_" + key + "_p99", snap.quantile(0.99));
+    report.note("step_ms_" + key + "_max", snap.max);
+    report.note("step_ms_" + key + "_count",
+                static_cast<double>(snap.count));
   }
   benchmark::Shutdown();
   return 0;

@@ -59,4 +59,19 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 echo "== bench smoke (label: bench) =="
 ctest --test-dir "$BUILD_DIR" -L bench --output-on-failure
 
+echo "== fastpath fidelity gate (int8 + distilled vs fp32/DDIM-20) =="
+# Shrunken-but-real run of the fast-path fidelity gate: the int8 GEMM
+# route and the distilled few-step sampler must stay within
+# REPRO_FIDELITY_EPS (0.02 default) of the fp32/DDIM-20 baseline on the
+# Table-2 RF scenarios. The binary exits 1 on violation. The run is
+# fully deterministic (fixed seeds, lane-invariant kernels), and the
+# scale is the smallest where the RF-seed-averaged scores resolve the
+# 0.02 eps: 32 synthetic flows/class, 5 RF seeds per scenario, and
+# enough training that the distilled student tracks its teacher.
+REPRO_PACKETS=16 REPRO_FLOWS_PER_CLASS=30 REPRO_TRAIN_PER_CLASS=20 \
+  REPRO_SYN_PER_CLASS=32 REPRO_AE_EPOCHS=14 REPRO_DIFF_EPOCHS=10 \
+  REPRO_CTRL_EPOCHS=4 REPRO_RF_TREES=40 REPRO_FIDELITY_RF_REPEATS=5 \
+  REPRO_BENCH_DIR="$BUILD_DIR/bench" \
+  "$BUILD_DIR/bench/fidelity_fastpath"
+
 echo "== check.sh: all gates green =="

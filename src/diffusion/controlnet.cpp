@@ -129,4 +129,33 @@ nn::Tensor protocol_hint(const net::Flow& flow, std::size_t packets) {
   return hint;
 }
 
+template <class Fn>
+void ControlNetBranch::for_each_quantizable(Fn&& fn) {
+  fn(time_mlp1_);
+  fn(time_mlp2_);
+  fn(hint_conv1_);
+  fn(hint_conv2_);
+  fn(conv_in_);
+  fn(res_d1_);
+  fn(down1_);
+  fn(res_d2_);
+  fn(down2_);
+  fn(res_m_);
+  fn(zero1_);
+  fn(zero2_);
+  fn(zero_m_);
+}
+
+void ControlNetBranch::set_precision(nn::Precision p) {
+  for_each_quantizable([p](auto& m) { m.set_precision(p); });
+}
+
+void ControlNetBranch::refresh_quantized() {
+  for_each_quantizable([](auto& m) { m.refresh_quantized(); });
+}
+
+void ControlNetBranch::invalidate_quantized() {
+  for_each_quantizable([](auto& m) { m.invalidate_quantized(); });
+}
+
 }  // namespace repro::diffusion

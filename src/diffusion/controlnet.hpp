@@ -36,7 +36,14 @@ class ControlNetBranch {
   std::vector<nn::Parameter*> parameters();
   void zero_grad();
 
+  /// Precision propagation mirroring UNet1d (unet1d.hpp).
+  void set_precision(nn::Precision p);
+  void refresh_quantized();
+  void invalidate_quantized();
+
  private:
+  template <class Fn>
+  void for_each_quantizable(Fn&& fn);
   UNetConfig config_;
   // Conditioning (own copy; ControlNet clones the encoder conditioning).
   nn::Linear time_mlp1_;

@@ -1,0 +1,150 @@
+#include "diffusion/distill.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+#include "common/parallel/parallel_for.hpp"
+#include "common/telemetry/trace.hpp"
+
+namespace repro::diffusion {
+namespace {
+
+constexpr std::size_t kStepGrain = 4096;  // elementwise ops per chunk
+
+/// The eta = 0 DDIM update written in its affine form x' = c1 x + c2 eps.
+struct StepCoefs {
+  float c1 = 0.0f;
+  float c2 = 0.0f;
+};
+
+StepCoefs step_coefs(float abar_t, float abar_prev) {
+  REPRO_REQUIRE(abar_t > 0.0f && abar_prev >= abar_t,
+                "distill: alpha_bar must be positive and non-increasing in t");
+  const float sqrt_abar_t = std::sqrt(abar_t);
+  const float sqrt_1m_t = std::sqrt(1.0f - abar_t);
+  const float sqrt_abar_prev = std::sqrt(abar_prev);
+  const float dir_coef = std::sqrt(std::max(1.0f - abar_prev, 0.0f));
+  StepCoefs coefs;
+  coefs.c1 = sqrt_abar_prev / sqrt_abar_t;
+  coefs.c2 = dir_coef - sqrt_abar_prev * sqrt_1m_t / sqrt_abar_t;
+  return coefs;
+}
+
+StepCoefs stage_step_coefs(const NoiseSchedule& schedule,
+                           const DistilledStage& stage, std::size_t i) {
+  const bool last = i + 1 == stage.steps();
+  const float abar_t = schedule.alpha_bar(stage.taus[i]);
+  const float abar_prev = last ? 1.0f : schedule.alpha_bar(stage.taus[i + 1]);
+  return step_coefs(abar_t, abar_prev);
+}
+
+/// x = c1 * x + c2g * eps, elementwise. Fixed chunks, disjoint writes —
+/// bit-identical at any lane count.
+void apply_step(nn::Tensor& x, const nn::Tensor& eps, float c1, float c2g) {
+  REPRO_REQUIRE(eps.size() == x.size(),
+                "distill: eps_fn returned a tensor of the wrong size");
+  parallel::parallel_for(0, x.size(), kStepGrain,
+                         [&](std::size_t cb, std::size_t ce) {
+                           for (std::size_t j = cb; j < ce; ++j) {
+                             x[j] = c1 * x[j] + c2g * eps[j];
+                           }
+                         });
+}
+
+}  // namespace
+
+DistilledStage teacher_stage(std::size_t t0, std::size_t steps) {
+  DistilledStage stage;
+  stage.taus = ddim_tau_schedule(t0, steps);
+  stage.gains.assign(steps, 1.0f);
+  return stage;
+}
+
+StageFit distill_halve(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                       const DistilledStage& teacher,
+                       const nn::Tensor& calib_x) {
+  const std::size_t s = teacher.steps();
+  if (s < 2) {
+    throw std::invalid_argument("distill_halve: teacher needs >= 2 steps");
+  }
+  REPRO_REQUIRE(teacher.gains.size() == s, "distill_halve: malformed stage");
+  // Roll the teacher out once, recording every intermediate state and
+  // every eps prediction. states[j] sits at timestep teacher.taus[j]
+  // (states[s] is the clean latent); the student reuses epss[2i]
+  // verbatim because its merged step starts from the same state.
+  std::vector<nn::Tensor> states;
+  std::vector<nn::Tensor> epss;
+  states.reserve(s + 1);
+  epss.reserve(s);
+  states.push_back(calib_x);
+  for (std::size_t j = 0; j < s; ++j) {
+    epss.push_back(eps_fn(states[j], teacher.taus[j]));
+    const StepCoefs coefs = stage_step_coefs(schedule, teacher, j);
+    nn::Tensor next = states[j];
+    apply_step(next, epss[j], coefs.c1, coefs.c2 * teacher.gains[j]);
+    states.push_back(std::move(next));
+  }
+  // Student schedule: every other teacher tau (ceil(s/2) survive).
+  StageFit fit;
+  for (std::size_t j = 0; j < s; j += 2) fit.stage.taus.push_back(teacher.taus[j]);
+  const std::size_t ssteps = fit.stage.taus.size();
+  fit.stage.gains.assign(ssteps, 1.0f);
+  double sum_plain = 0.0, sum_fitted = 0.0, count = 0.0;
+  for (std::size_t i = 0; i < ssteps; ++i) {
+    const nn::Tensor& src = states[2 * i];
+    const nn::Tensor& target = states[std::min(2 * i + 2, s)];
+    const nn::Tensor& eps = epss[2 * i];
+    const StepCoefs coefs = stage_step_coefs(schedule, fit.stage, i);
+    // Closed-form least squares for min_g || c1 src + c2 g eps - target ||:
+    // g = <eps, target - c1 src> / (c2 <eps, eps>). Serial accumulation
+    // in doubles keeps the fit reproducible.
+    double num = 0.0, den = 0.0;
+    for (std::size_t e = 0; e < src.size(); ++e) {
+      const double r = static_cast<double>(target[e]) -
+                       static_cast<double>(coefs.c1) * src[e];
+      num += static_cast<double>(eps[e]) * r;
+      den += static_cast<double>(eps[e]) * eps[e];
+    }
+    float gain = 1.0f;
+    if (den > 0.0 && coefs.c2 != 0.0f) {
+      gain = static_cast<float>(num / (static_cast<double>(coefs.c2) * den));
+    }
+    fit.stage.gains[i] = gain;
+    for (std::size_t e = 0; e < src.size(); ++e) {
+      const double base = static_cast<double>(coefs.c1) * src[e];
+      const double tgt = target[e];
+      const double dp = base + static_cast<double>(coefs.c2) * eps[e] - tgt;
+      const double df =
+          base + static_cast<double>(coefs.c2 * gain) * eps[e] - tgt;
+      sum_plain += dp * dp;
+      sum_fitted += df * df;
+    }
+    count += static_cast<double>(src.size());
+  }
+  if (count > 0.0) {
+    fit.mse_plain = static_cast<float>(sum_plain / count);
+    fit.mse_fitted = static_cast<float>(sum_fitted / count);
+  }
+  return fit;
+}
+
+nn::Tensor distilled_sample_from(const EpsFn& eps_fn,
+                                 const NoiseSchedule& schedule, nn::Tensor x,
+                                 const DistilledStage& stage) {
+  if (stage.taus.empty() || stage.gains.size() != stage.taus.size()) {
+    throw std::invalid_argument("distilled_sample_from: malformed stage");
+  }
+  if (stage.t0() >= schedule.timesteps()) {
+    throw std::invalid_argument("distilled_sample_from: t0 out of range");
+  }
+  for (std::size_t i = 0; i < stage.steps(); ++i) {
+    REPRO_SPAN("diffusion.sample.distilled_step");
+    const nn::Tensor eps = eps_fn(x, stage.taus[i]);
+    const StepCoefs coefs = stage_step_coefs(schedule, stage, i);
+    apply_step(x, eps, coefs.c1, coefs.c2 * stage.gains[i]);
+  }
+  return x;
+}
+
+}  // namespace repro::diffusion

@@ -1,0 +1,86 @@
+// Progressive sampler distillation (Salimans & Ho 2022, scaled to the
+// student-schedule form): instead of training a second UNet, each
+// distillation round halves the DDIM timestep subsequence and fits one
+// scalar eps-gain per remaining step so that a single gained DDIM
+// update reproduces the teacher's TWO updates on a calibration batch.
+//
+// Why this works here: with eta = 0 the DDIM update is affine in eps,
+//
+//   x' = c1 * x + c2 * eps,   c1 = sqrt(abar_prev / abar_t),
+//   c2 = sqrt(1 - abar_prev) - sqrt(abar_prev) * sqrt(1 - abar_t)
+//                              / sqrt(abar_t),
+//
+// so the best one-step imitation of a two-step teacher given the
+// network's own eps prediction is a least-squares gain g on eps —
+// solvable in closed form from the recorded teacher trajectory, no
+// gradient steps and no second model. Halving 20 -> 10 -> 5 -> 3 keeps
+// each student within reach of its teacher (the progressive-distillation
+// argument), and the fitted stages serialize into the pipeline
+// checkpoint (.meta, TDM3 section).
+//
+// Determinism: the distilled trajectory is deterministic (no per-step
+// noise), every update is elementwise with fixed kStepGrain chunks, and
+// the fit accumulates its dot products serially — so distilled samples
+// are bit-identical at any REPRO_THREADS, and fitting is reproducible.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "diffusion/sampler.hpp"
+
+namespace repro::diffusion {
+
+/// One few-step sampler: the timestep subsequence it visits (descending,
+/// taus.front() is the start timestep) plus the fitted per-step eps
+/// gains (gains.size() == taus.size(); 1.0 everywhere = plain DDIM).
+struct DistilledStage {
+  std::vector<std::size_t> taus;
+  std::vector<float> gains;
+
+  std::size_t steps() const noexcept { return taus.size(); }
+  std::size_t t0() const noexcept { return taus.empty() ? 0 : taus.front(); }
+};
+
+/// Lookup key for a pipeline's stored stages: a stage is only valid for
+/// the (class, start-timestep, step-count) combination it was fitted on.
+struct DistillKey {
+  int class_id = 0;
+  std::size_t t0 = 0;
+  std::size_t steps = 0;
+
+  friend bool operator<(const DistillKey& a, const DistillKey& b) {
+    if (a.class_id != b.class_id) return a.class_id < b.class_id;
+    if (a.t0 != b.t0) return a.t0 < b.t0;
+    return a.steps < b.steps;
+  }
+};
+
+/// Plain-DDIM stage over ddim_tau_schedule(t0, steps) with unit gains —
+/// the round-0 teacher.
+DistilledStage teacher_stage(std::size_t t0, std::size_t steps);
+
+/// Fit diagnostics for one halving round.
+struct StageFit {
+  DistilledStage stage;
+  /// Mean squared one-step error vs the teacher's two-step states over
+  /// the calibration batch, before (unit gains) and after the fit.
+  float mse_plain = 0.0f;
+  float mse_fitted = 0.0f;
+};
+
+/// One progressive round: halves `teacher`'s schedule (every other tau,
+/// ceil(steps/2) survive) and fits the per-step gains in closed form
+/// against the teacher's recorded trajectory from `calib_x` (a latent
+/// batch [B, C, L] at the stage's start timestep).
+StageFit distill_halve(const EpsFn& eps_fn, const NoiseSchedule& schedule,
+                       const DistilledStage& teacher,
+                       const nn::Tensor& calib_x);
+
+/// Runs `stage` from `x` (which must sit at timestep stage.t0()) down to
+/// the clean latent. Deterministic — no noise source needed.
+nn::Tensor distilled_sample_from(const EpsFn& eps_fn,
+                                 const NoiseSchedule& schedule, nn::Tensor x,
+                                 const DistilledStage& stage);
+
+}  // namespace repro::diffusion

@@ -244,6 +244,12 @@ FitStats TraceDiffusion::fit(const flowgen::Dataset& real) {
     unet_->unfreeze_all();
   }
 
+  // The weights changed: any recorded int8 calibration and any fitted
+  // distilled stages describe the old model.
+  unet_->invalidate_quantized();
+  control_->invalidate_quantized();
+  distilled_.clear();
+
   fitted_ = true;
   return stats;
 }
@@ -374,6 +380,11 @@ float TraceDiffusion::fit_lora(const flowgen::Dataset& data,
       encoded, epochs, config_.diffusion_lr, params,
       /*with_control_hints=*/false);
   unet_->unfreeze_all();
+  // Adapter weights changed the effective model; stale int8 scales and
+  // distilled stages must not survive.
+  unet_->invalidate_quantized();
+  control_->invalidate_quantized();
+  distilled_.clear();
   return loss;
 }
 
@@ -404,6 +415,29 @@ void renormalize_batch(nn::Tensor& x, float target_std) {
         }
       });
 }
+
+/// Applies the requested inference precision to the denoiser stack for
+/// the duration of one sampling call and restores the bit-exact fp32
+/// route on exit (exceptions included), so the precision knob never
+/// leaks into training or a later fp32 request.
+class PrecisionScope {
+ public:
+  PrecisionScope(nn::Precision p, UNet1d& unet, ControlNetBranch& control)
+      : unet_(unet), control_(control) {
+    unet_.set_precision(p);
+    control_.set_precision(p);
+  }
+  ~PrecisionScope() {
+    unet_.set_precision(nn::Precision::kFp32);
+    control_.set_precision(nn::Precision::kFp32);
+  }
+  PrecisionScope(const PrecisionScope&) = delete;
+  PrecisionScope& operator=(const PrecisionScope&) = delete;
+
+ private:
+  UNet1d& unet_;
+  ControlNetBranch& control_;
+};
 
 /// Standard deviation of one tensor (about its mean).
 float tensor_std(const nn::Tensor& x) {
@@ -506,24 +540,33 @@ nn::Tensor TraceDiffusion::sample_latents(int class_id, std::size_t count,
   const std::size_t c = config_.autoencoder.latent_dim;
   const std::size_t l = config_.packets;
   const bool control = opts.use_control && template_flows_.count(class_id);
+  const PrecisionScope precision(opts.precision, *unet_, *control_);
   EpsFn eps_fn = guided_eps_fn(class_id, count, opts);
 
   const std::vector<std::size_t> shape{count, c, l};
   const bool from_template =
       control && opts.template_strength < 1.0f && opts.template_strength > 0.0f;
+  const std::size_t t0 = start_timestep(class_id, opts);
   nn::Tensor out;
   float target_std = 1.0f;  // training latents are scaled to unit std
   if (!from_template) {
-    out = opts.sampler == SamplerKind::kDdpm
-              ? ddpm_sample(eps_fn, schedule_, shape, rng_)
-              : ddim_sample(eps_fn, schedule_, shape, opts.ddim_steps,
-                            opts.eta, rng_);
+    if (opts.sampler == SamplerKind::kDistilled) {
+      const DistilledStage& stage =
+          find_distilled(class_id, t0, opts.ddim_steps);
+      nn::Tensor xt(shape);
+      for (std::size_t i = 0; i < xt.size(); ++i) {
+        xt[i] = static_cast<float>(rng_.gaussian());
+      }
+      out = distilled_sample_from(eps_fn, schedule_, std::move(xt), stage);
+    } else {
+      out = opts.sampler == SamplerKind::kDdpm
+                ? ddpm_sample(eps_fn, schedule_, shape, rng_)
+                : ddim_sample(eps_fn, schedule_, shape, opts.ddim_steps,
+                              opts.eta, rng_);
+    }
   } else {
     // SDEdit-style start: noise the class template latent to t0 and
     // denoise from there.
-    const auto t0 = static_cast<std::size_t>(
-        opts.template_strength *
-        static_cast<float>(schedule_.timesteps() - 1));
     const nn::Tensor& hint_full = class_hint(class_id);
     nn::Tensor x0({count, c, l});
     for (std::size_t b = 0; b < count; ++b) {
@@ -546,6 +589,10 @@ nn::Tensor TraceDiffusion::sample_latents(int class_id, std::size_t count,
     }
     if (opts.sampler == SamplerKind::kDdpm) {
       out = ddpm_sample_from(eps_fn, schedule_, std::move(xt), t0, rng_);
+    } else if (opts.sampler == SamplerKind::kDistilled) {
+      const std::size_t steps = std::min(opts.ddim_steps, t0 + 1);
+      out = distilled_sample_from(eps_fn, schedule_, std::move(xt),
+                                  find_distilled(class_id, t0, steps));
     } else {
       const std::size_t steps = std::min(opts.ddim_steps, t0 + 1);
       out = ddim_sample_from(eps_fn, schedule_, std::move(xt), t0, steps,
@@ -566,26 +613,41 @@ nn::Tensor TraceDiffusion::sample_latents_multi(int class_id,
   const std::size_t c = config_.autoencoder.latent_dim;
   const std::size_t l = config_.packets;
   const bool control = opts.use_control && template_flows_.count(class_id);
+  const PrecisionScope precision(opts.precision, *unet_, *control_);
   EpsFn eps_fn = guided_eps_fn(class_id, count, opts);
 
   const std::vector<std::size_t> shape{count, c, l};
   const bool from_template =
       control && opts.template_strength < 1.0f && opts.template_strength > 0.0f;
+  const std::size_t t0 = start_timestep(class_id, opts);
   nn::Tensor out;
   float target_std = 1.0f;  // training latents are scaled to unit std
   if (!from_template) {
-    out = opts.sampler == SamplerKind::kDdpm
-              ? ddpm_sample(eps_fn, schedule_, shape, rngs)
-              : ddim_sample(eps_fn, schedule_, shape, opts.ddim_steps,
-                            opts.eta, rngs);
+    if (opts.sampler == SamplerKind::kDistilled) {
+      // Per-flow noise discipline: sample b's initial noise comes
+      // entirely from rngs[b] (the distilled trajectory itself draws no
+      // further noise), so batch composition cannot change a flow.
+      const DistilledStage& stage =
+          find_distilled(class_id, t0, opts.ddim_steps);
+      nn::Tensor xt(shape);
+      for (std::size_t b = 0; b < count; ++b) {
+        float* dst = xt.data() + b * c * l;
+        for (std::size_t i = 0; i < c * l; ++i) {
+          dst[i] = static_cast<float>(rngs[b].gaussian());
+        }
+      }
+      out = distilled_sample_from(eps_fn, schedule_, std::move(xt), stage);
+    } else {
+      out = opts.sampler == SamplerKind::kDdpm
+                ? ddpm_sample(eps_fn, schedule_, shape, rngs)
+                : ddim_sample(eps_fn, schedule_, shape, opts.ddim_steps,
+                              opts.eta, rngs);
+    }
   } else {
     // Same SDEdit-style start as sample_latents, except sample b's
     // template noising draws from rngs[b] — the per-flow stream order
     // (template noise, then per-step sampler noise, then timestamps)
     // is therefore independent of batch composition.
-    const auto t0 = static_cast<std::size_t>(
-        opts.template_strength *
-        static_cast<float>(schedule_.timesteps() - 1));
     const nn::Tensor& hint_full = class_hint(class_id);
     const float* tmpl = hint_full.data() + kHintChannels * l;
     {
@@ -605,6 +667,10 @@ nn::Tensor TraceDiffusion::sample_latents_multi(int class_id,
     }
     if (opts.sampler == SamplerKind::kDdpm) {
       out = ddpm_sample_from(eps_fn, schedule_, std::move(xt), t0, rngs);
+    } else if (opts.sampler == SamplerKind::kDistilled) {
+      const std::size_t steps = std::min(opts.ddim_steps, t0 + 1);
+      out = distilled_sample_from(eps_fn, schedule_, std::move(xt),
+                                  find_distilled(class_id, t0, steps));
     } else {
       const std::size_t steps = std::min(opts.ddim_steps, t0 + 1);
       out = ddim_sample_from(eps_fn, schedule_, std::move(xt), t0, steps,
@@ -615,6 +681,114 @@ nn::Tensor TraceDiffusion::sample_latents_multi(int class_id,
     renormalize_batch(out, target_std);
   }
   return out;
+}
+
+std::size_t TraceDiffusion::start_timestep(int class_id,
+                                           const GenerateOptions& opts) const {
+  const bool control = opts.use_control && template_flows_.count(class_id);
+  const bool from_template =
+      control && opts.template_strength < 1.0f && opts.template_strength > 0.0f;
+  if (!from_template) return schedule_.timesteps() - 1;
+  return static_cast<std::size_t>(opts.template_strength *
+                                  static_cast<float>(schedule_.timesteps() - 1));
+}
+
+const DistilledStage& TraceDiffusion::find_distilled(int class_id,
+                                                     std::size_t t0,
+                                                     std::size_t steps) const {
+  const auto it = distilled_.find(DistillKey{class_id, t0, steps});
+  if (it == distilled_.end()) {
+    throw std::invalid_argument(
+        "TraceDiffusion: no distilled stage for class " +
+        std::to_string(class_id) + " at " + std::to_string(steps) +
+        " steps (t0 " + std::to_string(t0) +
+        "); run distill() or request an available step count");
+  }
+  return it->second;
+}
+
+std::size_t TraceDiffusion::distill(const DistillConfig& cfg) {
+  if (!fitted_) {
+    throw std::logic_error("TraceDiffusion::distill: call fit() first");
+  }
+  if (cfg.rounds == 0 || cfg.teacher_steps < 2 || cfg.calibration_count == 0) {
+    throw std::invalid_argument("TraceDiffusion::distill: bad config");
+  }
+  REPRO_SPAN("diffusion.distill");
+  const std::size_t c = config_.autoencoder.latent_dim;
+  const std::size_t l = config_.packets;
+  std::size_t fitted_stages = 0;
+  for (std::size_t cls = 0; cls < prompts_.num_classes(); ++cls) {
+    const int class_id = static_cast<int>(cls);
+    GenerateOptions proto = cfg.options;
+    proto.count = cfg.calibration_count;
+    const std::size_t t0 = start_timestep(class_id, proto);
+    const std::size_t n = cfg.calibration_count;
+
+    // Calibration batch at t0 — the same construction sample_latents
+    // uses, but drawn from a dedicated stream so distill() never reads
+    // or advances the pipeline RNG.
+    Rng rng(fork_flow_seed(cfg.seed, cls));
+    nn::Tensor xt({n, c, l});
+    const bool control = proto.use_control && template_flows_.count(class_id);
+    const bool from_template = control && proto.template_strength < 1.0f &&
+                               proto.template_strength > 0.0f;
+    if (from_template) {
+      const nn::Tensor& hint_full = class_hint(class_id);
+      const float* tmpl = hint_full.data() + kHintChannels * l;
+      const float sa = schedule_.sqrt_alpha_bar(t0);
+      const float sb = schedule_.sqrt_one_minus_alpha_bar(t0);
+      for (std::size_t b = 0; b < n; ++b) {
+        float* dst = xt.data() + b * c * l;
+        for (std::size_t i = 0; i < c * l; ++i) {
+          dst[i] = sa * tmpl[i] + sb * static_cast<float>(rng.gaussian());
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < xt.size(); ++i) {
+        xt[i] = static_cast<float>(rng.gaussian());
+      }
+    }
+
+    // Progressive halving against the fp32 reference eps function.
+    EpsFn eps_fn = guided_eps_fn(class_id, n, proto);
+    DistilledStage teacher =
+        teacher_stage(t0, std::min(cfg.teacher_steps, t0 + 1));
+    for (std::size_t round = 0; round < cfg.rounds && teacher.steps() >= 2;
+         ++round) {
+      StageFit fit = distill_halve(eps_fn, schedule_, teacher, xt);
+      telemetry::observe("diffusion.distill.mse_fitted", fit.mse_fitted);
+      REPRO_LOG_DEBUG() << "distill class " << class_id << " "
+                        << teacher.steps() << "->" << fit.stage.steps()
+                        << " steps, mse " << fit.mse_plain << " -> "
+                        << fit.mse_fitted;
+      teacher = fit.stage;
+      distilled_[DistillKey{class_id, t0, fit.stage.steps()}] =
+          std::move(fit.stage);
+      ++fitted_stages;
+    }
+  }
+  return fitted_stages;
+}
+
+bool TraceDiffusion::has_distilled(int class_id, std::size_t steps) const {
+  for (const auto& [key, stage] : distilled_) {
+    if (key.class_id == class_id && key.steps == steps) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> TraceDiffusion::distilled_step_counts() const {
+  std::vector<std::size_t> out;
+  for (const auto& [key, stage] : distilled_) out.push_back(key.steps);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void TraceDiffusion::prepare_quantized() {
+  unet_->refresh_quantized();
+  control_->refresh_quantized();
 }
 
 std::vector<net::Flow> TraceDiffusion::generate(int class_id,
@@ -807,7 +981,10 @@ const ProtocolTemplate& TraceDiffusion::class_template(int class_id) const {
 
 namespace {
 
-constexpr std::uint32_t kMetaMagic = 0x54444D32;  // "TDM2"
+// Meta-file versions: V2 predates sampler distillation, V3 appends the
+// distilled-stage section. save() always writes V3; load() accepts both.
+constexpr std::uint32_t kMetaMagicV2 = 0x54444D32;  // "TDM2"
+constexpr std::uint32_t kMetaMagic = 0x54444D33;    // "TDM3"
 
 std::vector<nn::Parameter*> all_parameters(PacketAutoencoder& ae,
                                            UNet1d& unet,
@@ -864,6 +1041,16 @@ void TraceDiffusion::save(const std::string& prefix) const {
     write_pod(out, model.log_mu);
     write_pod(out, model.log_sigma);
   }
+  write_pod(out, static_cast<std::uint32_t>(distilled_.size()));
+  for (const auto& [key, stage] : distilled_) {
+    write_pod(out, static_cast<std::int32_t>(key.class_id));
+    write_pod(out, static_cast<std::uint32_t>(key.t0));
+    write_pod(out, static_cast<std::uint32_t>(key.steps));
+    for (const std::size_t tau : stage.taus) {
+      write_pod(out, static_cast<std::uint32_t>(tau));
+    }
+    for (const float gain : stage.gains) write_pod(out, gain);
+  }
   if (!out) throw std::runtime_error("TraceDiffusion::save: write failed");
 }
 
@@ -875,7 +1062,8 @@ void TraceDiffusion::load(const std::string& prefix) {
     throw std::runtime_error("TraceDiffusion::load: cannot open " + prefix +
                              ".meta");
   }
-  if (read_pod<std::uint32_t>(in) != kMetaMagic) {
+  const auto magic = read_pod<std::uint32_t>(in);
+  if (magic != kMetaMagic && magic != kMetaMagicV2) {
     throw std::runtime_error("TraceDiffusion::load: bad meta magic");
   }
   latent_scale_ = read_pod<float>(in);
@@ -912,7 +1100,26 @@ void TraceDiffusion::load(const std::string& prefix) {
     model.log_sigma = read_pod<float>(in);
     timing_[class_id] = model;
   }
+  distilled_.clear();
+  if (magic == kMetaMagic) {
+    const auto stage_count = read_pod<std::uint32_t>(in);
+    for (std::uint32_t s = 0; s < stage_count; ++s) {
+      DistillKey key;
+      key.class_id = read_pod<std::int32_t>(in);
+      key.t0 = read_pod<std::uint32_t>(in);
+      key.steps = read_pod<std::uint32_t>(in);
+      DistilledStage stage;
+      stage.taus.resize(key.steps);
+      stage.gains.resize(key.steps);
+      for (auto& tau : stage.taus) tau = read_pod<std::uint32_t>(in);
+      for (auto& gain : stage.gains) gain = read_pod<float>(in);
+      distilled_[key] = std::move(stage);
+    }
+  }
   fitted_ = true;
+  // Record the int8 absmax calibration for the freshly loaded weights so
+  // the first quantized request pays no calibration latency.
+  prepare_quantized();
 }
 
 }  // namespace repro::diffusion

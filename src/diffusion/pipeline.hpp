@@ -19,10 +19,12 @@
 #include "diffusion/conditioning.hpp"
 #include "diffusion/constraint.hpp"
 #include "diffusion/controlnet.hpp"
+#include "diffusion/distill.hpp"
 #include "diffusion/sampler.hpp"
 #include "diffusion/schedule.hpp"
 #include "diffusion/unet1d.hpp"
 #include "flowgen/dataset.hpp"
+#include "nn/precision.hpp"
 
 namespace repro::diffusion {
 
@@ -66,7 +68,10 @@ struct PipelineConfig {
   std::uint64_t seed = 1234;
 };
 
-enum class SamplerKind { kDdpm, kDdim };
+/// kDistilled runs a progressively distilled few-step schedule
+/// (distill.hpp) fitted by TraceDiffusion::distill(); requests must ask
+/// for a step count that was actually fitted (distilled_step_counts()).
+enum class SamplerKind { kDdpm, kDdim, kDistilled };
 
 /// Derives the per-flow RNG seed for flow `flow_index` of a seeded
 /// generation request (splitmix64-style mixing). The serving layer uses
@@ -109,6 +114,33 @@ struct GenerateOptions {
   /// (template ignored); 0.0 would copy the template verbatim. Only
   /// active when use_control is set and the class has a template.
   float template_strength = 0.35f;
+
+  /// Inference numeric route. kFp32 is the bit-exact reference path;
+  /// kInt8 routes the U-Net / control-branch weight GEMMs through the
+  /// quantized kernels (nn/kernels/qgemm.hpp) — faster, still
+  /// bit-identical across REPRO_THREADS, but numerically distinct from
+  /// fp32 (fidelity-gated by bench/fidelity_fastpath). Sampling-only:
+  /// training always runs fp32, and the pipeline restores fp32 after
+  /// every sampling call.
+  nn::Precision precision = nn::Precision::kFp32;
+};
+
+/// Progressive-distillation configuration (TraceDiffusion::distill).
+struct DistillConfig {
+  /// Round-0 teacher step count (clamped to the trajectory length the
+  /// prototype options produce). 20 -> 10 -> 5 -> 3 with rounds = 3.
+  std::size_t teacher_steps = 20;
+  std::size_t rounds = 3;
+  /// Calibration latents per class for the closed-form gain fit.
+  std::size_t calibration_count = 4;
+  /// Seed for the calibration noise; independent of the pipeline RNG so
+  /// distill() never perturbs generate() streams.
+  std::uint64_t seed = 4321;
+  /// Prototype sampling options: guidance / control / template_strength
+  /// determine the start timestep and eps function the stages are
+  /// fitted against, and must match the options later used with
+  /// SamplerKind::kDistilled. sampler/ddim_steps/count are ignored.
+  GenerateOptions options;
 };
 
 struct FitStats {
@@ -208,8 +240,31 @@ class TraceDiffusion {
   /// Restores a pipeline saved with `save`. The receiving pipeline must
   /// have been constructed with an identical PipelineConfig and class
   /// list (verified via parameter names/shapes). Marks the pipeline
-  /// fitted.
+  /// fitted, records the int8 absmax calibration for every weight
+  /// (prepare_quantized), and restores any distilled stages saved with
+  /// the checkpoint.
   void load(const std::string& prefix);
+
+  /// Fits distilled few-step sampler stages for every class by
+  /// progressive halving (teacher_steps -> /2 -> /2 ...), storing each
+  /// round's stage so any of the halved step counts can be requested.
+  /// Stages serialize with save()/load(). Returns the number of stages
+  /// fitted. Throws std::logic_error before fit().
+  std::size_t distill(const DistillConfig& cfg);
+
+  /// True when a distilled stage with this step count exists for the
+  /// class (at any start timestep).
+  bool has_distilled(int class_id, std::size_t steps) const;
+
+  /// Sorted unique step counts available across all classes — what the
+  /// serving layer advertises and admits for SamplerKind::kDistilled.
+  std::vector<std::size_t> distilled_step_counts() const;
+
+  /// Eagerly records the int8 absmax calibration (per-tensor scale +
+  /// quantized copy) for every U-Net / control-branch weight, so the
+  /// first kInt8 request pays no calibration latency. Called by load();
+  /// idempotent. fit()/fit_lora() invalidate the recorded calibration.
+  void prepare_quantized();
 
   UNet1d& unet() noexcept { return *unet_; }
   PacketAutoencoder& autoencoder() noexcept { return *autoencoder_; }
@@ -271,10 +326,21 @@ class TraceDiffusion {
   /// inter-arrival gaps from `rng`.
   void assign_timestamps(net::Flow& flow, int class_id, Rng& rng);
 
+  /// Start timestep a generation request denoises from: the SDEdit
+  /// template noising point when the class template is in play, else
+  /// the top of the schedule. Distilled stages are keyed on it.
+  std::size_t start_timestep(int class_id, const GenerateOptions& opts) const;
+
+  /// Stage lookup for SamplerKind::kDistilled; throws
+  /// std::invalid_argument when (class, t0, steps) was never fitted.
+  const DistilledStage& find_distilled(int class_id, std::size_t t0,
+                                       std::size_t steps) const;
+
   std::map<int, net::Flow> template_flows_;   // one-shot control sources
   std::map<int, ProtocolTemplate> templates_;
   std::map<int, nn::Tensor> hints_;           // cached control images
   std::map<int, TimingModel> timing_;
+  std::map<DistillKey, DistilledStage> distilled_;  // fitted few-step stages
 };
 
 }  // namespace repro::diffusion

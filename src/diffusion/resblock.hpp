@@ -34,6 +34,25 @@ class ResBlock {
   std::vector<nn::Parameter*> parameters();
   void set_trainable(bool trainable) noexcept;
 
+  /// Forwards the precision knob to the convs and the FiLM projection
+  /// (module.hpp set_precision / refresh_quantized / invalidate_quantized).
+  template <class Fn>
+  void for_each_quantizable(Fn&& fn) {
+    fn(conv1_);
+    fn(temb_proj_);
+    fn(conv2_);
+    if (skip_) fn(*skip_);
+  }
+  void set_precision(nn::Precision p) {
+    for_each_quantizable([p](nn::Module& m) { m.set_precision(p); });
+  }
+  void refresh_quantized() {
+    for_each_quantizable([](nn::Module& m) { m.refresh_quantized(); });
+  }
+  void invalidate_quantized() {
+    for_each_quantizable([](nn::Module& m) { m.invalidate_quantized(); });
+  }
+
   std::size_t out_channels() const noexcept { return cout_; }
 
  private:

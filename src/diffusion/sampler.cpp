@@ -188,6 +188,10 @@ void check_multi_rngs(const std::vector<Rng>& rngs, std::size_t samples,
 
 }  // namespace
 
+std::vector<std::size_t> ddim_tau_schedule(std::size_t t0, std::size_t steps) {
+  return ddim_taus(t0, steps);
+}
+
 nn::Tensor ddpm_sample_from(const EpsFn& eps_fn, const NoiseSchedule& schedule,
                             nn::Tensor x_t0, std::size_t t0, Rng& rng) {
   NoiseSource source(rng);

@@ -18,6 +18,11 @@ namespace repro::diffusion {
 /// composed inside the callable by the pipeline.
 using EpsFn = std::function<nn::Tensor(const nn::Tensor& x, std::size_t t)>;
 
+/// The decreasing timestep subsequence DDIM visits from `t0` down to 0
+/// with `steps` entries — exposed so the distilled sampler (distill.hpp)
+/// fits its student schedules against the exact teacher trajectory.
+std::vector<std::size_t> ddim_tau_schedule(std::size_t t0, std::size_t steps);
+
 /// Full DDPM ancestral sampling from pure noise; `shape` is the latent
 /// shape [N, C, L].
 nn::Tensor ddpm_sample(const EpsFn& eps_fn, const NoiseSchedule& schedule,

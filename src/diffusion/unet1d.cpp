@@ -279,6 +279,37 @@ nn::Tensor concat_channels(const nn::Tensor& a, const nn::Tensor& b) {
   return out;
 }
 
+template <class Fn>
+void UNet1d::for_each_quantizable(Fn&& fn) {
+  fn(time_mlp1_);
+  fn(time_mlp2_);
+  fn(conv_in_);
+  fn(res_d1_);
+  fn(down1_);
+  fn(res_d2_);
+  fn(down2_);
+  fn(res_m1_);
+  fn(*attention_);
+  fn(res_m2_);
+  fn(up_conv2_);
+  fn(res_u2_);
+  fn(up_conv1_);
+  fn(res_u1_);
+  fn(conv_out_);
+}
+
+void UNet1d::set_precision(nn::Precision p) {
+  for_each_quantizable([p](auto& m) { m.set_precision(p); });
+}
+
+void UNet1d::refresh_quantized() {
+  for_each_quantizable([](auto& m) { m.refresh_quantized(); });
+}
+
+void UNet1d::invalidate_quantized() {
+  for_each_quantizable([](auto& m) { m.invalidate_quantized(); });
+}
+
 void split_channels(const nn::Tensor& grad, std::size_t ca, nn::Tensor& ga,
                     nn::Tensor& gb) {
   const std::size_t n = grad.dim(0), ctot = grad.dim(1), l = grad.dim(2);

@@ -84,7 +84,19 @@ class UNet1d {
   void zero_grad();
   std::size_t parameter_count();
 
+  /// Propagates the execution precision to every matmul-backed layer
+  /// (convs, FiLM/time projections, attention projections incl. LoRA
+  /// bases). The class-embedding lookup has no matmul and is unaffected.
+  void set_precision(nn::Precision p);
+  /// (Re)runs absmax calibration on all quantizable weights — called at
+  /// checkpoint-load time so int8 scales are recorded per weight.
+  void refresh_quantized();
+  /// Invalidates the int8 caches after the weights change (training).
+  void invalidate_quantized();
+
  private:
+  template <class Fn>
+  void for_each_quantizable(Fn&& fn);
   nn::Tensor embed(const std::vector<float>& timesteps,
                    const std::vector<int>& class_ids);
   void embed_backward(const nn::Tensor& grad_temb);

@@ -35,6 +35,26 @@ class SelfAttention1d : public Module {
   Module& proj_v() noexcept { return *v_; }
   Module& proj_out() noexcept { return *o_; }
 
+  /// Quantized route covers the four projections (where the weights
+  /// are); the data-dependent score/context GEMMs stay fp32 — two
+  /// activation tensors share no calibrated weight scale, and the
+  /// post-softmax values are already well-conditioned in fp32.
+  void set_precision(Precision p) override {
+    for (Module* m : {q_.get(), k_.get(), v_.get(), o_.get()}) {
+      m->set_precision(p);
+    }
+  }
+  void refresh_quantized() override {
+    for (Module* m : {q_.get(), k_.get(), v_.get(), o_.get()}) {
+      m->refresh_quantized();
+    }
+  }
+  void invalidate_quantized() override {
+    for (Module* m : {q_.get(), k_.get(), v_.get(), o_.get()}) {
+      m->invalidate_quantized();
+    }
+  }
+
  private:
   std::size_t channels_;
   LayerNorm norm_;

@@ -74,8 +74,14 @@ Tensor Conv1d::forward(const Tensor& input) {
     float* crow = cp + oc * cols;
     for (std::size_t t = 0; t < cols; ++t) crow[t] = bv;
   }
-  kernels::gemm_nn(cout_, kc, cols, weight_.value.data(), colp, cp,
-                   kernels::Accumulate::kAdd);
+  if (precision_ == Precision::kInt8) {
+    if (!quant_valid_) refresh_quantized();
+    kernels::qgemm_nn(cout_, kc, cols, qweight_, colp, cp,
+                      kernels::Accumulate::kAdd);
+  } else {
+    kernels::gemm_nn(cout_, kc, cols, weight_.value.data(), colp, cp,
+                     kernels::Accumulate::kAdd);
+  }
   for (std::size_t b = 0; b < n; ++b) {
     for (std::size_t oc = 0; oc < cout_; ++oc) {
       std::memcpy(out.data() + (b * cout_ + oc) * lout,
@@ -171,6 +177,18 @@ void Conv1d::set_trainable(bool trainable) noexcept {
 void Conv1d::zero_init() noexcept {
   weight_.value.fill(0.0f);
   bias_.value.fill(0.0f);
+  invalidate_quantized();
+}
+
+void Conv1d::refresh_quantized() {
+  qweight_ =
+      kernels::quantize_tensor(weight_.value.data(), weight_.value.size());
+  quant_valid_ = true;
+}
+
+void Conv1d::invalidate_quantized() {
+  qweight_.clear();
+  quant_valid_ = false;
 }
 
 }  // namespace repro::nn

@@ -1,0 +1,638 @@
+#include "nn/kernels/qgemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "common/contracts.hpp"
+#include "common/parallel/parallel_for.hpp"
+
+// The AVX2 micro-kernel below pairs k-steps through vpmaddwd (16 int8
+// MACs per instruction); everything stays exact int32 arithmetic, so it
+// produces bit-identical results to the portable kernel.
+#if defined(__AVX2__) && REPRO_SIMD_WIDTH == 8
+#include <immintrin.h>
+#define REPRO_QGEMM_AVX2 1
+#else
+#define REPRO_QGEMM_AVX2 0
+#endif
+
+namespace repro::nn::kernels {
+namespace {
+
+constexpr std::size_t kW = REPRO_SIMD_WIDTH;
+constexpr std::size_t kLanes = kNr / kW;
+
+// The portable micro-kernel (and its vector helpers) only compiles when
+// the AVX2 dot-product kernel is unavailable; both produce the same
+// bits, so nothing observable depends on which one a build selects.
+#if !REPRO_QGEMM_AVX2
+
+#if REPRO_SIMD_WIDTH > 1
+typedef std::int8_t QVec __attribute__((vector_size(kW)));
+typedef std::int32_t IVec __attribute__((vector_size(kW * sizeof(std::int32_t))));
+typedef float FVec __attribute__((vector_size(kW * sizeof(float))));
+
+inline IVec load_widen(const std::int8_t* p) {
+  QVec q;
+  __builtin_memcpy(&q, p, sizeof(q));
+  return __builtin_convertvector(q, IVec);
+}
+
+inline FVec to_float(IVec v) { return __builtin_convertvector(v, FVec); }
+#else
+using IVec = std::int32_t;
+using FVec = float;
+
+inline IVec load_widen(const std::int8_t* p) {
+  return static_cast<std::int32_t>(*p);
+}
+
+inline FVec to_float(IVec v) { return static_cast<float>(v); }
+#endif
+
+inline FVec load_f(const float* p) {
+  FVec v;
+  __builtin_memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store_f(float* p, FVec v) { __builtin_memcpy(p, &v, sizeof(v)); }
+
+#endif  // !REPRO_QGEMM_AVX2
+
+/// Byte arena for the kernel's int8 scratch (quantized activations and
+/// packed panels). The float TensorArena cannot hold int8 data without
+/// reinterpreting its storage, so the quantized route keeps its own
+/// free list with the same lease-and-return discipline.
+class ByteArena {
+ public:
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&& other) noexcept { swap(other); }
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        release();
+        swap(other);
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { release(); }
+
+    std::int8_t* data() { return buffer_ ? buffer_->data() : nullptr; }
+
+   private:
+    friend class ByteArena;
+    Handle(ByteArena* arena, std::vector<std::int8_t>* buffer)
+        : arena_(arena), buffer_(buffer) {}
+    void swap(Handle& other) noexcept {
+      std::swap(arena_, other.arena_);
+      std::swap(buffer_, other.buffer_);
+    }
+    void release() {
+      if (arena_ != nullptr && buffer_ != nullptr) {
+        arena_->release_buffer(buffer_);
+      }
+      arena_ = nullptr;
+      buffer_ = nullptr;
+    }
+
+    ByteArena* arena_ = nullptr;
+    std::vector<std::int8_t>* buffer_ = nullptr;
+  };
+
+  Handle acquire(std::size_t size) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Best fit: the smallest free buffer that can hold the request.
+    std::size_t best = free_.size();
+    for (std::size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i]->size() < size) continue;
+      if (best == free_.size() || free_[i]->size() < free_[best]->size()) {
+        best = i;
+      }
+    }
+    if (best != free_.size()) {
+      ++reuses_;
+      std::unique_ptr<std::vector<std::int8_t>> buf = std::move(free_[best]);
+      free_.erase(free_.begin() + static_cast<std::ptrdiff_t>(best));
+      leased_.push_back(std::move(buf));
+      return Handle(this, leased_.back().get());
+    }
+    ++allocs_;
+    leased_.push_back(std::make_unique<std::vector<std::int8_t>>(size));
+    return Handle(this, leased_.back().get());
+  }
+
+  QuantArenaStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return QuantArenaStats{allocs_, reuses_, free_.size()};
+  }
+
+  void trim() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.clear();
+  }
+
+  static ByteArena& scratch() {
+    static ByteArena arena;
+    return arena;
+  }
+
+ private:
+  void release_buffer(std::vector<std::int8_t>* buffer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < leased_.size(); ++i) {
+      if (leased_[i].get() != buffer) continue;
+      free_.push_back(std::move(leased_[i]));
+      leased_.erase(leased_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<std::vector<std::int8_t>>> free_;
+  std::vector<std::unique_ptr<std::vector<std::int8_t>>> leased_;
+  std::size_t allocs_ = 0;
+  std::size_t reuses_ = 0;
+};
+
+#if !REPRO_QGEMM_AVX2
+/// Packs the `ncols`-wide int8 panel of B starting at column j0 into
+/// `panel` ([kc x kNr], k-major, zero-filled past ncols) — the exact
+/// shape gemm.cpp packs, so the micro-kernel streams B contiguously.
+void pack_panel(std::size_t kc, std::size_t ncols, QBView b, std::size_t j0,
+                std::int8_t* panel) {
+  for (std::size_t p = 0; p < kc; ++p) {
+    std::int8_t* dst = panel + p * kNr;
+    const std::int8_t* src = b.data + p * b.k_stride + j0 * b.col_stride;
+    std::size_t j = 0;
+    if (b.col_stride == 1) {
+      std::memcpy(dst, src, ncols);
+      j = ncols;
+    } else {
+      for (; j < ncols; ++j) dst[j] = src[j * b.col_stride];
+    }
+    for (; j < kNr; ++j) dst[j] = 0;
+  }
+}
+
+/// R x kNr register tile with int32 accumulators; the epilogue converts
+/// to float and applies the dequantization scale in one store (or add).
+template <std::size_t R>
+void micro_kernel(std::size_t kc, const std::int8_t* a, std::size_t ars,
+                  std::size_t aks, const std::int8_t* panel, float dq,
+                  float* c, std::size_t ldc, std::size_t ncols,
+                  Accumulate mode) {
+  IVec acc[R][kLanes]{};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const std::int8_t* brow = panel + p * kNr;
+    IVec bv[kLanes];
+    for (std::size_t l = 0; l < kLanes; ++l) bv[l] = load_widen(brow + l * kW);
+    for (std::size_t r = 0; r < R; ++r) {
+      const std::int32_t av =
+          static_cast<std::int32_t>(a[r * ars + p * aks]);
+      for (std::size_t l = 0; l < kLanes; ++l) acc[r][l] += av * bv[l];
+    }
+  }
+  if (ncols == kNr) {
+    for (std::size_t r = 0; r < R; ++r) {
+      float* crow = c + r * ldc;
+      if (mode == Accumulate::kAdd) {
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          store_f(crow + l * kW,
+                  load_f(crow + l * kW) + to_float(acc[r][l]) * dq);
+        }
+      } else {
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          store_f(crow + l * kW, to_float(acc[r][l]) * dq);
+        }
+      }
+    }
+    return;
+  }
+  // Tail panel: spill the dequantized tile, copy the valid columns.
+  float tile[R][kNr];
+  for (std::size_t r = 0; r < R; ++r) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      store_f(&tile[r][l * kW], to_float(acc[r][l]) * dq);
+    }
+  }
+  for (std::size_t r = 0; r < R; ++r) {
+    float* crow = c + r * ldc;
+    if (mode == Accumulate::kAdd) {
+      for (std::size_t j = 0; j < ncols; ++j) crow[j] += tile[r][j];
+    } else {
+      for (std::size_t j = 0; j < ncols; ++j) crow[j] = tile[r][j];
+    }
+  }
+}
+
+#endif  // !REPRO_QGEMM_AVX2
+
+#if !REPRO_QGEMM_AVX2
+/// Computes rows [rb, re) of C against one packed panel.
+void run_panel(std::size_t rb, std::size_t re, std::size_t kc, QAView a,
+               const std::int8_t* panel, float dq, float* c, std::size_t ldc,
+               std::size_t ncols, Accumulate mode) {
+  std::size_t i = rb;
+  for (; i + kMr <= re; i += kMr) {
+    micro_kernel<kMr>(kc, a.data + i * a.row_stride, a.row_stride, a.k_stride,
+                      panel, dq, c + i * ldc, ldc, ncols, mode);
+  }
+  const std::int8_t* arow = a.data + i * a.row_stride;
+  float* crow = c + i * ldc;
+  switch (re - i) {
+    case 3:
+      micro_kernel<3>(kc, arow, a.row_stride, a.k_stride, panel, dq, crow,
+                      ldc, ncols, mode);
+      break;
+    case 2:
+      micro_kernel<2>(kc, arow, a.row_stride, a.k_stride, panel, dq, crow,
+                      ldc, ncols, mode);
+      break;
+    case 1:
+      micro_kernel<1>(kc, arow, a.row_stride, a.k_stride, panel, dq, crow,
+                      ldc, ncols, mode);
+      break;
+    default:
+      break;
+  }
+}
+#endif  // !REPRO_QGEMM_AVX2
+
+#if REPRO_QGEMM_AVX2
+// --- AVX2 / VNNI route -------------------------------------------------
+//
+// k-steps are consumed in pairs through vpmaddwd (or vpdpwssd with
+// VNNI), which multiplies 16 int16 pairs and sums each pair into an
+// int32 lane — 16 exact int8 MACs per instruction. The pair sum
+// a[p]*b[p][j] + a[p+1]*b[p+1][j] is ordinary int32 addition, so the
+// accumulator holds exactly the same value as the ascending-k portable
+// kernel and the two compile paths are bit-identical. Both operands are
+// pre-widened to int16 at pack time (B pair-interleaved, A row-major
+// padded to an even k) so the inner loop is nothing but loads,
+// broadcasts, and multiply-accumulates.
+
+/// One multiply-accumulate of 16 int16 pairs into 8 int32 lanes.
+inline __m256i dot_acc(__m256i acc, __m256i a, __m256i b) {
+#if defined(__AVXVNNI__)
+  return _mm256_dpwssd_avx_epi32(acc, a, b);
+#elif defined(__AVX512VNNI__) && defined(__AVX512VL__)
+  return _mm256_dpwssd_epi32(acc, a, b);
+#else
+  return _mm256_add_epi32(acc, _mm256_madd_epi16(a, b));
+#endif
+}
+
+// SIMD lane-pointer shims. The integer intrinsics API takes
+// __m128i/__m256i pointers, so these three functions hold this file's
+// only lane casts — all unaligned loadu/storeu forms, reading/writing
+// exactly the 16 elements the surrounding pack/kernel code owns.
+inline __m128i load_i8x16(const std::int8_t* p) {
+  // repro-lint: allow(RL017) -- unaligned lane view required by _mm_loadu_si128
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+inline __m256i load_i16x16(const std::int16_t* p) {
+  // repro-lint: allow(RL017) -- unaligned lane view required by _mm256_loadu_si256
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+inline void store_i16x16(std::int16_t* p, __m256i v) {
+  // repro-lint: allow(RL017) -- unaligned lane view required by _mm256_storeu_si256
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+/// Packs the `ncols`-wide panel of B into k-pair-interleaved int16:
+/// block pp holds 32 int16 where element 2*j + s is b[2*pp + s][j0 + j]
+/// (cols 0..7 in the first 16, 8..15 in the second), zero-filled past
+/// ncols and past an odd kc.
+void pack_panel_pairs(std::size_t kc, std::size_t ncols, QBView b,
+                      std::size_t j0, std::int16_t* panel) {
+  const std::size_t kc2 = (kc + 1) / 2;
+  for (std::size_t pp = 0; pp < kc2; ++pp) {
+    const std::size_t p0 = 2 * pp;
+    const bool two = p0 + 1 < kc;
+    const std::int8_t* s0 = b.data + p0 * b.k_stride + j0 * b.col_stride;
+    const std::int8_t* s1 = s0 + b.k_stride;  // only dereferenced if `two`
+    std::int16_t* dst = panel + pp * (2 * kNr);
+    if (b.col_stride == 1 && ncols == kNr) {
+      const __m128i r0 = load_i8x16(s0);
+      const __m128i r1 = two ? load_i8x16(s1) : _mm_setzero_si128();
+      store_i16x16(dst, _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(r0, r1)));
+      store_i16x16(dst + kNr,
+                   _mm256_cvtepi8_epi16(_mm_unpackhi_epi8(r0, r1)));
+      continue;
+    }
+    for (std::size_t j = 0; j < kNr; ++j) {
+      dst[2 * j] =
+          j < ncols ? std::int16_t{s0[j * b.col_stride]} : std::int16_t{0};
+      dst[2 * j + 1] = (two && j < ncols)
+                           ? std::int16_t{s1[j * b.col_stride]}
+                           : std::int16_t{0};
+    }
+  }
+}
+
+/// Widens rows [rb, re) of A to int16 (row-major, kc padded to even) so
+/// the micro-kernel can broadcast an (a[p], a[p+1]) pair with a single
+/// 32-bit load.
+void pack_a_rows(std::size_t rb, std::size_t re, std::size_t kc,
+                 std::size_t row16, QAView a, std::int16_t* apack) {
+  for (std::size_t i = rb; i < re; ++i) {
+    const std::int8_t* src = a.data + i * a.row_stride;
+    std::int16_t* dst = apack + i * row16;
+    if (a.k_stride == 1) {
+      const std::int8_t* __restrict s = src;
+      std::int16_t* __restrict d = dst;
+      for (std::size_t p = 0; p < kc; ++p) d[p] = s[p];
+    } else {
+      for (std::size_t p = 0; p < kc; ++p) dst[p] = src[p * a.k_stride];
+    }
+    if (kc & 1) dst[kc] = 0;
+  }
+}
+
+/// R x kNr register tile over pair-packed operands.
+template <std::size_t R>
+void micro_kernel_avx2(std::size_t kc2, const std::int16_t* a,
+                       std::size_t row16, const std::int16_t* panel, float dq,
+                       float* c, std::size_t ldc, std::size_t ncols,
+                       Accumulate mode) {
+  static_assert(kNr == 16, "AVX2 tile assumes 16-column panels");
+  __m256i acc[R][2];
+  for (std::size_t r = 0; r < R; ++r) {
+    acc[r][0] = _mm256_setzero_si256();
+    acc[r][1] = _mm256_setzero_si256();
+  }
+  for (std::size_t pp = 0; pp < kc2; ++pp) {
+    const std::int16_t* blk = panel + pp * (2 * kNr);
+    const __m256i blo = load_i16x16(blk);
+    const __m256i bhi = load_i16x16(blk + kNr);
+    for (std::size_t r = 0; r < R; ++r) {
+      std::int32_t pair;
+      std::memcpy(&pair, a + r * row16 + 2 * pp, sizeof(pair));
+      const __m256i av = _mm256_set1_epi32(pair);
+      acc[r][0] = dot_acc(acc[r][0], av, blo);
+      acc[r][1] = dot_acc(acc[r][1], av, bhi);
+    }
+  }
+  // Epilogue: identical two-rounding shape as the portable kernel
+  // (convert, scale, then one store or one add into C).
+  const __m256 dqv = _mm256_set1_ps(dq);
+  if (ncols == kNr) {
+    for (std::size_t r = 0; r < R; ++r) {
+      float* crow = c + r * ldc;
+      for (std::size_t l = 0; l < 2; ++l) {
+        __m256 v = _mm256_mul_ps(_mm256_cvtepi32_ps(acc[r][l]), dqv);
+        if (mode == Accumulate::kAdd) {
+          v = _mm256_add_ps(_mm256_loadu_ps(crow + l * 8), v);
+        }
+        _mm256_storeu_ps(crow + l * 8, v);
+      }
+    }
+    return;
+  }
+  float tile[R][kNr];
+  for (std::size_t r = 0; r < R; ++r) {
+    for (std::size_t l = 0; l < 2; ++l) {
+      _mm256_storeu_ps(&tile[r][l * 8],
+                       _mm256_mul_ps(_mm256_cvtepi32_ps(acc[r][l]), dqv));
+    }
+  }
+  for (std::size_t r = 0; r < R; ++r) {
+    float* crow = c + r * ldc;
+    if (mode == Accumulate::kAdd) {
+      for (std::size_t j = 0; j < ncols; ++j) crow[j] += tile[r][j];
+    } else {
+      for (std::size_t j = 0; j < ncols; ++j) crow[j] = tile[r][j];
+    }
+  }
+}
+
+/// Computes rows [rb, re) of C against one pair-packed panel.
+void run_panel(std::size_t rb, std::size_t re, std::size_t kc2,
+               const std::int16_t* apack, std::size_t row16,
+               const std::int16_t* panel, float dq, float* c, std::size_t ldc,
+               std::size_t ncols, Accumulate mode) {
+  std::size_t i = rb;
+  for (; i + kMr <= re; i += kMr) {
+    micro_kernel_avx2<kMr>(kc2, apack + i * row16, row16, panel, dq,
+                           c + i * ldc, ldc, ncols, mode);
+  }
+  const std::int16_t* arow = apack + i * row16;
+  float* crow = c + i * ldc;
+  switch (re - i) {
+    case 3:
+      micro_kernel_avx2<3>(kc2, arow, row16, panel, dq, crow, ldc, ncols,
+                           mode);
+      break;
+    case 2:
+      micro_kernel_avx2<2>(kc2, arow, row16, panel, dq, crow, ldc, ncols,
+                           mode);
+      break;
+    case 1:
+      micro_kernel_avx2<1>(kc2, arow, row16, panel, dq, crow, ldc, ncols,
+                           mode);
+      break;
+    default:
+      break;
+  }
+}
+#endif  // REPRO_QGEMM_AVX2
+
+}  // namespace
+
+float absmax(const float* x, std::size_t n) {
+  // Eight independent per-lane maxima so the loop vectorizes (a single
+  // scalar max is a reduction the compiler won't reassociate without
+  // fast-math); max is exact, so lane order cannot change the result.
+  constexpr std::size_t kL = 8;
+  float lanes[kL] = {};
+  std::size_t i = 0;
+  for (; i + kL <= n; i += kL) {
+    for (std::size_t l = 0; l < kL; ++l) {
+      const float v = std::fabs(x[i + l]);
+      lanes[l] = lanes[l] > v ? lanes[l] : v;
+    }
+  }
+  float m = 0.0f;
+  for (std::size_t l = 0; l < kL; ++l) m = m > lanes[l] ? m : lanes[l];
+  for (; i < n; ++i) {
+    const float v = std::fabs(x[i]);
+    if (v > m) m = v;
+  }
+  return m;
+}
+
+float quant_scale(float absmax_value) noexcept {
+  return absmax_value > 0.0f ? absmax_value / 127.0f : 1.0f;
+}
+
+void quantize(const float* x, std::size_t n, float scale, std::int8_t* q) {
+  const float inv = 1.0f / scale;
+  // Elementwise with fixed chunks: disjoint writes, no accumulation, so
+  // any lane count produces the same bytes. Rounding is branchless
+  // half-away-from-zero: add a sign-carrying 0.5 and let the float->int
+  // conversion truncate toward zero. Unlike lroundf (a per-element
+  // libcall) every operation here — multiply, copysign, min/max, cvt,
+  // narrowing store — maps to a SIMD instruction, and the loop
+  // auto-vectorizes. Clamping in float keeps the conversion in-range.
+  parallel::parallel_for(
+      0, n, std::size_t{1} << 14, [&](std::size_t cb, std::size_t ce) {
+        // Local __restrict copies: the int8 output writes are char-typed
+        // stores, which the compiler must otherwise assume can alias the
+        // closure (and the input floats), blocking vectorization.
+        const float* __restrict xs = x;
+        std::int8_t* __restrict qs = q;
+        const float invs = inv;
+        for (std::size_t i = cb; i < ce; ++i) {
+          const float v = xs[i] * invs;
+          float t = v + std::copysignf(0.5f, v);
+          t = t > 127.0f ? 127.0f : t;
+          t = t < -127.0f ? -127.0f : t;
+          qs[i] = static_cast<std::int8_t>(static_cast<std::int32_t>(t));
+        }
+      });
+}
+
+QuantizedTensor quantize_tensor(const float* x, std::size_t n) {
+  QuantizedTensor out;
+  out.scale = quant_scale(absmax(x, n));
+  out.data.resize(n);
+  quantize(x, n, out.scale, out.data.data());
+  return out;
+}
+
+void qgemm(std::size_t m, std::size_t n, std::size_t k, QAView a, QBView b,
+           float dequant, float* c, std::size_t ldc, Accumulate acc) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    if (acc == Accumulate::kOverwrite) {
+      for (std::size_t i = 0; i < m; ++i) {
+        std::memset(c + i * ldc, 0, n * sizeof(float));
+      }
+    }
+    return;
+  }
+  // 127 * 127 * k must fit int32; every shape in the network is orders
+  // of magnitude below this bound.
+  REPRO_REQUIRE(k < (std::size_t{1} << 17), "qgemm: k too large for int32");
+  const std::size_t panels = (n + kNr - 1) / kNr;
+  // Same small-problem / serial-context cutoff as gemm.cpp so the two
+  // routes have identical dispatch behavior.
+  const bool serial = m * n * k <= (std::size_t{1} << 16) ||
+                      parallel::thread_count() == 1 || parallel::in_worker();
+#if REPRO_QGEMM_AVX2
+  const std::size_t kc2 = (k + 1) / 2;
+  const std::size_t row16 = kc2 * 2;           // int16s per packed A row
+  const std::size_t pstride = kc2 * 2 * kNr;   // int16s per packed panel
+  ByteArena::Handle pack =
+      ByteArena::scratch().acquire((panels * pstride + m * row16) *
+                                   sizeof(std::int16_t));
+  // repro-lint: allow(RL017) -- int16 rebind of the kernel's own byte arena (operator new alignment)
+  std::int16_t* packed = reinterpret_cast<std::int16_t*>(pack.data());
+  std::int16_t* apack = packed + panels * pstride;
+  if (serial) {
+    pack_a_rows(0, m, k, row16, a, apack);
+    for (std::size_t pi = 0; pi < panels; ++pi) {
+      const std::size_t j0 = pi * kNr;
+      pack_panel_pairs(k, std::min(kNr, n - j0), b, j0, packed + pi * pstride);
+    }
+    for (std::size_t pi = 0; pi < panels; ++pi) {
+      const std::size_t j0 = pi * kNr;
+      run_panel(0, m, kc2, apack, row16, packed + pi * pstride, dequant,
+                c + j0, ldc, std::min(kNr, n - j0), acc);
+    }
+    return;
+  }
+  parallel::parallel_for(
+      0, panels, parallel::grain_for(k * kNr),
+      [&](std::size_t pb, std::size_t pe) {
+        for (std::size_t pi = pb; pi < pe; ++pi) {
+          const std::size_t j0 = pi * kNr;
+          pack_panel_pairs(k, std::min(kNr, n - j0), b, j0,
+                           packed + pi * pstride);
+        }
+      });
+  // Row blocks only, grain pinned to kMr multiples — the same
+  // chunk-boundary invariance as the fp32 kernel (and the int32 sums
+  // are exact anyway). Each block widens its own A rows first (disjoint
+  // writes, so lane count cannot change the bytes).
+  std::size_t grain = parallel::grain_for(n * k);
+  grain = (grain + kMr - 1) / kMr * kMr;
+  parallel::parallel_for(0, m, grain, [&](std::size_t rb, std::size_t re) {
+    pack_a_rows(rb, re, k, row16, a, apack);
+    for (std::size_t pi = 0; pi < panels; ++pi) {
+      const std::size_t j0 = pi * kNr;
+      run_panel(rb, re, kc2, apack, row16, packed + pi * pstride, dequant,
+                c + j0, ldc, std::min(kNr, n - j0), acc);
+    }
+  });
+#else
+  ByteArena::Handle pack = ByteArena::scratch().acquire(panels * kNr * k);
+  std::int8_t* packed = pack.data();
+  if (serial) {
+    for (std::size_t pi = 0; pi < panels; ++pi) {
+      const std::size_t j0 = pi * kNr;
+      pack_panel(k, std::min(kNr, n - j0), b, j0, packed + pi * kNr * k);
+    }
+    for (std::size_t pi = 0; pi < panels; ++pi) {
+      const std::size_t j0 = pi * kNr;
+      run_panel(0, m, k, a, packed + pi * kNr * k, dequant, c + j0, ldc,
+                std::min(kNr, n - j0), acc);
+    }
+    return;
+  }
+  parallel::parallel_for(
+      0, panels, parallel::grain_for(k * kNr),
+      [&](std::size_t pb, std::size_t pe) {
+        for (std::size_t pi = pb; pi < pe; ++pi) {
+          const std::size_t j0 = pi * kNr;
+          pack_panel(k, std::min(kNr, n - j0), b, j0, packed + pi * kNr * k);
+        }
+      });
+  // Row blocks only, grain pinned to kMr multiples — the same
+  // chunk-boundary invariance as the fp32 kernel (and the int32 sums
+  // are exact anyway).
+  std::size_t grain = parallel::grain_for(n * k);
+  grain = (grain + kMr - 1) / kMr * kMr;
+  parallel::parallel_for(0, m, grain, [&](std::size_t rb, std::size_t re) {
+    for (std::size_t pi = 0; pi < panels; ++pi) {
+      const std::size_t j0 = pi * kNr;
+      run_panel(rb, re, k, a, packed + pi * kNr * k, dequant, c + j0, ldc,
+                std::min(kNr, n - j0), acc);
+    }
+  });
+#endif
+}
+
+void qgemm_nt(std::size_t n, std::size_t m, std::size_t k, const float* a,
+              const QuantizedTensor& bq, float* c, Accumulate acc) {
+  REPRO_REQUIRE(bq.size() == k * m, "qgemm_nt: weight size mismatch");
+  ByteArena::Handle qa = ByteArena::scratch().acquire(n * m);
+  const float scale_a = quant_scale(absmax(a, n * m));
+  quantize(a, n * m, scale_a, qa.data());
+  qgemm(n, k, m, QAView{qa.data(), m, 1}, QBView{bq.data.data(), 1, m},
+        scale_a * bq.scale, c, k, acc);
+}
+
+void qgemm_nn(std::size_t n, std::size_t k, std::size_t m,
+              const QuantizedTensor& aq, const float* b, float* c,
+              Accumulate acc) {
+  REPRO_REQUIRE(aq.size() == n * k, "qgemm_nn: weight size mismatch");
+  ByteArena::Handle qb = ByteArena::scratch().acquire(k * m);
+  const float scale_b = quant_scale(absmax(b, k * m));
+  quantize(b, k * m, scale_b, qb.data());
+  qgemm(n, m, k, QAView{aq.data.data(), k, 1}, QBView{qb.data(), m, 1},
+        aq.scale * scale_b, c, m, acc);
+}
+
+QuantArenaStats quant_arena_stats() { return ByteArena::scratch().stats(); }
+
+void quant_arena_trim() { ByteArena::scratch().trim(); }
+
+}  // namespace repro::nn::kernels

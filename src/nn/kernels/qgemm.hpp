@@ -1,0 +1,113 @@
+// Quantized int8 GEMM route — the fast-inference counterpart of
+// gemm.hpp. Both operands are symmetric per-tensor int8 (scale =
+// absmax / 127, zero point 0); products accumulate EXACTLY in int32 and
+// a dequantizing epilogue scales the tile back to float:
+//
+//   C = or += (scale_a * scale_b) * (Aq int8 [M,K] . Bq int8 [K,N])
+//
+// Weights are quantized once (absmax calibration at checkpoint-load
+// time or on the first int8 forward, cached as a QuantizedTensor);
+// activations are quantized per call into arena scratch.
+//
+// Determinism contract: identical in structure to gemm.cpp — packed
+// kNr-wide B panels, a kMr x kNr register micro-kernel, row-chunk-only
+// parallelism with the grain rounded to kMr — and stronger in substance:
+// int32 accumulation has no rounding at all, so any summation order
+// would give the same bits. The fixed ascending-k order is kept anyway
+// so the two kernels stay structurally interchangeable. int8 results
+// differ from fp32 results, but int8@1 lane == int8@8 lanes, bit for
+// bit (determinism_test.cpp locks this in). The epilogue rounds exactly
+// twice — c = c + round(float(acc) * dq) — with fp contraction disabled
+// for this translation unit (CMake: -ffp-contract=off), so kAdd bits
+// cannot depend on whether a column landed in a full panel or the tail.
+//
+// This header is the ONLY sanctioned home for int8/uint8 quantization
+// arithmetic in src/nn (lint rule RL023 confines the tokens to
+// src/nn/kernels/); layers hold opaque QuantizedTensor caches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/kernels/gemm.hpp"
+
+namespace repro::nn::kernels {
+
+/// An absmax-calibrated symmetric int8 copy of a float tensor:
+/// q[i] = round(x[i] / scale) clamped to [-127, 127],
+/// scale = absmax / 127 (1.0 for an all-zero tensor).
+struct QuantizedTensor {
+  std::vector<std::int8_t> data;
+  float scale = 1.0f;
+
+  std::size_t size() const noexcept { return data.size(); }
+  bool empty() const noexcept { return data.empty(); }
+  void clear() noexcept {
+    data.clear();
+    scale = 1.0f;
+  }
+};
+
+/// Largest |x| over n floats (0 for n == 0).
+float absmax(const float* x, std::size_t n);
+
+/// Symmetric per-tensor scale for a given absolute maximum.
+float quant_scale(float absmax_value) noexcept;
+
+/// Quantizes n floats with `scale` into q (round half away from zero,
+/// clamp to +-127). Deterministic elementwise pass.
+void quantize(const float* x, std::size_t n, float scale, std::int8_t* q);
+
+/// absmax + quantize in one call — the per-weight calibration pass.
+QuantizedTensor quantize_tensor(const float* x, std::size_t n);
+
+/// Strided int8 views mirroring gemm.hpp's AView/BView.
+struct QAView {
+  const std::int8_t* data;
+  std::size_t row_stride;
+  std::size_t k_stride;
+};
+
+struct QBView {
+  const std::int8_t* data;
+  std::size_t k_stride;
+  std::size_t col_stride;
+};
+
+/// C[M, N] (row-major, ldc) = or += dequant * (A[M, K] . B[K, N]) with
+/// exact int32 accumulation. `dequant` is the product of the two
+/// per-tensor scales. k must stay below 2^17 so the worst-case
+/// accumulator (127 * 127 * k) cannot overflow int32.
+void qgemm(std::size_t m, std::size_t n, std::size_t k, QAView a, QBView b,
+           float dequant, float* c, std::size_t ldc, Accumulate acc);
+
+// --- Layer-facing adapters (mirroring gemm_nt / gemm_nn shapes). ---
+
+/// C[n, k] = A[n, m] fp32 x Bq[k, m]^T — the Linear forward shape
+/// (Bq = quantized [out, in] weight). A is quantized per call.
+void qgemm_nt(std::size_t n, std::size_t m, std::size_t k, const float* a,
+              const QuantizedTensor& bq, float* c,
+              Accumulate acc = Accumulate::kOverwrite);
+
+/// C[n, m] = Aq[n, k] x B[k, m] fp32 — the Conv1d im2col shape
+/// (Aq = quantized [cout, cin*kernel] weight). B is quantized per call.
+void qgemm_nn(std::size_t n, std::size_t k, std::size_t m,
+              const QuantizedTensor& aq, const float* b, float* c,
+              Accumulate acc = Accumulate::kOverwrite);
+
+/// Reuse counters of the kernel-internal byte arena (quantized
+/// activations + packed int8 panels; the float TensorArena cannot hold
+/// them). Mirrors TensorArena::Stats for the arena-reuse tests.
+struct QuantArenaStats {
+  std::size_t allocs = 0;
+  std::size_t reuses = 0;
+  std::size_t free_buffers = 0;
+};
+
+QuantArenaStats quant_arena_stats();
+
+/// Drops the byte arena's free list (tests only).
+void quant_arena_trim();
+
+}  // namespace repro::nn::kernels

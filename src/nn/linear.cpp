@@ -36,10 +36,15 @@ Tensor Linear::forward(const Tensor& input) {
                   out_ * sizeof(float));
     }
   }
-  kernels::gemm_nt(n, in_, out_, input.data(), weight_.value.data(),
-                   out.data(),
-                   has_bias_ ? kernels::Accumulate::kAdd
-                             : kernels::Accumulate::kOverwrite);
+  const kernels::Accumulate acc = has_bias_ ? kernels::Accumulate::kAdd
+                                            : kernels::Accumulate::kOverwrite;
+  if (precision_ == Precision::kInt8) {
+    if (!quant_valid_) refresh_quantized();
+    kernels::qgemm_nt(n, in_, out_, input.data(), qweight_, out.data(), acc);
+  } else {
+    kernels::gemm_nt(n, in_, out_, input.data(), weight_.value.data(),
+                     out.data(), acc);
+  }
   return out;
 }
 
@@ -72,6 +77,17 @@ std::vector<Parameter*> Linear::parameters() {
 void Linear::set_trainable(bool trainable) noexcept {
   weight_.trainable = trainable;
   bias_.trainable = trainable;
+}
+
+void Linear::refresh_quantized() {
+  qweight_ =
+      kernels::quantize_tensor(weight_.value.data(), weight_.value.size());
+  quant_valid_ = true;
+}
+
+void Linear::invalidate_quantized() {
+  qweight_.clear();
+  quant_valid_ = false;
 }
 
 }  // namespace repro::nn

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "common/rng.hpp"
+#include "nn/kernels/qgemm.hpp"
 #include "nn/module.hpp"
 
 namespace repro::nn {
@@ -25,12 +26,21 @@ class Linear : public Module {
   /// Freeze/unfreeze the base weights (LoRA fine-tuning).
   void set_trainable(bool trainable) noexcept;
 
+  /// Int8 forward route: x W^T runs through kernels::qgemm_nt against an
+  /// absmax-calibrated int8 weight cache. Backward stays fp32.
+  void set_precision(Precision p) override { precision_ = p; }
+  void refresh_quantized() override;
+  void invalidate_quantized() override;
+
  private:
   std::size_t in_, out_;
   bool has_bias_;
   Parameter weight_;  // [out, in]
   Parameter bias_;    // [out]
   Tensor input_;      // cached for backward
+  Precision precision_ = Precision::kFp32;
+  kernels::QuantizedTensor qweight_;  // valid iff quant_valid_
+  bool quant_valid_ = false;
 };
 
 }  // namespace repro::nn

@@ -35,6 +35,13 @@ class LoraLinear : public Module {
   /// W + (alpha/r) * B A, shape [out, in].
   Tensor merged_weight() const;
 
+  /// Quantized route: only the dense base runs int8; the rank-r adapter
+  /// matmuls are tiny and stay fp32, so a fine-tuned adapter keeps full
+  /// precision on top of the quantized base.
+  void set_precision(Precision p) override { base_->set_precision(p); }
+  void refresh_quantized() override { base_->refresh_quantized(); }
+  void invalidate_quantized() override { base_->invalidate_quantized(); }
+
  private:
   std::unique_ptr<Linear> base_;
   std::size_t rank_;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/precision.hpp"
 #include "nn/tensor.hpp"
 
 namespace repro::nn {
@@ -43,6 +44,20 @@ class Module {
 
   /// All parameters owned by this module (and submodules).
   virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Execution mode for subsequent forward() calls (precision.hpp).
+  /// Default no-op: only matmul-backed modules (Linear, Conv1d) and
+  /// their wrappers have a quantized route; backward is always fp32.
+  virtual void set_precision(Precision) {}
+
+  /// Re-runs absmax calibration from the current weights, (re)building
+  /// the cached int8 copy. Called at checkpoint-load time; the int8
+  /// forward also calibrates lazily if the cache is missing.
+  virtual void refresh_quantized() {}
+
+  /// Drops the cached int8 weights (weights changed — end of training);
+  /// the next int8 forward re-calibrates.
+  virtual void invalidate_quantized() {}
 
   void zero_grad() {
     for (Parameter* p : parameters()) p->zero_grad();

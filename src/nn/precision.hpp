@@ -1,0 +1,21 @@
+// Execution-precision knob for the forward pass.
+//
+// kFp32 is the bit-exact reference route every correctness statement is
+// made against. kInt8 reroutes the matmul-shaped forwards (Linear,
+// Conv1d-as-im2col, the LoRA base layer) through the quantized kernel
+// (kernels/qgemm.hpp): per-tensor symmetric int8 operands, exact int32
+// accumulation, dequantizing epilogue. Backward always runs fp32 —
+// training never sees quantized arithmetic.
+//
+// Determinism contract (DESIGN.md §14): the int8 route produces
+// different bytes than fp32, but its own output is bit-identical at any
+// REPRO_THREADS because the int32 accumulation is exact and the kernel
+// keeps the fp32 route's fixed ascending-k order and row-chunk-only
+// parallelism.
+#pragma once
+
+namespace repro::nn {
+
+enum class Precision { kFp32, kInt8 };
+
+}  // namespace repro::nn

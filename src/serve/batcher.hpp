@@ -2,9 +2,9 @@
 // one batched model call.
 //
 // Requests are compatible when they share a BatchKey — (model, class,
-// sampler, steps) — because those are exactly the parameters of the
-// underlying generate_with_flow_seeds call; the per-flow seeds make the
-// outputs independent of how requests were grouped. The max-batch /
+// sampler, steps, precision) — because those are exactly the parameters
+// of the underlying generate_with_flow_seeds call; the per-flow seeds
+// make the outputs independent of how requests were grouped. The max-batch /
 // max-wait policy bounds latency under light load (a lone request waits
 // at most max_wait for batch-mates) and saturates throughput under
 // heavy load (batches fill to max_batch_flows immediately).
@@ -21,10 +21,12 @@ struct BatchKey {
   int class_id = 0;
   diffusion::SamplerKind sampler = diffusion::SamplerKind::kDdim;
   std::size_t steps = 0;
+  nn::Precision precision = nn::Precision::kFp32;
 
   friend bool operator==(const BatchKey& a, const BatchKey& b) {
     return a.model == b.model && a.class_id == b.class_id &&
-           a.sampler == b.sampler && a.steps == b.steps;
+           a.sampler == b.sampler && a.steps == b.steps &&
+           a.precision == b.precision;
   }
 };
 

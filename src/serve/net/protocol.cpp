@@ -351,10 +351,13 @@ void append_request_frame(std::vector<std::uint8_t>& out,
   frame.key("seed");
   frame.value_decimal_string_u64(request.seed);
   frame.key("sampler");
-  frame.value(request.sampler == diffusion::SamplerKind::kDdim ? "ddim"
-                                                               : "ddpm");
+  frame.value(request.sampler == diffusion::SamplerKind::kDdim   ? "ddim"
+              : request.sampler == diffusion::SamplerKind::kDdpm ? "ddpm"
+                                                                 : "distilled");
   frame.key("steps");
   frame.value_u64(request.ddim_steps);
+  frame.key("precision");
+  frame.value(request.precision == nn::Precision::kInt8 ? "int8" : "fp32");
   frame.key("priority");
   frame.value(request.priority == Priority::kHigh     ? "high"
               : request.priority == Priority::kNormal ? "normal"
@@ -421,8 +424,21 @@ std::optional<WireRequest> parse_request_payload(const std::string& payload,
       out.request.sampler = diffusion::SamplerKind::kDdim;
     } else if (name == "ddpm") {
       out.request.sampler = diffusion::SamplerKind::kDdpm;
+    } else if (name == "distilled") {
+      out.request.sampler = diffusion::SamplerKind::kDistilled;
     } else {
-      error = "field 'sampler' must be \"ddim\" or \"ddpm\"";
+      error = "field 'sampler' must be \"ddim\", \"ddpm\" or \"distilled\"";
+      return std::nullopt;
+    }
+  }
+  if (const observe::JsonValue* v = doc->find("precision")) {
+    const std::string& name = v->str_or("");
+    if (name == "fp32") {
+      out.request.precision = nn::Precision::kFp32;
+    } else if (name == "int8") {
+      out.request.precision = nn::Precision::kInt8;
+    } else {
+      error = "field 'precision' must be \"fp32\" or \"int8\"";
       return std::nullopt;
     }
   }

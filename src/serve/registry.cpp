@@ -16,6 +16,7 @@ void ModelRegistry::install(
   }
   auto snap = std::make_shared<ModelSnapshot>();
   snap->num_classes = pipeline->prompts().num_classes();
+  snap->distilled_steps = pipeline->distilled_step_counts();
   snap->pipeline = std::move(pipeline);
   snap->version = std::move(version);
   std::lock_guard<std::mutex> lock(mutex_);

@@ -16,6 +16,7 @@
 // differ only in a few small adapter tensors.
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,6 +31,16 @@ struct ModelSnapshot {
   std::shared_ptr<diffusion::TraceDiffusion> pipeline;
   std::string version;
   std::size_t num_classes = 0;
+  /// Step counts the pipeline has distilled stages for (sorted; captured
+  /// at install time). Admission rejects kDistilled requests asking for
+  /// anything else, so a bad step count fails fast instead of in the
+  /// model call.
+  std::vector<std::size_t> distilled_steps;
+
+  bool supports_distilled(std::size_t steps) const {
+    return std::find(distilled_steps.begin(), distilled_steps.end(), steps) !=
+           distilled_steps.end();
+  }
 };
 
 class ModelRegistry {

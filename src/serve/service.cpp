@@ -101,6 +101,14 @@ SubmitResult TraceService::submit_traced(const GenerateRequest& request,
     reject(RejectReason::kUnknownClass);
     return result;
   }
+  if (request.sampler == diffusion::SamplerKind::kDistilled &&
+      !snap->supports_distilled(request.ddim_steps)) {
+    // Fail fast at admission: the pipeline would throw mid-batch (and
+    // take its coalesced batch-mates down with it) for a step count no
+    // distilled stage was fitted for.
+    reject(RejectReason::kBadRequest);
+    return result;
+  }
 
   // Cache probe: a hit responds immediately without touching the queue.
   if (auto hit = cache_.get(cache_key_of(request, snap->version))) {
@@ -242,6 +250,7 @@ std::size_t TraceService::execute(FormedBatch&& formed, double now) {
   diffusion::GenerateOptions opts = config_.base_options;
   opts.sampler = formed.key.sampler;
   opts.ddim_steps = formed.key.steps;
+  opts.precision = formed.key.precision;
   opts.count = formed.flows;
 
   stats_.batches.add();

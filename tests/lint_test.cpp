@@ -103,6 +103,7 @@ const RuleCase kRuleCases[] = {
     {"src/diffusion/rl015_thread_id.cpp.fixture", "RL015"},
     {"src/nn/rl016_atomic_float.cpp.fixture", "RL016"},
     {"src/net/rl017_reinterpret.cpp.fixture", "RL017"},
+    {"src/nn/rl023_int8_outside_kernels.cpp.fixture", "RL023"},
 };
 
 class LintRuleFires : public ::testing::TestWithParam<RuleCase> {};
@@ -197,6 +198,22 @@ TEST(LintScope, SocketHeadersAllowedInServeNet) {
   const LintRun run = run_lint({"src/serve/net/rl012_socket_ok.cpp.fixture"});
   EXPECT_EQ(run.exit_code, 0) << run.output;
   EXPECT_EQ(count_of(run.output, "[RL012/"), 0) << run.output;
+}
+
+// RL023 confines the int8 storage types to the quantized-GEMM kernel
+// directory: the same tokens that fire in src/nn are clean under
+// src/nn/kernels/, and files outside src/nn are never in scope.
+TEST(LintScope, Int8AllowedInNnKernels) {
+  const LintRun run = run_lint({"src/nn/kernels/rl023_int8_ok.cpp.fixture"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(count_of(run.output, "[RL023/"), 0) << run.output;
+}
+
+TEST(LintScope, Int8RuleDoesNotApplyOutsideNn) {
+  // The reinterpret fixture under src/net carries int8 tokens; only its
+  // own rule fires — the nn-scoped int8 confinement never does.
+  const LintRun run = run_lint({"src/net/rl017_reinterpret.cpp.fixture"});
+  EXPECT_EQ(count_of(run.output, "[RL023/"), 0) << run.output;
 }
 
 // RL013 only fires when the iteration can reach a sink: an

@@ -1,0 +1,191 @@
+// Quantized GEMM kernel layer (src/nn/kernels/qgemm.hpp): the int8 fast
+// path is checked bit-for-bit against a naive integer-accumulation
+// reference (int32 sums are exact, so equality is ==, not EXPECT_NEAR)
+// over odd sizes that exercise the kMr row tails and kNr panel tails,
+// plus the absmax-calibration round-trip bound, the accumulate mode,
+// the layer-facing adapters' per-call activation quantization, and the
+// byte arena's lease-and-reuse contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/kernels/qgemm.hpp"
+
+namespace repro::nn {
+namespace {
+
+std::vector<float> random_vec(std::size_t size, Rng& rng) {
+  std::vector<float> v(size);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian());
+  return v;
+}
+
+/// Naive reference: exact integer accumulation then one dequantizing
+/// multiply per element — the same arithmetic the blocked kernel
+/// performs, so results must match bit for bit.
+void ref_qgemm(std::size_t m, std::size_t n, std::size_t k,
+               kernels::QAView a, kernels::QBView b, float dq,
+               std::vector<float>& c, std::size_t ldc,
+               kernels::Accumulate acc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int64_t sum = 0;
+      for (std::size_t p = 0; p < k; ++p) {
+        sum += static_cast<std::int64_t>(
+                   a.data[i * a.row_stride + p * a.k_stride]) *
+               static_cast<std::int64_t>(
+                   b.data[p * b.k_stride + j * b.col_stride]);
+      }
+      // volatile pins the two-roundings semantics the kernel promises
+      // (qgemm.cpp builds with -ffp-contract=off): without it the
+      // compiler may fuse multiply and add into one FMA here, which
+      // rounds once and breaks the bit-for-bit comparison under kAdd.
+      volatile float v =
+          static_cast<float>(static_cast<std::int32_t>(sum)) * dq;
+      float& dst = c[i * ldc + j];
+      dst = (acc == kernels::Accumulate::kAdd ? dst + v : v);
+    }
+  }
+}
+
+void expect_identical(const std::vector<float>& got,
+                      const std::vector<float>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << what << " at " << i;
+  }
+}
+
+TEST(Qgemm, ScaleRoundTripStaysWithinHalfStep) {
+  Rng rng(3);
+  const auto x = random_vec(257, rng);
+  const kernels::QuantizedTensor qt =
+      kernels::quantize_tensor(x.data(), x.size());
+  const float amax = kernels::absmax(x.data(), x.size());
+  EXPECT_FLOAT_EQ(qt.scale, amax / 127.0f);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // Round half away from zero: the dequantized value sits within half
+    // a quantization step of the original (no clamp can bite — absmax
+    // itself maps to exactly +-127).
+    const float back = static_cast<float>(qt.data[i]) * qt.scale;
+    EXPECT_LE(std::fabs(x[i] - back), 0.5f * qt.scale + 1e-6f) << i;
+    EXPECT_LE(std::abs(static_cast<int>(qt.data[i])), 127) << i;
+  }
+}
+
+TEST(Qgemm, AllZeroTensorGetsUnitScale) {
+  const std::vector<float> zeros(64, 0.0f);
+  const kernels::QuantizedTensor qt =
+      kernels::quantize_tensor(zeros.data(), zeros.size());
+  EXPECT_FLOAT_EQ(qt.scale, 1.0f);
+  for (const std::int8_t q : qt.data) EXPECT_EQ(q, 0);
+}
+
+// Sizes straddle the kMr = 4 row tiles (1..5) and kNr = 16 panels
+// (15/16/17), with odd k so nothing divides evenly.
+TEST(Qgemm, MatchesIntegerReferenceOverTails) {
+  Rng rng(7);
+  for (std::size_t m : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                        std::size_t{4}, std::size_t{5}, std::size_t{17}}) {
+    for (std::size_t n : {std::size_t{1}, std::size_t{15}, std::size_t{16},
+                          std::size_t{17}, std::size_t{40}}) {
+      const std::size_t k = 13;
+      const auto af = random_vec(m * k, rng);
+      const auto bf = random_vec(k * n, rng);
+      const auto aq = kernels::quantize_tensor(af.data(), af.size());
+      const auto bq = kernels::quantize_tensor(bf.data(), bf.size());
+      const float dq = aq.scale * bq.scale;
+      std::vector<float> got(m * n, 0.5f), want(m * n, 0.5f);
+      kernels::qgemm(m, n, k, {aq.data.data(), k, 1}, {bq.data.data(), n, 1},
+                     dq, got.data(), n, kernels::Accumulate::kOverwrite);
+      ref_qgemm(m, n, k, {aq.data.data(), k, 1}, {bq.data.data(), n, 1}, dq,
+                want, n, kernels::Accumulate::kOverwrite);
+      expect_identical(got, want, "qgemm");
+    }
+  }
+}
+
+TEST(Qgemm, AccumulateAddsIntoExistingC) {
+  Rng rng(11);
+  const std::size_t m = 5, n = 19, k = 9;
+  const auto af = random_vec(m * k, rng);
+  const auto bf = random_vec(k * n, rng);
+  const auto aq = kernels::quantize_tensor(af.data(), af.size());
+  const auto bq = kernels::quantize_tensor(bf.data(), bf.size());
+  const float dq = aq.scale * bq.scale;
+  std::vector<float> got(m * n, 0.25f), want(m * n, 0.25f);
+  kernels::qgemm(m, n, k, {aq.data.data(), k, 1}, {bq.data.data(), n, 1}, dq,
+                 got.data(), n, kernels::Accumulate::kAdd);
+  ref_qgemm(m, n, k, {aq.data.data(), k, 1}, {bq.data.data(), n, 1}, dq, want,
+            n, kernels::Accumulate::kAdd);
+  expect_identical(got, want, "qgemm kAdd");
+}
+
+TEST(Qgemm, NtAdapterMatchesManualActivationQuantization) {
+  Rng rng(13);
+  const std::size_t n = 6, m = 21, k = 10;  // C[n,k] = A[n,m] x W[k,m]^T
+  const auto a = random_vec(n * m, rng);
+  const auto w = random_vec(k * m, rng);
+  const auto wq = kernels::quantize_tensor(w.data(), w.size());
+
+  std::vector<float> got(n * k, 0.0f);
+  kernels::qgemm_nt(n, m, k, a.data(), wq, got.data());
+
+  // Reference replays the adapter's own quantization choice (per-call
+  // absmax over the activation), then the exact integer product.
+  const float scale_a = kernels::quant_scale(kernels::absmax(a.data(), n * m));
+  std::vector<std::int8_t> aq(n * m);
+  kernels::quantize(a.data(), n * m, scale_a, aq.data());
+  std::vector<float> want(n * k, 0.0f);
+  ref_qgemm(n, k, m, {aq.data(), m, 1}, {wq.data.data(), 1, m},
+            scale_a * wq.scale, want, k, kernels::Accumulate::kOverwrite);
+  expect_identical(got, want, "qgemm_nt");
+}
+
+TEST(Qgemm, NnAdapterMatchesManualActivationQuantization) {
+  Rng rng(17);
+  const std::size_t n = 7, k = 12, m = 33;  // C[n,m] = Wq[n,k] x B[k,m]
+  const auto w = random_vec(n * k, rng);
+  const auto b = random_vec(k * m, rng);
+  const auto wq = kernels::quantize_tensor(w.data(), w.size());
+
+  std::vector<float> got(n * m, 0.0f);
+  kernels::qgemm_nn(n, k, m, wq, b.data(), got.data());
+
+  const float scale_b = kernels::quant_scale(kernels::absmax(b.data(), k * m));
+  std::vector<std::int8_t> bqv(k * m);
+  kernels::quantize(b.data(), k * m, scale_b, bqv.data());
+  std::vector<float> want(n * m, 0.0f);
+  ref_qgemm(n, m, k, {wq.data.data(), k, 1}, {bqv.data(), m, 1},
+            wq.scale * scale_b, want, m, kernels::Accumulate::kOverwrite);
+  expect_identical(got, want, "qgemm_nn");
+}
+
+TEST(Qgemm, ByteArenaReusesScratchAcrossCalls) {
+  Rng rng(19);
+  const std::size_t n = 8, m = 24, k = 16;
+  const auto a = random_vec(n * m, rng);
+  const auto w = random_vec(k * m, rng);
+  const auto wq = kernels::quantize_tensor(w.data(), w.size());
+  std::vector<float> c(n * k, 0.0f);
+
+  kernels::quant_arena_trim();
+  kernels::qgemm_nt(n, m, k, a.data(), wq, c.data());  // warm the free list
+  const kernels::QuantArenaStats warm = kernels::quant_arena_stats();
+  EXPECT_GT(warm.free_buffers, 0u);
+
+  kernels::qgemm_nt(n, m, k, a.data(), wq, c.data());
+  const kernels::QuantArenaStats after = kernels::quant_arena_stats();
+  // A same-shape call is served entirely from the free list: reuse
+  // count rises, allocation count does not.
+  EXPECT_EQ(after.allocs, warm.allocs);
+  EXPECT_GT(after.reuses, warm.reuses);
+  EXPECT_EQ(after.free_buffers, warm.free_buffers);
+}
+
+}  // namespace
+}  // namespace repro::nn

@@ -78,7 +78,8 @@ TEST(WireProtocol, RequestFrameGoldenBytes) {
 
   const std::string payload =
       "{\"model\":\"default\",\"class_id\":1,\"count\":2,\"seed\":\"42\","
-      "\"sampler\":\"ddim\",\"steps\":4,\"priority\":\"normal\"}";
+      "\"sampler\":\"ddim\",\"steps\":4,\"precision\":\"fp32\","
+      "\"priority\":\"normal\"}";
   ASSERT_EQ(out.size(), kHeaderBytes + payload.size());
   EXPECT_EQ(out[0], kFrameMagic);
   EXPECT_EQ(out[1], kProtocolVersion);
@@ -96,6 +97,7 @@ TEST(WireProtocol, RequestRoundTripPreservesEveryField) {
   r.seed = 18446744073709551615ULL;  // > 2^53: needs the string path
   r.sampler = diffusion::SamplerKind::kDdpm;
   r.ddim_steps = 11;
+  r.precision = nn::Precision::kInt8;
   r.priority = Priority::kHigh;
 
   std::vector<std::uint8_t> out;
@@ -115,6 +117,7 @@ TEST(WireProtocol, RequestRoundTripPreservesEveryField) {
   EXPECT_EQ(decoded->request.seed, r.seed);  // bit-exact above 2^53
   EXPECT_EQ(decoded->request.sampler, r.sampler);
   EXPECT_EQ(decoded->request.ddim_steps, r.ddim_steps);
+  EXPECT_EQ(decoded->request.precision, r.precision);
   EXPECT_EQ(decoded->request.priority, r.priority);
   EXPECT_DOUBLE_EQ(decoded->deadline_ms, 1500.0);
 }
@@ -324,6 +327,7 @@ TEST(WireProtocol, MalformedRequestPayloadsAreTypedErrors) {
       "{\"count\":1e300}",                    // absurd count
       "{\"seed\":\"12x4\"}",                  // non-decimal seed string
       "{\"sampler\":\"euler\"}",              // unknown sampler
+      "{\"precision\":\"fp16\"}",             // unknown precision
       "{\"steps\":0}",                        // zero steps
       "{\"priority\":\"urgent\"}",            // unknown priority
       "{\"deadline_ms\":-5}",                 // negative deadline
@@ -340,6 +344,14 @@ TEST(WireProtocol, MalformedRequestPayloadsAreTypedErrors) {
       "{\"model\":\"default\",\"future_field\":true}", error);
   ASSERT_TRUE(ok.has_value()) << error;
   EXPECT_EQ(ok->request.model, "default");
+  // The fast-path spellings parse to their enums.
+  const auto fast = parse_request_payload(
+      "{\"model\":\"default\",\"sampler\":\"distilled\","
+      "\"precision\":\"int8\"}",
+      error);
+  ASSERT_TRUE(fast.has_value()) << error;
+  EXPECT_EQ(fast->request.sampler, diffusion::SamplerKind::kDistilled);
+  EXPECT_EQ(fast->request.precision, nn::Precision::kInt8);
 }
 
 // --- Live-server conformance ----------------------------------------------
