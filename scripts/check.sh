@@ -53,6 +53,9 @@ SOCKET_DUMP="$BUILD_DIR/check_socket_flightrec.json"
   --lanes 2 --dump-flightrec "$SOCKET_DUMP"
 "$BUILD_DIR/tools/repro_trace_inspect" --expect-complete "$SOCKET_DUMP"
 
+echo "== open-loop replay (label: replay) =="
+ctest --test-dir "$BUILD_DIR" -L replay --output-on-failure
+
 echo "== full test suite =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 

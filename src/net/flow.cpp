@@ -94,24 +94,39 @@ std::vector<Flow> assemble_flows(const std::vector<Packet>& packets) {
 
 std::vector<Packet> flatten_flows(const std::vector<Flow>& flows) {
   // Sort an index permutation, not the packets: Packet is heavy (three
-  // optional headers plus a payload vector), so moving indices is much
-  // cheaper than shuffling whole packets through stable_sort — and it
+  // optional headers plus a payload vector), so moving small entries is
+  // much cheaper than shuffling whole packets through the sort — and it
   // sidesteps a GCC 12 -Wmaybe-uninitialized false positive in the
   // inlined stable_sort temporary-buffer path.
-  std::vector<const Packet*> order;
+  struct Entry {
+    const Packet* pkt;
+    std::size_t flow_index;
+    std::size_t packet_index;
+  };
+  std::vector<Entry> order;
   std::size_t total = 0;
   for (const auto& flow : flows) total += flow.packets.size();
   order.reserve(total);
-  for (const auto& flow : flows) {
-    for (const auto& pkt : flow.packets) order.push_back(&pkt);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    for (std::size_t p = 0; p < flows[f].packets.size(); ++p) {
+      order.push_back(Entry{&flows[f].packets[p], f, p});
+    }
   }
-  std::stable_sort(order.begin(), order.end(),
-                   [](const Packet* a, const Packet* b) {
-                     return a->timestamp < b->timestamp;
-                   });
+  // Equal timestamps break by (flow index, packet index) — the same
+  // canonical tie order the replay emitter's event queue uses — so the
+  // flattened sequence is one deterministic permutation even when flows
+  // share a start time. The explicit key makes the tie-break part of
+  // the contract rather than an accident of stable_sort input order.
+  std::sort(order.begin(), order.end(), [](const Entry& a, const Entry& b) {
+    if (a.pkt->timestamp != b.pkt->timestamp) {
+      return a.pkt->timestamp < b.pkt->timestamp;
+    }
+    if (a.flow_index != b.flow_index) return a.flow_index < b.flow_index;
+    return a.packet_index < b.packet_index;
+  });
   std::vector<Packet> packets;
   packets.reserve(total);
-  for (const Packet* pkt : order) packets.push_back(*pkt);
+  for (const Entry& entry : order) packets.push_back(*entry.pkt);
   return packets;
 }
 

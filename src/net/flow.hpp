@@ -51,7 +51,10 @@ struct Flow {
 /// order within each flow. Flows are returned in order of first packet.
 std::vector<Flow> assemble_flows(const std::vector<Packet>& packets);
 
-/// Flattens flows back into one time-sorted packet sequence.
+/// Flattens flows back into one time-sorted packet sequence. Equal
+/// timestamps are broken by (flow index, packet index), so the result
+/// is one canonical permutation even when flows share a start time —
+/// the same tie order the replay emitter's event queue uses.
 std::vector<Packet> flatten_flows(const std::vector<Flow>& flows);
 
 }  // namespace repro::net

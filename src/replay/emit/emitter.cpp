@@ -1,0 +1,160 @@
+#include "replay/emit/emitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/telemetry/metrics.hpp"
+#include "common/telemetry/trace.hpp"
+
+namespace repro::replay::emit {
+
+namespace {
+
+/// Nearest-rank percentile over an unsorted sample buffer (sorts it).
+double percentile(std::vector<double>& samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto index = static_cast<std::size_t>(pos + 0.5);
+  return samples[std::min(index, samples.size() - 1)];
+}
+
+}  // namespace
+
+OpenLoopEmitter::OpenLoopEmitter(const EmitConfig& config, FlowSource& source,
+                                 Pacer& pacer, PacketSink& sink)
+    : config_(config), source_(source), pacer_(pacer), sink_(sink) {
+  REPRO_REQUIRE(config_.target_pps > 0.0,
+                "OpenLoopEmitter: target_pps must be > 0");
+  REPRO_REQUIRE(config_.total_flows > 0 || config_.duration > 0.0,
+                "OpenLoopEmitter: need a stop condition "
+                "(total_flows or duration)");
+  REPRO_REQUIRE(config_.time_scale > 0.0,
+                "OpenLoopEmitter: time_scale must be > 0");
+  packets_per_flow_ = config_.packets_per_flow_hint;
+  report_.target_pps = config_.target_pps;
+}
+
+void OpenLoopEmitter::on_arrival(const Event& event) {
+  ++report_.flows_scheduled;
+  std::optional<net::Flow> flow = source_.next_flow();
+  if (flow.has_value() && !flow->packets.empty()) {
+    ++report_.flows_emitted;
+    if (packets_per_flow_ == 0) {
+      // Calibrate the flow arrival rate from the first real flow, then
+      // keep it fixed so the schedule stays deterministic.
+      packets_per_flow_ = flow->packets.size();
+    }
+    ActiveFlow active;
+    active.packets = std::move(flow->packets);
+    const double base = active.packets.front().timestamp;
+    for (std::size_t j = 0; j < active.packets.size(); ++j) {
+      Event pkt;
+      pkt.time = event.time +
+                 (active.packets[j].timestamp - base) * config_.time_scale;
+      pkt.kind = EventKind::kPacket;
+      pkt.flow_id = event.flow_id;
+      pkt.packet_index = static_cast<std::uint32_t>(j);
+      queue_.push(pkt);
+    }
+    report_.packets_scheduled += active.packets.size();
+    active_.emplace(event.flow_id, std::move(active));
+  } else {
+    // Open-loop: the source could not keep up (or an empty flow was
+    // served). Wire time does not stall; the miss is recorded.
+    ++report_.underruns;
+    if (packets_per_flow_ == 0) packets_per_flow_ = 1;
+  }
+
+  if (!arrivals_.has_value()) {
+    const double flow_rate =
+        config_.target_pps / static_cast<double>(packets_per_flow_);
+    arrivals_.emplace(config_.arrival, flow_rate, config_.pareto_alpha,
+                      config_.seed);
+  }
+  if (config_.total_flows > 0 && arrivals_scheduled_ >= config_.total_flows) {
+    return;
+  }
+  const double next_time = event.time + arrivals_->next_gap();
+  if (config_.duration > 0.0 && next_time > config_.duration) return;
+  Event next;
+  next.time = next_time;
+  next.kind = EventKind::kFlowArrival;
+  next.flow_id = next_flow_id_++;
+  queue_.push(next);
+  ++arrivals_scheduled_;
+}
+
+void OpenLoopEmitter::on_packet(const Event& event) {
+  const double now = pacer_.wait_until(event.time);
+  auto it = active_.find(event.flow_id);
+  REPRO_REQUIRE(it != active_.end(), "emit: packet event for inactive flow");
+  ActiveFlow& flow = it->second;
+
+  // Emit with the *scheduled* time so the produced bytes are identical
+  // under virtual and real pacing; `now - time` (lateness) captures the
+  // real clock's deviation separately.
+  sink_.emit(flow.packets[event.packet_index], event.time);
+  ++report_.packets_emitted;
+
+  if (lateness_samples_.size() < config_.max_jitter_samples) {
+    lateness_samples_.push_back(now - event.time);
+  }
+  if (have_emit_ && jitter_samples_.size() < config_.max_jitter_samples) {
+    const double ideal_gap = 1.0 / config_.target_pps;
+    jitter_samples_.push_back(
+        std::abs((event.time - prev_emit_) - ideal_gap));
+  }
+  if (!have_emit_) {
+    report_.first_emit = event.time;
+    have_emit_ = true;
+  }
+  report_.last_emit = event.time;
+  prev_emit_ = event.time;
+
+  ++flow.emitted;
+  if (flow.emitted == flow.packets.size()) active_.erase(it);
+}
+
+EmitReport OpenLoopEmitter::run() {
+  REPRO_SPAN("replay.emit.run");
+  // Prime the schedule: the first flow arrives at t = 0.
+  Event first;
+  first.time = 0.0;
+  first.kind = EventKind::kFlowArrival;
+  first.flow_id = next_flow_id_++;
+  queue_.push(first);
+  ++arrivals_scheduled_;
+
+  while (!queue_.empty()) {
+    const Event event = queue_.pop();
+    if (event.kind == EventKind::kFlowArrival) {
+      on_arrival(event);
+    } else {
+      on_packet(event);
+    }
+  }
+  sink_.finish();
+
+  report_.packets_per_flow = packets_per_flow_;
+  const double span = report_.last_emit - report_.first_emit;
+  if (report_.packets_emitted > 1 && span > 0.0) {
+    report_.achieved_pps =
+        static_cast<double>(report_.packets_emitted - 1) / span;
+  }
+  report_.jitter_p50 = percentile(jitter_samples_, 0.50);
+  report_.jitter_p95 = percentile(jitter_samples_, 0.95);
+  report_.jitter_p99 = percentile(jitter_samples_, 0.99);
+  report_.lateness_p50 = percentile(lateness_samples_, 0.50);
+  report_.lateness_p95 = percentile(lateness_samples_, 0.95);
+  report_.lateness_p99 = percentile(lateness_samples_, 0.99);
+
+  telemetry::count("replay.emit.flows", report_.flows_emitted);
+  telemetry::count("replay.emit.packets", report_.packets_emitted);
+  telemetry::count("replay.emit.underruns", report_.underruns);
+  REPRO_ENSURE(report_.conserved(), "emit: event conservation violated");
+  return report_;
+}
+
+}  // namespace repro::replay::emit

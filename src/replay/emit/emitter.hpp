@@ -1,0 +1,103 @@
+// Open-loop emitter: the discrete-event loop that ties the pieces
+// together. Flow arrivals (replay/emit/schedule) fetch flows from a
+// FlowSource, packet events pace through a Pacer and land in a
+// PacketSink. Open-loop means the schedule never waits for the source:
+// if a flow arrival fires and no flow is ready, the emitter records an
+// underrun and wire time keeps moving — exactly how a hardware load
+// generator behaves when its feeder can't keep up.
+//
+// Conservation invariant (checked by benches and tests):
+//   flows_scheduled  == flows_emitted + underruns
+//   packets_emitted  == packets_scheduled
+// Every scheduled event is accounted for; nothing is silently dropped.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "replay/emit/pacer.hpp"
+#include "replay/emit/schedule.hpp"
+#include "replay/emit/sink.hpp"
+#include "replay/emit/source.hpp"
+
+namespace repro::replay::emit {
+
+struct EmitReport {
+  // Event conservation.
+  std::uint64_t flows_scheduled = 0;    ///< arrival events fired
+  std::uint64_t flows_emitted = 0;      ///< arrivals that fetched a flow
+  std::uint64_t underruns = 0;          ///< arrivals with no flow ready
+  std::uint64_t packets_scheduled = 0;  ///< packet events pushed
+  std::uint64_t packets_emitted = 0;    ///< packet events delivered
+
+  // Rate actually achieved on the pacer's clock axis.
+  double first_emit = 0.0;
+  double last_emit = 0.0;
+  double achieved_pps = 0.0;
+  double target_pps = 0.0;
+  /// Packets/flow used to derive the flow arrival rate (the hint, or
+  /// the calibrated value from the first fetched flow).
+  std::size_t packets_per_flow = 0;
+
+  // Scheduling jitter: |inter-emission gap - 1/target_pps| percentiles,
+  // i.e. distance from perfectly uniform wire spacing. Meaningful in
+  // virtual and real time alike.
+  double jitter_p50 = 0.0;
+  double jitter_p95 = 0.0;
+  double jitter_p99 = 0.0;
+
+  // Pacer lateness: pacer.now() - deadline at each emission. Zero by
+  // construction under VirtualPacer; the real-clock cost of pacing.
+  double lateness_p50 = 0.0;
+  double lateness_p95 = 0.0;
+  double lateness_p99 = 0.0;
+
+  bool conserved() const noexcept {
+    return packets_emitted == packets_scheduled &&
+           flows_scheduled == flows_emitted + underruns;
+  }
+};
+
+/// Drives one emission run. Construct, then run() exactly once.
+class OpenLoopEmitter {
+ public:
+  OpenLoopEmitter(const EmitConfig& config, FlowSource& source, Pacer& pacer,
+                  PacketSink& sink);
+
+  /// Executes the event loop to completion and returns the report.
+  /// Calls sink.finish() before returning.
+  EmitReport run();
+
+ private:
+  struct ActiveFlow {
+    std::vector<net::Packet> packets;
+    std::uint32_t emitted = 0;
+  };
+
+  void on_arrival(const Event& event);
+  void on_packet(const Event& event);
+
+  EmitConfig config_;
+  FlowSource& source_;
+  Pacer& pacer_;
+  PacketSink& sink_;
+
+  EventQueue queue_;
+  std::map<std::uint64_t, ActiveFlow> active_;
+  EmitReport report_;
+  /// Constructed once packets_per_flow is known (hint or calibration):
+  /// flow_rate = target_pps / packets_per_flow.
+  std::optional<ArrivalModel> arrivals_;
+  std::size_t packets_per_flow_ = 0;  // 0 until calibrated
+  std::uint64_t arrivals_scheduled_ = 0;
+  std::uint64_t next_flow_id_ = 0;
+  bool have_emit_ = false;
+  double prev_emit_ = 0.0;
+  std::vector<double> jitter_samples_;
+  std::vector<double> lateness_samples_;
+};
+
+}  // namespace repro::replay::emit

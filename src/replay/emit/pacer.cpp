@@ -1,0 +1,57 @@
+#include "replay/emit/pacer.hpp"
+
+// The ONLY translation unit in src/replay/ permitted to read the wall
+// clock (lint rule RL024 allows exactly this file, mirroring RL006's
+// src/serve/clock.cpp exemption). Every other replay component paces
+// through the Pacer interface so runs stay deterministic and testable.
+
+#include <chrono>
+#include <thread>
+
+#include "common/contracts.hpp"
+
+namespace repro::replay::emit {
+
+namespace {
+
+class RealtimePacer final : public Pacer {
+ public:
+  explicit RealtimePacer(double spin_threshold)
+      : spin_threshold_(spin_threshold),
+        epoch_(std::chrono::steady_clock::now()) {}
+
+  double now() override {
+    const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+    return std::chrono::duration<double>(elapsed).count();
+  }
+
+  double wait_until(double deadline) override {
+    // Coarse sleep leaves `spin_threshold_` seconds of slack for the
+    // scheduler's wake-up jitter, then a spin closes the gap.
+    double current = now();
+    const double sleep_until = deadline - spin_threshold_;
+    if (current < sleep_until) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(sleep_until - current));
+      current = now();
+    }
+    while (current < deadline) {
+      current = now();
+    }
+    return current;
+  }
+
+ private:
+  double spin_threshold_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace
+
+std::unique_ptr<Pacer> make_realtime_pacer(double spin_threshold) {
+  REPRO_REQUIRE(spin_threshold >= 0.0,
+                "make_realtime_pacer: spin_threshold must be >= 0");
+  return std::make_unique<RealtimePacer>(spin_threshold);
+}
+
+}  // namespace repro::replay::emit

@@ -1,0 +1,51 @@
+// Pacing clocks for the open-loop emitter. The emitter never reads a
+// clock directly: it asks a Pacer to advance to each scheduled
+// timestamp. VirtualPacer jumps instantly (tests, benches, bit-exact
+// determinism); the real-time pacer sleeps/spins against the steady
+// clock. All wall-clock reads in src/replay/ are confined to pacer.cpp
+// behind an audited lint exemption (RL024, mirroring RL006's
+// serve/clock.cpp carve-out) — everything else stays replayable.
+#pragma once
+
+#include <memory>
+
+namespace repro::replay::emit {
+
+/// Clock abstraction the emitter paces against. Times are seconds on an
+/// arbitrary monotonic axis starting near 0 at construction.
+class Pacer {
+ public:
+  virtual ~Pacer() = default;
+
+  /// Current time on the pacer's axis.
+  virtual double now() = 0;
+
+  /// Blocks (or virtually advances) until `deadline`, then returns
+  /// now(). A deadline already in the past returns immediately — the
+  /// emitter records the lateness, it never stalls the schedule.
+  virtual double wait_until(double deadline) = 0;
+};
+
+/// Deterministic pacer: time is a variable that jumps to each deadline.
+/// wait_until never moves time backwards, so late events (deadline <
+/// now) observe their true lateness just like the real pacer.
+class VirtualPacer final : public Pacer {
+ public:
+  double now() override { return now_; }
+
+  double wait_until(double deadline) override {
+    if (deadline > now_) now_ = deadline;
+    return now_;
+  }
+
+ private:
+  double now_ = 0.0;
+};
+
+/// Real-time pacer against the steady clock: coarse sleep until
+/// `spin_threshold` seconds before the deadline, then spin for
+/// precision. Defined in pacer.cpp — the only replay TU allowed to
+/// touch the wall clock.
+std::unique_ptr<Pacer> make_realtime_pacer(double spin_threshold = 0.0005);
+
+}  // namespace repro::replay::emit

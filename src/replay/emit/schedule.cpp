@@ -1,0 +1,43 @@
+#include "replay/emit/schedule.hpp"
+
+#include "common/contracts.hpp"
+
+namespace repro::replay::emit {
+
+Event EventQueue::pop() {
+  REPRO_REQUIRE(!heap_.empty(), "EventQueue::pop on empty queue");
+  Event event = heap_.top();
+  heap_.pop();
+  return event;
+}
+
+ArrivalModel::ArrivalModel(Arrival kind, double flow_rate,
+                           double pareto_alpha, std::uint64_t seed)
+    : kind_(kind),
+      flow_rate_(flow_rate),
+      pareto_alpha_(pareto_alpha),
+      pareto_xm_(0.0),
+      rng_(seed) {
+  REPRO_REQUIRE(flow_rate_ > 0.0, "ArrivalModel: flow_rate must be > 0");
+  if (kind_ == Arrival::kParetoBurst) {
+    // Mean of Pareto(xm, alpha) is xm * alpha / (alpha - 1); solve for
+    // xm so the mean gap equals 1/flow_rate. Needs a finite mean.
+    REPRO_REQUIRE(pareto_alpha_ > 1.0,
+                  "ArrivalModel: Pareto alpha must be > 1 for a finite mean");
+    pareto_xm_ = (pareto_alpha_ - 1.0) / (pareto_alpha_ * flow_rate_);
+  }
+}
+
+double ArrivalModel::next_gap() {
+  switch (kind_) {
+    case Arrival::kFixedRate:
+      return 1.0 / flow_rate_;
+    case Arrival::kExponential:
+      return rng_.exponential(flow_rate_);
+    case Arrival::kParetoBurst:
+      return rng_.pareto(pareto_xm_, pareto_alpha_);
+  }
+  return 1.0 / flow_rate_;  // unreachable; keeps -Werror happy
+}
+
+}  // namespace repro::replay::emit

@@ -1,0 +1,119 @@
+// Event scheduling for the open-loop emitter: a binary-heap queue of
+// (timestamp, event) pairs plus the flow-arrival processes that decide
+// *when* new flows enter the wire. Modeled on the BESS FlowGen design
+// (event-queue load generator with exponential / Pareto arrivals): the
+// emitter drains this queue in time order, so the whole replay is a
+// discrete-event simulation that a pacer then maps onto a clock.
+//
+// Everything here is deterministic given `EmitConfig::seed`: arrival
+// gaps come from repro::Rng and ties are broken by (flow id, packet
+// index), never by heap insertion order or pointer identity.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace repro::replay::emit {
+
+enum class EventKind : std::uint8_t {
+  kFlowArrival = 0,  // a new flow enters the system
+  kPacket = 1,       // one packet of an active flow hits the wire
+};
+
+/// One scheduled occurrence. `flow_id` is the emitter-assigned arrival
+/// ordinal (0, 1, 2, ...), not a 5-tuple hash, so the tie-break below is
+/// stable across runs and thread counts.
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::kFlowArrival;
+  std::uint64_t flow_id = 0;
+  std::uint32_t packet_index = 0;
+};
+
+/// Strict-weak ordering for the min-heap: earliest time first; equal
+/// timestamps break by (flow id, kind, packet index) so simultaneous
+/// events have one canonical order. Arrivals sort before packets at the
+/// same instant so a flow's first packet can be scheduled at its own
+/// arrival time.
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.flow_id != b.flow_id) return a.flow_id > b.flow_id;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    return a.packet_index > b.packet_index;
+  }
+};
+
+/// Binary-heap event queue. Thin wrapper over std::priority_queue so the
+/// ordering policy lives in exactly one place.
+class EventQueue {
+ public:
+  void push(const Event& event) { heap_.push(event); }
+
+  /// Removes and returns the earliest event. Precondition: !empty().
+  Event pop();
+
+  const Event& top() const { return heap_.top(); }
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+ private:
+  std::priority_queue<Event, std::vector<Event>, EventAfter> heap_;
+};
+
+/// Flow inter-arrival process.
+enum class Arrival : std::uint8_t {
+  kFixedRate,    // constant gap 1/rate — a perfectly paced source
+  kExponential,  // Poisson arrivals at `rate` flows/sec
+  kParetoBurst,  // heavy-tailed gaps (bursty), mean still 1/rate
+};
+
+/// Draws successive inter-arrival gaps, deterministic given the seed.
+/// For kParetoBurst the scale is chosen so the mean gap stays 1/rate
+/// (requires alpha > 1): xm = (alpha - 1) / (alpha * rate).
+class ArrivalModel {
+ public:
+  ArrivalModel(Arrival kind, double flow_rate, double pareto_alpha,
+               std::uint64_t seed);
+
+  /// Next gap in seconds until the following flow arrival (> 0).
+  double next_gap();
+
+  Arrival kind() const noexcept { return kind_; }
+  double flow_rate() const noexcept { return flow_rate_; }
+
+ private:
+  Arrival kind_;
+  double flow_rate_;
+  double pareto_alpha_;
+  double pareto_xm_;
+  Rng rng_;
+};
+
+/// Knobs for one open-loop emission run. The aggregate packet rate is
+/// the primary target; the flow arrival rate is derived from it as
+/// target_pps / packets_per_flow (BESS FlowGen's `flow_rate = pps /
+/// flow_pkts` relation), so operators think in wire rate and the
+/// scheduler thinks in flows.
+struct EmitConfig {
+  double target_pps = 10000.0;  // aggregate packets/sec to sustain
+  // Packets per flow used to derive the flow arrival rate. 0 means
+  // "calibrate from the first fetched flow" (then fixed for the run).
+  std::size_t packets_per_flow_hint = 0;
+  std::uint64_t total_flows = 0;  // stop after this many arrivals (0 = no cap)
+  double duration = 0.0;          // stop arrivals after this horizon (0 = none)
+  Arrival arrival = Arrival::kFixedRate;
+  double pareto_alpha = 1.5;  // tail index for kParetoBurst (> 1)
+  // Rescales intra-flow inter-packet gaps, same semantics as
+  // ReplayEngine::replay (2.0 = twice as slow).
+  double time_scale = 1.0;
+  std::uint64_t seed = 1;
+  // Cap on retained jitter/lateness samples (reservoir is a prefix cap:
+  // percentiles describe the first N emissions).
+  std::size_t max_jitter_samples = 1u << 20;
+};
+
+}  // namespace repro::replay::emit

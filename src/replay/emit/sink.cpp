@@ -1,0 +1,29 @@
+#include "replay/emit/sink.hpp"
+
+namespace repro::replay::emit {
+
+void PcapSink::emit(const net::Packet& packet, double time) {
+  net::Packet stamped = packet;
+  stamped.timestamp = time;
+  writer_.write_packet(stamped);
+}
+
+void ChainSink::emit(const net::Packet& packet, double time) {
+  if (!began_) {
+    engine_.begin();
+    began_ = true;
+  }
+  net::Packet copy = packet;
+  engine_.process(copy, time);
+}
+
+void ChainSink::finish() {
+  if (!began_) {
+    engine_.begin();
+    began_ = true;
+  }
+  report_ = engine_.finish();
+  began_ = false;
+}
+
+}  // namespace repro::replay::emit

@@ -1,7 +1,9 @@
 #include "replay/engine.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/contracts.hpp"
 #include "common/telemetry/trace.hpp"
 
 namespace repro::replay {
@@ -10,17 +12,56 @@ void ReplayEngine::add_function(std::unique_ptr<NetworkFunction> function) {
   chain_.push_back(std::move(function));
 }
 
+void ReplayEngine::begin() {
+  report_ = ReplayReport{};
+  report_.functions.resize(chain_.size());
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    report_.functions[i].name = chain_[i]->name();
+  }
+  active_ = true;
+  have_time_ = false;
+  first_time_ = 0.0;
+  last_time_ = 0.0;
+}
+
+bool ReplayEngine::process(net::Packet& packet, double timestamp) {
+  REPRO_REQUIRE(active_, "ReplayEngine::process before begin()");
+  ++report_.input_packets;
+  if (!have_time_) {
+    first_time_ = timestamp;
+    have_time_ = true;
+  }
+  last_time_ = timestamp;
+  bool alive = true;
+  for (std::size_t i = 0; i < chain_.size() && alive; ++i) {
+    FunctionStats& stats = report_.functions[i];
+    ++stats.processed;
+    if (chain_[i]->process(packet, timestamp) == Verdict::kForward) {
+      ++stats.forwarded;
+    } else {
+      ++stats.dropped;
+      alive = false;
+    }
+  }
+  if (alive) ++report_.delivered_packets;
+  return alive;
+}
+
+ReplayReport ReplayEngine::finish() {
+  REPRO_REQUIRE(active_, "ReplayEngine::finish before begin()");
+  for (auto& function : chain_) function->finish();
+  report_.trace_duration = have_time_ ? last_time_ - first_time_ : 0.0;
+  telemetry::count("replay.packets_in", report_.input_packets);
+  telemetry::count("replay.packets_delivered", report_.delivered_packets);
+  active_ = false;
+  return std::move(report_);
+}
+
 ReplayReport ReplayEngine::replay(const std::vector<net::Packet>& packets,
                                   double time_scale) {
   REPRO_SPAN("replay.run");
-  telemetry::count("replay.packets_in", packets.size());
-  ReplayReport report;
-  report.input_packets = packets.size();
-  report.functions.resize(chain_.size());
-  for (std::size_t i = 0; i < chain_.size(); ++i) {
-    report.functions[i].name = chain_[i]->name();
-  }
-  if (packets.empty()) return report;
+  begin();
+  if (packets.empty()) return finish();
 
   std::vector<const net::Packet*> ordered;
   ordered.reserve(packets.size());
@@ -35,24 +76,9 @@ ReplayReport ReplayEngine::replay(const std::vector<net::Packet>& packets,
     net::Packet pkt = *src;
     const double timestamp = t0 + (src->timestamp - t0) * time_scale;
     pkt.timestamp = timestamp;
-    bool alive = true;
-    for (std::size_t i = 0; i < chain_.size() && alive; ++i) {
-      FunctionStats& stats = report.functions[i];
-      ++stats.processed;
-      if (chain_[i]->process(pkt, timestamp) == Verdict::kForward) {
-        ++stats.forwarded;
-      } else {
-        ++stats.dropped;
-        alive = false;
-      }
-    }
-    if (alive) ++report.delivered_packets;
+    process(pkt, timestamp);
   }
-  telemetry::count("replay.packets_delivered", report.delivered_packets);
-  report.trace_duration =
-      (ordered.back()->timestamp - t0) * time_scale;
-  for (auto& function : chain_) function->finish();
-  return report;
+  return finish();
 }
 
 }  // namespace repro::replay

@@ -53,10 +53,30 @@ struct ReplayReport {
 };
 
 /// Replays packets through an ordered chain of functions.
+///
+/// Two driving modes share the same chain and report shape:
+///   * batch: `replay()` sorts a recorded trace and walks it;
+///   * incremental: `begin()` / `process()` / `finish()` let an external
+///     scheduler (the open-loop emitter in replay/emit) feed packets one
+///     at a time in its own event order. `replay()` is implemented on
+///     top of the incremental API.
 class ReplayEngine {
  public:
   /// Appends a function to the end of the chain; the engine owns it.
+  /// Must be called before `begin()` / `replay()`.
   void add_function(std::unique_ptr<NetworkFunction> function);
+
+  /// Resets per-run counters and opens an incremental run.
+  void begin();
+
+  /// Feeds one packet (already timestamped in trace time) through the
+  /// chain. Returns true if the packet survived every function. The
+  /// packet is mutable so NAT-style functions can rewrite it in place.
+  bool process(net::Packet& packet, double timestamp);
+
+  /// Closes the incremental run: flushes every function and returns the
+  /// accumulated report.
+  ReplayReport finish();
 
   /// Replays `packets` in timestamp order (stable-sorted copy).
   /// `time_scale` rescales inter-packet gaps (2.0 = twice as slow);
@@ -68,6 +88,11 @@ class ReplayEngine {
 
  private:
   std::vector<std::unique_ptr<NetworkFunction>> chain_;
+  ReplayReport report_;
+  bool active_ = false;
+  bool have_time_ = false;
+  double first_time_ = 0.0;
+  double last_time_ = 0.0;
 };
 
 }  // namespace repro::replay

@@ -128,6 +128,18 @@ class TraceService {
   void close() noexcept { closed_.store(true, std::memory_order_relaxed); }
 
   std::size_t pending() const { return queue_.size(); }
+
+  /// Backpressure probe for open-loop prefetchers (replay/emit): how
+  /// many submissions the bounded queue would currently admit before
+  /// rejecting with kQueueFull. This is a racy *hint* — concurrent
+  /// producers can consume the headroom between probe and submit — so
+  /// the typed reject from submit() remains the hard signal; the probe
+  /// just lets steady-state prefetch avoid burning rejects.
+  std::size_t queue_headroom() const {
+    const std::size_t depth = queue_.size();
+    const std::size_t cap = config_.queue_capacity;
+    return depth >= cap ? 0 : cap - depth;
+  }
   ServiceStats& stats() noexcept { return stats_; }
   const ServiceConfig& config() const noexcept { return config_; }
   ModelRegistry& registry() noexcept { return registry_; }

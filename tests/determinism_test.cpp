@@ -9,21 +9,30 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/parallel/thread_pool.hpp"
 #include "common/rng.hpp"
 #include "diffusion/distill.hpp"
+#include "diffusion/pipeline.hpp"
 #include "diffusion/sampler.hpp"
 #include "diffusion/schedule.hpp"
 #include "diffusion/unet1d.hpp"
 #include "flowgen/dataset.hpp"
+#include "flowgen/generator.hpp"
+#include "flowgen/tcp_session.hpp"
 #include "ml/features.hpp"
 #include "ml/random_forest.hpp"
 #include "nn/kernels/qgemm.hpp"
 #include "nn/precision.hpp"
 #include "nn/tensor.hpp"
 #include "nprint/codec.hpp"
+#include "replay/emit/emitter.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
 
 namespace repro {
 namespace {
@@ -297,6 +306,138 @@ TEST(Determinism, FlowgenDatasetBuild) {
     Rng rng(47);
     const flowgen::Dataset data = flowgen::build_table1_dataset(5, rng);
     return hash_flows(data.flows);
+  });
+}
+
+TEST(Determinism, OpenLoopReplayEmission) {
+  // The replay emitter under a virtual pacer is pure discrete-event
+  // simulation: pcap bytes and the conservation counters must be
+  // bit-identical at any lane count (flow generation and emission both
+  // run on top of the parallel layer's deterministic primitives).
+  expect_thread_invariant("open-loop replay emission", [] {
+    Rng rng(91);
+    const auto& profile = flowgen::app_profile(flowgen::App::kNetflix);
+    std::vector<net::Flow> flows;
+    for (std::size_t i = 0; i < 10; ++i) {
+      flowgen::Endpoints ep;
+      ep.client_addr = 0x0A000001u + static_cast<std::uint32_t>(i);
+      ep.server_addr = 0x0D000001u;
+      ep.client_port = static_cast<std::uint16_t>(40000 + i);
+      ep.server_port = 443;
+      flows.push_back(flowgen::generate_tcp_flow(profile, ep, 8, rng));
+    }
+
+    replay::emit::EmitConfig config;
+    config.target_pps = 20000.0;
+    config.total_flows = 10;
+    config.arrival = replay::emit::Arrival::kExponential;
+    config.seed = 19;
+    replay::emit::VectorFlowSource source(flows);
+    replay::emit::VirtualPacer pacer;
+    std::ostringstream bytes;
+    replay::emit::PcapSink sink(bytes);
+    replay::emit::OpenLoopEmitter emitter(config, source, pacer, sink);
+    const replay::emit::EmitReport report = emitter.run();
+    EXPECT_TRUE(report.conserved());
+
+    std::uint64_t h = kFnvOffset;
+    const std::string pcap = bytes.str();
+    hash_bytes(h, pcap.data(), pcap.size());
+    hash_bytes(h, &report.flows_emitted, sizeof(report.flows_emitted));
+    hash_bytes(h, &report.packets_emitted, sizeof(report.packets_emitted));
+    hash_bytes(h, &report.underruns, sizeof(report.underruns));
+    hash_bytes(h, &report.last_emit, sizeof(report.last_emit));
+    return h;
+  });
+}
+
+TEST(Determinism, ServedReplayEmissionMatchesLibrary) {
+  // Full-stack replay determinism: pacing flows through the serving
+  // layer (queue -> batcher -> model) must emit the exact bytes of the
+  // direct generate_seeded path, and those bytes must not move with the
+  // lane count. The tiny pipeline is trained once, outside the
+  // lane-swept scenario — only generation and emission are under test.
+  diffusion::PipelineConfig cfg;
+  cfg.packets = 8;
+  cfg.autoencoder.hidden_dim = 48;
+  cfg.autoencoder.latent_dim = 8;
+  cfg.unet.base_channels = 8;
+  cfg.unet.temb_dim = 16;
+  cfg.unet.groups = 4;
+  cfg.timesteps = 20;
+  cfg.ae_epochs = 10;
+  cfg.diffusion_epochs = 2;
+  cfg.control_epochs = 1;
+  cfg.seed = 5;
+  auto pipeline = std::make_shared<diffusion::TraceDiffusion>(
+      cfg, std::vector<std::string>{"netflix", "teams"});
+  {
+    Rng rng(77);
+    flowgen::Dataset ds;
+    for (std::size_t i = 0; i < 5; ++i) {
+      net::Flow a = flowgen::generate_flow(flowgen::App::kNetflix, 8, rng);
+      a.label = 0;
+      ds.flows.push_back(std::move(a));
+      net::Flow b = flowgen::generate_flow(flowgen::App::kTeams, 8, rng);
+      b.label = 1;
+      ds.flows.push_back(std::move(b));
+    }
+    pipeline->fit(ds);
+  }
+
+  expect_thread_invariant("served replay emission", [&pipeline] {
+    replay::emit::EmitConfig config;
+    config.target_pps = 10000.0;
+    config.total_flows = 6;
+    config.arrival = replay::emit::Arrival::kExponential;
+    config.seed = 21;
+
+    serve::ModelRegistry registry;
+    registry.install("default", pipeline, "v1");
+    auto now = std::make_shared<double>(0.0);
+    serve::ServiceConfig svc;
+    svc.batch.max_wait = 0.0;
+    svc.base_options.ddim_steps = 4;
+    svc.cache_capacity = 0;  // force the full generation path
+    svc.clock = [now] { return *now; };
+    serve::TraceService service(registry, svc);
+
+    replay::emit::ServedSourceConfig src;
+    src.class_id = 0;
+    src.seed_base = 42;
+    src.total_flows = 6;
+    src.ring_capacity = 4;
+    src.flows_per_request = 2;
+    src.ddim_steps = 4;
+    replay::emit::ServedFlowSource served(service, src);
+    replay::emit::VirtualPacer served_pacer;
+    std::ostringstream served_bytes;
+    replay::emit::PcapSink served_sink(served_bytes);
+    replay::emit::OpenLoopEmitter served_emitter(config, served, served_pacer,
+                                                 served_sink);
+    const replay::emit::EmitReport served_report = served_emitter.run();
+
+    diffusion::GenerateOptions lib_opts;
+    lib_opts.count = 2;  // == flows_per_request
+    lib_opts.ddim_steps = 4;
+    replay::emit::LibraryFlowSource library(*pipeline, 0, lib_opts, 42, 6);
+    replay::emit::VirtualPacer lib_pacer;
+    std::ostringstream lib_bytes;
+    replay::emit::PcapSink lib_sink(lib_bytes);
+    replay::emit::OpenLoopEmitter lib_emitter(config, library, lib_pacer,
+                                              lib_sink);
+    const replay::emit::EmitReport lib_report = lib_emitter.run();
+
+    EXPECT_TRUE(served_report.conserved());
+    EXPECT_EQ(served_report.underruns, 0u);
+    EXPECT_FALSE(served_bytes.str().empty());
+    EXPECT_EQ(served_bytes.str(), lib_bytes.str());
+    (void)lib_report;
+
+    std::uint64_t h = kFnvOffset;
+    const std::string pcap = served_bytes.str();
+    hash_bytes(h, pcap.data(), pcap.size());
+    return h;
   });
 }
 

@@ -93,6 +93,25 @@ TEST(Flow, FlattenSortsByTimestamp) {
   EXPECT_DOUBLE_EQ(flat[2].timestamp, 7.0);
 }
 
+TEST(Flow, FlattenBreaksTimestampTiesByFlowThenPacketIndex) {
+  // Regression: equal timestamps must order by (flow index, packet
+  // index), never by allocation address or sort instability — the
+  // open-loop emitter relies on this for byte-identical pcap output.
+  Flow a, b;
+  a.packets.push_back(make_udp_packet(1, 2, 3, 4, 10, 1.0));
+  a.packets.push_back(make_udp_packet(1, 2, 3, 4, 11, 1.0));
+  b.packets.push_back(make_udp_packet(5, 6, 7, 8, 20, 1.0));
+  b.packets.push_back(make_udp_packet(5, 6, 7, 8, 21, 2.0));
+  const auto flat = flatten_flows({a, b});
+  ASSERT_EQ(flat.size(), 4u);
+  // All three t=1.0 packets: flow 0's packets first (in packet order),
+  // then flow 1's.
+  EXPECT_EQ(flat[0].payload.size(), 10u);
+  EXPECT_EQ(flat[1].payload.size(), 11u);
+  EXPECT_EQ(flat[2].payload.size(), 20u);
+  EXPECT_EQ(flat[3].payload.size(), 21u);
+}
+
 TEST(FlowKey, ToStringIsReadable) {
   FlowKey key{0xC0A80101, 0x0D0D0D0D, 50000, 443, IpProto::kTcp};
   const std::string s = key.to_string();

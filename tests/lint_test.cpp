@@ -104,6 +104,7 @@ const RuleCase kRuleCases[] = {
     {"src/nn/rl016_atomic_float.cpp.fixture", "RL016"},
     {"src/net/rl017_reinterpret.cpp.fixture", "RL017"},
     {"src/nn/rl023_int8_outside_kernels.cpp.fixture", "RL023"},
+    {"src/replay/rl024_bad_replay_prefix.cpp.fixture", "RL024"},
 };
 
 class LintRuleFires : public ::testing::TestWithParam<RuleCase> {};
@@ -203,6 +204,37 @@ TEST(LintScope, SocketHeadersAllowedInServeNet) {
 // RL023 confines the int8 storage types to the quantized-GEMM kernel
 // directory: the same tokens that fire in src/nn are clean under
 // src/nn/kernels/, and files outside src/nn are never in scope.
+// RL024 mirrors the serve contracts for replay: clock reads confine to
+// emit/pacer.cpp (the Pacer implementation), and telemetry registered
+// from src/replay/ must carry the replay. prefix. A raw clock read
+// elsewhere in replay/ double-fires — the repo-wide determinism rule
+// AND the replay confinement angle — which is intentional: the finding
+// names both the global contract and the local remedy.
+TEST(LintScope, ReplayWallClockFiresBothDeterminismAndConfinement) {
+  const LintRun run =
+      run_lint({"src/replay/emit/rl024_wall_clock.cpp.fixture"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(count_of(run.output, "[RL006/"), 1) << run.output;
+  EXPECT_EQ(count_of(run.output, "[RL024/"), 1) << run.output;
+}
+
+TEST(LintScope, ReplayPacerIsExemptFromWallClock) {
+  const LintRun run = run_lint({"src/replay/emit/pacer.cpp.fixture"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintScope, ReplayPrefixedTelemetryIsClean) {
+  const LintRun run = run_lint({"src/replay/rl024_good_prefix.cpp.fixture"});
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintScope, ReplayPrefixRuleDoesNotApplyOutsideReplay) {
+  // The serve fixture's escaped prefix fires RL011, never RL024.
+  const LintRun run =
+      run_lint({"src/serve/rl011_bad_serve_prefix.cpp.fixture"});
+  EXPECT_EQ(count_of(run.output, "[RL024/"), 0) << run.output;
+}
+
 TEST(LintScope, Int8AllowedInNnKernels) {
   const LintRun run = run_lint({"src/nn/kernels/rl023_int8_ok.cpp.fixture"});
   EXPECT_EQ(run.exit_code, 0) << run.output;

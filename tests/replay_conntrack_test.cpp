@@ -210,5 +210,119 @@ TEST(Conntrack, AcceptanceStatsOnEmptyTraffic) {
   EXPECT_DOUBLE_EQ(tracker.stats().tcp_acceptance(), 1.0);
 }
 
+// --- Teardown edges the open-loop emitter exercises at rate ----------------
+
+TEST(Conntrack, RstAfterFinClosesImmediately) {
+  // One side FINs (kFinWait), then the peer aborts with RST instead of
+  // finishing the orderly teardown — common when an application closes
+  // with unread data. The RST must be accepted and close the entry; the
+  // orphaned final ACK of the half-finished teardown stays legitimate,
+  // but fresh data must not.
+  ConntrackFunction tracker;
+  const net::Flow flow = tcp_flow(20);
+  // Handshake.
+  for (int i = 0; i < 3; ++i) {
+    net::Packet pkt = flow.packets[static_cast<std::size_t>(i)];
+    ASSERT_EQ(tracker.process(pkt, pkt.timestamp), Verdict::kForward);
+  }
+  // Client FIN -> kFinWait. After the handshake the tracker expects the
+  // client's next segment at SYN.seq + 1.
+  const double t0 = flow.packets[2].timestamp;
+  net::Packet fin = net::make_tcp_packet(0x0A000001, 0x0D000001, 50000, 443,
+                                         0, t0 + 0.001);
+  fin.tcp->fin = true;
+  fin.tcp->ack_flag = true;
+  fin.tcp->seq = flow.packets[0].tcp->seq + 1;
+  ASSERT_EQ(tracker.process(fin, fin.timestamp), Verdict::kForward);
+  EXPECT_EQ(tracker.state_of(fin), TcpState::kFinWait);
+  // Server aborts with RST from kFinWait.
+  net::Packet rst = net::make_tcp_packet(0x0D000001, 0x0A000001, 443, 50000,
+                                         0, fin.timestamp + 0.001);
+  rst.tcp->rst = true;
+  EXPECT_EQ(tracker.process(rst, rst.timestamp), Verdict::kForward);
+  EXPECT_EQ(tracker.state_of(rst), TcpState::kClosed);
+  // The straggling pure ACK is tolerated...
+  net::Packet ack = net::make_tcp_packet(0x0A000001, 0x0D000001, 50000, 443,
+                                         0, rst.timestamp + 0.001);
+  ack.tcp->ack_flag = true;
+  EXPECT_EQ(tracker.process(ack, ack.timestamp), Verdict::kForward);
+  // ...but new data on the aborted connection is not.
+  net::Packet data = net::make_tcp_packet(0x0A000001, 0x0D000001, 50000, 443,
+                                          64, rst.timestamp + 0.002);
+  EXPECT_EQ(tracker.process(data, data.timestamp), Verdict::kDrop);
+}
+
+TEST(Conntrack, SimultaneousCloseCompletesTeardown) {
+  // Both sides FIN before seeing the other's FIN (simultaneous close).
+  // The second FIN must complete the teardown, and both final ACKs must
+  // still be accepted in kClosed.
+  ConntrackFunction tracker;
+  const net::Flow flow = tcp_flow(20);
+  for (int i = 0; i < 3; ++i) {
+    net::Packet pkt = flow.packets[static_cast<std::size_t>(i)];
+    ASSERT_EQ(tracker.process(pkt, pkt.timestamp), Verdict::kForward);
+  }
+  const double t0 = flow.packets[2].timestamp;
+  // Client FIN at the client's expected next sequence (SYN.seq + 1 —
+  // the handshake ACK does not consume sequence space).
+  net::Packet fin_a = net::make_tcp_packet(0x0A000001, 0x0D000001, 50000, 443,
+                                           0, t0 + 0.001);
+  fin_a.tcp->fin = true;
+  fin_a.tcp->ack_flag = true;
+  fin_a.tcp->seq = flow.packets[0].tcp->seq + 1;
+  ASSERT_EQ(tracker.process(fin_a, fin_a.timestamp), Verdict::kForward);
+  EXPECT_EQ(tracker.state_of(fin_a), TcpState::kFinWait);
+  // Server FIN crosses in flight (no ACK of the client FIN yet), at the
+  // server's expected next sequence (SYN-ACK.seq + 1).
+  net::Packet fin_b = net::make_tcp_packet(0x0D000001, 0x0A000001, 443, 50000,
+                                           0, t0 + 0.002);
+  fin_b.tcp->fin = true;
+  fin_b.tcp->ack_flag = true;
+  fin_b.tcp->seq = flow.packets[1].tcp->seq + 1;
+  EXPECT_EQ(tracker.process(fin_b, fin_b.timestamp), Verdict::kForward);
+  EXPECT_EQ(tracker.state_of(fin_b), TcpState::kClosed);
+  EXPECT_EQ(tracker.stats().teardowns_completed, 1u);
+  // Both directions' closing ACKs are still legitimate in kClosed.
+  net::Packet ack_a = net::make_tcp_packet(0x0A000001, 0x0D000001, 50000, 443,
+                                           0, t0 + 0.003);
+  ack_a.tcp->ack_flag = true;
+  net::Packet ack_b = net::make_tcp_packet(0x0D000001, 0x0A000001, 443, 50000,
+                                           0, t0 + 0.004);
+  ack_b.tcp->ack_flag = true;
+  EXPECT_EQ(tracker.process(ack_a, ack_a.timestamp), Verdict::kForward);
+  EXPECT_EQ(tracker.process(ack_b, ack_b.timestamp), Verdict::kForward);
+  EXPECT_DOUBLE_EQ(tracker.stats().tcp_acceptance(), 1.0);
+}
+
+TEST(Conntrack, SynRetransmitInSynSentIsTolerated) {
+  // A lossy client retransmits its SYN before the SYN-ACK arrives. The
+  // duplicate must be accepted without disturbing the opening state,
+  // and the handshake must then complete normally.
+  ConntrackFunction tracker;
+  const net::Flow flow = tcp_flow(20);
+  net::Packet syn = flow.packets[0];
+  ASSERT_EQ(tracker.process(syn, syn.timestamp), Verdict::kForward);
+  EXPECT_EQ(tracker.state_of(syn), TcpState::kSynSent);
+  // Retransmitted SYN: same segment, slightly later.
+  net::Packet syn_rtx = flow.packets[0];
+  EXPECT_EQ(tracker.process(syn_rtx, syn.timestamp + 0.2), Verdict::kForward);
+  EXPECT_EQ(tracker.state_of(syn_rtx), TcpState::kSynSent);
+  EXPECT_EQ(tracker.stats().invalid_state, 0u);
+  // A duplicate SYN from the *peer* direction is not an opener
+  // retransmission and must be rejected (SYN-ACK is the only legal
+  // peer segment here).
+  net::Packet bogus = net::make_tcp_packet(0x0D000001, 0x0A000001, 443, 50000,
+                                           0, syn.timestamp + 0.25);
+  bogus.tcp->syn = true;
+  EXPECT_EQ(tracker.process(bogus, bogus.timestamp), Verdict::kDrop);
+  // Handshake still completes.
+  net::Packet synack = flow.packets[1];
+  net::Packet ack = flow.packets[2];
+  EXPECT_EQ(tracker.process(synack, syn.timestamp + 0.3), Verdict::kForward);
+  EXPECT_EQ(tracker.process(ack, syn.timestamp + 0.31), Verdict::kForward);
+  EXPECT_EQ(tracker.state_of(ack), TcpState::kEstablished);
+  EXPECT_EQ(tracker.stats().handshakes_completed, 1u);
+}
+
 }  // namespace
 }  // namespace repro::replay

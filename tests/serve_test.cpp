@@ -222,6 +222,36 @@ TEST_F(ServeTest, FullQueueRejectsTypedWithoutDroppingAcceptedWork) {
   EXPECT_TRUE(service.submit(request(0, 3000)).accepted);
 }
 
+TEST_F(ServeTest, QueueHeadroomTracksDepthAndRecoversAfterDrain) {
+  // The headroom probe lets cooperative producers (the replay
+  // prefetcher) stop submitting before burning a typed reject; it must
+  // mirror queue depth exactly in single-threaded use.
+  ServiceConfig cfg = fast_config();
+  cfg.queue_capacity = 3;
+  cfg.cache_capacity = 0;
+  TraceService service(registry_, cfg);
+  EXPECT_EQ(service.queue_headroom(), 3u);
+
+  std::vector<SubmitResult> accepted;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(service.queue_headroom(), 3u - s);
+    auto r = service.submit(request(0, 4000 + s));
+    ASSERT_TRUE(r.accepted);
+    accepted.push_back(std::move(r));
+  }
+  // Zero headroom is exactly the point where submit would reject.
+  EXPECT_EQ(service.queue_headroom(), 0u);
+  auto overflow = service.submit(request(0, 4100));
+  EXPECT_FALSE(overflow.accepted);
+  EXPECT_EQ(overflow.reject, RejectReason::kQueueFull);
+
+  service.drain();
+  EXPECT_EQ(service.queue_headroom(), 3u);
+  for (auto& r : accepted) {
+    EXPECT_EQ(r.response.get().status, ResponseStatus::kOk);
+  }
+}
+
 TEST_F(ServeTest, ExpiredDeadlineCancelsBeforeModelWork) {
   ServiceConfig cfg = fast_config();
   cfg.cache_capacity = 0;

@@ -95,7 +95,8 @@ std::vector<Rule> build_rules() {
       "the paper's Figure 2 depends on"});
   rules.push_back(Rule{
       "RL006", "wall-clock", {"src/"},
-      {"src/common/telemetry/", "src/serve/clock."},
+      {"src/common/telemetry/", "src/serve/clock.",
+       "src/replay/emit/pacer."},
       kClockPattern,
       re(kClockPattern),
       "wall-clock read outside telemetry; generated artifacts must not "
@@ -158,6 +159,27 @@ std::vector<Rule> build_rules() {
       "because every int8 round-trip (scale, clamp, widen, dequant) "
       "lives in one audited kernel file; scattered int8 arithmetic "
       "reintroduces per-call-site rounding choices"});
+  // RL024 is one rule id with two enforcement angles (matched by rule
+  // *name* in the literal-prefix dispatch below): the replay analogue
+  // of RL006's clock confinement and RL011's telemetry-prefix contract.
+  rules.push_back(Rule{
+      "RL024", "replay-wall-clock", {"src/replay/"},
+      {"src/replay/emit/pacer."},
+      kClockPattern,
+      re(kClockPattern),
+      "wall-clock read in src/replay/ outside emit/pacer.cpp; replay "
+      "code paces through the Pacer interface (replay/emit/pacer.hpp)",
+      "emission must be bit-identical under virtual and real pacing; a "
+      "stray clock read drags wall time back into the event loop"});
+  rules.push_back(Rule{
+      "RL024", "replay-telemetry-prefix", {"src/replay/"}, {},
+      "(telemetry literals registered from src/replay/ must start with "
+      "`replay.`)",
+      re(R"(\bREPRO_SPAN\s*\(|\btelemetry::(count|gauge_set|observe)\s*\()"),
+      "telemetry name registered from src/replay/ must use the `replay.` "
+      "prefix",
+      "rate/jitter dashboards aggregate the replay metric tree by "
+      "prefix; a stray name drops out of every replay view"});
   return rules;
 }
 
@@ -204,7 +226,15 @@ class TokenPass : public Pass {
       for (std::size_t i = 0; i < file.code.size(); ++i) {
         const std::string& code = file.code[i];
         if (code.empty()) continue;
-        if (id == "RL007" || id == "RL011") {
+        // Prefix rules share an id with sibling rules (RL024 has a
+        // clock angle and a telemetry angle), so dispatch on the rule
+        // *name*, not just the id.
+        const std::string_view rule_name(rule.name);
+        const char* required_prefix =
+            rule_name == "serve-telemetry-prefix"    ? "serve."
+            : rule_name == "replay-telemetry-prefix" ? "replay."
+                                                     : nullptr;
+        if (id == "RL007" || required_prefix != nullptr) {
           // Validate the literal argument of each telemetry call site;
           // names built at runtime or on a later line are out of scope
           // for a lexical pass.
@@ -216,9 +246,10 @@ class TokenPass : public Pass {
             const std::optional<std::string> literal =
                 first_string_literal(file.raw[i], call_end);
             if (!literal.has_value()) continue;
-            const bool bad = id == "RL007"
-                                 ? !valid_telemetry_name(*literal)
-                                 : literal->rfind("serve.", 0) != 0;
+            const bool bad =
+                required_prefix == nullptr
+                    ? !valid_telemetry_name(*literal)
+                    : literal->rfind(required_prefix, 0) != 0;
             if (bad) {
               out.push_back(Finding{file.rel_path, i + 1, rule.id, rule.name,
                                     std::string(rule.message) + " (got \"" +
